@@ -1,0 +1,49 @@
+//! Criterion bench for the discovery fast path (paper §2.4 / Figure 3):
+//! querying the aggregated local database vs synchronous TCP fan-out to
+//! the station servers.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monalisa_sim::{
+    DiscoveryAggregator, Publication, ServiceDescriptor, ServiceQuery, StationServer,
+};
+
+fn bench_discovery(c: &mut Criterion) {
+    let stations: Vec<Arc<StationServer>> = (0..3)
+        .map(|i| Arc::new(StationServer::spawn(format!("s{i}"), "127.0.0.1:0").unwrap()))
+        .collect();
+    for site in 0..90 {
+        for service in ["file", "proof", "runjob"] {
+            stations[site % 3].publish_local(Publication::Service(ServiceDescriptor {
+                url: format!("http://site{site}/clarens"),
+                server_dn: format!("/O=g/CN=h{site}"),
+                service: service.into(),
+                methods: vec![format!("{service}.run")],
+                attributes: Default::default(),
+                timestamp: 1,
+            }));
+        }
+    }
+    let aggregator =
+        DiscoveryAggregator::new(stations.clone(), Arc::new(clarens_db::Store::in_memory()));
+    assert!(monalisa_sim::station::wait_until(
+        std::time::Duration::from_secs(5),
+        || aggregator.local_service_count() == 270,
+    ));
+    let query = ServiceQuery::by_service("proof");
+
+    let mut group = c.benchmark_group("discovery_latency");
+    group.sample_size(30);
+    group.bench_function("local_db", |b| {
+        b.iter(|| assert_eq!(aggregator.query_local(&query).len(), 90))
+    });
+    group.bench_function("station_fanout_tcp", |b| {
+        b.iter(|| assert_eq!(aggregator.query_remote(&query).len(), 90))
+    });
+    group.finish();
+    aggregator.shutdown();
+}
+
+criterion_group!(benches, bench_discovery);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for file streaming (SC2003 bandwidth challenge, paper
+//! §1): whole-file download over the streamed HTTP GET path vs chunked
+//! `file.read` RPC pulls.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const FILE_MB: usize = 8;
+
+fn bench_streaming(c: &mut Criterion) {
+    let grid = clarens_bench::bench_grid();
+    let data = vec![0xA5u8; FILE_MB * 1024 * 1024];
+    grid.write_file("/bench.dat", &data);
+    let session = clarens_bench::bench_session(&grid);
+    let mut client = clarens::ClarensClient::new(grid.addr());
+    client.set_session(session);
+
+    let mut group = c.benchmark_group("file_streaming");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(10))
+        .throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("http_get_streamed", |b| {
+        b.iter(|| {
+            let bytes = client.http_get_file("/bench.dat").unwrap();
+            assert_eq!(bytes.len(), data.len());
+        })
+    });
+    group.bench_function("rpc_chunked_read", |b| {
+        b.iter(|| {
+            let bytes = client.file_download("/bench.dat", 4 * 1024 * 1024).unwrap();
+            assert_eq!(bytes.len(), data.len());
+        })
+    });
+    group.finish();
+    grid.cleanup();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for the Globus comparison (paper §4 footnote 4):
+//! one trivial `echo.echo` call via Clarens vs the GT3-like baseline.
+
+use clarens_wire::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_stacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("globus_compare");
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(5));
+
+    let grid = clarens_bench::bench_grid();
+    let mut client = grid.logged_in_client(&grid.user);
+    group.bench_function("clarens_echo", |b| {
+        b.iter(|| client.call("echo.echo", vec![Value::Int(7)]).unwrap())
+    });
+    drop(client);
+    grid.cleanup();
+
+    let (root, credential) = gt3_baseline::test_credentials(42);
+    let server = gt3_baseline::Gt3Server::start(
+        "127.0.0.1:0",
+        gt3_baseline::Gt3Config::default(),
+        vec![root],
+    )
+    .unwrap();
+    let mut gt3 = gt3_baseline::Gt3Client::new(
+        server.local_addr().to_string(),
+        gt3_baseline::Gt3Config::default(),
+        credential,
+    );
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8));
+    group.bench_function("gt3_echo", |b| b.iter(|| gt3.echo(Value::Int(7)).unwrap()));
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_stacks);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for the SSL-overhead claim: the same request over the
+//! plaintext and encrypted transports ("Informal tests show the latter to
+//! reduce performance by up to 50%", paper §4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_transports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssl_overhead");
+    group
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(5));
+
+    let grid = clarens_bench::bench_grid();
+    let session = clarens_bench::bench_session(&grid);
+    let mut plain = clarens::ClarensClient::new(grid.addr());
+    plain.set_session(session);
+    group.bench_function("plaintext", |b| {
+        b.iter(|| plain.call("system.list_methods", vec![]).unwrap())
+    });
+    drop(plain);
+    grid.cleanup();
+
+    let tls_grid = clarens_bench::bench_grid_tls();
+    let mut tls = tls_grid.tls_client(&tls_grid.user);
+    group.bench_function("tls", |b| {
+        b.iter(|| tls.call("system.list_methods", vec![]).unwrap())
+    });
+    group.finish();
+    drop(tls);
+    tls_grid.cleanup();
+}
+
+criterion_group!(benches, bench_transports);
+criterion_main!(benches);

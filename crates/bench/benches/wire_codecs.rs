@@ -1,0 +1,49 @@
+//! Microbenchmarks of the wire codecs: the serialization work inside every
+//! Figure-4 request (a >30-string XML-RPC array response), plus the other
+//! protocols for comparison.
+
+use clarens_wire::{jsonrpc, soap, xmlrpc, RpcCall, RpcResponse, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn figure4_response() -> RpcResponse {
+    RpcResponse::Success(Value::Array(
+        (0..32)
+            .map(|i| Value::from(format!("module{i}.method{i}")))
+            .collect(),
+    ))
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let response = figure4_response();
+    let call = RpcCall::new("system.list_methods", vec![]);
+
+    let mut group = c.benchmark_group("wire_codecs");
+    group.bench_function("xmlrpc_encode_response", |b| {
+        b.iter(|| xmlrpc::encode_response(&response))
+    });
+    let encoded = xmlrpc::encode_response(&response);
+    group.bench_function("xmlrpc_decode_response", |b| {
+        b.iter(|| xmlrpc::decode_response(&encoded).unwrap())
+    });
+    group.bench_function("soap_encode_response", |b| {
+        b.iter(|| soap::encode_response(&response))
+    });
+    let soap_encoded = soap::encode_response(&response);
+    group.bench_function("soap_decode_response", |b| {
+        b.iter(|| soap::decode_response(&soap_encoded).unwrap())
+    });
+    group.bench_function("jsonrpc_encode_response", |b| {
+        b.iter(|| jsonrpc::encode_response(&response, None))
+    });
+    let json_encoded = jsonrpc::encode_response(&response, None);
+    group.bench_function("jsonrpc_decode_response", |b| {
+        b.iter(|| jsonrpc::decode_response(&json_encoded).unwrap())
+    });
+    group.bench_function("xmlrpc_encode_call", |b| {
+        b.iter(|| xmlrpc::encode_call(&call))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

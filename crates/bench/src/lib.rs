@@ -1,0 +1,168 @@
+//! # clarens-bench — workload drivers for the paper's evaluation
+//!
+//! Shared machinery for the `repro` binary (which prints every table and
+//! figure of the paper's evaluation section, see EXPERIMENTS.md) and the
+//! Criterion benches. Each experiment in DESIGN.md's per-experiment index
+//! maps to one function here.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use clarens::testkit::{GridOptions, TestGrid};
+use clarens::ClarensClient;
+use clarens_wire::{Protocol, Value};
+
+/// Result of one throughput measurement point.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputPoint {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Total completed calls.
+    pub calls: u64,
+    /// Calls per second.
+    pub calls_per_sec: f64,
+}
+
+/// Drive `clients` concurrent clients against `addr`, each looping
+/// `method` over a shared keep-alive connection for `duration`. Mirrors
+/// the paper's Figure-4 driver ("a single process opening connections to
+/// the server and completing requests asynchronously" — here, one thread
+/// per asynchronous client).
+pub fn measure_throughput(
+    addr: &str,
+    session: &str,
+    clients: usize,
+    duration: Duration,
+    method: &'static str,
+    protocol: Protocol,
+) -> ThroughputPoint {
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::with_capacity(clients);
+    for _ in 0..clients {
+        let addr = addr.to_owned();
+        let session = session.to_owned();
+        let stop = Arc::clone(&stop);
+        let total = Arc::clone(&total);
+        handles.push(std::thread::spawn(move || {
+            let mut client = ClarensClient::new(addr).with_protocol(protocol);
+            client.set_session(session);
+            let mut local = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let result = match method {
+                    "echo.echo" => client.call(method, vec![Value::Int(1)]).map(|_| ()),
+                    other => client.call(other, vec![]).map(|_| ()),
+                };
+                match result {
+                    Ok(()) => local += 1,
+                    Err(e) => panic!("bench call failed: {e}"),
+                }
+            }
+            total.fetch_add(local, Ordering::Relaxed);
+        }));
+    }
+    let t0 = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("bench client thread");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let calls = total.load(Ordering::Relaxed);
+    ThroughputPoint {
+        clients,
+        calls,
+        calls_per_sec: calls as f64 / elapsed,
+    }
+}
+
+/// TLS variant of [`measure_throughput`]: each client opens one secure
+/// channel (identity from the handshake, no session header needed).
+pub fn measure_throughput_tls(
+    grid: &TestGrid,
+    clients: usize,
+    duration: Duration,
+) -> ThroughputPoint {
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::with_capacity(clients);
+    for _ in 0..clients {
+        let addr = grid.addr();
+        let credential = grid.user.clone();
+        let roots = vec![grid.ca.certificate.clone()];
+        let stop = Arc::clone(&stop);
+        let total = Arc::clone(&total);
+        handles.push(std::thread::spawn(move || {
+            let mut client = ClarensClient::new_tls(addr, credential, roots);
+            let mut local = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                client
+                    .call("system.list_methods", vec![])
+                    .expect("tls call");
+                local += 1;
+            }
+            total.fetch_add(local, Ordering::Relaxed);
+        }));
+    }
+    let t0 = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("bench client thread");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let calls = total.load(Ordering::Relaxed);
+    ThroughputPoint {
+        clients,
+        calls,
+        calls_per_sec: calls as f64 / elapsed,
+    }
+}
+
+/// Start the standard benchmark grid: plaintext, permissive ACLs, enough
+/// workers for the paper's 79-client sweep.
+pub fn bench_grid() -> TestGrid {
+    TestGrid::start_with(GridOptions {
+        workers: 96,
+        ..Default::default()
+    })
+}
+
+/// Start the TLS benchmark grid.
+pub fn bench_grid_tls() -> TestGrid {
+    TestGrid::start_with(GridOptions {
+        workers: 96,
+        tls: true,
+        ..Default::default()
+    })
+}
+
+/// Open one session on the grid for session-header clients.
+pub fn bench_session(grid: &TestGrid) -> String {
+    let client = grid.logged_in_client(&grid.user);
+    client.session_id().expect("session").to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_driver_smoke() {
+        let grid = bench_grid();
+        let session = bench_session(&grid);
+        let point = measure_throughput(
+            &grid.addr(),
+            &session,
+            2,
+            Duration::from_millis(300),
+            "system.list_methods",
+            Protocol::XmlRpc,
+        );
+        assert_eq!(point.clients, 2);
+        assert!(point.calls > 0, "no calls completed");
+        assert!(point.calls_per_sec > 0.0);
+        grid.cleanup();
+    }
+}

@@ -1,0 +1,306 @@
+//! The Clarens client API: typed access to a Clarens server over any of
+//! the three protocols, with certificate login, session management, proxy
+//! login, and convenience wrappers for the core services.
+//!
+//! Plays the role of the paper's Python client library ("a set of useful
+//! client implementations for physics analysis", §7).
+
+use std::sync::Arc;
+
+use clarens_httpd::{ClientTls, HttpClient, Method, Request};
+use clarens_pki::cert::{Certificate, Credential};
+use clarens_wire::{Fault, Protocol, RpcCall, Value};
+
+use crate::services::system::auth_challenge;
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Transport(String),
+    /// HTTP-level failure (non-200 status).
+    Http(u16, String),
+    /// The server returned an RPC fault.
+    Fault(Fault),
+    /// Malformed response payload.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(m) => write!(f, "transport error: {m}"),
+            ClientError::Http(status, m) => write!(f, "HTTP {status}: {m}"),
+            ClientError::Fault(fault) => write!(f, "{fault}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<Fault> for ClientError {
+    fn from(f: Fault) -> Self {
+        ClientError::Fault(f)
+    }
+}
+
+/// A Clarens client bound to one server.
+pub struct ClarensClient {
+    http: HttpClient,
+    protocol: Protocol,
+    endpoint: String,
+    session: Option<String>,
+    credential: Option<Credential>,
+    now_fn: Arc<dyn Fn() -> i64 + Send + Sync>,
+}
+
+fn system_now() -> i64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0)
+}
+
+impl ClarensClient {
+    /// Plaintext client speaking XML-RPC (the paper's default protocol).
+    pub fn new(addr: impl Into<String>) -> Self {
+        ClarensClient {
+            http: HttpClient::new(addr),
+            protocol: Protocol::XmlRpc,
+            endpoint: "/clarens".into(),
+            session: None,
+            credential: None,
+            now_fn: Arc::new(system_now),
+        }
+    }
+
+    /// Secure-channel client: the TLS identity doubles as the login, so no
+    /// explicit `login()` is required.
+    pub fn new_tls(
+        addr: impl Into<String>,
+        credential: Credential,
+        roots: Vec<Certificate>,
+    ) -> Self {
+        let cred_clone = credential.clone();
+        ClarensClient {
+            http: HttpClient::new_tls(
+                addr,
+                ClientTls {
+                    credential,
+                    roots,
+                    now_fn: Box::new(system_now),
+                },
+            ),
+            protocol: Protocol::XmlRpc,
+            endpoint: "/clarens".into(),
+            session: None,
+            credential: Some(cred_clone),
+            now_fn: Arc::new(system_now),
+        }
+    }
+
+    /// Select the wire protocol (XML-RPC, SOAP, or JSON-RPC).
+    pub fn with_protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Attach a credential for `login()` over plaintext connections.
+    pub fn with_credential(mut self, credential: Credential) -> Self {
+        self.credential = Some(credential);
+        self
+    }
+
+    /// Override the clock (deterministic tests).
+    pub fn with_now_fn(mut self, now_fn: Arc<dyn Fn() -> i64 + Send + Sync>) -> Self {
+        self.now_fn = now_fn;
+        self
+    }
+
+    /// The current session id, if logged in.
+    pub fn session_id(&self) -> Option<&str> {
+        self.session.as_deref()
+    }
+
+    /// Adopt an existing session id (e.g. persisted from a previous run —
+    /// the restart-survival workflow).
+    pub fn set_session(&mut self, id: impl Into<String>) {
+        self.session = Some(id.into());
+    }
+
+    /// Invoke `method` with `params`.
+    pub fn call(&mut self, method: &str, params: Vec<Value>) -> Result<Value, ClientError> {
+        let call = RpcCall {
+            method: method.to_owned(),
+            params,
+            id: Some(Value::Int(1)),
+        };
+        let body = clarens_wire::encode_call(self.protocol, &call);
+        let mut request = Request::new(Method::Post, self.endpoint.clone());
+        request
+            .headers
+            .set("content-type", self.protocol.content_type());
+        if let Some(session) = &self.session {
+            request.headers.set("x-clarens-session", session.clone());
+        }
+        request.body = body;
+
+        let response = self
+            .http
+            .request(&request)
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        if response.status != 200 {
+            return Err(ClientError::Http(
+                response.status,
+                String::from_utf8_lossy(&response.body).into_owned(),
+            ));
+        }
+        clarens_wire::decode_response(self.protocol, &response.body)
+            .map_err(|e| ClientError::Protocol(e.to_string()))?
+            .into_result()
+            .map_err(|e| match e {
+                clarens_wire::WireError::Fault(f) => ClientError::Fault(f),
+                other => ClientError::Protocol(other.to_string()),
+            })
+    }
+
+    /// Authenticate with the attached credential via `system.auth`,
+    /// storing the returned session.
+    pub fn login(&mut self) -> Result<String, ClientError> {
+        let credential = self
+            .credential
+            .clone()
+            .ok_or_else(|| ClientError::Protocol("no credential attached".into()))?;
+        let now = (self.now_fn)();
+        let signature = credential.key.sign(auth_challenge(now).as_bytes());
+        let mut chain_texts = vec![Value::from(credential.certificate.to_text())];
+        for link in &credential.chain {
+            chain_texts.push(Value::from(link.to_text()));
+        }
+        let result = self.call(
+            "system.auth",
+            vec![
+                Value::Array(chain_texts),
+                Value::Int(now),
+                Value::Bytes(signature),
+            ],
+        )?;
+        let session = result
+            .get("session")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ClientError::Protocol("auth response missing session".into()))?
+            .to_owned();
+        self.session = Some(session.clone());
+        Ok(session)
+    }
+
+    /// Log in using a previously stored proxy (paper §2.6): only the DN and
+    /// password are needed.
+    pub fn login_proxy(&mut self, dn: &str, password: &str) -> Result<String, ClientError> {
+        let result = self.call("proxy.login", vec![Value::from(dn), Value::from(password)])?;
+        let session = result
+            .get("session")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ClientError::Protocol("login response missing session".into()))?
+            .to_owned();
+        self.session = Some(session.clone());
+        Ok(session)
+    }
+
+    /// Destroy the current session.
+    pub fn logout(&mut self) -> Result<bool, ClientError> {
+        let result = self.call("system.logout", vec![])?;
+        self.session = None;
+        Ok(result.as_bool().unwrap_or(false))
+    }
+
+    /// `system.list_methods` as a string vector.
+    pub fn list_methods(&mut self) -> Result<Vec<String>, ClientError> {
+        let value = self.call("system.list_methods", vec![])?;
+        value
+            .as_array()
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|v| v.as_str().map(str::to_owned))
+                    .collect()
+            })
+            .ok_or_else(|| ClientError::Protocol("list_methods did not return an array".into()))
+    }
+
+    /// `file.read` as raw bytes.
+    pub fn file_read(
+        &mut self,
+        name: &str,
+        offset: i64,
+        nbytes: i64,
+    ) -> Result<Vec<u8>, ClientError> {
+        let value = self.call(
+            "file.read",
+            vec![Value::from(name), Value::Int(offset), Value::Int(nbytes)],
+        )?;
+        value
+            .coerce_bytes()
+            .ok_or_else(|| ClientError::Protocol("file.read did not return bytes".into()))
+    }
+
+    /// Download a whole file by looping `file.read` (the chunked-pull
+    /// pattern of the original clients).
+    pub fn file_download(&mut self, name: &str, chunk: i64) -> Result<Vec<u8>, ClientError> {
+        let mut out = Vec::new();
+        let mut offset = 0i64;
+        loop {
+            let piece = self.file_read(name, offset, chunk)?;
+            let n = piece.len();
+            out.extend_from_slice(&piece);
+            if (n as i64) < chunk {
+                return Ok(out);
+            }
+            offset += n as i64;
+        }
+    }
+
+    /// HTTP GET download (the streaming path), returning the body.
+    pub fn http_get_file(&mut self, virtual_path: &str) -> Result<Vec<u8>, ClientError> {
+        let mut target = format!("/file{}", clarens_wire::percent::encode_path(virtual_path));
+        if let Some(session) = &self.session {
+            target.push_str(&format!("?session={session}"));
+        }
+        let mut request = Request::new(Method::Get, target);
+        request.headers.set("host", "clarens");
+        let response = self
+            .http
+            .request(&request)
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        if response.status != 200 {
+            return Err(ClientError::Http(
+                response.status,
+                String::from_utf8_lossy(&response.body).into_owned(),
+            ));
+        }
+        Ok(response.body)
+    }
+
+    /// Fetch a portal page (HTML) for inspection.
+    pub fn get_page(&mut self, path: &str) -> Result<(u16, String), ClientError> {
+        let mut target = path.to_owned();
+        if let Some(session) = &self.session {
+            let sep = if target.contains('?') { '&' } else { '?' };
+            target.push_str(&format!("{sep}session={session}"));
+        }
+        let response = self
+            .http
+            .get(&target)
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        Ok((
+            response.status,
+            String::from_utf8_lossy(&response.body).into_owned(),
+        ))
+    }
+
+    /// Drop the underlying connection (next call reconnects).
+    pub fn close_connection(&mut self) {
+        self.http.close();
+    }
+}

@@ -1,0 +1,147 @@
+//! Server configuration.
+//!
+//! Mirrors what PClarens read from its Apache-side configuration file: the
+//! static list of `admins` DNs (paper §2.1: the admins group "is populated
+//! statically from values provided in the server configuration file on each
+//! server restart"), the virtual server roots for the file service (§2.3:
+//! "a virtual server root directory can be defined ... via the server
+//! configuration file"), shell-service sandbox settings (§2.5), and session
+//! parameters.
+
+use std::path::PathBuf;
+
+/// Configuration for a Clarens server instance.
+#[derive(Clone)]
+pub struct ClarensConfig {
+    /// Canonical base URL used in discovery publications.
+    pub server_url: String,
+    /// DNs statically populating the `admins` group on startup.
+    pub admin_dns: Vec<String>,
+    /// Virtual root for the file service and HTTP GET downloads.
+    pub file_root: Option<PathBuf>,
+    /// Root directory under which per-user shell sandboxes are created.
+    pub shell_root: Option<PathBuf>,
+    /// Contents of the `.clarens_user_map` file mapping DNs/groups to
+    /// local system users (paper §2.5).
+    pub shell_user_map: String,
+    /// Session lifetime in seconds (sessions persist in the DB and survive
+    /// restarts; they still expire).
+    pub session_ttl: i64,
+    /// Maximum clock skew tolerated in `system.auth` challenge timestamps.
+    pub auth_skew: i64,
+    /// Number of HTTP worker threads.
+    pub workers: usize,
+    /// Path for the persistent store; `None` = in-memory.
+    pub db_path: Option<PathBuf>,
+}
+
+impl Default for ClarensConfig {
+    fn default() -> Self {
+        ClarensConfig {
+            server_url: "http://localhost:8080/clarens".into(),
+            admin_dns: Vec::new(),
+            file_root: None,
+            shell_root: None,
+            shell_user_map: String::new(),
+            session_ttl: 24 * 3600,
+            auth_skew: 300,
+            workers: 16,
+            db_path: None,
+        }
+    }
+}
+
+impl ClarensConfig {
+    /// Parse the simple `key: value` config-file format (one setting per
+    /// line, `#` comments; repeatable keys accumulate). This stands in for
+    /// the Apache/mod_python configuration the paper's server used.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut config = ClarensConfig::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(':')
+                .ok_or_else(|| format!("line {}: expected 'key: value'", lineno + 1))?;
+            let value = value.trim();
+            match key.trim() {
+                "server_url" => config.server_url = value.to_owned(),
+                "admin" => config.admin_dns.push(value.to_owned()),
+                "file_root" => config.file_root = Some(PathBuf::from(value)),
+                "shell_root" => config.shell_root = Some(PathBuf::from(value)),
+                "shell_user_map" => {
+                    config.shell_user_map.push_str(value);
+                    config.shell_user_map.push('\n');
+                }
+                "session_ttl" => {
+                    config.session_ttl = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad session_ttl", lineno + 1))?
+                }
+                "auth_skew" => {
+                    config.auth_skew = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad auth_skew", lineno + 1))?
+                }
+                "workers" => {
+                    config.workers = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad workers", lineno + 1))?
+                }
+                "db_path" => config.db_path = Some(PathBuf::from(value)),
+                other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+            }
+        }
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_config() {
+        let text = r#"
+# Clarens server configuration
+server_url: http://tier2.example.edu:8080/clarens
+admin: /O=doesciencegrid.org/OU=People/CN=Conrad Steenberg
+admin: /O=doesciencegrid.org/OU=People/CN=Frank van Lingen
+file_root: /data/clarens
+shell_root: /var/clarens/shell
+shell_user_map: joe: dn=/DC=org/DC=doegrids/OU=People/CN=Joe User
+session_ttl: 7200
+auth_skew: 60
+workers: 32
+db_path: /var/clarens/clarens.db
+"#;
+        let config = ClarensConfig::parse(text).unwrap();
+        assert_eq!(config.server_url, "http://tier2.example.edu:8080/clarens");
+        assert_eq!(config.admin_dns.len(), 2);
+        assert_eq!(
+            config.file_root.as_deref(),
+            Some(std::path::Path::new("/data/clarens"))
+        );
+        assert_eq!(config.session_ttl, 7200);
+        assert_eq!(config.auth_skew, 60);
+        assert_eq!(config.workers, 32);
+        assert!(config.shell_user_map.contains("Joe User"));
+    }
+
+    #[test]
+    fn defaults() {
+        let config = ClarensConfig::parse("").unwrap();
+        assert_eq!(config.session_ttl, 24 * 3600);
+        assert!(config.admin_dns.is_empty());
+        assert!(config.file_root.is_none());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(ClarensConfig::parse("not a setting").is_err());
+        assert!(ClarensConfig::parse("unknown_key: x").is_err());
+        assert!(ClarensConfig::parse("session_ttl: soon").is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! The composed server core: everything a service needs at call time.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use clarens_db::Store;
+use clarens_pki::cert::{Certificate, Credential};
+
+use crate::acl::AclEngine;
+use crate::config::ClarensConfig;
+use crate::registry::{Registry, Service};
+use crate::session::SessionManager;
+use crate::vo::VoManager;
+
+/// The assembled Clarens core — configuration, persistent store, session
+/// manager, VO manager, ACL engine, trust anchors, server credential, and
+/// the service registry. One `ClarensCore` backs one server instance; it is
+/// shared (via `Arc`) between the HTTP handler and any in-process tooling.
+pub struct ClarensCore {
+    /// Server configuration.
+    pub config: ClarensConfig,
+    /// The persistent store (sessions, VO, ACLs, methods, discovery cache).
+    pub store: Arc<Store>,
+    /// Session manager.
+    pub sessions: SessionManager,
+    /// Virtual-organization manager.
+    pub vo: VoManager,
+    /// ACL engine.
+    pub acl: AclEngine,
+    /// Trust roots for validating client certificate chains.
+    pub roots: Vec<Certificate>,
+    /// This server's credential (certificate + key).
+    pub credential: Credential,
+    /// Registered services.
+    pub registry: RwLock<Registry>,
+    /// Clock (overridable for deterministic tests).
+    pub now_fn: Arc<dyn Fn() -> i64 + Send + Sync>,
+}
+
+impl ClarensCore {
+    /// Assemble a core. Opens (or creates) the persistent store per the
+    /// config, repopulates the `admins` VO group, and installs nothing else
+    /// — services are registered separately.
+    pub fn new(
+        config: ClarensConfig,
+        roots: Vec<Certificate>,
+        credential: Credential,
+    ) -> std::io::Result<Arc<ClarensCore>> {
+        let store = Arc::new(match &config.db_path {
+            Some(path) => Store::open(path)?,
+            None => Store::in_memory(),
+        });
+        let sessions = SessionManager::new(Arc::clone(&store), config.session_ttl);
+        let vo = VoManager::new(Arc::clone(&store), &config.admin_dns);
+        let acl = AclEngine::new(Arc::clone(&store));
+        Ok(Arc::new(ClarensCore {
+            config,
+            store,
+            sessions,
+            vo,
+            acl,
+            roots,
+            credential,
+            registry: RwLock::new(Registry::new()),
+            now_fn: Arc::new(|| {
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_secs() as i64)
+                    .unwrap_or(0)
+            }),
+        }))
+    }
+
+    /// Current time per the configured clock.
+    pub fn now(&self) -> i64 {
+        (self.now_fn)()
+    }
+
+    /// Register a service module.
+    pub fn register(&self, service: Arc<dyn Service>) {
+        self.registry.write().register(service, &self.store);
+    }
+}

@@ -1,0 +1,90 @@
+//! Virtual-path handling shared by the file service, the HTTP GET file
+//! handler, and the shell sandbox.
+//!
+//! All client-supplied paths are *virtual*: rooted at a configured
+//! directory ("a virtual server root directory can be defined ... which
+//! may be any directory on the server system", paper §2.3). Normalization
+//! rejects every escape vector (`..`, empty roots, NUL) before the path
+//! ever touches the real filesystem.
+
+use std::path::{Path, PathBuf};
+
+/// Normalize a virtual path into clean segments. Returns `None` if the
+/// path attempts to escape (contains `..`) or carries NUL bytes.
+pub fn normalize(virtual_path: &str) -> Option<Vec<String>> {
+    if virtual_path.contains('\0') {
+        return None;
+    }
+    let mut segments = Vec::new();
+    for part in virtual_path.split('/') {
+        match part {
+            "" | "." => continue,
+            ".." => return None, // no upward traversal, ever
+            seg => segments.push(seg.to_owned()),
+        }
+    }
+    Some(segments)
+}
+
+/// The canonical string form of a virtual path (always begins with `/`,
+/// no duplicate separators). Used as the ACL lookup key.
+pub fn canonical(virtual_path: &str) -> Option<String> {
+    let segments = normalize(virtual_path)?;
+    if segments.is_empty() {
+        Some("/".to_owned())
+    } else {
+        Some(format!("/{}", segments.join("/")))
+    }
+}
+
+/// Resolve a virtual path under `root`. The result is guaranteed to be
+/// inside `root`.
+pub fn resolve(root: &Path, virtual_path: &str) -> Option<PathBuf> {
+    let segments = normalize(virtual_path)?;
+    let mut path = root.to_path_buf();
+    for seg in segments {
+        path.push(seg);
+    }
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalize("/a/b/c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(normalize("a//b/./c/").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(normalize("/").unwrap(), Vec::<String>::new());
+        assert_eq!(normalize("").unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn escapes_rejected() {
+        assert!(normalize("../etc/passwd").is_none());
+        assert!(normalize("/a/../../b").is_none());
+        assert!(normalize("/a/..").is_none());
+        assert!(normalize("a/b\0c").is_none());
+    }
+
+    #[test]
+    fn canonical_forms() {
+        assert_eq!(canonical("/a//b/").unwrap(), "/a/b");
+        assert_eq!(canonical("a/b").unwrap(), "/a/b");
+        assert_eq!(canonical("/").unwrap(), "/");
+        assert_eq!(canonical("").unwrap(), "/");
+        assert!(canonical("/a/../b").is_none());
+    }
+
+    #[test]
+    fn resolution_stays_inside_root() {
+        let root = Path::new("/srv/clarens");
+        assert_eq!(
+            resolve(root, "/data/f.root").unwrap(),
+            PathBuf::from("/srv/clarens/data/f.root")
+        );
+        assert_eq!(resolve(root, "/").unwrap(), PathBuf::from("/srv/clarens"));
+        assert!(resolve(root, "/../../etc").is_none());
+    }
+}

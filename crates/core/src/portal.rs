@@ -1,0 +1,309 @@
+//! Portal functionality (paper §3): server-rendered HTML pages exposing
+//! the file browser, VO management view, and service discovery over plain
+//! HTTP GET.
+//!
+//! The original portal was "a series of static web pages that embed
+//! JavaScript scripts to handle ... web service calls"; the substitution
+//! here (see DESIGN.md) renders the same views server-side so they are
+//! testable without a browser. Every page is reachable with nothing but an
+//! HTTP client — "eliminating the need for users to install any
+//! additional software apart from a web browser".
+
+use std::sync::Arc;
+
+use clarens_httpd::{Request, Response};
+use clarens_pki::dn::DistinguishedName;
+
+use crate::acl::FileAccess;
+use crate::core::ClarensCore;
+use crate::paths;
+use crate::registry::METHODS_BUCKET;
+
+/// HTML-escape text content.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn page(title: &str, body: &str) -> Response {
+    let html = format!(
+        "<!DOCTYPE html><html><head><title>{title}</title>\
+         <style>body{{font-family:sans-serif;margin:2em}}table{{border-collapse:collapse}}\
+         td,th{{border:1px solid #999;padding:4px 8px}}nav a{{margin-right:1em}}</style>\
+         </head><body><nav><a href=\"/\">home</a><a href=\"/portal/files\">files</a>\
+         <a href=\"/portal/vo\">vo</a>\
+         <a href=\"/portal/acl\">acl</a><a href=\"/portal/methods\">methods</a></nav>\
+         <h1>{title}</h1>{body}</body></html>",
+        title = escape(title),
+        body = body
+    );
+    Response::ok("text/html", html)
+}
+
+/// The landing page: server identity plus registered modules.
+pub fn index(core: &Arc<ClarensCore>, identity: Option<&DistinguishedName>) -> Response {
+    let modules = core.registry.read().modules();
+    let who = identity
+        .map(|dn| escape(&dn.to_string()))
+        .unwrap_or_else(|| "not authenticated".to_owned());
+    let body = format!(
+        "<p>Server: <code>{url}</code></p><p>Server DN: <code>{dn}</code></p>\
+         <p>You are: <code>{who}</code></p>\
+         <p>Registered modules: {modules}</p>\
+         <p>Methods: {count}</p>",
+        url = escape(&core.config.server_url),
+        dn = escape(&core.credential.certificate.subject.to_string()),
+        modules = modules
+            .iter()
+            .map(|m| escape(m))
+            .collect::<Vec<_>>()
+            .join(", "),
+        count = core.store.len(METHODS_BUCKET),
+    );
+    page("Clarens portal", &body)
+}
+
+/// Route `/portal/...` requests.
+pub fn route(
+    core: &Arc<ClarensCore>,
+    request: &Request,
+    identity: Option<&DistinguishedName>,
+) -> Response {
+    let query: std::collections::BTreeMap<String, String> =
+        clarens_wire::percent::parse_query(request.query())
+            .into_iter()
+            .collect();
+    match request.path() {
+        "/portal" | "/portal/" => index(core, identity),
+        "/portal/files" => files(core, identity, query.get("path").map(String::as_str)),
+        "/portal/vo" => vo_page(core, identity),
+        "/portal/acl" => acl_page(core, identity),
+        "/portal/methods" => methods_page(core),
+        other => Response::error(404, &format!("no portal page {other}")),
+    }
+}
+
+/// The remote-file-browser component ("a look and feel similar to
+/// conventional file browsers", §3): a table of entries with links into
+/// subdirectories and download links through the GET file path.
+fn files(
+    core: &Arc<ClarensCore>,
+    identity: Option<&DistinguishedName>,
+    path: Option<&str>,
+) -> Response {
+    let Some(identity) = identity else {
+        return page(
+            "Files",
+            "<p>Authenticate (session or TLS) to browse files.</p>",
+        );
+    };
+    let Some(root) = core.config.file_root.clone() else {
+        return page(
+            "Files",
+            "<p>The file service is not configured on this server.</p>",
+        );
+    };
+    let vpath = path.unwrap_or("/");
+    let Some(canonical) = paths::canonical(vpath) else {
+        return Response::error(400, "illegal path");
+    };
+    if !core
+        .acl
+        .check_file(&canonical, FileAccess::Read, identity, &core.vo)
+    {
+        return page(
+            "Files",
+            &format!(
+                "<p>No read access to <code>{}</code>.</p>",
+                escape(&canonical)
+            ),
+        );
+    }
+    let Some(real) = paths::resolve(&root, vpath) else {
+        return Response::error(400, "illegal path");
+    };
+    let mut rows = String::new();
+    match std::fs::read_dir(&real) {
+        Ok(entries) => {
+            let mut sorted: Vec<_> = entries.filter_map(|e| e.ok()).collect();
+            sorted.sort_by_key(|e| e.file_name());
+            for entry in sorted {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let child = if canonical == "/" {
+                    format!("/{name}")
+                } else {
+                    format!("{canonical}/{name}")
+                };
+                let is_dir = entry.file_type().map(|t| t.is_dir()).unwrap_or(false);
+                let size = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                let link = if is_dir {
+                    format!(
+                        "<a href=\"/portal/files?path={}\">{}/</a>",
+                        clarens_wire::percent::encode(&child),
+                        escape(&name)
+                    )
+                } else {
+                    format!(
+                        "<a href=\"/file{}\">{}</a>",
+                        clarens_wire::percent::encode_path(&child),
+                        escape(&name)
+                    )
+                };
+                rows.push_str(&format!(
+                    "<tr><td>{link}</td><td>{kind}</td><td>{size}</td></tr>",
+                    kind = if is_dir { "dir" } else { "file" },
+                ));
+            }
+        }
+        Err(e) => {
+            return page(
+                "Files",
+                &format!(
+                    "<p>Cannot list <code>{}</code>: {}</p>",
+                    escape(&canonical),
+                    escape(&e.to_string())
+                ),
+            )
+        }
+    }
+    let body = format!(
+        "<p>Browsing <code>{}</code></p><table><tr><th>name</th><th>type</th><th>size</th></tr>{rows}</table>",
+        escape(&canonical)
+    );
+    page("Files", &body)
+}
+
+/// The VO management view: the group tree with members and admins.
+fn vo_page(core: &Arc<ClarensCore>, identity: Option<&DistinguishedName>) -> Response {
+    let Some(_identity) = identity else {
+        return page(
+            "Virtual Organizations",
+            "<p>Authenticate to view VO structure.</p>",
+        );
+    };
+    let mut rows = String::new();
+    for name in core.vo.list_groups() {
+        if let Some(group) = core.vo.group(&name) {
+            rows.push_str(&format!(
+                "<tr><td><code>{}</code></td><td>{}</td><td>{}</td></tr>",
+                escape(&name),
+                group
+                    .members
+                    .iter()
+                    .map(|m| escape(m))
+                    .collect::<Vec<_>>()
+                    .join("<br>"),
+                group
+                    .admins
+                    .iter()
+                    .map(|a| escape(a))
+                    .collect::<Vec<_>>()
+                    .join("<br>"),
+            ));
+        }
+    }
+    let body =
+        format!("<table><tr><th>group</th><th>members</th><th>admins</th></tr>{rows}</table>");
+    page("Virtual Organizations", &body)
+}
+
+/// The access-control management view (§3 lists "access control
+/// management" among the portal components): every method and file ACL
+/// node with its lists.
+fn acl_page(core: &Arc<ClarensCore>, identity: Option<&DistinguishedName>) -> Response {
+    let Some(_identity) = identity else {
+        return page("Access Control", "<p>Authenticate to view ACLs.</p>");
+    };
+    let render = |acl: &crate::acl::Acl| -> String {
+        format!(
+            "order {}; allow dns [{}] groups [{}]; deny dns [{}] groups [{}]",
+            match acl.order {
+                crate::acl::Order::AllowDeny => "allow,deny",
+                crate::acl::Order::DenyAllow => "deny,allow",
+            },
+            acl.allow_dns.join(", "),
+            acl.allow_groups.join(", "),
+            acl.deny_dns.join(", "),
+            acl.deny_groups.join(", "),
+        )
+    };
+    let mut rows = String::new();
+    for node in core.acl.method_acl_nodes() {
+        if let Some(acl) = core.acl.method_acl(&node) {
+            rows.push_str(&format!(
+                "<tr><td>method</td><td><code>{}</code></td><td>{}</td></tr>",
+                escape(&node),
+                escape(&render(&acl))
+            ));
+        }
+    }
+    for (node, _) in core.store.scan_prefix(crate::acl::FILE_ACL_BUCKET, "") {
+        if let Some(file_acl) = core.acl.file_acl(&node) {
+            rows.push_str(&format!(
+                "<tr><td>file (read)</td><td><code>{}</code></td><td>{}</td></tr>\
+                 <tr><td>file (write)</td><td><code>{}</code></td><td>{}</td></tr>",
+                escape(&node),
+                escape(&render(&file_acl.read)),
+                escape(&node),
+                escape(&render(&file_acl.write)),
+            ));
+        }
+    }
+    let body =
+        format!("<table><tr><th>kind</th><th>node</th><th>specification</th></tr>{rows}</table>");
+    page("Access Control", &body)
+}
+
+/// The method catalogue (the discovery-adjacent view: what this server
+/// exports, with signatures).
+fn methods_page(core: &Arc<ClarensCore>) -> Response {
+    let mut rows = String::new();
+    for (name, bytes) in core.store.scan_prefix(METHODS_BUCKET, "") {
+        let (signature, doc) = String::from_utf8(bytes)
+            .ok()
+            .and_then(|t| clarens_wire::json::parse(&t).ok())
+            .map(|v| {
+                (
+                    v.get("signature")
+                        .and_then(|s| s.as_str().map(str::to_owned))
+                        .unwrap_or_default(),
+                    v.get("doc")
+                        .and_then(|s| s.as_str().map(str::to_owned))
+                        .unwrap_or_default(),
+                )
+            })
+            .unwrap_or_default();
+        rows.push_str(&format!(
+            "<tr><td><code>{}</code></td><td><code>{}</code></td><td>{}</td></tr>",
+            escape(&name),
+            escape(&signature),
+            escape(&doc)
+        ));
+    }
+    let body =
+        format!("<table><tr><th>method</th><th>signature</th><th>doc</th></tr>{rows}</table>");
+    page("Methods", &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(
+            escape("<a href=\"x\">&"),
+            "&lt;a href=&quot;x&quot;&gt;&amp;"
+        );
+        assert_eq!(escape("plain"), "plain");
+    }
+}

@@ -1,0 +1,259 @@
+//! Service registry and dispatch.
+//!
+//! Clarens services are modules exporting hierarchically-named methods
+//! (`module.method`, paper §2.2). The registry maps module prefixes to
+//! [`Service`] implementations and mirrors every method descriptor into the
+//! database — which is what makes `system.list_methods` "incur a database
+//! lookup for all registered methods in the server" exactly as the paper's
+//! Figure-4 workload describes.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use clarens_db::Store;
+use clarens_pki::cert::Certificate;
+use clarens_pki::dn::DistinguishedName;
+use clarens_wire::{Fault, Value};
+
+use crate::session::Session;
+
+/// DB bucket mirroring registered method descriptors.
+pub const METHODS_BUCKET: &str = "methods";
+
+/// Descriptor of one exported method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodInfo {
+    /// Full dotted name, e.g. `file.read`.
+    pub name: String,
+    /// Human-readable signature, e.g. `file.read(name, offset, nbytes)`.
+    pub signature: String,
+    /// One-line description.
+    pub doc: String,
+}
+
+impl MethodInfo {
+    /// Construct a descriptor.
+    pub fn new(
+        name: impl Into<String>,
+        signature: impl Into<String>,
+        doc: impl Into<String>,
+    ) -> Self {
+        MethodInfo {
+            name: name.into(),
+            signature: signature.into(),
+            doc: doc.into(),
+        }
+    }
+}
+
+/// Per-call context handed to services.
+pub struct CallContext<'a> {
+    /// The server core (config, DB, sessions, VO, ACL, ...).
+    pub core: &'a crate::core::ClarensCore,
+    /// Authenticated caller identity, if any.
+    pub identity: Option<DistinguishedName>,
+    /// The validated session, if the call carried one.
+    pub session: Option<Session>,
+    /// Certificate chain presented on the transport (TLS connections).
+    pub peer_chain: Vec<Certificate>,
+    /// Request time (Unix seconds).
+    pub now: i64,
+}
+
+impl<'a> CallContext<'a> {
+    /// The caller DN, or a NOT_AUTHENTICATED fault.
+    pub fn require_identity(&self) -> Result<&DistinguishedName, Fault> {
+        self.identity
+            .as_ref()
+            .ok_or_else(|| Fault::not_authenticated("this method requires authentication"))
+    }
+}
+
+/// A Clarens service module.
+pub trait Service: Send + Sync {
+    /// The module name (the first component of exported method names).
+    fn module(&self) -> &str;
+
+    /// Exported method descriptors.
+    fn methods(&self) -> Vec<MethodInfo>;
+
+    /// Invoke `method` (the full dotted name) with `params`.
+    fn call(&self, ctx: &CallContext<'_>, method: &str, params: &[Value]) -> Result<Value, Fault>;
+}
+
+/// The registry.
+#[derive(Default)]
+pub struct Registry {
+    services: BTreeMap<String, Arc<dyn Service>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register a service, mirroring its methods into the store.
+    pub fn register(&mut self, service: Arc<dyn Service>, store: &Store) {
+        for info in service.methods() {
+            let value = Value::structure([
+                ("signature", Value::from(info.signature.clone())),
+                ("doc", Value::from(info.doc.clone())),
+            ]);
+            let _ = store.put(
+                METHODS_BUCKET,
+                &info.name,
+                clarens_wire::json::to_string(&value).into_bytes(),
+            );
+        }
+        self.services.insert(service.module().to_owned(), service);
+    }
+
+    /// Find the service owning `method` (by its module prefix).
+    pub fn resolve(&self, method: &str) -> Option<Arc<dyn Service>> {
+        let module = method.split('.').next().unwrap_or(method);
+        self.services.get(module).cloned()
+    }
+
+    /// Registered module names.
+    pub fn modules(&self) -> Vec<String> {
+        self.services.keys().cloned().collect()
+    }
+}
+
+/// Helpers for decoding positional parameters with good fault messages.
+pub mod params {
+    use super::*;
+
+    /// Expect exactly `n` parameters.
+    pub fn expect_len(params: &[Value], n: usize, method: &str) -> Result<(), Fault> {
+        if params.len() == n {
+            Ok(())
+        } else {
+            Err(Fault::bad_params(format!(
+                "{method} expects {n} parameter(s), got {}",
+                params.len()
+            )))
+        }
+    }
+
+    /// Expect between `min` and `max` parameters.
+    pub fn expect_range(
+        params: &[Value],
+        min: usize,
+        max: usize,
+        method: &str,
+    ) -> Result<(), Fault> {
+        if (min..=max).contains(&params.len()) {
+            Ok(())
+        } else {
+            Err(Fault::bad_params(format!(
+                "{method} expects {min}..{max} parameters, got {}",
+                params.len()
+            )))
+        }
+    }
+
+    /// Decode a string parameter.
+    pub fn string(params: &[Value], index: usize, name: &str) -> Result<String, Fault> {
+        params
+            .get(index)
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| {
+                Fault::bad_params(format!("parameter {index} ({name}) must be a string"))
+            })
+    }
+
+    /// Decode an integer parameter.
+    pub fn int(params: &[Value], index: usize, name: &str) -> Result<i64, Fault> {
+        params
+            .get(index)
+            .and_then(Value::as_int)
+            .ok_or_else(|| Fault::bad_params(format!("parameter {index} ({name}) must be an int")))
+    }
+
+    /// Decode a bytes parameter (base64 string accepted for JSON clients).
+    pub fn bytes(params: &[Value], index: usize, name: &str) -> Result<Vec<u8>, Fault> {
+        params
+            .get(index)
+            .and_then(Value::coerce_bytes)
+            .ok_or_else(|| {
+                Fault::bad_params(format!("parameter {index} ({name}) must be base64/bytes"))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct EchoService;
+
+    impl Service for EchoService {
+        fn module(&self) -> &str {
+            "echo"
+        }
+
+        fn methods(&self) -> Vec<MethodInfo> {
+            vec![
+                MethodInfo::new("echo.echo", "echo.echo(value)", "returns its argument"),
+                MethodInfo::new("echo.reverse", "echo.reverse(s)", "reverses a string"),
+            ]
+        }
+
+        fn call(
+            &self,
+            _ctx: &CallContext<'_>,
+            method: &str,
+            params: &[Value],
+        ) -> Result<Value, Fault> {
+            match method {
+                "echo.echo" => Ok(params.first().cloned().unwrap_or(Value::Nil)),
+                "echo.reverse" => {
+                    let s = params::string(params, 0, "s")?;
+                    Ok(Value::from(s.chars().rev().collect::<String>()))
+                }
+                other => Err(Fault::new(
+                    clarens_wire::fault::codes::NO_SUCH_METHOD,
+                    format!("no method {other}"),
+                )),
+            }
+        }
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let store = Store::in_memory();
+        let mut registry = Registry::new();
+        registry.register(Arc::new(EchoService), &store);
+
+        assert!(registry.resolve("echo.echo").is_some());
+        assert!(registry.resolve("echo.reverse").is_some());
+        assert!(registry.resolve("missing.method").is_none());
+        assert_eq!(registry.modules(), vec!["echo"]);
+
+        // Methods mirrored into the DB (the Figure-4 lookup source).
+        assert_eq!(store.len(METHODS_BUCKET), 2);
+        assert!(store.contains(METHODS_BUCKET, "echo.echo"));
+    }
+
+    #[test]
+    fn param_helpers() {
+        use params::*;
+        let p = vec![Value::from("abc"), Value::Int(7), Value::Bytes(vec![1, 2])];
+        assert!(expect_len(&p, 3, "m").is_ok());
+        assert!(expect_len(&p, 2, "m").is_err());
+        assert!(expect_range(&p, 1, 3, "m").is_ok());
+        assert!(expect_range(&p, 4, 5, "m").is_err());
+        assert_eq!(string(&p, 0, "s").unwrap(), "abc");
+        assert!(string(&p, 1, "s").is_err());
+        assert_eq!(int(&p, 1, "i").unwrap(), 7);
+        assert!(int(&p, 0, "i").is_err());
+        assert_eq!(bytes(&p, 2, "b").unwrap(), vec![1, 2]);
+        // base64 string coerces to bytes for JSON clients.
+        let jp = vec![Value::from(clarens_wire::base64::encode(b"hi"))];
+        assert_eq!(bytes(&jp, 0, "b").unwrap(), b"hi");
+        assert!(string(&p, 9, "missing").is_err());
+    }
+}

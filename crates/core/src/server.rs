@@ -1,0 +1,338 @@
+//! The Clarens server: HTTP routing, protocol negotiation, the two
+//! per-request access-control checks, and dispatch into the service
+//! registry.
+//!
+//! This is the "Clarens" box of the paper's Figure 1: POSTs carry RPC
+//! calls (XML-RPC, SOAP, or JSON-RPC — answered in kind); GETs serve
+//! files ("GET requests return a file or an XML-encoded error message")
+//! and the portal pages of §3.
+
+use std::io;
+use std::sync::Arc;
+
+use clarens_httpd::{
+    Handler, HttpServer, Method, PeerInfo, Request, Response, ServerConfig, TlsConfig,
+};
+use clarens_pki::dn::DistinguishedName;
+use clarens_wire::fault::codes;
+use clarens_wire::{Fault, Protocol, RpcResponse, Value};
+
+use crate::acl::{Acl, FileAccess};
+use crate::core::ClarensCore;
+use crate::paths;
+use crate::portal;
+use crate::registry::CallContext;
+use crate::services;
+use crate::session::Session;
+
+/// A running Clarens server.
+pub struct ClarensServer {
+    /// The shared core (also usable for in-process administration).
+    pub core: Arc<ClarensCore>,
+    http: HttpServer,
+}
+
+impl ClarensServer {
+    /// Start serving on `addr`. `tls` enables the secure channel.
+    pub fn start(
+        core: Arc<ClarensCore>,
+        addr: &str,
+        tls: Option<TlsConfig>,
+    ) -> io::Result<ClarensServer> {
+        let handler = Arc::new(ClarensHandler {
+            core: Arc::clone(&core),
+        });
+        let config = ServerConfig {
+            workers: core.config.workers,
+            tls,
+            now_fn: Arc::clone(&core.now_fn),
+            read_timeout: std::time::Duration::from_secs(5),
+            ..Default::default()
+        };
+        let http = HttpServer::bind(addr, config, handler)?;
+        Ok(ClarensServer { core, http })
+    }
+
+    /// Bound socket address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.http.local_addr()
+    }
+
+    /// HTTP-layer statistics.
+    pub fn stats(&self) -> &clarens_httpd::ServerStats {
+        self.http.stats()
+    }
+
+    /// Stop the server.
+    pub fn shutdown(self) {
+        self.http.shutdown();
+    }
+}
+
+/// Install a permissive default ACL set: every authenticated identity may
+/// call the non-administrative modules (service-level checks still guard
+/// admin operations), and read anywhere under `/` in the file tree. Used
+/// by examples, tests, and benchmarks; production deployments configure
+/// ACLs explicitly via the `acl` service.
+pub fn install_permissive_acls(core: &ClarensCore) {
+    for module in [
+        "system",
+        "echo",
+        "file",
+        "vo",
+        "acl",
+        "discovery",
+        "proxy",
+        "shell",
+        "im",
+        "srm",
+        "job",
+    ] {
+        core.acl.set_method_acl(module, &Acl::allow_dn("*"));
+    }
+    core.acl.set_file_acl(
+        "/",
+        &crate::acl::FileAcl {
+            read: Acl::allow_dn("*"),
+            write: Acl::allow_dn("*"),
+        },
+    );
+}
+
+/// Register the full built-in service suite on a core. File and shell
+/// services are only registered when the config provides their roots.
+pub fn register_builtin_services(
+    core: &Arc<ClarensCore>,
+    discovery: Option<services::DiscoveryService>,
+) {
+    core.register(Arc::new(services::SystemService));
+    core.register(Arc::new(services::EchoService));
+    core.register(Arc::new(services::VoAdminService));
+    core.register(Arc::new(services::AclAdminService));
+    core.register(Arc::new(services::ProxyService));
+    core.register(Arc::new(services::ImService::new()));
+    if let Some(root) = core.config.file_root.clone() {
+        core.register(Arc::new(services::FileService::new(root.clone())));
+        core.register(Arc::new(services::SrmService::new(root, 2)));
+    }
+    if let Some(root) = core.config.shell_root.clone() {
+        let user_map =
+            services::shell::UserMap::parse(&core.config.shell_user_map).unwrap_or_default();
+        core.register(Arc::new(services::ShellService::new(
+            root.clone(),
+            user_map.clone(),
+        )));
+        core.register(Arc::new(services::JobService::new(root, user_map)));
+    }
+    if let Some(service) = discovery {
+        core.register(Arc::new(service));
+    }
+}
+
+struct ClarensHandler {
+    core: Arc<ClarensCore>,
+}
+
+/// The caller identity resolved for one request.
+struct ResolvedIdentity {
+    identity: Option<DistinguishedName>,
+    session: Option<Session>,
+}
+
+impl ClarensHandler {
+    /// Identity resolution: a session id (header `x-clarens-session`, or
+    /// `session` query parameter for GETs) takes precedence; otherwise the
+    /// TLS peer identity is used directly. This is the paper's first
+    /// access check ("whether the client credentials are associated with a
+    /// current session").
+    fn resolve_identity(
+        &self,
+        request: &Request,
+        peer: Option<&PeerInfo>,
+        now: i64,
+    ) -> ResolvedIdentity {
+        let session_id = request
+            .headers
+            .get("x-clarens-session")
+            .map(str::to_owned)
+            .or_else(|| {
+                clarens_wire::percent::parse_query(request.query())
+                    .into_iter()
+                    .find(|(k, _)| k == "session")
+                    .map(|(_, v)| v)
+            });
+        if let Some(id) = session_id {
+            if let Some(session) = self.core.sessions.validate(&id, now) {
+                let identity = DistinguishedName::parse(&session.dn).ok();
+                return ResolvedIdentity {
+                    identity,
+                    session: Some(session),
+                };
+            }
+            // An invalid session falls through to the TLS identity (if
+            // any) rather than silently authenticating as nobody.
+        }
+        ResolvedIdentity {
+            identity: peer.map(|p| p.identity.clone()),
+            session: None,
+        }
+    }
+
+    fn handle_rpc(&self, request: Request, peer: Option<&PeerInfo>) -> Response {
+        // Protocol negotiation: Content-Type first, body sniffing as the
+        // tie-breaker (XML-RPC and SOAP share text/xml).
+        let content_type = request
+            .headers
+            .get("content-type")
+            .unwrap_or("")
+            .split(';')
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_ascii_lowercase();
+        let protocol = match content_type.as_str() {
+            "application/json" | "application/json-rpc" => Some(Protocol::JsonRpc),
+            "text/xml" | "application/xml" => Protocol::sniff(&request.body),
+            _ => Protocol::sniff(&request.body),
+        };
+        let Some(protocol) = protocol else {
+            return Response::error(400, "cannot determine RPC protocol");
+        };
+
+        let (response, id) = match clarens_wire::decode_call(protocol, &request.body) {
+            Err(e) => (
+                RpcResponse::Fault(Fault::new(codes::PARSE, e.to_string())),
+                None,
+            ),
+            Ok(call) => {
+                let id = call.id.clone();
+                (self.dispatch(&request, peer, call.method, call.params), id)
+            }
+        };
+        let body = clarens_wire::encode_response(protocol, &response, id.as_ref());
+        Response::ok(protocol.content_type(), body)
+    }
+
+    /// The full per-call path: session check, ACL check, dispatch.
+    fn dispatch(
+        &self,
+        request: &Request,
+        peer: Option<&PeerInfo>,
+        method: String,
+        params: Vec<Value>,
+    ) -> RpcResponse {
+        let now = self.core.now();
+        let resolved = self.resolve_identity(request, peer, now);
+
+        if !services::is_public(&method) {
+            let Some(identity) = &resolved.identity else {
+                return RpcResponse::Fault(Fault::not_authenticated(format!(
+                    "{method} requires an authenticated session"
+                )));
+            };
+            // The paper's second access check: "whether the client has
+            // access to the particular method being called".
+            if !self.core.acl.check_method(&method, identity, &self.core.vo) {
+                return RpcResponse::Fault(Fault::access_denied(format!(
+                    "{identity} may not call {method}"
+                )));
+            }
+        }
+
+        let service = match self.core.registry.read().resolve(&method) {
+            Some(service) => service,
+            None => {
+                return RpcResponse::Fault(Fault::new(
+                    codes::NO_SUCH_METHOD,
+                    format!("no service exports {method}"),
+                ))
+            }
+        };
+        let ctx = CallContext {
+            core: &self.core,
+            identity: resolved.identity,
+            session: resolved.session,
+            peer_chain: peer.map(|p| p.chain.clone()).unwrap_or_default(),
+            now,
+        };
+        match service.call(&ctx, &method, &params) {
+            Ok(value) => RpcResponse::Success(value),
+            Err(fault) => RpcResponse::Fault(fault),
+        }
+    }
+
+    fn handle_get(&self, request: Request, peer: Option<&PeerInfo>) -> Response {
+        let now = self.core.now();
+        let resolved = self.resolve_identity(&request, peer, now);
+        let path = request.path().to_owned();
+
+        if path == "/" || path == "/index.html" {
+            return portal::index(&self.core, resolved.identity.as_ref());
+        }
+        if let Some(rest) = path.strip_prefix("/file/") {
+            return self.serve_file(rest, &resolved);
+        }
+        if path.starts_with("/portal") {
+            return portal::route(&self.core, &request, resolved.identity.as_ref());
+        }
+        Response::error(404, &format!("no such resource: {path}"))
+    }
+
+    /// HTTP GET file downloads (paper §2.3): streamed with the
+    /// fixed-buffer `sendfile()`-style path, gated by the read ACL.
+    fn serve_file(&self, raw_path: &str, resolved: &ResolvedIdentity) -> Response {
+        let Some(root) = self.core.config.file_root.clone() else {
+            return Response::error(404, "file service not configured");
+        };
+        let decoded = clarens_wire::percent::decode_str(raw_path);
+        let Some(identity) = &resolved.identity else {
+            return Response::error(401, "file downloads require a session or TLS identity");
+        };
+        let Some(canonical) = paths::canonical(&decoded) else {
+            return Response::error(400, "illegal path");
+        };
+        if !self
+            .core
+            .acl
+            .check_file(&canonical, FileAccess::Read, identity, &self.core.vo)
+        {
+            return Response::error(403, &format!("no read access to {canonical}"));
+        }
+        let Some(real) = paths::resolve(&root, &decoded) else {
+            return Response::error(400, "illegal path");
+        };
+        match std::fs::File::open(&real) {
+            Ok(file) => {
+                let len = match file.metadata() {
+                    Ok(meta) if meta.is_dir() => {
+                        return Response::error(400, "is a directory; use file.ls")
+                    }
+                    Ok(meta) => meta.len(),
+                    Err(e) => return Response::error(500, &e.to_string()),
+                };
+                Response::stream("application/octet-stream", Box::new(file), len)
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                // "GET requests return a file or an XML-encoded error
+                // message to the client" — honour the XML error format.
+                let xml = clarens_wire::xml::Element::new("error")
+                    .attr("code", "404")
+                    .text(format!("not found: {canonical}"));
+                let mut response = Response::new(404, "text/xml", xml.to_document());
+                response.status = 404;
+                response
+            }
+            Err(e) => Response::error(500, &e.to_string()),
+        }
+    }
+}
+
+impl Handler for ClarensHandler {
+    fn handle(&self, request: Request, peer: Option<&PeerInfo>) -> Response {
+        match request.method {
+            Method::Post => self.handle_rpc(request, peer),
+            Method::Get | Method::Head => self.handle_get(request, peer),
+            _ => Response::error(405, "use GET for files/portal, POST for RPC"),
+        }
+    }
+}

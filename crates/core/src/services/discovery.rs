@@ -1,0 +1,176 @@
+//! The discovery service (paper §2.4): query the MonALISA-backed registry
+//! and publish this server's own services.
+//!
+//! "The discovery service allows scientists and applications to query for
+//! services and retrieve up to date information on the location and
+//! interface of a service." Queries default to the aggregated local
+//! database (the fast path Figure 3 motivates); `discovery.find_remote`
+//! exposes the fan-out path so the two can be compared.
+
+use std::sync::Arc;
+
+use monalisa_sim::{
+    DiscoveryAggregator, Publication, ServiceDescriptor, ServiceQuery, UdpPublisher,
+};
+
+use clarens_wire::fault::codes;
+use clarens_wire::{Fault, Value};
+
+use crate::registry::{params, CallContext, MethodInfo, Service, METHODS_BUCKET};
+
+/// The `discovery` service.
+pub struct DiscoveryService {
+    aggregator: Arc<DiscoveryAggregator>,
+    publisher: Option<UdpPublisher>,
+}
+
+impl DiscoveryService {
+    /// Create the service. `publisher` is `None` for servers that only
+    /// query.
+    pub fn new(aggregator: Arc<DiscoveryAggregator>, publisher: Option<UdpPublisher>) -> Self {
+        DiscoveryService {
+            aggregator,
+            publisher,
+        }
+    }
+
+    fn descriptor_value(d: &ServiceDescriptor) -> Value {
+        d.to_value()
+    }
+
+    fn query_from_params(params_in: &[Value]) -> Result<ServiceQuery, Fault> {
+        let mut query = ServiceQuery::default();
+        if let Some(spec) = params_in.first() {
+            match spec {
+                Value::Str(name) => query.service = Some(name.clone()),
+                Value::Struct(map) => {
+                    if let Some(s) = map.get("service").and_then(Value::as_str) {
+                        query.service = Some(s.to_owned());
+                    }
+                    if let Some(m) = map.get("method").and_then(Value::as_str) {
+                        query.method = Some(m.to_owned());
+                    }
+                    if let Some(attrs) = map.get("attributes").and_then(Value::as_struct) {
+                        for (k, v) in attrs {
+                            if let Some(s) = v.as_str() {
+                                query.attributes.insert(k.clone(), s.to_owned());
+                            }
+                        }
+                    }
+                }
+                other => {
+                    return Err(Fault::bad_params(format!(
+                        "query must be a service name or struct, got {}",
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+        Ok(query)
+    }
+}
+
+impl Service for DiscoveryService {
+    fn module(&self) -> &str {
+        "discovery"
+    }
+
+    fn methods(&self) -> Vec<MethodInfo> {
+        vec![
+            MethodInfo::new(
+                "discovery.find",
+                "discovery.find(query)",
+                "Find services via the aggregated local database (fast path)",
+            ),
+            MethodInfo::new(
+                "discovery.find_remote",
+                "discovery.find_remote(query)",
+                "Find services by synchronous fan-out to station servers (slow path)",
+            ),
+            MethodInfo::new(
+                "discovery.publish",
+                "discovery.publish()",
+                "Publish this server's service descriptors to the station network (site admin)",
+            ),
+            MethodInfo::new(
+                "discovery.status",
+                "discovery.status()",
+                "Aggregation statistics",
+            ),
+        ]
+    }
+
+    fn call(
+        &self,
+        ctx: &CallContext<'_>,
+        method: &str,
+        params_in: &[Value],
+    ) -> Result<Value, Fault> {
+        match method {
+            "discovery.find" | "discovery.find_remote" => {
+                params::expect_range(params_in, 0, 1, method)?;
+                ctx.require_identity()?;
+                let query = Self::query_from_params(params_in)?;
+                let hits = if method == "discovery.find" {
+                    self.aggregator.query_local(&query)
+                } else {
+                    self.aggregator.query_remote(&query)
+                };
+                Ok(Value::Array(
+                    hits.iter().map(Self::descriptor_value).collect(),
+                ))
+            }
+            "discovery.publish" => {
+                params::expect_len(params_in, 0, method)?;
+                let dn = ctx.require_identity()?;
+                if !ctx.core.vo.is_site_admin(dn) {
+                    return Err(Fault::access_denied("publishing requires site admin"));
+                }
+                let publisher = self
+                    .publisher
+                    .as_ref()
+                    .ok_or_else(|| Fault::service("this server has no publisher configured"))?;
+                // One descriptor per registered module, methods from the DB.
+                let modules = ctx.core.registry.read().modules();
+                let mut published = 0i64;
+                for module in modules {
+                    let methods: Vec<String> = ctx
+                        .core
+                        .store
+                        .scan_prefix(METHODS_BUCKET, &format!("{module}."))
+                        .into_iter()
+                        .map(|(name, _)| name)
+                        .collect();
+                    let descriptor = ServiceDescriptor {
+                        url: ctx.core.config.server_url.clone(),
+                        server_dn: ctx.core.credential.certificate.subject.to_string(),
+                        service: module,
+                        methods,
+                        attributes: Default::default(),
+                        timestamp: ctx.now,
+                    };
+                    publisher
+                        .publish(&Publication::Service(descriptor))
+                        .map_err(|e| Fault::service(format!("publish failed: {e}")))?;
+                    published += 1;
+                }
+                Ok(Value::Int(published))
+            }
+            "discovery.status" => {
+                params::expect_len(params_in, 0, method)?;
+                ctx.require_identity()?;
+                Ok(Value::structure([
+                    (
+                        "local_services",
+                        Value::Int(self.aggregator.local_service_count() as i64),
+                    ),
+                    ("updates", Value::Int(self.aggregator.update_count() as i64)),
+                ]))
+            }
+            other => Err(Fault::new(
+                codes::NO_SUCH_METHOD,
+                format!("no method {other}"),
+            )),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! The built-in Clarens service modules.
+//!
+//! Paper §2 lists the core services: VO management, ACL management, remote
+//! file access, discovery, the shell service, and the proxy service; the
+//! `system` module provides introspection and authentication, and `echo`
+//! is the trivial method used for cross-framework comparisons (the paper's
+//! footnote 4 measures "a trivial method" on Globus GTK 3).
+
+pub mod acl_admin;
+pub mod discovery;
+pub mod echo;
+pub mod file;
+pub mod im;
+pub mod job;
+pub mod proxy;
+pub mod shell;
+pub mod srm;
+pub mod system;
+pub mod vo_admin;
+
+pub use acl_admin::AclAdminService;
+pub use discovery::DiscoveryService;
+pub use echo::EchoService;
+pub use file::FileService;
+pub use im::ImService;
+pub use job::JobService;
+pub use proxy::ProxyService;
+pub use shell::ShellService;
+pub use srm::SrmService;
+pub use system::SystemService;
+pub use vo_admin::VoAdminService;
+
+/// Methods callable without an authenticated identity (they establish or
+/// bootstrap identity). Everything else requires a session or TLS identity
+/// plus an ACL grant.
+pub const PUBLIC_METHODS: &[&str] = &[
+    "system.auth",
+    "system.version",
+    "system.ping",
+    "proxy.login",
+];
+
+/// Is `method` public?
+pub fn is_public(method: &str) -> bool {
+    PUBLIC_METHODS.contains(&method)
+}

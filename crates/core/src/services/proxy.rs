@@ -1,0 +1,279 @@
+//! The proxy service (paper §2.6): store and retrieve proxy certificates.
+//!
+//! "The proxy service provides a secure way to store and retrieve
+//! so-called 'proxy' certificates on a Clarens server. ... This service
+//! also allows the user to use a previously stored proxy as a way of
+//! logging into the server by only knowing the certificate distinguished
+//! name and password that was used to store it. Additionally, a stored
+//! proxy can also be 'attached' to an existing session."
+//!
+//! Stored payloads (certificate + unencrypted private key, serialized by
+//! the client) are sealed with a password-derived ChaCha20 key and an
+//! HMAC-SHA256 tag, so the server operator cannot read them and tampering
+//! is detected.
+
+use rand::RngExt;
+
+use clarens_pki::cert::{verify_chain, Certificate};
+use clarens_pki::chacha20;
+use clarens_pki::dn::DistinguishedName;
+use clarens_pki::hmac::{derive_key, hmac_sha256, verify_mac};
+use clarens_wire::fault::codes;
+use clarens_wire::{Fault, Value};
+
+use crate::registry::{params, CallContext, MethodInfo, Service};
+
+/// DB bucket for stored proxies (key: owner DN string).
+pub const PROXIES_BUCKET: &str = "proxies";
+
+/// The `proxy` service.
+pub struct ProxyService;
+
+/// Seal `payload` under `password`, bound to `dn`.
+/// Layout: `nonce(12) || ciphertext || mac(32)`.
+pub fn seal(password: &str, dn: &str, payload: &[u8]) -> Vec<u8> {
+    let key_bytes = derive_key(
+        password.as_bytes(),
+        "clarens-proxy-store",
+        dn.as_bytes(),
+        32,
+    );
+    let mac_key = derive_key(password.as_bytes(), "clarens-proxy-mac", dn.as_bytes(), 32);
+    let mut key = [0u8; 32];
+    key.copy_from_slice(&key_bytes);
+    let mut rng = rand::rng();
+    let nonce: [u8; 12] = rng.random();
+    let mut ciphertext = payload.to_vec();
+    chacha20::xor_stream(&key, &nonce, 0, &mut ciphertext);
+    let mut out = nonce.to_vec();
+    out.extend_from_slice(&ciphertext);
+    let mac = hmac_sha256(&mac_key, &out);
+    out.extend_from_slice(&mac);
+    out
+}
+
+/// Open a sealed payload; `None` on wrong password or tampering.
+pub fn open(password: &str, dn: &str, sealed: &[u8]) -> Option<Vec<u8>> {
+    if sealed.len() < 12 + 32 {
+        return None;
+    }
+    let mac_key = derive_key(password.as_bytes(), "clarens-proxy-mac", dn.as_bytes(), 32);
+    let (body, tag) = sealed.split_at(sealed.len() - 32);
+    if !verify_mac(&hmac_sha256(&mac_key, body), tag) {
+        return None;
+    }
+    let key_bytes = derive_key(
+        password.as_bytes(),
+        "clarens-proxy-store",
+        dn.as_bytes(),
+        32,
+    );
+    let mut key = [0u8; 32];
+    key.copy_from_slice(&key_bytes);
+    let nonce: [u8; 12] = body[..12].try_into().ok()?;
+    let mut plaintext = body[12..].to_vec();
+    chacha20::xor_stream(&key, &nonce, 0, &mut plaintext);
+    Some(plaintext)
+}
+
+/// The stored-proxy payload: one or more certificate texts (leaf first,
+/// the delegation chain) separated by blank lines, then a serialized key.
+/// The service treats it opaquely except for `proxy.login`, which parses
+/// the certificate part to validate the chain.
+fn parse_chain_from_payload(payload: &str) -> Result<Vec<Certificate>, Fault> {
+    let mut chain = Vec::new();
+    for block in payload.split("\n\n") {
+        let block = block.trim();
+        if block.is_empty() || !block.starts_with("version:") {
+            continue;
+        }
+        chain.push(
+            Certificate::from_text(block)
+                .map_err(|e| Fault::service(format!("stored proxy corrupt: {e}")))?,
+        );
+    }
+    if chain.is_empty() {
+        return Err(Fault::service("stored proxy contains no certificates"));
+    }
+    Ok(chain)
+}
+
+impl Service for ProxyService {
+    fn module(&self) -> &str {
+        "proxy"
+    }
+
+    fn methods(&self) -> Vec<MethodInfo> {
+        vec![
+            MethodInfo::new(
+                "proxy.store",
+                "proxy.store(password, payload)",
+                "Store a proxy credential sealed under a password",
+            ),
+            MethodInfo::new(
+                "proxy.retrieve",
+                "proxy.retrieve(password)",
+                "Retrieve the caller's stored proxy credential",
+            ),
+            MethodInfo::new(
+                "proxy.login",
+                "proxy.login(dn, password)",
+                "Create a session from a stored proxy, knowing only DN and password",
+            ),
+            MethodInfo::new(
+                "proxy.attach",
+                "proxy.attach(password)",
+                "Attach the stored proxy to the current session (renewal/delegation)",
+            ),
+            MethodInfo::new(
+                "proxy.remove",
+                "proxy.remove()",
+                "Delete the caller's stored proxy",
+            ),
+        ]
+    }
+
+    fn call(
+        &self,
+        ctx: &CallContext<'_>,
+        method: &str,
+        params_in: &[Value],
+    ) -> Result<Value, Fault> {
+        match method {
+            "proxy.store" => {
+                params::expect_len(params_in, 2, method)?;
+                let password = params::string(params_in, 0, "password")?;
+                let payload = params::string(params_in, 1, "payload")?;
+                let dn = ctx.require_identity()?.to_string();
+                // Sanity-check the payload parses before sealing.
+                parse_chain_from_payload(&payload)?;
+                let sealed = seal(&password, &dn, payload.as_bytes());
+                ctx.core
+                    .store
+                    .put(PROXIES_BUCKET, &dn, sealed)
+                    .map_err(|e| Fault::service(format!("store failed: {e}")))?;
+                Ok(Value::Bool(true))
+            }
+            "proxy.retrieve" => {
+                params::expect_len(params_in, 1, method)?;
+                let password = params::string(params_in, 0, "password")?;
+                let dn = ctx.require_identity()?.to_string();
+                let payload = self.open_stored(ctx, &dn, &password)?;
+                Ok(Value::from(payload))
+            }
+            "proxy.login" => {
+                params::expect_len(params_in, 2, method)?;
+                let dn_text = params::string(params_in, 0, "dn")?;
+                let password = params::string(params_in, 1, "password")?;
+                let dn = DistinguishedName::parse(&dn_text)
+                    .map_err(|e| Fault::bad_params(e.to_string()))?;
+                let payload = self.open_stored(ctx, &dn_text, &password)?;
+                // Validate the stored chain before minting a session.
+                let chain = parse_chain_from_payload(&payload)?;
+                let identity = verify_chain(&chain, &ctx.core.roots, ctx.now)
+                    .map_err(|e| Fault::not_authenticated(format!("stored proxy invalid: {e}")))?;
+                if identity != dn && chain[0].subject != dn {
+                    return Err(Fault::not_authenticated(
+                        "stored proxy does not belong to that DN",
+                    ));
+                }
+                let session = ctx.core.sessions.create(&identity, ctx.now);
+                Ok(Value::structure([
+                    ("session", Value::from(session.id)),
+                    ("dn", Value::from(identity.to_string())),
+                    ("expires", Value::Int(session.expires)),
+                ]))
+            }
+            "proxy.attach" => {
+                params::expect_len(params_in, 1, method)?;
+                let password = params::string(params_in, 0, "password")?;
+                let session = ctx
+                    .session
+                    .as_ref()
+                    .ok_or_else(|| Fault::not_authenticated("no session to attach to"))?;
+                let dn = ctx.require_identity()?.to_string();
+                let payload = self.open_stored(ctx, &dn, &password)?;
+                ctx.core
+                    .sessions
+                    .attach_proxy(&session.id, &payload, ctx.now)
+                    .ok_or_else(|| Fault::service("session vanished"))?;
+                Ok(Value::Bool(true))
+            }
+            "proxy.remove" => {
+                params::expect_len(params_in, 0, method)?;
+                let dn = ctx.require_identity()?.to_string();
+                let existed = ctx
+                    .core
+                    .store
+                    .delete(PROXIES_BUCKET, &dn)
+                    .map_err(|e| Fault::service(format!("delete failed: {e}")))?;
+                Ok(Value::Bool(existed))
+            }
+            other => Err(Fault::new(
+                codes::NO_SUCH_METHOD,
+                format!("no method {other}"),
+            )),
+        }
+    }
+}
+
+impl ProxyService {
+    fn open_stored(
+        &self,
+        ctx: &CallContext<'_>,
+        dn: &str,
+        password: &str,
+    ) -> Result<String, Fault> {
+        let sealed = ctx
+            .core
+            .store
+            .get(PROXIES_BUCKET, dn)
+            .ok_or_else(|| Fault::service(format!("no stored proxy for {dn}")))?;
+        let payload = open(password, dn, &sealed)
+            .ok_or_else(|| Fault::not_authenticated("wrong password or corrupted proxy"))?;
+        String::from_utf8(payload).map_err(|_| Fault::service("stored proxy payload is not UTF-8"))
+    }
+}
+
+/// Serialize a delegation chain into the stored-proxy payload format
+/// (client-side helper; the private key is appended by the caller since
+/// the server never needs to parse it).
+pub fn chain_payload(chain: &[Certificate], key_note: &str) -> String {
+    let mut out = String::new();
+    for cert in chain {
+        out.push_str(&cert.to_text());
+        out.push('\n');
+    }
+    out.push_str("key:\n");
+    out.push_str(key_note);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let sealed = seal("hunter2", "/O=g/CN=a", b"secret payload");
+        assert_eq!(
+            open("hunter2", "/O=g/CN=a", &sealed).unwrap(),
+            b"secret payload"
+        );
+        // Wrong password / wrong DN / tampering all fail.
+        assert!(open("wrong", "/O=g/CN=a", &sealed).is_none());
+        assert!(open("hunter2", "/O=g/CN=b", &sealed).is_none());
+        let mut tampered = sealed.clone();
+        tampered[14] ^= 1;
+        assert!(open("hunter2", "/O=g/CN=a", &tampered).is_none());
+        assert!(open("hunter2", "/O=g/CN=a", &sealed[..10]).is_none());
+    }
+
+    #[test]
+    fn sealing_randomized() {
+        let a = seal("pw", "/O=g/CN=a", b"same");
+        let b = seal("pw", "/O=g/CN=a", b"same");
+        assert_ne!(a, b, "fresh nonce per store");
+    }
+}

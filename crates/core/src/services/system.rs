@@ -1,0 +1,186 @@
+//! The `system` service: introspection, authentication, session control.
+//!
+//! `system.list_methods` is the method the paper's performance study calls
+//! "as rapidly as possible" (§4); like the original, it performs "a
+//! database lookup for all registered methods in the server" on every
+//! invocation and serializes the result as an array of strings.
+
+use clarens_pki::cert::{verify_chain, Certificate};
+use clarens_wire::fault::codes;
+use clarens_wire::{Fault, Value};
+
+use crate::registry::{params, CallContext, MethodInfo, Service, METHODS_BUCKET};
+
+/// The `system` service.
+pub struct SystemService;
+
+/// Version string reported by `system.version`.
+pub const VERSION: &str = concat!("clarens-rs/", env!("CARGO_PKG_VERSION"));
+
+impl Service for SystemService {
+    fn module(&self) -> &str {
+        "system"
+    }
+
+    fn methods(&self) -> Vec<MethodInfo> {
+        vec![
+            MethodInfo::new(
+                "system.list_methods",
+                "system.list_methods()",
+                "List all registered method names",
+            ),
+            MethodInfo::new(
+                "system.get_method_info",
+                "system.get_method_info(name)",
+                "Signature and documentation for one method",
+            ),
+            MethodInfo::new(
+                "system.auth",
+                "system.auth(chain, timestamp, signature)",
+                "Authenticate with a certificate chain and challenge signature; returns a session",
+            ),
+            MethodInfo::new(
+                "system.whoami",
+                "system.whoami()",
+                "The caller's identity DN",
+            ),
+            MethodInfo::new(
+                "system.logout",
+                "system.logout()",
+                "Destroy the current session",
+            ),
+            MethodInfo::new(
+                "system.version",
+                "system.version()",
+                "Server version string",
+            ),
+            MethodInfo::new("system.ping", "system.ping()", "Liveness probe"),
+            MethodInfo::new(
+                "system.session_count",
+                "system.session_count()",
+                "Number of live sessions (admin)",
+            ),
+        ]
+    }
+
+    fn call(
+        &self,
+        ctx: &CallContext<'_>,
+        method: &str,
+        params_in: &[Value],
+    ) -> Result<Value, Fault> {
+        match method {
+            "system.list_methods" => {
+                params::expect_len(params_in, 0, method)?;
+                // Deliberately uncached: a fresh DB scan per request, as
+                // the paper stresses ("No caching was performed on the
+                // server").
+                let names = ctx.core.store.keys(METHODS_BUCKET);
+                Ok(Value::Array(names.into_iter().map(Value::from).collect()))
+            }
+            "system.get_method_info" => {
+                params::expect_len(params_in, 1, method)?;
+                let name = params::string(params_in, 0, "name")?;
+                let bytes = ctx.core.store.get(METHODS_BUCKET, &name).ok_or_else(|| {
+                    Fault::new(codes::NO_SUCH_METHOD, format!("no method {name}"))
+                })?;
+                let text = String::from_utf8(bytes)
+                    .map_err(|_| Fault::new(codes::INTERNAL, "corrupt method record"))?;
+                clarens_wire::json::parse(&text)
+                    .map_err(|_| Fault::new(codes::INTERNAL, "corrupt method record"))
+            }
+            "system.auth" => self.auth(ctx, params_in),
+            "system.whoami" => {
+                params::expect_len(params_in, 0, method)?;
+                Ok(Value::from(ctx.require_identity()?.to_string()))
+            }
+            "system.logout" => {
+                params::expect_len(params_in, 0, method)?;
+                match &ctx.session {
+                    Some(session) => Ok(Value::Bool(ctx.core.sessions.logout(&session.id))),
+                    None => Ok(Value::Bool(false)),
+                }
+            }
+            "system.version" => {
+                params::expect_len(params_in, 0, method)?;
+                Ok(Value::from(VERSION))
+            }
+            "system.ping" => {
+                params::expect_len(params_in, 0, method)?;
+                Ok(Value::from("pong"))
+            }
+            "system.session_count" => {
+                params::expect_len(params_in, 0, method)?;
+                let dn = ctx.require_identity()?;
+                if !ctx.core.vo.is_site_admin(dn) {
+                    return Err(Fault::access_denied("session_count requires site admin"));
+                }
+                Ok(Value::Int(ctx.core.sessions.count() as i64))
+            }
+            other => Err(Fault::new(
+                codes::NO_SUCH_METHOD,
+                format!("no method {other}"),
+            )),
+        }
+    }
+}
+
+impl SystemService {
+    /// `system.auth(chain: [string], timestamp: int, signature: bytes)`.
+    ///
+    /// The challenge is self-dated: the client signs
+    /// `clarens-auth:<timestamp>` with its leaf key; the server accepts it
+    /// within the configured clock-skew window. The chain is validated
+    /// against the server's trust roots; proxy chains authenticate as the
+    /// underlying user (paper §2.6 delegation semantics).
+    fn auth(&self, ctx: &CallContext<'_>, params_in: &[Value]) -> Result<Value, Fault> {
+        params::expect_len(params_in, 3, "system.auth")?;
+        let chain_values = params_in[0]
+            .as_array()
+            .ok_or_else(|| Fault::bad_params("parameter 0 (chain) must be an array"))?;
+        let timestamp = params::int(params_in, 1, "timestamp")?;
+        let signature = params::bytes(params_in, 2, "signature")?;
+
+        let mut chain = Vec::with_capacity(chain_values.len());
+        for value in chain_values {
+            let text = value
+                .as_str()
+                .ok_or_else(|| Fault::bad_params("chain entries must be certificate text"))?;
+            chain.push(
+                Certificate::from_text(text)
+                    .map_err(|e| Fault::bad_params(format!("bad certificate: {e}")))?,
+            );
+        }
+        if chain.is_empty() {
+            return Err(Fault::bad_params("empty certificate chain"));
+        }
+
+        let skew = ctx.core.config.auth_skew;
+        if (ctx.now - timestamp).abs() > skew {
+            return Err(Fault::not_authenticated(format!(
+                "challenge timestamp outside ±{skew}s window"
+            )));
+        }
+
+        let identity = verify_chain(&chain, &ctx.core.roots, ctx.now)
+            .map_err(|e| Fault::not_authenticated(format!("certificate chain invalid: {e}")))?;
+
+        let message = auth_challenge(timestamp);
+        chain[0]
+            .public_key
+            .verify(message.as_bytes(), &signature)
+            .map_err(|_| Fault::not_authenticated("challenge signature invalid"))?;
+
+        let session = ctx.core.sessions.create(&identity, ctx.now);
+        Ok(Value::structure([
+            ("session", Value::from(session.id)),
+            ("dn", Value::from(identity.to_string())),
+            ("expires", Value::Int(session.expires)),
+        ]))
+    }
+}
+
+/// The challenge message a client signs for `system.auth`.
+pub fn auth_challenge(timestamp: i64) -> String {
+    format!("clarens-auth:{timestamp}")
+}

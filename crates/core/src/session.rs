@@ -1,0 +1,254 @@
+//! Persistent server-side sessions.
+//!
+//! "Since the HTTP protocol does not require persistent connections, it is
+//! important that session information is stored persistently on the server
+//! side. This has the positive side-effect of allowing clients to survive
+//! server failures or restarts transparently without having to
+//! re-authenticate themselves" (paper §2). Sessions live in the
+//! [`clarens_db::Store`] (bucket `sessions`), keyed by a random 256-bit id,
+//! and carry the authenticated identity plus expiry.
+
+use std::sync::Arc;
+
+use rand::RngExt;
+
+use clarens_db::Store;
+use clarens_pki::dn::DistinguishedName;
+use clarens_pki::sha256;
+use clarens_wire::{json, Value};
+
+/// DB bucket for sessions.
+pub const SESSIONS_BUCKET: &str = "sessions";
+
+/// An authenticated session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Session {
+    /// The session id (hex, 64 chars).
+    pub id: String,
+    /// Authenticated identity (end-entity DN).
+    pub dn: String,
+    /// Creation time (Unix seconds).
+    pub created: i64,
+    /// Expiry time (Unix seconds).
+    pub expires: i64,
+    /// Serialized proxy credential attached to the session, if any
+    /// (paper §2.6: a stored proxy can be "attached" to an existing
+    /// session).
+    pub proxy: Option<String>,
+}
+
+impl Session {
+    fn to_value(&self) -> Value {
+        Value::structure([
+            ("dn", Value::from(self.dn.clone())),
+            ("created", Value::Int(self.created)),
+            ("expires", Value::Int(self.expires)),
+            (
+                "proxy",
+                self.proxy.clone().map(Value::from).unwrap_or(Value::Nil),
+            ),
+        ])
+    }
+
+    fn from_value(id: &str, value: &Value) -> Option<Session> {
+        Some(Session {
+            id: id.to_owned(),
+            dn: value.get("dn")?.as_str()?.to_owned(),
+            created: value.get("created")?.as_int()?,
+            expires: value.get("expires")?.as_int()?,
+            proxy: value
+                .get("proxy")
+                .and_then(|p| p.as_str())
+                .map(str::to_owned),
+        })
+    }
+}
+
+/// The session manager.
+pub struct SessionManager {
+    store: Arc<Store>,
+    ttl: i64,
+}
+
+impl SessionManager {
+    /// Create a manager over the shared store.
+    pub fn new(store: Arc<Store>, ttl: i64) -> Self {
+        SessionManager { store, ttl }
+    }
+
+    /// Create a new session for `dn`, returning it.
+    pub fn create(&self, dn: &DistinguishedName, now: i64) -> Session {
+        let mut rng = rand::rng();
+        let raw: [u8; 32] = rng.random();
+        let id = sha256::to_hex(&sha256::sha256(&raw));
+        let session = Session {
+            id: id.clone(),
+            dn: dn.to_string(),
+            created: now,
+            expires: now + self.ttl,
+            proxy: None,
+        };
+        self.persist(&session);
+        session
+    }
+
+    fn persist(&self, session: &Session) {
+        let _ = self.store.put(
+            SESSIONS_BUCKET,
+            &session.id,
+            json::to_string(&session.to_value()).into_bytes(),
+        );
+    }
+
+    /// Validate a session id: returns the session if it exists and has not
+    /// expired. This is the first of the two per-request access-control
+    /// checks in the paper's Figure-4 workload ("whether the client
+    /// credentials are associated with a current session").
+    pub fn validate(&self, id: &str, now: i64) -> Option<Session> {
+        let bytes = self.store.get(SESSIONS_BUCKET, id)?;
+        let text = String::from_utf8(bytes).ok()?;
+        let value = json::parse(&text).ok()?;
+        let session = Session::from_value(id, &value)?;
+        if session.expires <= now {
+            let _ = self.store.delete(SESSIONS_BUCKET, id);
+            return None;
+        }
+        Some(session)
+    }
+
+    /// Attach (or replace) a proxy credential on an existing session,
+    /// extending its lifetime (proxy renewal semantics of §2.6).
+    pub fn attach_proxy(&self, id: &str, proxy_text: &str, now: i64) -> Option<Session> {
+        let mut session = self.validate(id, now)?;
+        session.proxy = Some(proxy_text.to_owned());
+        session.expires = now + self.ttl;
+        self.persist(&session);
+        Some(session)
+    }
+
+    /// Destroy a session. Returns whether it existed.
+    pub fn logout(&self, id: &str) -> bool {
+        self.store.delete(SESSIONS_BUCKET, id).unwrap_or(false)
+    }
+
+    /// Remove expired sessions; returns how many were dropped.
+    pub fn sweep(&self, now: i64) -> usize {
+        let mut dropped = 0;
+        for (id, bytes) in self.store.scan_prefix(SESSIONS_BUCKET, "") {
+            let expired = String::from_utf8(bytes)
+                .ok()
+                .and_then(|t| json::parse(&t).ok())
+                .and_then(|v| v.get("expires").and_then(Value::as_int))
+                .map(|e| e <= now)
+                .unwrap_or(true);
+            if expired {
+                let _ = self.store.delete(SESSIONS_BUCKET, &id);
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Number of live sessions (including not-yet-swept expired ones).
+    pub fn count(&self) -> usize {
+        self.store.len(SESSIONS_BUCKET)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn() -> DistinguishedName {
+        DistinguishedName::parse("/O=org/OU=People/CN=alice").unwrap()
+    }
+
+    fn manager() -> SessionManager {
+        SessionManager::new(Arc::new(Store::in_memory()), 3600)
+    }
+
+    #[test]
+    fn create_and_validate() {
+        let mgr = manager();
+        let session = mgr.create(&dn(), 1000);
+        assert_eq!(session.id.len(), 64);
+        assert_eq!(session.expires, 4600);
+        let validated = mgr.validate(&session.id, 2000).unwrap();
+        assert_eq!(validated.dn, "/O=org/OU=People/CN=alice");
+        assert!(mgr.validate("bogus", 2000).is_none());
+    }
+
+    #[test]
+    fn expiry_enforced() {
+        let mgr = manager();
+        let session = mgr.create(&dn(), 1000);
+        assert!(mgr.validate(&session.id, 4600).is_none());
+        // Expired validation also removes the record.
+        assert_eq!(mgr.count(), 0);
+    }
+
+    #[test]
+    fn ids_unique() {
+        let mgr = manager();
+        let a = mgr.create(&dn(), 0);
+        let b = mgr.create(&dn(), 0);
+        assert_ne!(a.id, b.id);
+        assert_eq!(mgr.count(), 2);
+    }
+
+    #[test]
+    fn logout() {
+        let mgr = manager();
+        let session = mgr.create(&dn(), 0);
+        assert!(mgr.logout(&session.id));
+        assert!(!mgr.logout(&session.id));
+        assert!(mgr.validate(&session.id, 1).is_none());
+    }
+
+    #[test]
+    fn proxy_attachment_extends_session() {
+        let mgr = manager();
+        let session = mgr.create(&dn(), 1000);
+        let updated = mgr
+            .attach_proxy(&session.id, "PROXY-CREDENTIAL", 2000)
+            .unwrap();
+        assert_eq!(updated.proxy.as_deref(), Some("PROXY-CREDENTIAL"));
+        assert_eq!(updated.expires, 5600); // renewed from t=2000
+        let validated = mgr.validate(&session.id, 5000).unwrap();
+        assert_eq!(validated.proxy.as_deref(), Some("PROXY-CREDENTIAL"));
+    }
+
+    #[test]
+    fn sweep_removes_only_expired() {
+        let mgr = manager();
+        let old = mgr.create(&dn(), 0);
+        let fresh = mgr.create(&dn(), 5000);
+        assert_eq!(mgr.sweep(4000), 1);
+        assert!(mgr.validate(&old.id, 4000).is_none());
+        assert!(mgr.validate(&fresh.id, 4000).is_some());
+    }
+
+    #[test]
+    fn sessions_survive_restart() {
+        // The paper's restart-survival property, end to end through the DB.
+        let path = std::env::temp_dir().join(format!(
+            "clarens-session-restart-{}.wal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let id;
+        {
+            let store = Arc::new(Store::open(&path).unwrap());
+            let mgr = SessionManager::new(store, 3600);
+            id = mgr.create(&dn(), 1000).id;
+        }
+        {
+            // "Restart": a fresh manager over a reopened store.
+            let store = Arc::new(Store::open(&path).unwrap());
+            let mgr = SessionManager::new(store, 3600);
+            let session = mgr.validate(&id, 2000).unwrap();
+            assert_eq!(session.dn, "/O=org/OU=People/CN=alice");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,459 @@
+//! Direct service-dispatch tests: call every service through the registry
+//! with synthetic call contexts (no HTTP), covering the parameter-fault
+//! and edge paths that the end-to-end suite doesn't reach.
+
+use std::sync::Arc;
+
+use clarens::config::ClarensConfig;
+use clarens::core::ClarensCore;
+use clarens::registry::CallContext;
+use clarens::{install_permissive_acls, register_builtin_services};
+use clarens_pki::cert::{CertificateAuthority, Credential};
+use clarens_pki::dn::DistinguishedName;
+use clarens_pki::rsa;
+use clarens_wire::fault::codes;
+use clarens_wire::Value;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Fixture {
+    core: Arc<ClarensCore>,
+    admin_dn: DistinguishedName,
+    user_dn: DistinguishedName,
+    data_dir: std::path::PathBuf,
+}
+
+fn fixture(name: &str) -> Fixture {
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_secs() as i64;
+    let mut rng = StdRng::seed_from_u64(0x5E41);
+    let ca = CertificateAuthority::new(
+        &mut rng,
+        DistinguishedName::parse("/O=unit/CN=CA").unwrap(),
+        now - 3600,
+        3650,
+    );
+    let kp = rsa::generate(&mut rng, rsa::DEFAULT_KEY_BITS);
+    let server = Credential {
+        certificate: ca.issue(
+            DistinguishedName::parse("/O=unit/CN=server").unwrap(),
+            &kp.public,
+            now - 3600,
+            365,
+        ),
+        key: kp.private,
+        chain: vec![],
+    };
+    let admin_dn = DistinguishedName::parse("/O=unit/OU=People/CN=root").unwrap();
+    let user_dn = DistinguishedName::parse("/O=unit/OU=People/CN=plain").unwrap();
+
+    let data_dir = std::env::temp_dir().join(format!(
+        "clarens-services-unit-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    std::fs::create_dir_all(data_dir.join("files")).unwrap();
+    std::fs::create_dir_all(data_dir.join("shell")).unwrap();
+
+    let config = ClarensConfig {
+        admin_dns: vec![admin_dn.to_string()],
+        file_root: Some(data_dir.join("files")),
+        shell_root: Some(data_dir.join("shell")),
+        shell_user_map: "plainuser: dn=/O=unit/OU=People/CN=plain\n".into(),
+        ..Default::default()
+    };
+    let core = ClarensCore::new(config, vec![ca.certificate.clone()], server).unwrap();
+    register_builtin_services(&core, None);
+    install_permissive_acls(&core);
+    Fixture {
+        core,
+        admin_dn,
+        user_dn,
+        data_dir,
+    }
+}
+
+fn call(
+    fixture: &Fixture,
+    identity: Option<&DistinguishedName>,
+    method: &str,
+    params: Vec<Value>,
+) -> Result<Value, clarens_wire::Fault> {
+    let service = fixture
+        .core
+        .registry
+        .read()
+        .resolve(method)
+        .unwrap_or_else(|| panic!("no service for {method}"));
+    let ctx = CallContext {
+        core: &fixture.core,
+        identity: identity.cloned(),
+        session: None,
+        peer_chain: vec![],
+        now: fixture.core.now(),
+    };
+    service.call(&ctx, method, &params)
+}
+
+#[test]
+fn system_introspection_paths() {
+    let f = fixture("system");
+    let user = f.user_dn.clone();
+
+    // get_method_info round-trips the registry record.
+    let info = call(
+        &f,
+        Some(&user),
+        "system.get_method_info",
+        vec![Value::from("file.read")],
+    )
+    .unwrap();
+    assert!(info
+        .get("signature")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("file.read("));
+    // Unknown method -> NO_SUCH_METHOD fault.
+    let err = call(
+        &f,
+        Some(&user),
+        "system.get_method_info",
+        vec![Value::from("no.method")],
+    )
+    .unwrap_err();
+    assert_eq!(err.code, codes::NO_SUCH_METHOD);
+    // Param-count errors.
+    let err = call(&f, Some(&user), "system.list_methods", vec![Value::Int(1)]).unwrap_err();
+    assert_eq!(err.code, codes::BAD_PARAMS);
+    // Unknown method within an existing module.
+    let err = call(&f, Some(&user), "system.frobnicate", vec![]).unwrap_err();
+    assert_eq!(err.code, codes::NO_SUCH_METHOD);
+    // whoami needs identity.
+    let err = call(&f, None, "system.whoami", vec![]).unwrap_err();
+    assert_eq!(err.code, codes::NOT_AUTHENTICATED);
+    // session_count is admin-only.
+    let err = call(&f, Some(&user), "system.session_count", vec![]).unwrap_err();
+    assert_eq!(err.code, codes::ACCESS_DENIED);
+    let admin = f.admin_dn.clone();
+    let count = call(&f, Some(&admin), "system.session_count", vec![]).unwrap();
+    assert_eq!(count, Value::Int(0));
+    let _ = std::fs::remove_dir_all(&f.data_dir);
+}
+
+#[test]
+fn echo_edge_cases() {
+    let f = fixture("echo");
+    let user = f.user_dn.clone();
+    // concat with non-string array items.
+    let err = call(
+        &f,
+        Some(&user),
+        "echo.concat",
+        vec![Value::array([Value::Int(1)])],
+    )
+    .unwrap_err();
+    assert_eq!(err.code, codes::BAD_PARAMS);
+    // concat with a non-array argument.
+    let err = call(&f, Some(&user), "echo.concat", vec![Value::Int(1)]).unwrap_err();
+    assert_eq!(err.code, codes::BAD_PARAMS);
+    // payload size bounds.
+    let err = call(&f, Some(&user), "echo.payload", vec![Value::Int(-1)]).unwrap_err();
+    assert_eq!(err.code, codes::BAD_PARAMS);
+    let err = call(&f, Some(&user), "echo.payload", vec![Value::Int(1 << 40)]).unwrap_err();
+    assert_eq!(err.code, codes::BAD_PARAMS);
+    // A valid payload returns deterministic bytes.
+    let bytes = call(&f, Some(&user), "echo.payload", vec![Value::Int(10)]).unwrap();
+    assert_eq!(
+        bytes.coerce_bytes().unwrap(),
+        (0..10u8).map(|i| i % 251).collect::<Vec<u8>>()
+    );
+    let _ = std::fs::remove_dir_all(&f.data_dir);
+}
+
+#[test]
+fn file_service_edges() {
+    let f = fixture("file");
+    let user = f.user_dn.clone();
+    std::fs::write(f.data_dir.join("files/x.txt"), b"0123456789").unwrap();
+
+    // Reading a missing file is a SERVICE fault, not an internal error.
+    let err = call(
+        &f,
+        Some(&user),
+        "file.read",
+        vec![Value::from("/ghost"), Value::Int(0), Value::Int(4)],
+    )
+    .unwrap_err();
+    assert_eq!(err.code, codes::SERVICE);
+    assert!(err.message.contains("not found"), "{}", err.message);
+
+    // Offsets beyond EOF give empty bytes.
+    let bytes = call(
+        &f,
+        Some(&user),
+        "file.read",
+        vec![Value::from("/x.txt"), Value::Int(100), Value::Int(4)],
+    )
+    .unwrap();
+    assert_eq!(bytes.coerce_bytes().unwrap(), b"");
+
+    // ls on a file is an error.
+    let err = call(&f, Some(&user), "file.ls", vec![Value::from("/x.txt")]).unwrap_err();
+    assert_eq!(err.code, codes::SERVICE);
+
+    // stat on a directory reports type dir.
+    std::fs::create_dir_all(f.data_dir.join("files/sub")).unwrap();
+    let stat = call(&f, Some(&user), "file.stat", vec![Value::from("/sub")]).unwrap();
+    assert_eq!(stat.get("type").unwrap().as_str(), Some("dir"));
+
+    // put with append extends; rm removes; size reports.
+    call(
+        &f,
+        Some(&user),
+        "file.put",
+        vec![
+            Value::from("/new.bin"),
+            Value::Bytes(b"ab".to_vec()),
+            Value::Bool(false),
+        ],
+    )
+    .unwrap();
+    call(
+        &f,
+        Some(&user),
+        "file.put",
+        vec![
+            Value::from("/new.bin"),
+            Value::Bytes(b"cd".to_vec()),
+            Value::Bool(true),
+        ],
+    )
+    .unwrap();
+    let size = call(&f, Some(&user), "file.size", vec![Value::from("/new.bin")]).unwrap();
+    assert_eq!(size, Value::Int(4));
+    call(&f, Some(&user), "file.rm", vec![Value::from("/new.bin")]).unwrap();
+    let err = call(&f, Some(&user), "file.size", vec![Value::from("/new.bin")]).unwrap_err();
+    assert_eq!(err.code, codes::SERVICE);
+
+    // mkdir then find locates nested names.
+    call(&f, Some(&user), "file.mkdir", vec![Value::from("/a/b/c")]).unwrap();
+    std::fs::write(f.data_dir.join("files/a/b/c/target.dat"), b"z").unwrap();
+    let found = call(
+        &f,
+        Some(&user),
+        "file.find",
+        vec![Value::from("/"), Value::from("target")],
+    )
+    .unwrap();
+    assert_eq!(
+        found.as_array().unwrap()[0].as_str(),
+        Some("/a/b/c/target.dat")
+    );
+    let _ = std::fs::remove_dir_all(&f.data_dir);
+}
+
+#[test]
+fn acl_admin_service_roundtrip() {
+    let f = fixture("acl");
+    let admin = f.admin_dn.clone();
+    let user = f.user_dn.clone();
+
+    // set, get, check, list, clear.
+    call(
+        &f,
+        Some(&admin),
+        "acl.set_method",
+        vec![
+            Value::from("special"),
+            Value::structure([
+                ("order", Value::from("deny,allow")),
+                ("allow_dns", Value::array([Value::from(user.to_string())])),
+                ("deny_dns", Value::array([Value::from("*")])),
+            ]),
+        ],
+    )
+    .unwrap();
+    let got = call(
+        &f,
+        Some(&user),
+        "acl.get_method",
+        vec![Value::from("special")],
+    )
+    .unwrap();
+    assert_eq!(got.get("order").unwrap().as_str(), Some("deny,allow"));
+
+    let allowed = call(
+        &f,
+        Some(&user),
+        "acl.check",
+        vec![Value::from("special.thing"), Value::from(user.to_string())],
+    )
+    .unwrap();
+    assert_eq!(allowed, Value::Bool(true));
+    let denied = call(
+        &f,
+        Some(&user),
+        "acl.check",
+        vec![
+            Value::from("special.thing"),
+            Value::from("/O=elsewhere/CN=x"),
+        ],
+    )
+    .unwrap();
+    assert_eq!(denied, Value::Bool(false));
+
+    let nodes = call(&f, Some(&user), "acl.list", vec![]).unwrap();
+    assert!(nodes
+        .as_array()
+        .unwrap()
+        .iter()
+        .any(|v| v.as_str() == Some("special")));
+
+    // Mutations are admin-only.
+    let err = call(
+        &f,
+        Some(&user),
+        "acl.clear_method",
+        vec![Value::from("special")],
+    )
+    .unwrap_err();
+    assert_eq!(err.code, codes::ACCESS_DENIED);
+    call(
+        &f,
+        Some(&admin),
+        "acl.clear_method",
+        vec![Value::from("special")],
+    )
+    .unwrap();
+    let got = call(
+        &f,
+        Some(&user),
+        "acl.get_method",
+        vec![Value::from("special")],
+    )
+    .unwrap();
+    assert!(got.is_nil());
+
+    // Bad order strings rejected.
+    let err = call(
+        &f,
+        Some(&admin),
+        "acl.set_method",
+        vec![
+            Value::from("x"),
+            Value::structure([("order", Value::from("first-come"))]),
+        ],
+    )
+    .unwrap_err();
+    assert_eq!(err.code, codes::BAD_PARAMS);
+    let _ = std::fs::remove_dir_all(&f.data_dir);
+}
+
+#[test]
+fn vo_service_edges() {
+    let f = fixture("vo");
+    let admin = f.admin_dn.clone();
+    let user = f.user_dn.clone();
+
+    let err = call(&f, Some(&user), "vo.group_info", vec![Value::from("nope")]).unwrap_err();
+    assert_eq!(err.code, codes::SERVICE);
+    let err = call(
+        &f,
+        Some(&user),
+        "vo.is_member",
+        vec![Value::from("g"), Value::from("not a dn")],
+    )
+    .unwrap_err();
+    assert_eq!(err.code, codes::BAD_PARAMS);
+
+    // Group names validated at the service boundary.
+    let err = call(
+        &f,
+        Some(&admin),
+        "vo.create_group",
+        vec![Value::from("bad name")],
+    )
+    .unwrap_err();
+    assert_eq!(err.code, codes::BAD_PARAMS);
+    // Duplicate creation is a SERVICE conflict.
+    call(&f, Some(&admin), "vo.create_group", vec![Value::from("g")]).unwrap();
+    let err = call(&f, Some(&admin), "vo.create_group", vec![Value::from("g")]).unwrap_err();
+    assert_eq!(err.code, codes::SERVICE);
+    let _ = std::fs::remove_dir_all(&f.data_dir);
+}
+
+#[test]
+fn shell_service_requires_mapping() {
+    let f = fixture("shellmap");
+    // The admin has no user-map entry — shell access refused even though
+    // the ACL allows the module.
+    let admin = f.admin_dn.clone();
+    let err = call(&f, Some(&admin), "shell.cmd_info", vec![]).unwrap_err();
+    assert_eq!(err.code, codes::ACCESS_DENIED);
+    assert!(err.message.contains("user_map"), "{}", err.message);
+
+    // The mapped user works and gets the mapped account.
+    let user = f.user_dn.clone();
+    let info = call(&f, Some(&user), "shell.cmd_info", vec![]).unwrap();
+    assert_eq!(info.get("user").unwrap().as_str(), Some("plainuser"));
+    let _ = std::fs::remove_dir_all(&f.data_dir);
+}
+
+#[test]
+fn proxy_service_param_faults() {
+    let f = fixture("proxy");
+    let user = f.user_dn.clone();
+    // Retrieving with nothing stored.
+    let err = call(&f, Some(&user), "proxy.retrieve", vec![Value::from("pw")]).unwrap_err();
+    assert_eq!(err.code, codes::SERVICE);
+    // Storing garbage that is not a certificate payload.
+    let err = call(
+        &f,
+        Some(&user),
+        "proxy.store",
+        vec![Value::from("pw"), Value::from("not certificates")],
+    )
+    .unwrap_err();
+    assert_eq!(err.code, codes::SERVICE);
+    // Attach without a session.
+    let err = call(&f, Some(&user), "proxy.attach", vec![Value::from("pw")]).unwrap_err();
+    assert_eq!(err.code, codes::NOT_AUTHENTICATED);
+    // Remove when nothing stored returns false (not an error).
+    let removed = call(&f, Some(&user), "proxy.remove", vec![]).unwrap();
+    assert_eq!(removed, Value::Bool(false));
+    let _ = std::fs::remove_dir_all(&f.data_dir);
+}
+
+#[test]
+fn im_service_edges() {
+    let f = fixture("im");
+    let user = f.user_dn.clone();
+    let admin = f.admin_dn.clone();
+    // Sending to yourself works (self-notes) and polling drains FIFO.
+    for i in 0..3 {
+        call(
+            &f,
+            Some(&user),
+            "im.send",
+            vec![
+                Value::from(user.to_string()),
+                Value::from(format!("note{i}")),
+            ],
+        )
+        .unwrap();
+    }
+    let batch = call(&f, Some(&user), "im.poll", vec![Value::Int(2)]).unwrap();
+    assert_eq!(batch.as_array().unwrap().len(), 2);
+    let rest = call(&f, Some(&user), "im.poll", vec![Value::Int(10)]).unwrap();
+    assert_eq!(
+        rest.as_array().unwrap()[0].get("body").unwrap().as_str(),
+        Some("note2")
+    );
+    // Empty mailbox polls cleanly.
+    let empty = call(&f, Some(&admin), "im.poll", vec![Value::Int(5)]).unwrap();
+    assert!(empty.as_array().unwrap().is_empty());
+    let _ = std::fs::remove_dir_all(&f.data_dir);
+}

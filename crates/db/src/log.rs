@@ -1,0 +1,371 @@
+//! Write-ahead log: the on-disk persistence layer of [`crate::Store`].
+//!
+//! Record format (all integers little-endian):
+//!
+//! ```text
+//! [u32 payload_len][payload][u32 crc32(payload)]
+//! payload := [u8 op][u16 bucket_len][bucket][u16 key_len][key]
+//!            [u32 value_len][value]          (value only for Put)
+//! ```
+//!
+//! Recovery replays records until EOF or the first corrupt/truncated
+//! record — a torn tail (crash mid-write) truncates cleanly rather than
+//! corrupting the store, which is what lets Clarens sessions "survive
+//! server failures or restarts transparently" (paper §2).
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::crc32::crc32;
+
+/// Maximum sizes, to reject corrupt length fields during recovery.
+const MAX_NAME: usize = u16::MAX as usize;
+const MAX_VALUE: usize = 256 * 1024 * 1024;
+
+/// A logged operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogOp {
+    /// Insert or overwrite `bucket/key`.
+    Put {
+        /// Namespace.
+        bucket: String,
+        /// Key within the namespace.
+        key: String,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Remove `bucket/key`.
+    Delete {
+        /// Namespace.
+        bucket: String,
+        /// Key within the namespace.
+        key: String,
+    },
+}
+
+const OP_PUT: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+/// Serialize one operation into the payload format.
+pub fn encode_op(op: &LogOp) -> Vec<u8> {
+    let mut out = Vec::new();
+    match op {
+        LogOp::Put { bucket, key, value } => {
+            out.push(OP_PUT);
+            push_name(&mut out, bucket);
+            push_name(&mut out, key);
+            out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            out.extend_from_slice(value);
+        }
+        LogOp::Delete { bucket, key } => {
+            out.push(OP_DELETE);
+            push_name(&mut out, bucket);
+            push_name(&mut out, key);
+        }
+    }
+    out
+}
+
+fn push_name(out: &mut Vec<u8>, name: &str) {
+    assert!(name.len() <= MAX_NAME, "bucket/key name too long");
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+}
+
+/// Decode one payload. Returns `None` on structural corruption.
+pub fn decode_op(payload: &[u8]) -> Option<LogOp> {
+    let mut pos = 0usize;
+    let op = *payload.get(pos)?;
+    pos += 1;
+    let bucket = read_name(payload, &mut pos)?;
+    let key = read_name(payload, &mut pos)?;
+    match op {
+        OP_PUT => {
+            if payload.len() < pos + 4 {
+                return None;
+            }
+            let len = u32::from_le_bytes(payload[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            if len > MAX_VALUE || payload.len() != pos + len {
+                return None;
+            }
+            Some(LogOp::Put {
+                bucket,
+                key,
+                value: payload[pos..].to_vec(),
+            })
+        }
+        OP_DELETE => {
+            if pos != payload.len() {
+                return None;
+            }
+            Some(LogOp::Delete { bucket, key })
+        }
+        _ => None,
+    }
+}
+
+fn read_name(payload: &[u8], pos: &mut usize) -> Option<String> {
+    if payload.len() < *pos + 2 {
+        return None;
+    }
+    let len = u16::from_le_bytes(payload[*pos..*pos + 2].try_into().unwrap()) as usize;
+    *pos += 2;
+    if payload.len() < *pos + len {
+        return None;
+    }
+    let name = std::str::from_utf8(&payload[*pos..*pos + len])
+        .ok()?
+        .to_owned();
+    *pos += len;
+    Some(name)
+}
+
+/// An open write-ahead log.
+pub struct Wal {
+    writer: BufWriter<File>,
+    /// Whether to fsync after every append (durable but slow; tests and
+    /// benches usually leave this off, mirroring a DB with default
+    /// `innodb_flush_log_at_trx_commit`-style relaxation).
+    pub sync_on_append: bool,
+}
+
+impl Wal {
+    /// Open (creating if needed) a log at `path` in append mode.
+    pub fn open(path: &Path, sync_on_append: bool) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Wal {
+            writer: BufWriter::new(file),
+            sync_on_append,
+        })
+    }
+
+    /// Append one operation.
+    pub fn append(&mut self, op: &LogOp) -> io::Result<()> {
+        let payload = encode_op(op);
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&payload)?;
+        self.writer.write_all(&crc32(&payload).to_le_bytes())?;
+        self.writer.flush()?;
+        if self.sync_on_append {
+            self.writer.get_ref().sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Force everything to disk.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()
+    }
+}
+
+/// The outcome of a recovery scan.
+pub struct Recovery {
+    /// Operations recovered, in append order.
+    pub ops: Vec<LogOp>,
+    /// True if the scan stopped early at a corrupt/torn record (the caller
+    /// should truncate and rewrite, which [`crate::Store::open`] does by
+    /// compacting).
+    pub torn_tail: bool,
+}
+
+/// Replay a log file. Missing file ⇒ empty recovery.
+pub fn recover(path: &Path) -> io::Result<Recovery> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(Recovery {
+                ops: Vec::new(),
+                torn_tail: false,
+            })
+        }
+        Err(e) => return Err(e),
+    };
+    let size = file.metadata()?.len();
+    let mut reader = BufReader::new(file);
+    let mut ops = Vec::new();
+    let mut offset = 0u64;
+    loop {
+        let mut len_buf = [0u8; 4];
+        match reader.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                // Clean EOF if we were at a record boundary; a few stray
+                // bytes constitute a torn tail.
+                let torn = offset + 4 > size && offset != size;
+                let torn = torn || (size - offset > 0 && size - offset < 4);
+                return Ok(Recovery {
+                    ops,
+                    torn_tail: torn,
+                });
+            }
+            Err(e) => return Err(e),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > MAX_VALUE + 2 * MAX_NAME + 16 {
+            return Ok(Recovery {
+                ops,
+                torn_tail: true,
+            });
+        }
+        let mut payload = vec![0u8; len];
+        let mut crc_buf = [0u8; 4];
+        if reader.read_exact(&mut payload).is_err() || reader.read_exact(&mut crc_buf).is_err() {
+            return Ok(Recovery {
+                ops,
+                torn_tail: true,
+            });
+        }
+        if crc32(&payload) != u32::from_le_bytes(crc_buf) {
+            return Ok(Recovery {
+                ops,
+                torn_tail: true,
+            });
+        }
+        match decode_op(&payload) {
+            Some(op) => ops.push(op),
+            None => {
+                return Ok(Recovery {
+                    ops,
+                    torn_tail: true,
+                })
+            }
+        }
+        offset += 4 + len as u64 + 4;
+        let _ = reader.seek(SeekFrom::Current(0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("clarens-db-log-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        dir
+    }
+
+    fn put(bucket: &str, key: &str, value: &[u8]) -> LogOp {
+        LogOp::Put {
+            bucket: bucket.into(),
+            key: key.into(),
+            value: value.to_vec(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ops = [
+            put("sessions", "abc", b"payload"),
+            put("vo", "", b""),
+            LogOp::Delete {
+                bucket: "acl".into(),
+                key: "file.read".into(),
+            },
+        ];
+        for op in &ops {
+            assert_eq!(decode_op(&encode_op(op)).unwrap(), *op);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let good = encode_op(&put("b", "k", b"v"));
+        assert!(decode_op(&good[..good.len() - 1]).is_none()); // truncated
+        let mut bad_op = good.clone();
+        bad_op[0] = 99;
+        assert!(decode_op(&bad_op).is_none()); // unknown opcode
+        assert!(decode_op(&[]).is_none());
+        // Delete with trailing junk.
+        let mut del = encode_op(&LogOp::Delete {
+            bucket: "b".into(),
+            key: "k".into(),
+        });
+        del.push(0);
+        assert!(decode_op(&del).is_none());
+    }
+
+    #[test]
+    fn append_and_recover() {
+        let path = temp_path("basic");
+        {
+            let mut wal = Wal::open(&path, false).unwrap();
+            wal.append(&put("s", "k1", b"v1")).unwrap();
+            wal.append(&put("s", "k2", b"v2")).unwrap();
+            wal.append(&LogOp::Delete {
+                bucket: "s".into(),
+                key: "k1".into(),
+            })
+            .unwrap();
+            wal.sync().unwrap();
+        }
+        let recovery = recover(&path).unwrap();
+        assert!(!recovery.torn_tail);
+        assert_eq!(recovery.ops.len(), 3);
+        assert_eq!(recovery.ops[0], put("s", "k1", b"v1"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let recovery = recover(Path::new("/nonexistent/definitely/not/here.wal")).unwrap();
+        assert!(recovery.ops.is_empty());
+        assert!(!recovery.torn_tail);
+    }
+
+    #[test]
+    fn torn_tail_detected_and_prefix_recovered() {
+        let path = temp_path("torn");
+        {
+            let mut wal = Wal::open(&path, false).unwrap();
+            wal.append(&put("s", "k1", b"v1")).unwrap();
+            wal.append(&put("s", "k2", b"v2")).unwrap();
+            wal.sync().unwrap();
+        }
+        // Truncate mid-record.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 3).unwrap();
+
+        let recovery = recover(&path).unwrap();
+        assert!(recovery.torn_tail);
+        assert_eq!(recovery.ops.len(), 1);
+        assert_eq!(recovery.ops[0], put("s", "k1", b"v1"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bitflip_detected_by_crc() {
+        let path = temp_path("bitflip");
+        {
+            let mut wal = Wal::open(&path, false).unwrap();
+            wal.append(&put("s", "key", b"value-bytes")).unwrap();
+            wal.append(&put("s", "key2", b"more")).unwrap();
+            wal.sync().unwrap();
+        }
+        // Flip a byte inside the first record's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let recovery = recover(&path).unwrap();
+        assert!(recovery.torn_tail);
+        assert!(recovery.ops.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn huge_length_field_treated_as_torn() {
+        let path = temp_path("hugelen");
+        std::fs::write(&path, (u32::MAX).to_le_bytes()).unwrap();
+        let recovery = recover(&path).unwrap();
+        assert!(recovery.torn_tail);
+        assert!(recovery.ops.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

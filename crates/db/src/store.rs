@@ -1,0 +1,425 @@
+//! The namespaced key-value store.
+//!
+//! [`Store`] is the "database" the paper refers to throughout: "The list of
+//! group members is cached in a database, as is all VO information" (§2.1),
+//! and each Figure-4 request "incurs a database lookup for all registered
+//! methods in the server" (§4). It offers:
+//!
+//! * named buckets, each an ordered map of `String → Vec<u8>`,
+//! * optional durability through the write-ahead log ([`crate::log`]),
+//! * crash recovery with torn-tail truncation and log compaction,
+//! * prefix scans (hierarchical ACL/VO keys are path-like),
+//! * lookup counters, so the benchmark harness can report DB activity per
+//!   request like the paper describes.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::log::{recover, LogOp, Wal};
+
+/// Inner map type: bucket name → ordered key/value map.
+type Buckets = BTreeMap<String, BTreeMap<String, Vec<u8>>>;
+
+/// Store statistics (monotonic counters).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of point lookups served.
+    pub lookups: u64,
+    /// Number of scans served.
+    pub scans: u64,
+    /// Number of writes (put + delete).
+    pub writes: u64,
+}
+
+/// A concurrent, optionally-persistent KV store.
+pub struct Store {
+    buckets: RwLock<Buckets>,
+    /// `None` for purely in-memory stores.
+    wal: Option<Mutex<Wal>>,
+    path: Option<PathBuf>,
+    lookups: AtomicU64,
+    scans: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl Store {
+    /// A purely in-memory store (no durability).
+    pub fn in_memory() -> Self {
+        Store {
+            buckets: RwLock::new(BTreeMap::new()),
+            wal: None,
+            path: None,
+            lookups: AtomicU64::new(0),
+            scans: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Open a persistent store backed by a WAL file at `path`, replaying
+    /// any existing log. A torn tail (crash) is repaired by compacting.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_with_sync(path, false)
+    }
+
+    /// Like [`Store::open`] but fsyncing every append when `sync` is true.
+    pub fn open_with_sync(path: impl Into<PathBuf>, sync: bool) -> io::Result<Self> {
+        let path = path.into();
+        let recovery = recover(&path)?;
+        let mut buckets: Buckets = BTreeMap::new();
+        for op in recovery.ops {
+            match op {
+                LogOp::Put { bucket, key, value } => {
+                    buckets.entry(bucket).or_default().insert(key, value);
+                }
+                LogOp::Delete { bucket, key } => {
+                    if let Some(b) = buckets.get_mut(&bucket) {
+                        b.remove(&key);
+                    }
+                }
+            }
+        }
+        let store = Store {
+            buckets: RwLock::new(buckets),
+            wal: Some(Mutex::new(Wal::open(&path, sync)?)),
+            path: Some(path),
+            lookups: AtomicU64::new(0),
+            scans: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        };
+        if recovery.torn_tail {
+            store.compact()?;
+        }
+        Ok(store)
+    }
+
+    /// Insert or overwrite a value.
+    pub fn put(&self, bucket: &str, key: &str, value: impl Into<Vec<u8>>) -> io::Result<()> {
+        let value = value.into();
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        if let Some(wal) = &self.wal {
+            wal.lock().append(&LogOp::Put {
+                bucket: bucket.to_owned(),
+                key: key.to_owned(),
+                value: value.clone(),
+            })?;
+        }
+        self.buckets
+            .write()
+            .entry(bucket.to_owned())
+            .or_default()
+            .insert(key.to_owned(), value);
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn get(&self, bucket: &str, key: &str) -> Option<Vec<u8>> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.buckets.read().get(bucket)?.get(key).cloned()
+    }
+
+    /// Does the key exist?
+    pub fn contains(&self, bucket: &str, key: &str) -> bool {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.buckets
+            .read()
+            .get(bucket)
+            .map_or(false, |b| b.contains_key(key))
+    }
+
+    /// Delete a key. Returns whether it existed.
+    pub fn delete(&self, bucket: &str, key: &str) -> io::Result<bool> {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        if let Some(wal) = &self.wal {
+            wal.lock().append(&LogOp::Delete {
+                bucket: bucket.to_owned(),
+                key: key.to_owned(),
+            })?;
+        }
+        Ok(self
+            .buckets
+            .write()
+            .get_mut(bucket)
+            .map_or(false, |b| b.remove(key).is_some()))
+    }
+
+    /// All `(key, value)` pairs in a bucket whose keys start with `prefix`
+    /// (ordered by key).
+    pub fn scan_prefix(&self, bucket: &str, prefix: &str) -> Vec<(String, Vec<u8>)> {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        let buckets = self.buckets.read();
+        match buckets.get(bucket) {
+            None => Vec::new(),
+            Some(map) => map
+                .range(prefix.to_owned()..)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// All keys in a bucket (ordered).
+    pub fn keys(&self, bucket: &str) -> Vec<String> {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        self.buckets
+            .read()
+            .get(bucket)
+            .map(|b| b.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of keys in a bucket.
+    pub fn len(&self, bucket: &str) -> usize {
+        self.buckets.read().get(bucket).map_or(0, |b| b.len())
+    }
+
+    /// Is the bucket empty or absent?
+    pub fn is_empty(&self, bucket: &str) -> bool {
+        self.len(bucket) == 0
+    }
+
+    /// Names of all buckets.
+    pub fn bucket_names(&self) -> Vec<String> {
+        self.buckets.read().keys().cloned().collect()
+    }
+
+    /// Remove every key in a bucket.
+    pub fn clear_bucket(&self, bucket: &str) -> io::Result<()> {
+        let keys = self.keys(bucket);
+        for key in keys {
+            self.delete(bucket, &key)?;
+        }
+        Ok(())
+    }
+
+    /// Rewrite the WAL as a minimal snapshot of current state (drops
+    /// superseded records). No-op for in-memory stores.
+    pub fn compact(&self) -> io::Result<()> {
+        let (Some(path), Some(wal)) = (&self.path, &self.wal) else {
+            return Ok(());
+        };
+        // Hold the write lock across the rewrite so no update is lost.
+        let buckets = self.buckets.write();
+        let tmp = path.with_extension("compact");
+        {
+            let mut new_wal = Wal::open(&tmp, false)?;
+            for (bucket, map) in buckets.iter() {
+                for (key, value) in map {
+                    new_wal.append(&LogOp::Put {
+                        bucket: bucket.clone(),
+                        key: key.clone(),
+                        value: value.clone(),
+                    })?;
+                }
+            }
+            new_wal.sync()?;
+        }
+        let mut wal_guard = wal.lock();
+        std::fs::rename(&tmp, path)?;
+        // Reopen the handle on the new file.
+        *wal_guard = Wal::open(path, wal_guard.sync_on_append)?;
+        Ok(())
+    }
+
+    /// Force pending log data to disk.
+    pub fn sync(&self) -> io::Result<()> {
+        if let Some(wal) = &self.wal {
+            wal.lock().sync()?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "clarens-db-store-{}-{name}.wal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn basic_crud_in_memory() {
+        let store = Store::in_memory();
+        assert_eq!(store.get("b", "k"), None);
+        store.put("b", "k", b"v1".to_vec()).unwrap();
+        assert_eq!(store.get("b", "k").unwrap(), b"v1");
+        store.put("b", "k", b"v2".to_vec()).unwrap();
+        assert_eq!(store.get("b", "k").unwrap(), b"v2");
+        assert!(store.contains("b", "k"));
+        assert!(store.delete("b", "k").unwrap());
+        assert!(!store.delete("b", "k").unwrap());
+        assert!(!store.contains("b", "k"));
+    }
+
+    #[test]
+    fn buckets_are_isolated() {
+        let store = Store::in_memory();
+        store.put("sessions", "id", b"alice".to_vec()).unwrap();
+        store.put("acl", "id", b"deny".to_vec()).unwrap();
+        assert_eq!(store.get("sessions", "id").unwrap(), b"alice");
+        assert_eq!(store.get("acl", "id").unwrap(), b"deny");
+        assert_eq!(store.len("sessions"), 1);
+        assert_eq!(
+            store.bucket_names(),
+            vec!["acl".to_string(), "sessions".to_string()]
+        );
+    }
+
+    #[test]
+    fn prefix_scan_ordered() {
+        let store = Store::in_memory();
+        for key in ["file.read", "file.ls", "file.stat", "system.auth", "file"] {
+            store.put("methods", key, b"1".to_vec()).unwrap();
+        }
+        let hits = store.scan_prefix("methods", "file.");
+        let keys: Vec<&str> = hits.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["file.ls", "file.read", "file.stat"]);
+        assert!(store.scan_prefix("methods", "zzz").is_empty());
+        assert!(store.scan_prefix("nobucket", "x").is_empty());
+        assert_eq!(store.scan_prefix("methods", "").len(), 5);
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let path = temp_path("reopen");
+        {
+            let store = Store::open(&path).unwrap();
+            store.put("sessions", "s1", b"alice".to_vec()).unwrap();
+            store.put("sessions", "s2", b"bob".to_vec()).unwrap();
+            store.delete("sessions", "s1").unwrap();
+            store.sync().unwrap();
+        }
+        {
+            // This is the paper's restart-survival property.
+            let store = Store::open(&path).unwrap();
+            assert_eq!(store.get("sessions", "s1"), None);
+            assert_eq!(store.get("sessions", "s2").unwrap(), b"bob");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_recovers_prefix_and_compacts() {
+        let path = temp_path("torn");
+        {
+            let store = Store::open(&path).unwrap();
+            store.put("b", "k1", b"v1".to_vec()).unwrap();
+            store.put("b", "k2", b"v2".to_vec()).unwrap();
+            store.sync().unwrap();
+        }
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 2).unwrap();
+        drop(f);
+        {
+            let store = Store::open(&path).unwrap();
+            assert_eq!(store.get("b", "k1").unwrap(), b"v1");
+            assert_eq!(store.get("b", "k2"), None); // lost in the tear
+                                                    // The compaction must leave a clean log.
+            store.put("b", "k3", b"v3".to_vec()).unwrap();
+            store.sync().unwrap();
+        }
+        {
+            let store = Store::open(&path).unwrap();
+            assert_eq!(store.get("b", "k1").unwrap(), b"v1");
+            assert_eq!(store.get("b", "k3").unwrap(), b"v3");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_shrinks_log() {
+        let path = temp_path("compact");
+        {
+            let store = Store::open(&path).unwrap();
+            for i in 0..100 {
+                store
+                    .put("b", "hot-key", format!("value-{i}").into_bytes())
+                    .unwrap();
+            }
+            store.sync().unwrap();
+            let before = std::fs::metadata(&path).unwrap().len();
+            store.compact().unwrap();
+            let after = std::fs::metadata(&path).unwrap().len();
+            assert!(after < before / 10, "before={before} after={after}");
+            assert_eq!(store.get("b", "hot-key").unwrap(), b"value-99");
+        }
+        {
+            let store = Store::open(&path).unwrap();
+            assert_eq!(store.get("b", "hot-key").unwrap(), b"value-99");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn clear_bucket() {
+        let store = Store::in_memory();
+        store.put("b", "k1", b"1".to_vec()).unwrap();
+        store.put("b", "k2", b"2".to_vec()).unwrap();
+        store.put("other", "k", b"3".to_vec()).unwrap();
+        store.clear_bucket("b").unwrap();
+        assert!(store.is_empty("b"));
+        assert_eq!(store.len("other"), 1);
+    }
+
+    #[test]
+    fn stats_counters() {
+        let store = Store::in_memory();
+        store.put("b", "k", b"v".to_vec()).unwrap();
+        let _ = store.get("b", "k");
+        let _ = store.get("b", "missing");
+        let _ = store.scan_prefix("b", "");
+        store.delete("b", "k").unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.lookups, 2);
+        assert_eq!(stats.scans, 1);
+        assert_eq!(stats.writes, 2);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc;
+        let store = Arc::new(Store::in_memory());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let key = format!("t{t}-k{i}");
+                    store.put("b", &key, key.as_bytes().to_vec()).unwrap();
+                    assert_eq!(store.get("b", &key).unwrap(), key.as_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len("b"), 8 * 200);
+    }
+
+    #[test]
+    fn empty_values_and_keys() {
+        let store = Store::in_memory();
+        store.put("b", "", b"".to_vec()).unwrap();
+        assert_eq!(store.get("b", "").unwrap(), b"");
+        assert!(store.contains("b", ""));
+    }
+}

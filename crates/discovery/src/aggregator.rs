@@ -1,0 +1,227 @@
+//! The discovery server: a JINI-style client that aggregates station state
+//! into a local database.
+//!
+//! Figure 3's punchline: "the JClarens server becomes a fully fledged JINI
+//! client, ... aggregating discovery information from the JINI network. The
+//! JClarens server is consequently able to respond to service searches far
+//! more rapidly by using the local database." [`DiscoveryAggregator`]
+//! subscribes to every station's update stream, mirrors descriptors into a
+//! [`clarens_db::Store`], and serves queries two ways so the speed claim is
+//! measurable:
+//!
+//! * [`DiscoveryAggregator::query_local`] — against the local DB (fast path),
+//! * [`DiscoveryAggregator::query_remote`] — synchronous fan-out to every
+//!   station (the no-cache baseline).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use clarens_db::Store;
+use clarens_wire::json;
+
+use crate::schema::{Publication, ServiceDescriptor, ServiceQuery};
+use crate::station::StationServer;
+
+/// DB bucket holding mirrored service descriptors.
+pub const SERVICES_BUCKET: &str = "discovery.services";
+/// DB bucket holding mirrored monitoring samples.
+pub const SAMPLES_BUCKET: &str = "discovery.samples";
+
+/// A discovery server aggregating one or more stations.
+pub struct DiscoveryAggregator {
+    stations: Vec<Arc<StationServer>>,
+    store: Arc<Store>,
+    stop: Arc<AtomicBool>,
+    updates: Arc<AtomicU64>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl DiscoveryAggregator {
+    /// Subscribe to `stations`, mirroring into `store`.
+    pub fn new(stations: Vec<Arc<StationServer>>, store: Arc<Store>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let updates = Arc::new(AtomicU64::new(0));
+        let mut threads = Vec::new();
+        for station in &stations {
+            let rx = station.subscribe();
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let updates = Arc::clone(&updates);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("aggregator-{}", station.name))
+                    .spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            match rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                                Ok(Publication::Service(d)) => {
+                                    let _ = store.put(
+                                        SERVICES_BUCKET,
+                                        &d.key(),
+                                        json::to_string(&d.to_value()).into_bytes(),
+                                    );
+                                    updates.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Ok(Publication::Sample(s)) => {
+                                    let _ = store.put(
+                                        SAMPLES_BUCKET,
+                                        &s.key_path(),
+                                        json::to_string(&s.to_value()).into_bytes(),
+                                    );
+                                    updates.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn aggregator thread"),
+            );
+        }
+        DiscoveryAggregator {
+            stations,
+            store,
+            stop,
+            updates,
+            threads,
+        }
+    }
+
+    /// Fast path: answer from the local database.
+    pub fn query_local(&self, query: &ServiceQuery) -> Vec<ServiceDescriptor> {
+        self.store
+            .scan_prefix(SERVICES_BUCKET, "")
+            .into_iter()
+            .filter_map(|(_, bytes)| {
+                let text = String::from_utf8(bytes).ok()?;
+                let value = json::parse(&text).ok()?;
+                ServiceDescriptor::from_value(&value).ok()
+            })
+            .filter(|d| query.matches(d))
+            .collect()
+    }
+
+    /// Slow path: fan out to every station synchronously over TCP (one
+    /// connection per station per query — what a cache-less discovery
+    /// service must do per lookup) and merge the answers.
+    pub fn query_remote(&self, query: &ServiceQuery) -> Vec<ServiceDescriptor> {
+        let mut merged: std::collections::BTreeMap<String, ServiceDescriptor> = Default::default();
+        for station in &self.stations {
+            let hits =
+                crate::station::query_station(station.query_addr(), query).unwrap_or_default();
+            for descriptor in hits {
+                match merged.get(&descriptor.key()) {
+                    Some(existing) if existing.timestamp >= descriptor.timestamp => {}
+                    _ => {
+                        merged.insert(descriptor.key(), descriptor);
+                    }
+                }
+            }
+        }
+        merged.into_values().collect()
+    }
+
+    /// Number of mirrored updates so far.
+    pub fn update_count(&self) -> u64 {
+        self.updates.load(Ordering::Relaxed)
+    }
+
+    /// Number of service entries in the local DB.
+    pub fn local_service_count(&self) -> usize {
+        self.store.len(SERVICES_BUCKET)
+    }
+
+    /// Stop the mirror threads (stations keep running).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for DiscoveryAggregator {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::station::wait_until;
+    use std::time::Duration;
+
+    fn descriptor(url: &str, service: &str, ts: i64) -> ServiceDescriptor {
+        ServiceDescriptor {
+            url: url.into(),
+            server_dn: "/O=g/CN=h".into(),
+            service: service.into(),
+            methods: vec![format!("{service}.run")],
+            attributes: [("site".to_string(), "caltech".to_string())].into(),
+            timestamp: ts,
+        }
+    }
+
+    #[test]
+    fn aggregation_mirrors_to_local_db() {
+        let station = Arc::new(StationServer::spawn("s1", "127.0.0.1:0").unwrap());
+        let store = Arc::new(Store::in_memory());
+        let agg = DiscoveryAggregator::new(vec![Arc::clone(&station)], Arc::clone(&store));
+
+        station.publish_local(Publication::Service(descriptor("http://a", "file", 1)));
+        station.publish_local(Publication::Service(descriptor("http://b", "proof", 2)));
+
+        assert!(wait_until(Duration::from_secs(2), || agg
+            .local_service_count()
+            == 2));
+        let hits = agg.query_local(&ServiceQuery::by_service("file"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].url, "http://a");
+        agg.shutdown();
+    }
+
+    #[test]
+    fn remote_query_merges_across_stations() {
+        let s1 = Arc::new(StationServer::spawn("s1", "127.0.0.1:0").unwrap());
+        let s2 = Arc::new(StationServer::spawn("s2", "127.0.0.1:0").unwrap());
+        s1.publish_local(Publication::Service(descriptor("http://a", "file", 5)));
+        // Same instance known to both stations with different freshness.
+        s2.publish_local(Publication::Service(descriptor("http://a", "file", 9)));
+        s2.publish_local(Publication::Service(descriptor("http://b", "file", 1)));
+
+        let store = Arc::new(Store::in_memory());
+        let agg = DiscoveryAggregator::new(vec![Arc::clone(&s1), Arc::clone(&s2)], store);
+        let hits = agg.query_remote(&ServiceQuery::by_service("file"));
+        assert_eq!(hits.len(), 2);
+        let a = hits.iter().find(|d| d.url == "http://a").unwrap();
+        assert_eq!(a.timestamp, 9); // freshest wins
+        agg.shutdown();
+    }
+
+    #[test]
+    fn local_and_remote_agree_after_propagation() {
+        let station = Arc::new(StationServer::spawn("s1", "127.0.0.1:0").unwrap());
+        let store = Arc::new(Store::in_memory());
+        let agg = DiscoveryAggregator::new(vec![Arc::clone(&station)], store);
+        for i in 0..10 {
+            station.publish_local(Publication::Service(descriptor(
+                &format!("http://host{i}"),
+                "file",
+                i,
+            )));
+        }
+        assert!(wait_until(Duration::from_secs(2), || agg
+            .local_service_count()
+            == 10));
+        let query = ServiceQuery::by_service("file").with_attribute("site", "caltech");
+        let mut local = agg.query_local(&query);
+        let mut remote = agg.query_remote(&query);
+        local.sort_by(|a, b| a.url.cmp(&b.url));
+        remote.sort_by(|a, b| a.url.cmp(&b.url));
+        assert_eq!(local, remote);
+        agg.shutdown();
+    }
+}

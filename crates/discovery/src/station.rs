@@ -1,0 +1,494 @@
+//! Station servers and the UDP publication path.
+//!
+//! "Clarens servers can publish service information using a UDP-based
+//! application to so called station servers that in turn republish it to
+//! the MonALISA network" (paper §2.4, Figure 3). A [`StationServer`] binds
+//! a real UDP socket, ingests [`Publication`] datagrams, keeps the current
+//! state, and pushes updates to subscribers (the JINI-network role is
+//! played by crossbeam channels).
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use crate::schema::{MonitorSample, Publication, ServiceDescriptor, ServiceQuery};
+
+/// Shared station state.
+struct StationState {
+    services: RwLock<HashMap<String, ServiceDescriptor>>,
+    samples: RwLock<HashMap<String, MonitorSample>>,
+    subscribers: RwLock<Vec<Sender<Publication>>>,
+    received: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A running station server.
+pub struct StationServer {
+    /// Human-readable station name.
+    pub name: String,
+    addr: SocketAddr,
+    query_addr: SocketAddr,
+    state: Arc<StationState>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    query_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StationServer {
+    /// Bind a UDP socket on `addr` (use port 0 for an ephemeral port) and
+    /// start the ingest thread.
+    pub fn spawn(name: impl Into<String>, addr: &str) -> std::io::Result<StationServer> {
+        let socket = UdpSocket::bind(addr)?;
+        socket.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let local = socket.local_addr()?;
+        let state = Arc::new(StationState {
+            services: RwLock::new(HashMap::new()),
+            samples: RwLock::new(HashMap::new()),
+            subscribers: RwLock::new(Vec::new()),
+            received: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let thread_state = Arc::clone(&state);
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name(format!("station-{local}"))
+            .spawn(move || {
+                let mut buf = vec![0u8; 64 * 1024];
+                while !thread_stop.load(Ordering::SeqCst) {
+                    match socket.recv_from(&mut buf) {
+                        Ok((len, _peer)) => match Publication::from_datagram(&buf[..len]) {
+                            Ok(publication) => {
+                                thread_state.received.fetch_add(1, Ordering::Relaxed);
+                                ingest(&thread_state, publication);
+                            }
+                            Err(_) => {
+                                thread_state.rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            continue
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn station thread");
+
+        // TCP query endpoint: the synchronous lookup path a cache-less
+        // discovery client has to take (one connection per query, like a
+        // 2005-era JINI lookup). Protocol: 4-byte BE length + JSON query
+        // in; 4-byte BE length + JSON descriptor array out.
+        let query_listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+        let query_addr = query_listener.local_addr()?;
+        query_listener.set_nonblocking(true)?;
+        let query_state = Arc::clone(&state);
+        let query_stop = Arc::clone(&stop);
+        let query_thread = std::thread::Builder::new()
+            .name(format!("station-query-{query_addr}"))
+            .spawn(move || {
+                while !query_stop.load(Ordering::SeqCst) {
+                    match query_listener.accept() {
+                        Ok((mut sock, _)) => {
+                            sock.set_nonblocking(false).ok();
+                            sock.set_read_timeout(Some(Duration::from_secs(2))).ok();
+                            let _ = serve_query(&query_state, &mut sock);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn station query thread");
+
+        Ok(StationServer {
+            name: name.into(),
+            addr: local,
+            query_addr,
+            state,
+            stop,
+            thread: Some(thread),
+            query_thread: Some(query_thread),
+        })
+    }
+
+    /// The UDP address publishers should send to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The TCP address remote queries connect to.
+    pub fn query_addr(&self) -> SocketAddr {
+        self.query_addr
+    }
+
+    /// Subscribe to the station's update stream (the "republish to the
+    /// MonALISA network" arrow in Figure 3). Existing state is replayed
+    /// first so late subscribers converge.
+    pub fn subscribe(&self) -> Receiver<Publication> {
+        let (tx, rx) = unbounded();
+        for descriptor in self.state.services.read().values() {
+            let _ = tx.send(Publication::Service(descriptor.clone()));
+        }
+        for sample in self.state.samples.read().values() {
+            let _ = tx.send(Publication::Sample(sample.clone()));
+        }
+        self.state.subscribers.write().push(tx);
+        rx
+    }
+
+    /// Direct (synchronous) query against this station's state — what a
+    /// discovery server without a local cache has to do per lookup.
+    pub fn query(&self, query: &ServiceQuery) -> Vec<ServiceDescriptor> {
+        self.state
+            .services
+            .read()
+            .values()
+            .filter(|d| query.matches(d))
+            .cloned()
+            .collect()
+    }
+
+    /// Current monitoring value for a metric path, if known.
+    pub fn sample(&self, farm: &str, node: &str, key: &str) -> Option<MonitorSample> {
+        self.state
+            .samples
+            .read()
+            .get(&format!("{farm}/{node}/{key}"))
+            .cloned()
+    }
+
+    /// Number of live service entries.
+    pub fn service_count(&self) -> usize {
+        self.state.services.read().len()
+    }
+
+    /// Datagrams accepted / rejected so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.state.received.load(Ordering::Relaxed),
+            self.state.rejected.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drop entries older than `ttl_secs` relative to `now`.
+    pub fn expire(&self, now: i64, ttl_secs: i64) {
+        self.state
+            .services
+            .write()
+            .retain(|_, d| now - d.timestamp <= ttl_secs);
+        self.state
+            .samples
+            .write()
+            .retain(|_, s| now - s.timestamp <= ttl_secs);
+    }
+
+    /// Inject a publication directly (in-process path used by tests and by
+    /// co-located servers, bypassing UDP).
+    pub fn publish_local(&self, publication: Publication) {
+        self.state.received.fetch_add(1, Ordering::Relaxed);
+        ingest(&self.state, publication);
+    }
+
+    /// Stop the ingest and query threads.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.query_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for StationServer {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Serve one TCP query request.
+fn serve_query(state: &StationState, sock: &mut std::net::TcpStream) -> std::io::Result<()> {
+    use std::io::{Read, Write};
+    let mut len_buf = [0u8; 4];
+    sock.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > 64 * 1024 {
+        return Ok(()); // drop oversized queries
+    }
+    let mut body = vec![0u8; len];
+    sock.read_exact(&mut body)?;
+    let query = std::str::from_utf8(&body)
+        .ok()
+        .and_then(|t| clarens_wire::json::parse(t).ok())
+        .and_then(|v| ServiceQuery::from_value(&v).ok())
+        .unwrap_or_default();
+    let hits: Vec<clarens_wire::Value> = state
+        .services
+        .read()
+        .values()
+        .filter(|d| query.matches(d))
+        .map(|d| d.to_value())
+        .collect();
+    let payload = clarens_wire::json::to_string(&clarens_wire::Value::Array(hits)).into_bytes();
+    sock.write_all(&(payload.len() as u32).to_be_bytes())?;
+    sock.write_all(&payload)?;
+    sock.flush()
+}
+
+/// Client side of the TCP query protocol: one connection per query.
+pub fn query_station(
+    addr: SocketAddr,
+    query: &ServiceQuery,
+) -> std::io::Result<Vec<ServiceDescriptor>> {
+    use std::io::{Read, Write};
+    let mut sock = std::net::TcpStream::connect(addr)?;
+    sock.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let payload = clarens_wire::json::to_string(&query.to_value()).into_bytes();
+    sock.write_all(&(payload.len() as u32).to_be_bytes())?;
+    sock.write_all(&payload)?;
+    sock.flush()?;
+    let mut len_buf = [0u8; 4];
+    sock.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    let mut body = vec![0u8; len];
+    sock.read_exact(&mut body)?;
+    let text = std::str::from_utf8(&body)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF8"))?;
+    let value = clarens_wire::json::parse(text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let hits = value
+        .as_array()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "not an array"))?
+        .iter()
+        .filter_map(|v| ServiceDescriptor::from_value(v).ok())
+        .collect();
+    Ok(hits)
+}
+
+fn ingest(state: &StationState, publication: Publication) {
+    match &publication {
+        Publication::Service(descriptor) => {
+            let mut services = state.services.write();
+            // Keep the newest timestamp per key.
+            match services.get(&descriptor.key()) {
+                Some(existing) if existing.timestamp > descriptor.timestamp => return,
+                _ => {
+                    services.insert(descriptor.key(), descriptor.clone());
+                }
+            }
+        }
+        Publication::Sample(sample) => {
+            let mut samples = state.samples.write();
+            match samples.get(&sample.key_path()) {
+                Some(existing) if existing.timestamp > sample.timestamp => return,
+                _ => {
+                    samples.insert(sample.key_path(), sample.clone());
+                }
+            }
+        }
+    }
+    // Fan out to subscribers, dropping any that have gone away.
+    state
+        .subscribers
+        .write()
+        .retain(|tx| tx.send(publication.clone()).is_ok());
+}
+
+/// The publisher side: a Clarens server uses this to announce its services
+/// over UDP to one or more stations.
+pub struct UdpPublisher {
+    socket: UdpSocket,
+    stations: Vec<SocketAddr>,
+}
+
+impl UdpPublisher {
+    /// Create a publisher targeting the given station addresses.
+    pub fn new(stations: Vec<SocketAddr>) -> std::io::Result<UdpPublisher> {
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        Ok(UdpPublisher { socket, stations })
+    }
+
+    /// Publish to every station.
+    pub fn publish(&self, publication: &Publication) -> std::io::Result<()> {
+        let datagram = publication.to_datagram();
+        for station in &self.stations {
+            self.socket.send_to(&datagram, station)?;
+        }
+        Ok(())
+    }
+}
+
+/// Wait (bounded) until `predicate` is true; returns false on timeout.
+/// UDP delivery is asynchronous, so tests and examples need this.
+pub fn wait_until(timeout: Duration, mut predicate: impl FnMut() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    while std::time::Instant::now() < deadline {
+        if predicate() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    predicate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn descriptor(service: &str, ts: i64) -> ServiceDescriptor {
+        ServiceDescriptor {
+            url: "http://h:1/clarens".into(),
+            server_dn: "/O=g/CN=h".into(),
+            service: service.into(),
+            methods: vec![format!("{service}.run")],
+            attributes: Default::default(),
+            timestamp: ts,
+        }
+    }
+
+    #[test]
+    fn udp_publish_and_query() {
+        let station = StationServer::spawn("s1", "127.0.0.1:0").unwrap();
+        let publisher = UdpPublisher::new(vec![station.local_addr()]).unwrap();
+        publisher
+            .publish(&Publication::Service(descriptor("file", 100)))
+            .unwrap();
+        assert!(wait_until(Duration::from_secs(2), || station
+            .service_count()
+            == 1));
+        let hits = station.query(&ServiceQuery::by_service("file"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].service, "file");
+        station.shutdown();
+    }
+
+    #[test]
+    fn stale_publication_ignored() {
+        let station = StationServer::spawn("s1", "127.0.0.1:0").unwrap();
+        station.publish_local(Publication::Service(descriptor("file", 200)));
+        station.publish_local(Publication::Service(descriptor("file", 100))); // older
+        let hits = station.query(&ServiceQuery::by_service("file"));
+        assert_eq!(hits[0].timestamp, 200);
+        station.shutdown();
+    }
+
+    #[test]
+    fn garbage_datagram_counted_not_fatal() {
+        let station = StationServer::spawn("s1", "127.0.0.1:0").unwrap();
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.send_to(b"garbage!!", station.local_addr()).unwrap();
+        let publisher = UdpPublisher::new(vec![station.local_addr()]).unwrap();
+        publisher
+            .publish(&Publication::Service(descriptor("file", 1)))
+            .unwrap();
+        assert!(wait_until(Duration::from_secs(2), || station
+            .service_count()
+            == 1));
+        let (received, rejected) = station.stats();
+        assert_eq!(received, 1);
+        assert_eq!(rejected, 1);
+        station.shutdown();
+    }
+
+    #[test]
+    fn subscription_replays_and_streams() {
+        let station = StationServer::spawn("s1", "127.0.0.1:0").unwrap();
+        station.publish_local(Publication::Service(descriptor("early", 1)));
+        let rx = station.subscribe();
+        // Replay of pre-existing state.
+        match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
+            Publication::Service(d) => assert_eq!(d.service, "early"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Live updates.
+        station.publish_local(Publication::Service(descriptor("late", 2)));
+        match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
+            Publication::Service(d) => assert_eq!(d.service, "late"),
+            other => panic!("unexpected {other:?}"),
+        }
+        station.shutdown();
+    }
+
+    #[test]
+    fn expiry_drops_stale_entries() {
+        let station = StationServer::spawn("s1", "127.0.0.1:0").unwrap();
+        station.publish_local(Publication::Service(descriptor("old", 100)));
+        station.publish_local(Publication::Service(descriptor("new", 990)));
+        station.expire(1000, 60);
+        assert_eq!(station.service_count(), 1);
+        assert_eq!(station.query(&ServiceQuery::by_service("new")).len(), 1);
+        station.shutdown();
+    }
+
+    #[test]
+    fn samples_stored_by_path() {
+        let station = StationServer::spawn("s1", "127.0.0.1:0").unwrap();
+        station.publish_local(Publication::Sample(MonitorSample {
+            farm: "f".into(),
+            node: "n".into(),
+            key: "cpu".into(),
+            value: 0.5,
+            timestamp: 10,
+        }));
+        assert_eq!(station.sample("f", "n", "cpu").unwrap().value, 0.5);
+        assert!(station.sample("f", "n", "mem").is_none());
+        station.shutdown();
+    }
+
+    #[test]
+    fn tcp_query_protocol() {
+        let station = StationServer::spawn("s1", "127.0.0.1:0").unwrap();
+        station.publish_local(Publication::Service(descriptor("file", 1)));
+        station.publish_local(Publication::Service(descriptor("proof", 2)));
+
+        let hits = query_station(station.query_addr(), &ServiceQuery::by_service("file")).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].service, "file");
+        // Empty query returns everything.
+        let all = query_station(station.query_addr(), &ServiceQuery::default()).unwrap();
+        assert_eq!(all.len(), 2);
+        // No match returns empty.
+        let none = query_station(station.query_addr(), &ServiceQuery::by_service("nope")).unwrap();
+        assert!(none.is_empty());
+        station.shutdown();
+    }
+
+    #[test]
+    fn query_roundtrip_via_value() {
+        let q = ServiceQuery::by_method("file.read").with_attribute("site", "caltech");
+        let v = q.to_value();
+        assert_eq!(ServiceQuery::from_value(&v).unwrap(), q);
+    }
+
+    #[test]
+    fn publish_to_multiple_stations() {
+        let s1 = StationServer::spawn("s1", "127.0.0.1:0").unwrap();
+        let s2 = StationServer::spawn("s2", "127.0.0.1:0").unwrap();
+        let publisher = UdpPublisher::new(vec![s1.local_addr(), s2.local_addr()]).unwrap();
+        publisher
+            .publish(&Publication::Service(descriptor("file", 1)))
+            .unwrap();
+        assert!(wait_until(Duration::from_secs(2), || {
+            s1.service_count() == 1 && s2.service_count() == 1
+        }));
+        s1.shutdown();
+        s2.shutdown();
+    }
+}

@@ -1,0 +1,23 @@
+//! # clarens-httpd — the HTTP substrate
+//!
+//! In the paper's architecture (Figure 1) the Apache web server fronts
+//! PClarens: it terminates HTTP and SSL and dispatches requests into the
+//! framework. This crate is that layer, built from scratch on `std::net`:
+//!
+//! * [`parse`] — HTTP/1.1 request/response parsing with Content-Length and
+//!   chunked bodies, hard limits, and streaming response writes (the
+//!   `sendfile()`-style path the file service uses),
+//! * [`server`] — a bounded worker-pool server (the Apache-prefork shape)
+//!   with transparent secure-channel support and per-connection keep-alive,
+//! * [`client`] — a keep-alive client used by examples, tests, and the
+//!   Figure-4 benchmark driver.
+
+pub mod client;
+pub mod parse;
+pub mod server;
+pub mod types;
+
+pub use client::{ClientError, ClientTls, HttpClient};
+pub use parse::{ClientResponse, ParseError};
+pub use server::{Handler, HttpServer, PeerInfo, ServerConfig, ServerStats, TlsConfig};
+pub use types::{Body, Headers, Method, Request, Response};

@@ -1,0 +1,543 @@
+//! HTTP/1.1 wire parsing and serialization.
+//!
+//! Implements the subset of RFC 7230 the Clarens stack needs: request and
+//! status lines, header fields, `Content-Length` and `chunked` bodies, with
+//! hard limits so a hostile peer cannot exhaust memory.
+
+use std::io::{self, BufRead, Read, Write};
+
+use crate::types::{reason, Body, Headers, Method, Request, Response};
+
+/// Maximum total header block size (Apache's default is 8 KiB per line;
+/// we bound the whole block).
+pub const MAX_HEADER_BYTES: usize = 32 * 1024;
+/// Maximum request-line length.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Default maximum body size (file uploads go through the file service
+/// which chunks them, so this is generous but bounded).
+pub const DEFAULT_MAX_BODY: usize = 64 * 1024 * 1024;
+/// Streaming copy buffer (the `sendfile()`-like path).
+pub const COPY_BUFFER: usize = 64 * 1024;
+
+/// Parse failure: either a protocol error (with the HTTP status the server
+/// should answer) or an I/O error.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Protocol violation; respond with this status code.
+    Protocol(u16, String),
+    /// Transport error (including clean EOF before a request line).
+    Io(io::Error),
+    /// Clean connection close (EOF exactly at a message boundary).
+    Eof,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Protocol(status, m) => write!(f, "HTTP {status}: {m}"),
+            ParseError::Io(e) => write!(f, "I/O: {e}"),
+            ParseError::Eof => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Read one CRLF- (or LF-) terminated line without the terminator.
+fn read_line<R: BufRead>(reader: &mut R, limit: usize) -> Result<String, ParseError> {
+    let mut line = Vec::with_capacity(64);
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Err(ParseError::Eof);
+                }
+                return Err(ParseError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF mid-line",
+                )));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map_err(|_| ParseError::Protocol(400, "non-UTF-8 header line".into()));
+                }
+                line.push(byte[0]);
+                if line.len() > limit {
+                    return Err(ParseError::Protocol(431, "line too long".into()));
+                }
+            }
+            Err(e) => return Err(ParseError::Io(e)),
+        }
+    }
+}
+
+/// Parse a request from a buffered reader. `max_body` bounds decoded body
+/// size.
+pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, ParseError> {
+    let request_line = read_line(reader, MAX_REQUEST_LINE)?;
+    let mut parts = request_line.split(' ');
+    let method_token = parts.next().unwrap_or("");
+    let target = parts
+        .next()
+        .ok_or_else(|| ParseError::Protocol(400, "missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::Protocol(400, "missing HTTP version".into()))?;
+    if parts.next().is_some() {
+        return Err(ParseError::Protocol(400, "malformed request line".into()));
+    }
+    let method = Method::parse(method_token)
+        .ok_or_else(|| ParseError::Protocol(501, format!("method {method_token:?}")))?;
+    let minor_version = match version {
+        "HTTP/1.1" => 1,
+        "HTTP/1.0" => 0,
+        other => return Err(ParseError::Protocol(505, format!("version {other:?}"))),
+    };
+    if target.len() > MAX_REQUEST_LINE {
+        return Err(ParseError::Protocol(414, "target too long".into()));
+    }
+
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, &headers, max_body)?;
+
+    Ok(Request {
+        method,
+        target: target.to_owned(),
+        minor_version,
+        headers,
+        body,
+    })
+}
+
+fn read_headers<R: BufRead>(reader: &mut R) -> Result<Headers, ParseError> {
+    let mut headers = Headers::new();
+    let mut total = 0usize;
+    loop {
+        let line = match read_line(reader, MAX_HEADER_BYTES) {
+            Ok(l) => l,
+            Err(ParseError::Eof) => {
+                return Err(ParseError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF in headers",
+                )))
+            }
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        total += line.len();
+        if total > MAX_HEADER_BYTES {
+            return Err(ParseError::Protocol(431, "header block too large".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::Protocol(400, format!("bad header line {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::Protocol(
+                400,
+                format!("bad header name {name:?}"),
+            ));
+        }
+        let value = value.trim();
+        // Repeated headers: comma-join per RFC 7230 §3.2.2.
+        match headers.get(name) {
+            Some(existing) => {
+                let joined = format!("{existing}, {value}");
+                headers.set(name, joined);
+            }
+            None => headers.set(name, value),
+        }
+    }
+}
+
+fn read_body<R: BufRead>(
+    reader: &mut R,
+    headers: &Headers,
+    max_body: usize,
+) -> Result<Vec<u8>, ParseError> {
+    if let Some(te) = headers.get("transfer-encoding") {
+        if te.to_ascii_lowercase().contains("chunked") {
+            return read_chunked(reader, max_body);
+        }
+        return Err(ParseError::Protocol(
+            501,
+            format!("transfer-encoding {te:?}"),
+        ));
+    }
+    match headers.get("content-length") {
+        None => Ok(Vec::new()),
+        Some(text) => {
+            let len: usize = text
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::Protocol(400, format!("bad content-length {text:?}")))?;
+            if len > max_body {
+                return Err(ParseError::Protocol(413, format!("body of {len} bytes")));
+            }
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body).map_err(ParseError::Io)?;
+            Ok(body)
+        }
+    }
+}
+
+fn read_chunked<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Vec<u8>, ParseError> {
+    let mut body = Vec::new();
+    loop {
+        let size_line = read_line(reader, 64).map_err(|e| match e {
+            ParseError::Eof => ParseError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF in chunk size",
+            )),
+            other => other,
+        })?;
+        // Chunk extensions after ';' are ignored.
+        let size_text = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_text, 16)
+            .map_err(|_| ParseError::Protocol(400, format!("bad chunk size {size_line:?}")))?;
+        if body.len() + size > max_body {
+            return Err(ParseError::Protocol(413, "chunked body too large".into()));
+        }
+        if size == 0 {
+            // Trailer section: read until the blank line.
+            loop {
+                let trailer = read_line(reader, MAX_HEADER_BYTES)?;
+                if trailer.is_empty() {
+                    return Ok(body);
+                }
+            }
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader
+            .read_exact(&mut body[start..])
+            .map_err(ParseError::Io)?;
+        // Chunk data is followed by CRLF.
+        let blank = read_line(reader, 8)?;
+        if !blank.is_empty() {
+            return Err(ParseError::Protocol(400, "missing chunk terminator".into()));
+        }
+    }
+}
+
+/// Serialize and send a response. `head_only` suppresses the body (HEAD).
+/// Returns the number of body bytes written.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    response: Response,
+    keep_alive: bool,
+    head_only: bool,
+) -> io::Result<u64> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\n",
+        response.status,
+        reason(response.status)
+    );
+    for (name, value) in response.headers.iter() {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!("content-length: {}\r\n", response.body.len()));
+    head.push_str(if keep_alive {
+        "connection: keep-alive\r\n"
+    } else {
+        "connection: close\r\n"
+    });
+    head.push_str("server: clarens-rs/0.1\r\n\r\n");
+    writer.write_all(head.as_bytes())?;
+
+    let mut written = 0u64;
+    if !head_only {
+        match response.body {
+            Body::Bytes(bytes) => {
+                writer.write_all(&bytes)?;
+                written = bytes.len() as u64;
+            }
+            Body::Stream { mut reader, len } => {
+                // The zero-copy-style path: fixed buffer, no intermediate
+                // allocation proportional to the file size.
+                let mut buf = vec![0u8; COPY_BUFFER];
+                let mut remaining = len;
+                while remaining > 0 {
+                    let want = (remaining as usize).min(buf.len());
+                    let n = reader.read(&mut buf[..want])?;
+                    if n == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "stream body ended early",
+                        ));
+                    }
+                    writer.write_all(&buf[..n])?;
+                    remaining -= n as u64;
+                    written += n as u64;
+                }
+            }
+        }
+    }
+    writer.flush()?;
+    Ok(written)
+}
+
+/// Serialize and send a request (client side). The body always uses
+/// Content-Length framing.
+pub fn write_request<W: Write>(writer: &mut W, request: &Request) -> io::Result<()> {
+    let mut head = format!(
+        "{} {} HTTP/1.{}\r\n",
+        request.method.as_str(),
+        request.target,
+        request.minor_version
+    );
+    for (name, value) in request.headers.iter() {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    if !request.body.is_empty() || request.method == Method::Post {
+        head.push_str(&format!("content-length: {}\r\n", request.body.len()));
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(&request.body)?;
+    writer.flush()
+}
+
+/// A response as the client sees it (always fully buffered).
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers.
+    pub headers: Headers,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Whether the server will keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Parse a response from a buffered reader (client side).
+pub fn read_response<R: BufRead>(
+    reader: &mut R,
+    max_body: usize,
+) -> Result<ClientResponse, ParseError> {
+    let status_line = read_line(reader, MAX_REQUEST_LINE)?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::Protocol(
+            502,
+            format!("bad status line {status_line:?}"),
+        ));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ParseError::Protocol(502, format!("bad status in {status_line:?}")))?;
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, &headers, max_body)?;
+    let keep_alive = headers
+        .get("connection")
+        .map(|c| !c.to_ascii_lowercase().contains("close"))
+        .unwrap_or(version == "HTTP/1.1");
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &[u8]) -> Result<Request, ParseError> {
+        read_request(&mut BufReader::new(text), DEFAULT_MAX_BODY)
+    }
+
+    #[test]
+    fn simple_get() {
+        let req = parse(b"GET /clarens?x=1 HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path(), "/clarens");
+        assert_eq!(req.query(), "x=1");
+        assert_eq!(req.headers.get("host"), Some("localhost"));
+        assert!(req.body.is_empty());
+        assert!(req.wants_keep_alive());
+    }
+
+    #[test]
+    fn post_with_content_length() {
+        let req = parse(
+            b"POST /rpc HTTP/1.1\r\nContent-Type: text/xml\r\nContent-Length: 11\r\n\r\nhello world",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"hello world");
+        assert_eq!(req.headers.get("content-type"), Some("text/xml"));
+    }
+
+    #[test]
+    fn chunked_body() {
+        let req = parse(
+            b"POST /rpc HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n6;ext=1\r\n world\r\n0\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn chunked_with_trailers() {
+        let req = parse(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\nX-Sum: 1\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"abc");
+    }
+
+    #[test]
+    fn lf_only_lines_accepted() {
+        let req = parse(b"GET / HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.headers.get("host"), Some("x"));
+    }
+
+    #[test]
+    fn repeated_headers_joined() {
+        let req = parse(b"GET / HTTP/1.1\r\nAccept: a\r\nAccept: b\r\n\r\n").unwrap();
+        assert_eq!(req.headers.get("accept"), Some("a, b"));
+    }
+
+    #[test]
+    fn protocol_errors() {
+        match parse(b"BREW / HTTP/1.1\r\n\r\n") {
+            Err(ParseError::Protocol(501, _)) => {}
+            other => panic!("{other:?}"),
+        }
+        match parse(b"GET / HTTP/2.0\r\n\r\n") {
+            Err(ParseError::Protocol(505, _)) => {}
+            other => panic!("{other:?}"),
+        }
+        match parse(b"GET /\r\n\r\n") {
+            Err(ParseError::Protocol(400, _)) => {}
+            other => panic!("{other:?}"),
+        }
+        match parse(b"GET / HTTP/1.1\r\nBad Header Name: x\r\n\r\n") {
+            Err(ParseError::Protocol(400, _)) => {}
+            other => panic!("{other:?}"),
+        }
+        match parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n") {
+            Err(ParseError::Protocol(400, _)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_before_request_is_clean() {
+        match parse(b"") {
+            Err(ParseError::Eof) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_mid_request_is_io_error() {
+        match parse(b"GET / HTT") {
+            Err(ParseError::Io(_)) => {}
+            other => panic!("{other:?}"),
+        }
+        match parse(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort") {
+            Err(ParseError::Io(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn body_size_limit_enforced() {
+        let req = b"POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n";
+        match read_request(&mut BufReader::new(&req[..]), 100) {
+            Err(ParseError::Protocol(413, _)) => {}
+            other => panic!("{other:?}"),
+        }
+        let chunked = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nfff\r\n";
+        match read_request(&mut BufReader::new(&chunked[..]), 100) {
+            Err(ParseError::Protocol(413, _)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut wire = Vec::new();
+        let resp = Response::ok("text/xml", "<methodResponse/>");
+        let written = write_response(&mut wire, resp, true, false).unwrap();
+        assert_eq!(written, 17);
+        let parsed = read_response(&mut BufReader::new(&wire[..]), DEFAULT_MAX_BODY).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.body, b"<methodResponse/>");
+        assert!(parsed.keep_alive);
+        assert_eq!(parsed.headers.get("content-type"), Some("text/xml"));
+    }
+
+    #[test]
+    fn head_suppresses_body_but_keeps_length() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, Response::ok("text/plain", "body"), false, true).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("content-length: 4"));
+        assert!(!text.ends_with("body"));
+        assert!(text.contains("connection: close"));
+    }
+
+    #[test]
+    fn streaming_body_written_fully() {
+        let data = vec![7u8; 200_000];
+        let mut wire = Vec::new();
+        let resp = Response::stream(
+            "application/octet-stream",
+            Box::new(std::io::Cursor::new(data.clone())),
+            data.len() as u64,
+        );
+        let written = write_response(&mut wire, resp, true, false).unwrap();
+        assert_eq!(written, data.len() as u64);
+        let parsed = read_response(&mut BufReader::new(&wire[..]), usize::MAX).unwrap();
+        assert_eq!(parsed.body, data);
+    }
+
+    #[test]
+    fn short_stream_is_error() {
+        let resp = Response::stream(
+            "application/octet-stream",
+            Box::new(std::io::Cursor::new(vec![1u8; 10])),
+            100,
+        );
+        let mut wire = Vec::new();
+        assert!(write_response(&mut wire, resp, true, false).is_err());
+    }
+
+    #[test]
+    fn request_write_read_roundtrip() {
+        let mut req = Request::new(Method::Post, "/clarens/rpc");
+        req.headers.set("content-type", "application/json");
+        req.body = b"{\"method\":\"m\"}".to_vec();
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        let parsed = parse(&wire).unwrap();
+        assert_eq!(parsed.method, Method::Post);
+        assert_eq!(parsed.target, "/clarens/rpc");
+        assert_eq!(parsed.body, req.body);
+    }
+}

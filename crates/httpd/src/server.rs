@@ -1,0 +1,516 @@
+//! The threaded HTTP server.
+//!
+//! Architecturally this plays the role of "Apache + mod_python" in Figure 1
+//! of the paper: it accepts connections, does SSL "transparently... with no
+//! special coding needed in [the service layer] to decrypt (encrypt)
+//! requests (responses)", and hands parsed requests to a [`Handler`]. The
+//! concurrency model is a bounded worker pool over blocking sockets — the
+//! same process-pool shape as the Apache prefork server the paper measured.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use clarens_pki::cert::{Certificate, Credential};
+use clarens_pki::dn::DistinguishedName;
+use clarens_pki::SecureStream;
+
+use crate::parse::{read_request, write_response, ParseError};
+use crate::types::{Method, Request, Response};
+
+/// A bidirectional byte stream the server can serve HTTP over.
+pub trait Transport: Read + Write + Send {}
+impl<T: Read + Write + Send> Transport for T {}
+
+/// Information about an authenticated peer, available when the connection
+/// came in over the secure channel.
+#[derive(Debug, Clone)]
+pub struct PeerInfo {
+    /// Effective identity (end-entity DN below any proxy certs).
+    pub identity: DistinguishedName,
+    /// The leaf certificate presented.
+    pub certificate: Certificate,
+    /// The full presented chain (leaf first).
+    pub chain: Vec<Certificate>,
+}
+
+/// The application-side request handler.
+pub trait Handler: Send + Sync + 'static {
+    /// Handle one request. `peer` is `Some` only on TLS connections.
+    fn handle(&self, request: Request, peer: Option<&PeerInfo>) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(Request, Option<&PeerInfo>) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, request: Request, peer: Option<&PeerInfo>) -> Response {
+        self(request, peer)
+    }
+}
+
+/// TLS settings for the server side.
+pub struct TlsConfig {
+    /// Server credential presented to clients.
+    pub credential: Credential,
+    /// Trust roots used to validate client certificates.
+    pub roots: Vec<Certificate>,
+}
+
+/// Server configuration.
+pub struct ServerConfig {
+    /// Number of worker threads (each serves one connection at a time, like
+    /// Apache prefork children).
+    pub workers: usize,
+    /// Maximum decoded request body.
+    pub max_body: usize,
+    /// Socket read timeout for keep-alive connections.
+    pub read_timeout: Duration,
+    /// Enable the secure channel. `None` = plaintext HTTP.
+    pub tls: Option<TlsConfig>,
+    /// Clock used for certificate validation (overridable in tests).
+    pub now_fn: Arc<dyn Fn() -> i64 + Send + Sync>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 16,
+            max_body: crate::parse::DEFAULT_MAX_BODY,
+            read_timeout: Duration::from_secs(30),
+            tls: None,
+            now_fn: Arc::new(|| {
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_secs() as i64)
+                    .unwrap_or(0)
+            }),
+        }
+    }
+}
+
+/// Monotonic server counters (exposed so benches can report served
+/// request totals like the paper's "316 million requests ... completed").
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests served (any status).
+    pub requests: AtomicU64,
+    /// Requests that produced 5xx responses.
+    pub errors: AtomicU64,
+}
+
+/// A running HTTP server.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+    /// Raw handles of live connections, force-closed on shutdown so that
+    /// workers blocked in keep-alive reads wake immediately.
+    live: Arc<LiveConnections>,
+}
+
+/// Registry of raw socket handles for live connections. Entries are
+/// removed (and the clone dropped) when their connection finishes, so the
+/// peer observes EOF normally; on server shutdown all remaining handles
+/// are force-closed to wake blocked keep-alive reads.
+#[derive(Default)]
+struct LiveConnections {
+    next_id: AtomicU64,
+    sockets: parking_lot::Mutex<std::collections::HashMap<u64, TcpStream>>,
+}
+
+impl LiveConnections {
+    fn register(self: &Arc<Self>, sock: &TcpStream) -> Option<LiveGuard> {
+        let clone = sock.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sockets.lock().insert(id, clone);
+        Some(LiveGuard {
+            id,
+            live: Arc::clone(self),
+        })
+    }
+
+    fn close_all(&self) {
+        for (_, sock) in self.sockets.lock().drain() {
+            let _ = sock.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+struct LiveGuard {
+    id: u64,
+    live: Arc<LiveConnections>,
+}
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        self.live.sockets.lock().remove(&self.id);
+    }
+}
+
+impl HttpServer {
+    /// Bind and start serving on `addr` (e.g. `"127.0.0.1:0"`).
+    pub fn bind<H: Handler>(
+        addr: &str,
+        config: ServerConfig,
+        handler: Arc<H>,
+    ) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let live = Arc::new(LiveConnections::default());
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = unbounded();
+
+        let shared = Arc::new(WorkerShared {
+            handler,
+            tls: config.tls,
+            max_body: config.max_body,
+            read_timeout: config.read_timeout,
+            now_fn: config.now_fn,
+            stop: Arc::clone(&stop),
+            stats: Arc::clone(&stats),
+            live: Arc::clone(&live),
+        });
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers.max(1) {
+            let rx = rx.clone();
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("clarens-worker-{i}"))
+                    .spawn(move || worker_loop(rx, shared))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_stats = Arc::clone(&stats);
+        let acceptor = std::thread::Builder::new()
+            .name("clarens-acceptor".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(sock) => {
+                            accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+                            if tx.send(sock).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // Dropping `tx` lets workers drain and exit.
+            })
+            .expect("spawn acceptor");
+
+        Ok(HttpServer {
+            addr: local_addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+            stats,
+            live,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Stop accepting and join all threads. Outstanding keep-alive
+    /// connections are closed after their current request.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        // Force-close live connections so keep-alive reads return now.
+        self.live.close_all();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        // Force-close live connections so keep-alive reads return now.
+        self.live.close_all();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+struct WorkerShared<H: Handler> {
+    handler: Arc<H>,
+    tls: Option<TlsConfig>,
+    max_body: usize,
+    read_timeout: Duration,
+    now_fn: Arc<dyn Fn() -> i64 + Send + Sync>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    live: Arc<LiveConnections>,
+}
+
+fn worker_loop<H: Handler>(rx: Receiver<TcpStream>, shared: Arc<WorkerShared<H>>) {
+    while let Ok(sock) = rx.recv() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let _ = serve_connection(sock, &shared);
+    }
+}
+
+fn serve_connection<H: Handler>(
+    sock: TcpStream,
+    shared: &WorkerShared<H>,
+) -> Result<(), ParseError> {
+    sock.set_read_timeout(Some(shared.read_timeout)).ok();
+    sock.set_nodelay(true).ok();
+
+    // Register for forced shutdown; the guard unregisters (dropping the
+    // cloned handle) when this connection finishes.
+    let _live_guard = shared.live.register(&sock);
+
+    match &shared.tls {
+        None => serve_stream(sock, None, shared),
+        Some(tls) => {
+            let now = (shared.now_fn)();
+            let mut rng = rand::rng();
+            match SecureStream::accept(sock, &tls.credential, &tls.roots, now, &mut rng) {
+                Ok((stream, chain)) => {
+                    let peer = PeerInfo {
+                        identity: stream.peer_identity().clone(),
+                        certificate: stream.peer_certificate().clone(),
+                        chain,
+                    };
+                    serve_stream(stream, Some(peer), shared)
+                }
+                Err(_) => Ok(()), // failed handshake: drop silently
+            }
+        }
+    }
+}
+
+fn serve_stream<S: Transport, H: Handler>(
+    stream: S,
+    peer: Option<PeerInfo>,
+    shared: &WorkerShared<H>,
+) -> Result<(), ParseError> {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader, shared.max_body) {
+            Ok(req) => req,
+            Err(ParseError::Eof) => return Ok(()),
+            Err(ParseError::Io(_)) => return Ok(()), // timeout or reset
+            Err(ParseError::Protocol(status, message)) => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                let response = Response::error(status, &message);
+                let _ = write_response(reader.get_mut(), response, false, false);
+                return Ok(());
+            }
+        };
+        let keep_alive = request.wants_keep_alive() && !shared.stop.load(Ordering::SeqCst);
+        let head_only = request.method == Method::Head;
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+
+        let response = shared.handler.handle(request, peer.as_ref());
+        if response.status >= 500 {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        write_response(reader.get_mut(), response, keep_alive, head_only)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::read_response;
+
+    fn echo_handler() -> Arc<impl Handler> {
+        Arc::new(|req: Request, peer: Option<&PeerInfo>| {
+            let who = peer
+                .map(|p| p.identity.to_string())
+                .unwrap_or_else(|| "anonymous".to_string());
+            Response::ok(
+                "text/plain",
+                format!(
+                    "{} {} {} {}",
+                    req.method.as_str(),
+                    req.target,
+                    who,
+                    req.body.len()
+                ),
+            )
+        })
+    }
+
+    /// Short keep-alive timeout so `shutdown()` joins quickly in tests.
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            read_timeout: Duration::from_millis(200),
+            ..Default::default()
+        }
+    }
+
+    fn start_plain() -> HttpServer {
+        HttpServer::bind("127.0.0.1:0", test_config(), echo_handler()).unwrap()
+    }
+
+    fn raw_roundtrip(addr: SocketAddr, request: &str) -> (u16, Vec<u8>) {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(request.as_bytes()).unwrap();
+        let mut reader = BufReader::new(sock);
+        let resp = read_response(&mut reader, usize::MAX).unwrap();
+        (resp.status, resp.body)
+    }
+
+    #[test]
+    fn serves_get() {
+        let server = start_plain();
+        let (status, body) =
+            raw_roundtrip(server.local_addr(), "GET /x HTTP/1.1\r\nHost: h\r\n\r\n");
+        assert_eq!(status, 200);
+        assert_eq!(body, b"GET /x anonymous 0");
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_multiple_requests() {
+        let server = start_plain();
+        let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+        for i in 0..5 {
+            let req = format!("GET /r{i} HTTP/1.1\r\nHost: h\r\n\r\n");
+            sock.write_all(req.as_bytes()).unwrap();
+        }
+        let mut reader = BufReader::new(sock);
+        for i in 0..5 {
+            let resp = read_response(&mut reader, usize::MAX).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body, format!("GET /r{i} anonymous 0").as_bytes());
+            assert!(resp.keep_alive);
+        }
+        assert_eq!(server.stats().requests.load(Ordering::Relaxed), 5);
+        assert_eq!(server.stats().connections.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn post_body_delivered() {
+        let server = start_plain();
+        let (status, body) = raw_roundtrip(
+            server.local_addr(),
+            "POST /rpc HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd",
+        );
+        assert_eq!(status, 200);
+        assert_eq!(body, b"POST /rpc anonymous 4");
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_request_answered_not_dropped() {
+        let server = start_plain();
+        let (status, _) = raw_roundtrip(server.local_addr(), "NONSENSE\r\n\r\n");
+        assert_eq!(status, 400);
+        let (status, _) = raw_roundtrip(server.local_addr(), "BREW / HTTP/1.1\r\nHost: h\r\n\r\n");
+        assert_eq!(status, 501);
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_close_honored() {
+        let server = start_plain();
+        let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+        sock.write_all(b"GET / HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut reader = BufReader::new(sock);
+        let resp = read_response(&mut reader, usize::MAX).unwrap();
+        assert!(!resp.keep_alive);
+        // Server must actually close: next read returns EOF.
+        let mut probe = [0u8; 1];
+        assert_eq!(reader.read(&mut probe).unwrap(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = start_plain();
+        let addr = server.local_addr();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            handles.push(std::thread::spawn(move || {
+                for i in 0..20 {
+                    let (status, body) = raw_roundtrip(
+                        addr,
+                        &format!("GET /t{t}-{i} HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n"),
+                    );
+                    assert_eq!(status, 200);
+                    assert_eq!(body, format!("GET /t{t}-{i} anonymous 0").as_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.stats().requests.load(Ordering::Relaxed), 160);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let config = ServerConfig {
+            max_body: 10,
+            ..test_config()
+        };
+        let server = HttpServer::bind("127.0.0.1:0", config, echo_handler()).unwrap();
+        let (status, _) = raw_roundtrip(
+            server.local_addr(),
+            "POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 1000\r\n\r\n",
+        );
+        assert_eq!(status, 413);
+        server.shutdown();
+    }
+
+    #[test]
+    fn head_omits_body() {
+        let server = start_plain();
+        let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+        sock.write_all(b"HEAD /h HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut text = String::new();
+        BufReader::new(sock).read_to_string(&mut text).unwrap();
+        assert!(text.contains("content-length: 19")); // "HEAD /h anonymous 0"
+        assert!(!text.contains("anonymous"));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,348 @@
+//! HTTP message types.
+//!
+//! Clarens rides on plain HTTP/1.1: "The Apache server receives an HTTP
+//! POST or GET request from the client" (paper §2). These types are shared
+//! by the server and client halves of this crate.
+
+use std::collections::BTreeMap;
+use std::io::Read;
+
+/// Request method. Clarens uses GET (file/portal) and POST (RPC); the rest
+/// are parsed so the server can answer 405 rather than 400.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// HTTP GET.
+    Get,
+    /// HTTP POST.
+    Post,
+    /// HTTP HEAD.
+    Head,
+    /// HTTP PUT.
+    Put,
+    /// HTTP DELETE.
+    Delete,
+    /// HTTP OPTIONS.
+    Options,
+}
+
+impl Method {
+    /// Parse from the request-line token.
+    pub fn parse(token: &str) -> Option<Method> {
+        match token {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "HEAD" => Some(Method::Head),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
+            "OPTIONS" => Some(Method::Options),
+            _ => None,
+        }
+    }
+
+    /// The wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Options => "OPTIONS",
+        }
+    }
+}
+
+/// Case-insensitive header map (last value wins; multi-value headers are
+/// comma-joined by the parser).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    map: BTreeMap<String, String>,
+}
+
+impl Headers {
+    /// Empty header set.
+    pub fn new() -> Self {
+        Headers::default()
+    }
+
+    /// Set a header (name is canonicalized to lowercase).
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.map.insert(name.to_ascii_lowercase(), value.into());
+    }
+
+    /// Get a header by case-insensitive name.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.map.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    /// Remove a header.
+    pub fn remove(&mut self, name: &str) -> Option<String> {
+        self.map.remove(&name.to_ascii_lowercase())
+    }
+
+    /// Iterate over `(name, value)` pairs (names lowercase).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of headers.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Raw request target (path + optional `?query`).
+    pub target: String,
+    /// HTTP minor version (0 or 1; the major is always 1).
+    pub minor_version: u8,
+    /// Headers.
+    pub headers: Headers,
+    /// Decoded body (Content-Length and chunked both end up here).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// New request with sensible defaults (HTTP/1.1, no headers).
+    pub fn new(method: Method, target: impl Into<String>) -> Self {
+        Request {
+            method,
+            target: target.into(),
+            minor_version: 1,
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// The path portion of the target.
+    pub fn path(&self) -> &str {
+        match self.target.split_once('?') {
+            Some((p, _)) => p,
+            None => &self.target,
+        }
+    }
+
+    /// The query portion (empty when absent).
+    pub fn query(&self) -> &str {
+        match self.target.split_once('?') {
+            Some((_, q)) => q,
+            None => "",
+        }
+    }
+
+    /// Does the client want the connection kept open afterwards?
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.headers.get("connection").map(str::to_ascii_lowercase) {
+            Some(c) if c.contains("close") => false,
+            Some(c) if c.contains("keep-alive") => true,
+            // HTTP/1.1 defaults to persistent connections; 1.0 to close.
+            _ => self.minor_version >= 1,
+        }
+    }
+}
+
+/// Response body: in-memory bytes or a streaming reader (the file service
+/// hands the network "I/O off to the web server" — §2.3 — which we model
+/// by streaming straight from the file handle).
+pub enum Body {
+    /// Fully buffered body.
+    Bytes(Vec<u8>),
+    /// Streaming body with a known length (sent with Content-Length, copied
+    /// through a fixed buffer — the `sendfile()`-style path).
+    Stream {
+        /// Byte source.
+        reader: Box<dyn Read + Send>,
+        /// Exact number of bytes the reader will yield.
+        len: u64,
+    },
+}
+
+impl std::fmt::Debug for Body {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Body::Bytes(b) => write!(f, "Body::Bytes({} bytes)", b.len()),
+            Body::Stream { len, .. } => write!(f, "Body::Stream({len} bytes)"),
+        }
+    }
+}
+
+impl Body {
+    /// Declared length.
+    pub fn len(&self) -> u64 {
+        match self {
+            Body::Bytes(b) => b.len() as u64,
+            Body::Stream { len, .. } => *len,
+        }
+    }
+
+    /// Is the body empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Headers.
+    pub headers: Headers,
+    /// Body.
+    pub body: Body,
+}
+
+impl Response {
+    /// Build a response with a byte body and content type.
+    pub fn new(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        let mut headers = Headers::new();
+        headers.set("content-type", content_type);
+        Response {
+            status,
+            headers,
+            body: Body::Bytes(body.into()),
+        }
+    }
+
+    /// 200 with a body.
+    pub fn ok(content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        Response::new(200, content_type, body)
+    }
+
+    /// A plain-text error response.
+    pub fn error(status: u16, message: &str) -> Self {
+        Response::new(
+            status,
+            "text/plain",
+            format!("{status} {}\n{message}\n", reason(status)),
+        )
+    }
+
+    /// A streaming response of known length.
+    pub fn stream(content_type: &str, reader: Box<dyn Read + Send>, len: u64) -> Self {
+        let mut headers = Headers::new();
+        headers.set("content-type", content_type);
+        Response {
+            status: 200,
+            headers,
+            body: Body::Stream { reader, len },
+        }
+    }
+}
+
+/// Canonical reason phrase for a status code.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        301 => "Moved Permanently",
+        302 => "Found",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_parsing() {
+        assert_eq!(Method::parse("GET"), Some(Method::Get));
+        assert_eq!(Method::parse("POST"), Some(Method::Post));
+        assert_eq!(Method::parse("get"), None); // methods are case-sensitive
+        assert_eq!(Method::parse("BREW"), None);
+        assert_eq!(Method::Get.as_str(), "GET");
+    }
+
+    #[test]
+    fn headers_case_insensitive() {
+        let mut h = Headers::new();
+        h.set("Content-Type", "text/xml");
+        assert_eq!(h.get("content-type"), Some("text/xml"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/xml"));
+        h.set("content-TYPE", "application/json");
+        assert_eq!(h.get("Content-Type"), Some("application/json"));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.remove("CONTENT-type"), Some("application/json".into()));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn target_splitting() {
+        let req = Request::new(Method::Get, "/file/data.root?offset=10&n=20");
+        assert_eq!(req.path(), "/file/data.root");
+        assert_eq!(req.query(), "offset=10&n=20");
+        let req = Request::new(Method::Get, "/plain");
+        assert_eq!(req.path(), "/plain");
+        assert_eq!(req.query(), "");
+    }
+
+    #[test]
+    fn keep_alive_defaults() {
+        let mut req = Request::new(Method::Get, "/");
+        assert!(req.wants_keep_alive()); // 1.1 default
+        req.minor_version = 0;
+        assert!(!req.wants_keep_alive()); // 1.0 default
+        req.headers.set("connection", "keep-alive");
+        assert!(req.wants_keep_alive());
+        req.minor_version = 1;
+        req.headers.set("connection", "close");
+        assert!(!req.wants_keep_alive());
+    }
+
+    #[test]
+    fn body_lengths() {
+        assert_eq!(Body::Bytes(vec![1, 2, 3]).len(), 3);
+        assert!(Body::Bytes(vec![]).is_empty());
+        let stream = Body::Stream {
+            reader: Box::new(std::io::empty()),
+            len: 42,
+        };
+        assert_eq!(stream.len(), 42);
+    }
+
+    #[test]
+    fn response_builders() {
+        let r = Response::ok("text/xml", "<a/>");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.headers.get("content-type"), Some("text/xml"));
+        let e = Response::error(404, "no such file");
+        assert_eq!(e.status, 404);
+        match &e.body {
+            Body::Bytes(b) => assert!(String::from_utf8_lossy(b).contains("Not Found")),
+            _ => panic!("expected bytes"),
+        }
+    }
+
+    #[test]
+    fn reasons() {
+        assert_eq!(reason(200), "OK");
+        assert_eq!(reason(404), "Not Found");
+        assert_eq!(reason(999), "Unknown");
+    }
+}

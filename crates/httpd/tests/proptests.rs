@@ -1,0 +1,123 @@
+//! Property tests for the HTTP layer: the parser is total on arbitrary
+//! bytes, and well-formed messages round-trip through write/read.
+
+use std::io::BufReader;
+
+use proptest::prelude::*;
+
+use clarens_httpd::parse::{
+    read_request, read_response, write_request, write_response, ParseError, DEFAULT_MAX_BODY,
+};
+use clarens_httpd::{Method, Request, Response};
+
+fn header_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,14}".prop_filter("reserved framing headers", |name| {
+        !matches!(
+            name.as_str(),
+            "content-length" | "transfer-encoding" | "connection" | "server"
+        )
+    })
+}
+
+fn header_value() -> impl Strategy<Value = String> {
+    "[ -~]{0,30}".prop_map(|s| s.trim().to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes never panic the request parser.
+    #[test]
+    fn request_parser_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_request(&mut BufReader::new(&bytes[..]), DEFAULT_MAX_BODY);
+    }
+
+    /// Arbitrary bytes never panic the response parser.
+    #[test]
+    fn response_parser_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_response(&mut BufReader::new(&bytes[..]), DEFAULT_MAX_BODY);
+    }
+
+    /// Well-formed requests round-trip: write -> parse yields the same
+    /// method, target, headers, and body.
+    #[test]
+    fn request_roundtrip(
+        target in "/[a-zA-Z0-9/._-]{0,30}",
+        headers in proptest::collection::btree_map(header_name(), header_value(), 0..5),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+        is_post in any::<bool>(),
+    ) {
+        let method = if is_post { Method::Post } else { Method::Get };
+        let mut request = Request::new(method, target.clone());
+        for (name, value) in &headers {
+            request.headers.set(name, value.clone());
+        }
+        if is_post {
+            request.body = body.clone();
+        }
+        let mut wire = Vec::new();
+        write_request(&mut wire, &request).unwrap();
+        let parsed = read_request(&mut BufReader::new(&wire[..]), DEFAULT_MAX_BODY).unwrap();
+        prop_assert_eq!(parsed.method, method);
+        prop_assert_eq!(parsed.target, target);
+        for (name, value) in &headers {
+            prop_assert_eq!(parsed.headers.get(name), Some(value.as_str()), "header {}", name);
+        }
+        if is_post {
+            prop_assert_eq!(parsed.body, body);
+        }
+    }
+
+    /// Well-formed responses round-trip, preserving status and body bytes.
+    #[test]
+    fn response_roundtrip(
+        status in prop_oneof![Just(200u16), Just(204), Just(404), Just(500)],
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+        keep_alive in any::<bool>(),
+    ) {
+        let response = Response::new(status, "application/octet-stream", body.clone());
+        let mut wire = Vec::new();
+        write_response(&mut wire, response, keep_alive, false).unwrap();
+        let parsed = read_response(&mut BufReader::new(&wire[..]), DEFAULT_MAX_BODY).unwrap();
+        prop_assert_eq!(parsed.status, status);
+        prop_assert_eq!(parsed.body, body);
+        prop_assert_eq!(parsed.keep_alive, keep_alive);
+    }
+
+    /// Chunked bodies decode to the concatenation of the chunks, however
+    /// the payload is split.
+    #[test]
+    fn chunked_decoding_matches_concatenation(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..64), 0..6),
+    ) {
+        let mut wire = b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n".to_vec();
+        let mut expected = Vec::new();
+        for chunk in &chunks {
+            wire.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+            wire.extend_from_slice(chunk);
+            wire.extend_from_slice(b"\r\n");
+            expected.extend_from_slice(chunk);
+        }
+        wire.extend_from_slice(b"0\r\n\r\n");
+        let parsed = read_request(&mut BufReader::new(&wire[..]), DEFAULT_MAX_BODY).unwrap();
+        prop_assert_eq!(parsed.body, expected);
+    }
+
+    /// Truncating a valid request mid-stream yields an error (or EOF),
+    /// never a bogus successful parse of the complete message.
+    #[test]
+    fn truncation_never_fabricates_body(
+        body in proptest::collection::vec(any::<u8>(), 1..128),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let mut request = Request::new(Method::Post, "/t");
+        request.body = body;
+        let mut wire = Vec::new();
+        write_request(&mut wire, &request).unwrap();
+        let cut = ((wire.len() as f64) * cut_fraction) as usize;
+        match read_request(&mut BufReader::new(&wire[..cut]), DEFAULT_MAX_BODY) {
+            Ok(parsed) => prop_assert_eq!(parsed.body, request.body, "cut={}", cut),
+            Err(ParseError::Eof) | Err(ParseError::Io(_)) | Err(ParseError::Protocol(..)) => {}
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! HMAC-SHA256 (RFC 2104) and an HKDF-style key expansion.
+//!
+//! The secure channel ([`crate::channel`]) MACs every record with
+//! HMAC-SHA256 and derives its directional keys with the expansion
+//! implemented here (modelled on TLS's PRF/HKDF-Expand).
+
+use crate::sha256::{sha256, Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Compute `HMAC-SHA256(key, message)`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// Incremental HMAC-SHA256.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Initialize with a key of any length.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = sha256(key);
+            key_block[..DIGEST_LEN].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = key_block[i] ^ 0x36;
+            opad[i] = key_block[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 {
+            inner,
+            outer_key: opad,
+        }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produce the MAC.
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+/// Constant-time comparison of two MACs.
+pub fn verify_mac(expected: &[u8], actual: &[u8]) -> bool {
+    if expected.len() != actual.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(actual) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+/// HKDF-Expand-style derivation: produce `len` bytes of key material from
+/// `secret`, bound to `label` and `context`.
+pub fn derive_key(secret: &[u8], label: &str, context: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut previous: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut mac = HmacSha256::new(secret);
+        mac.update(&previous);
+        mac.update(label.as_bytes());
+        mac.update(context);
+        mac.update(&[counter]);
+        let block = mac.finalize();
+        previous = block.to_vec();
+        out.extend_from_slice(&block);
+        counter = counter.wrapping_add(1);
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::to_hex;
+
+    /// RFC 4231 test vectors for HMAC-SHA256.
+    #[test]
+    fn rfc4231_vectors() {
+        // Case 1
+        let key = [0x0b; 20];
+        assert_eq!(
+            to_hex(&hmac_sha256(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        // Case 2
+        assert_eq!(
+            to_hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        // Case 3
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        assert_eq!(
+            to_hex(&hmac_sha256(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+        // Case 6: key longer than block size
+        let key = [0xaa; 131];
+        assert_eq!(
+            to_hex(&hmac_sha256(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+        // Case 7: key and data longer than block size
+        let msg = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        assert_eq!(
+            to_hex(&hmac_sha256(&key, msg)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = b"session-key";
+        let msg = b"a record payload of moderate size for the channel";
+        let oneshot = hmac_sha256(key, msg);
+        let mut mac = HmacSha256::new(key);
+        for chunk in msg.chunks(7) {
+            mac.update(chunk);
+        }
+        assert_eq!(mac.finalize(), oneshot);
+    }
+
+    #[test]
+    fn verify_mac_behaviour() {
+        let a = [1u8, 2, 3];
+        assert!(verify_mac(&a, &[1, 2, 3]));
+        assert!(!verify_mac(&a, &[1, 2, 4]));
+        assert!(!verify_mac(&a, &[1, 2]));
+        assert!(verify_mac(&[], &[]));
+    }
+
+    #[test]
+    fn derive_key_properties() {
+        let k1 = derive_key(b"secret", "client write", b"ctx", 32);
+        let k2 = derive_key(b"secret", "server write", b"ctx", 32);
+        let k3 = derive_key(b"secret", "client write", b"ctx", 32);
+        let k4 = derive_key(b"other", "client write", b"ctx", 32);
+        assert_eq!(k1, k3); // deterministic
+        assert_ne!(k1, k2); // label-separated
+        assert_ne!(k1, k4); // secret-separated
+        assert_eq!(derive_key(b"s", "l", b"c", 100).len(), 100);
+        // Prefix property does NOT hold across lengths by construction of
+        // counter-mode expansion; but same length always matches.
+        assert_eq!(
+            derive_key(b"s", "l", b"c", 7),
+            derive_key(b"s", "l", b"c", 7)
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! MD5 (RFC 1321), implemented from scratch.
+//!
+//! The paper's file service exposes `file.md5()` "to obtain a hash file for
+//! checking file integrity" (§2.3); this module provides exactly that. MD5
+//! is cryptographically broken and is used here only for the integrity
+//! checksum the historical interface specified — signatures use SHA-256.
+
+/// Digest size in bytes.
+pub const DIGEST_LEN: usize = 16;
+/// Block size in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// Per-round shift amounts.
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9,
+    14, 20, 5, 9, 14, 20, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 6, 10, 15,
+    21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// Sine-derived constants.
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+];
+
+/// Incremental MD5 state.
+#[derive(Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    buffer: [u8; BLOCK_LEN],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5 {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Md5 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476],
+            buffer: [0; BLOCK_LEN],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffer_len > 0 {
+            let take = (BLOCK_LEN - self.buffer_len).min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == BLOCK_LEN {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+            if data.is_empty() {
+                return;
+            }
+        }
+        let mut chunks = data.chunks_exact(BLOCK_LEN);
+        for block in &mut chunks {
+            let mut b = [0u8; BLOCK_LEN];
+            b.copy_from_slice(block);
+            self.compress(&b);
+        }
+        let rest = chunks.remainder();
+        self.buffer[..rest.len()].copy_from_slice(rest);
+        self.buffer_len = rest.len();
+    }
+
+    /// Finish and produce the digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.pad(&[0x80]);
+        while self.buffer_len != 56 {
+            self.pad(&[0]);
+        }
+        self.pad(&bit_len.to_le_bytes());
+        debug_assert_eq!(self.buffer_len, 0);
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    fn pad(&mut self, data: &[u8]) {
+        for &b in data {
+            self.buffer[self.buffer_len] = b;
+            self.buffer_len += 1;
+            if self.buffer_len == BLOCK_LEN {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let mut m = [0u32; 16];
+        for i in 0..16 {
+            m[i] = u32::from_le_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let temp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(K[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = temp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+/// One-shot digest.
+pub fn md5(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Md5::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// One-shot digest as lowercase hex (the `file.md5()` wire format).
+pub fn md5_hex(data: &[u8]) -> String {
+    crate::sha256::to_hex(&md5(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"", "d41d8cd98f00b204e9800998ecf8427e"),
+            (b"a", "0cc175b9c0f1b6a831c399e269772661"),
+            (b"abc", "900150983cd24fb0d6963f7d28e17f72"),
+            (b"message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            (
+                b"abcdefghijklmnopqrstuvwxyz",
+                "c3fcd3d76192e4007dfb496cca67e13b",
+            ),
+            (
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, expect) in cases {
+            assert_eq!(md5_hex(input), *expect);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i * 7 % 256) as u8).collect();
+        let oneshot = md5(&data);
+        for chunk_size in [1usize, 7, 64, 65, 100] {
+            let mut h = Md5::new();
+            for chunk in data.chunks(chunk_size) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk_size={chunk_size}");
+        }
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        for len in 54..66usize {
+            let data = vec![0x5A; len];
+            let whole = md5(&data);
+            let mut h = Md5::new();
+            h.update(&data[..1]);
+            h.update(&data[1..]);
+            assert_eq!(h.finalize(), whole, "len={len}");
+        }
+    }
+}

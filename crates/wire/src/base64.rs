@@ -1,0 +1,179 @@
+//! Base64 (RFC 4648, standard alphabet, `=` padding).
+//!
+//! XML-RPC's `<base64>` element and the JSON mapping of binary values both
+//! need this. Decoding is strict about the alphabet but tolerant of ASCII
+//! whitespace, which XML pretty-printers routinely inject inside element
+//! text.
+
+/// Encoding alphabet.
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Build the reverse lookup table at compile time. 0xFF marks invalid bytes.
+const fn build_reverse() -> [u8; 256] {
+    let mut table = [0xFFu8; 256];
+    let mut i = 0;
+    while i < 64 {
+        table[ALPHABET[i] as usize] = i as u8;
+        i += 1;
+    }
+    table
+}
+
+const REVERSE: [u8; 256] = build_reverse();
+
+/// Encode bytes as base64 with padding.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    let mut chunks = data.chunks_exact(3);
+    for chunk in &mut chunks {
+        let n = ((chunk[0] as u32) << 16) | ((chunk[1] as u32) << 8) | chunk[2] as u32;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 6) as usize & 63] as char);
+        out.push(ALPHABET[n as usize & 63] as char);
+    }
+    match chunks.remainder() {
+        [] => {}
+        [a] => {
+            let n = (*a as u32) << 16;
+            out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+            out.push_str("==");
+        }
+        [a, b] => {
+            let n = ((*a as u32) << 16) | ((*b as u32) << 8);
+            out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 6) as usize & 63] as char);
+            out.push('=');
+        }
+        _ => unreachable!("chunks_exact(3) remainder has at most 2 bytes"),
+    }
+    out
+}
+
+/// Decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Base64Error {
+    /// A byte outside the alphabet (and not whitespace/padding) appeared.
+    InvalidByte(u8),
+    /// Input length (after whitespace removal) is not a multiple of 4, or
+    /// padding is misplaced.
+    InvalidLength,
+}
+
+impl std::fmt::Display for Base64Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Base64Error::InvalidByte(b) => write!(f, "invalid base64 byte 0x{b:02x}"),
+            Base64Error::InvalidLength => write!(f, "invalid base64 length or padding"),
+        }
+    }
+}
+
+impl std::error::Error for Base64Error {}
+
+/// Decode base64, skipping ASCII whitespace. Padding is required.
+pub fn decode(text: &str) -> Result<Vec<u8>, Base64Error> {
+    // Gather the significant characters (filtering whitespace).
+    let mut sig = Vec::with_capacity(text.len());
+    for &b in text.as_bytes() {
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => continue,
+            _ => sig.push(b),
+        }
+    }
+    if sig.len() % 4 != 0 {
+        return Err(Base64Error::InvalidLength);
+    }
+    let mut out = Vec::with_capacity(sig.len() / 4 * 3);
+    for (i, quad) in sig.chunks_exact(4).enumerate() {
+        let last = (i + 1) * 4 == sig.len();
+        let pad = quad.iter().filter(|&&b| b == b'=').count();
+        // Padding may only be the final 1-2 characters of the final quad.
+        let pad_ok = match pad {
+            0 => true,
+            1 => last && quad[3] == b'=',
+            2 => last && quad[2] == b'=' && quad[3] == b'=',
+            _ => false,
+        };
+        if !pad_ok {
+            return Err(Base64Error::InvalidLength);
+        }
+        let mut n: u32 = 0;
+        for &b in &quad[..4 - pad] {
+            let v = REVERSE[b as usize];
+            if v == 0xFF {
+                return Err(Base64Error::InvalidByte(b));
+            }
+            n = (n << 6) | v as u32;
+        }
+        n <<= 6 * pad as u32;
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 4648 §10 test vectors.
+    #[test]
+    fn rfc4648_vectors() {
+        let vectors: &[(&[u8], &str)] = &[
+            (b"", ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ];
+        for (plain, enc) in vectors {
+            assert_eq!(encode(plain), *enc);
+            assert_eq!(decode(enc).unwrap(), *plain);
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(decode("Zm9v\nYmFy").unwrap(), b"foobar");
+        assert_eq!(decode("  Zm9v Ym Fy \r\n").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        assert_eq!(decode("Zm9"), Err(Base64Error::InvalidLength));
+        assert_eq!(decode("Z==="), Err(Base64Error::InvalidLength));
+        // Padding in a non-final quad.
+        assert_eq!(decode("Zg==Zm9v"), Err(Base64Error::InvalidLength));
+    }
+
+    #[test]
+    fn bad_bytes_rejected() {
+        assert_eq!(decode("Zm9%"), Err(Base64Error::InvalidByte(b'%')));
+        assert_eq!(decode("Zm9v!A=="), Err(Base64Error::InvalidByte(b'!')));
+    }
+
+    #[test]
+    fn all_byte_values_roundtrip() {
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            Base64Error::InvalidByte(0x25).to_string(),
+            "invalid base64 byte 0x25"
+        );
+        assert!(Base64Error::InvalidLength.to_string().contains("length"));
+    }
+}

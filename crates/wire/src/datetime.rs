@@ -1,0 +1,277 @@
+//! The `dateTime.iso8601` flavour used by XML-RPC, plus civil/Unix-time
+//! conversion.
+//!
+//! XML-RPC's canonical form is the compact `19980717T14:08:55`; many client
+//! libraries emit the extended `1998-07-17T14:08:55` (optionally with a `Z`
+//! suffix). We parse both and always emit the compact form, which keeps the
+//! reproduction byte-compatible with the historical wire format while
+//! accepting modern clients. Timestamps are treated as UTC.
+
+use std::fmt;
+
+/// A calendar date-time with second precision (UTC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DateTime {
+    /// Full year, e.g. 2005.
+    pub year: i32,
+    /// Month 1-12.
+    pub month: u8,
+    /// Day 1-31.
+    pub day: u8,
+    /// Hour 0-23.
+    pub hour: u8,
+    /// Minute 0-59.
+    pub minute: u8,
+    /// Second 0-59 (leap seconds are not represented).
+    pub second: u8,
+}
+
+/// Errors from [`DateTime::parse`] or [`DateTime::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DateTimeError(pub String);
+
+impl fmt::Display for DateTimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid dateTime: {}", self.0)
+    }
+}
+
+impl std::error::Error for DateTimeError {}
+
+/// Is `year` a Gregorian leap year?
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Days in a month.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap_year(year) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+impl DateTime {
+    /// Construct with validation.
+    pub fn new(
+        year: i32,
+        month: u8,
+        day: u8,
+        hour: u8,
+        minute: u8,
+        second: u8,
+    ) -> Result<Self, DateTimeError> {
+        if !(1..=12).contains(&month) {
+            return Err(DateTimeError(format!("month {month} out of range")));
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(DateTimeError(format!(
+                "day {day} out of range for {year}-{month}"
+            )));
+        }
+        if hour > 23 || minute > 59 || second > 59 {
+            return Err(DateTimeError(format!(
+                "time {hour}:{minute}:{second} out of range"
+            )));
+        }
+        Ok(DateTime {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+            second,
+        })
+    }
+
+    /// Parse either the compact XML-RPC form (`19980717T14:08:55`) or the
+    /// extended ISO 8601 form (`1998-07-17T14:08:55`, optional trailing `Z`).
+    pub fn parse(text: &str) -> Result<Self, DateTimeError> {
+        let text = text.trim();
+        let text = text.strip_suffix('Z').unwrap_or(text);
+        let (date_part, time_part) = text
+            .split_once('T')
+            .ok_or_else(|| DateTimeError(format!("missing 'T' separator in {text:?}")))?;
+
+        let digits: String = date_part.chars().filter(|c| *c != '-').collect();
+        if digits.len() != 8 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(DateTimeError(format!("bad date part {date_part:?}")));
+        }
+        let year: i32 = digits[0..4]
+            .parse()
+            .map_err(|_| DateTimeError("year".into()))?;
+        let month: u8 = digits[4..6]
+            .parse()
+            .map_err(|_| DateTimeError("month".into()))?;
+        let day: u8 = digits[6..8]
+            .parse()
+            .map_err(|_| DateTimeError("day".into()))?;
+
+        let tdigits: String = time_part.chars().filter(|c| *c != ':').collect();
+        if tdigits.len() != 6 || !tdigits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(DateTimeError(format!("bad time part {time_part:?}")));
+        }
+        let hour: u8 = tdigits[0..2]
+            .parse()
+            .map_err(|_| DateTimeError("hour".into()))?;
+        let minute: u8 = tdigits[2..4]
+            .parse()
+            .map_err(|_| DateTimeError("minute".into()))?;
+        let second: u8 = tdigits[4..6]
+            .parse()
+            .map_err(|_| DateTimeError("second".into()))?;
+
+        DateTime::new(year, month, day, hour, minute, second)
+    }
+
+    /// Convert a Unix timestamp (seconds since 1970-01-01T00:00:00Z) to a
+    /// civil date-time. Uses Howard Hinnant's `civil_from_days` algorithm.
+    pub fn from_unix(secs: i64) -> Self {
+        let days = secs.div_euclid(86_400);
+        let mut rem = secs.rem_euclid(86_400);
+        let hour = (rem / 3600) as u8;
+        rem %= 3600;
+        let minute = (rem / 60) as u8;
+        let second = (rem % 60) as u8;
+
+        // civil_from_days
+        let z = days + 719_468;
+        let era = z.div_euclid(146_097);
+        let doe = z.rem_euclid(146_097); // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+        let year = (y + i64::from(m <= 2)) as i32;
+
+        DateTime {
+            year,
+            month: m,
+            day: d,
+            hour,
+            minute,
+            second,
+        }
+    }
+
+    /// Convert to a Unix timestamp (`days_from_civil`).
+    pub fn to_unix(self) -> i64 {
+        let y = i64::from(self.year) - i64::from(self.month <= 2);
+        let era = y.div_euclid(400);
+        let yoe = y.rem_euclid(400); // [0, 399]
+        let m = i64::from(self.month);
+        let mp = if m > 2 { m - 3 } else { m + 9 }; // [0, 11]
+        let doy = (153 * mp + 2) / 5 + i64::from(self.day) - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        let days = era * 146_097 + doe - 719_468;
+        days * 86_400
+            + i64::from(self.hour) * 3600
+            + i64::from(self.minute) * 60
+            + i64::from(self.second)
+    }
+
+    /// The current time (UTC), from the system clock.
+    pub fn now() -> Self {
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs() as i64)
+            .unwrap_or(0);
+        DateTime::from_unix(secs)
+    }
+}
+
+impl fmt::Display for DateTime {
+    /// Compact XML-RPC form: `19980717T14:08:55`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:04}{:02}{:02}T{:02}:{:02}:{:02}",
+            self.year, self.month, self.day, self.hour, self.minute, self.second
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_compact_and_extended() {
+        let a = DateTime::parse("19980717T14:08:55").unwrap();
+        let b = DateTime::parse("1998-07-17T14:08:55").unwrap();
+        let c = DateTime::parse("1998-07-17T14:08:55Z").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.to_string(), "19980717T14:08:55");
+    }
+
+    #[test]
+    fn parse_compact_time_without_colons() {
+        let a = DateTime::parse("19980717T140855").unwrap();
+        assert_eq!(a.hour, 14);
+        assert_eq!(a.second, 55);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(DateTime::parse("1998-13-01T00:00:00").is_err());
+        assert!(DateTime::parse("1998-02-30T00:00:00").is_err());
+        assert!(DateTime::parse("1998-02-28T24:00:00").is_err());
+        assert!(DateTime::parse("garbage").is_err());
+        assert!(DateTime::parse("1998-02-28 00:00:00").is_err());
+        assert!(DateTime::parse("199-02-28T00:00:00").is_err());
+    }
+
+    #[test]
+    fn unix_epoch_roundtrip() {
+        let dt = DateTime::from_unix(0);
+        assert_eq!(dt, DateTime::new(1970, 1, 1, 0, 0, 0).unwrap());
+        assert_eq!(dt.to_unix(), 0);
+    }
+
+    #[test]
+    fn known_timestamps() {
+        // 2005-06-15T12:00:00Z (around the paper's publication)
+        let dt = DateTime::new(2005, 6, 15, 12, 0, 0).unwrap();
+        assert_eq!(dt.to_unix(), 1_118_836_800);
+        assert_eq!(DateTime::from_unix(1_118_836_800), dt);
+        // Negative (pre-epoch): 1969-12-31T23:59:59Z
+        assert_eq!(
+            DateTime::from_unix(-1),
+            DateTime::new(1969, 12, 31, 23, 59, 59).unwrap()
+        );
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2000));
+        assert!(is_leap_year(2004));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2005));
+        assert_eq!(days_in_month(2004, 2), 29);
+        assert_eq!(days_in_month(2005, 2), 28);
+        assert!(DateTime::parse("2004-02-29T00:00:00").is_ok());
+        assert!(DateTime::parse("2005-02-29T00:00:00").is_err());
+    }
+
+    #[test]
+    fn unix_roundtrip_sweep() {
+        // Sweep across several eras with odd offsets.
+        for secs in (-2_000_000_000i64..=2_000_000_000).step_by(86_399 * 37) {
+            assert_eq!(DateTime::from_unix(secs).to_unix(), secs, "secs={secs}");
+        }
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let a = DateTime::new(2005, 1, 2, 0, 0, 0).unwrap();
+        let b = DateTime::new(2005, 1, 2, 0, 0, 1).unwrap();
+        let c = DateTime::new(2006, 1, 1, 0, 0, 0).unwrap();
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,140 @@
+//! RPC faults and wire-level errors.
+//!
+//! The paper's server returns "an XML-encoded error message" for failed GETs
+//! and "a similarly encoded response error message" for RPC posts. [`Fault`]
+//! is the protocol-independent carrier; the per-protocol codecs map it onto
+//! XML-RPC `<fault>`, SOAP `<Fault>`, or the JSON-RPC `error` member.
+
+use std::fmt;
+
+/// Canonical fault codes used across the Clarens reproduction. These follow
+/// the XML-RPC convention of small positive integers; the specific values
+/// are ours (the paper does not enumerate codes) but are used consistently
+/// by the server, tests, and benches.
+pub mod codes {
+    /// Malformed request (unparseable body, wrong types).
+    pub const PARSE: i64 = 1;
+    /// Unknown `module.method`.
+    pub const NO_SUCH_METHOD: i64 = 2;
+    /// Caller is not authenticated (no/expired session).
+    pub const NOT_AUTHENTICATED: i64 = 3;
+    /// Caller is authenticated but the ACL denies access.
+    pub const ACCESS_DENIED: i64 = 4;
+    /// Service-specific failure (I/O error, missing file, ...).
+    pub const SERVICE: i64 = 5;
+    /// Bad parameters (count or type mismatch).
+    pub const BAD_PARAMS: i64 = 6;
+    /// Internal server error.
+    pub const INTERNAL: i64 = 7;
+}
+
+/// A protocol-independent RPC fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// Numeric fault code (see [`codes`]).
+    pub code: i64,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Fault {
+    /// Create a fault.
+    pub fn new(code: i64, message: impl Into<String>) -> Self {
+        Fault {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a [`codes::BAD_PARAMS`] fault.
+    pub fn bad_params(message: impl Into<String>) -> Self {
+        Fault::new(codes::BAD_PARAMS, message)
+    }
+
+    /// Shorthand for a [`codes::SERVICE`] fault.
+    pub fn service(message: impl Into<String>) -> Self {
+        Fault::new(codes::SERVICE, message)
+    }
+
+    /// Shorthand for a [`codes::ACCESS_DENIED`] fault.
+    pub fn access_denied(message: impl Into<String>) -> Self {
+        Fault::new(codes::ACCESS_DENIED, message)
+    }
+
+    /// Shorthand for a [`codes::NOT_AUTHENTICATED`] fault.
+    pub fn not_authenticated(message: impl Into<String>) -> Self {
+        Fault::new(codes::NOT_AUTHENTICATED, message)
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault {}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// Errors produced while encoding or decoding wire payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The payload could not be parsed.
+    Parse(String),
+    /// The payload parsed but violates the protocol (e.g. a
+    /// `methodResponse` where a `methodCall` was expected).
+    Protocol(String),
+    /// The peer returned a well-formed fault.
+    Fault(Fault),
+}
+
+impl WireError {
+    /// Build a [`WireError::Parse`].
+    pub fn parse(msg: impl Into<String>) -> Self {
+        WireError::Parse(msg.into())
+    }
+
+    /// Build a [`WireError::Protocol`].
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        WireError::Protocol(msg.into())
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Parse(m) => write!(f, "parse error: {m}"),
+            WireError::Protocol(m) => write!(f, "protocol error: {m}"),
+            WireError::Fault(fault) => write!(f, "{fault}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<Fault> for WireError {
+    fn from(f: Fault) -> Self {
+        WireError::Fault(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let f = Fault::new(4, "denied");
+        assert_eq!(f.to_string(), "fault 4: denied");
+        assert_eq!(WireError::parse("bad").to_string(), "parse error: bad");
+        assert_eq!(WireError::protocol("x").to_string(), "protocol error: x");
+        assert_eq!(WireError::from(f).to_string(), "fault 4: denied");
+    }
+
+    #[test]
+    fn shorthands_use_canonical_codes() {
+        assert_eq!(Fault::bad_params("p").code, codes::BAD_PARAMS);
+        assert_eq!(Fault::service("s").code, codes::SERVICE);
+        assert_eq!(Fault::access_denied("a").code, codes::ACCESS_DENIED);
+        assert_eq!(Fault::not_authenticated("n").code, codes::NOT_AUTHENTICATED);
+    }
+}

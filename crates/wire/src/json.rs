@@ -1,0 +1,575 @@
+//! JSON parser and writer for [`Value`] (RFC 8259).
+//!
+//! JSON-RPC (paper §2, "Multiple protocols... JSON-RPC") runs on top of this
+//! module. JSON has no binary or date type, so [`Value::Bytes`] serializes
+//! as a base64 string and [`Value::DateTime`] as its ISO string; parsing
+//! therefore never produces those variants — the RPC layer re-interprets
+//! strings where a service expects bytes (see [`Value::coerce_bytes`]).
+
+use std::collections::BTreeMap;
+
+use crate::value::Value;
+use crate::WireError;
+
+/// Maximum nesting depth accepted by the parser. Protects the recursive
+/// descent from stack exhaustion on adversarial inputs (the Clarens server
+/// parses unauthenticated request bodies).
+pub const MAX_DEPTH: usize = 128;
+
+/// Serialize a value as compact JSON.
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value);
+    out
+}
+
+/// Serialize with two-space indentation (used by the portal pages).
+pub fn to_string_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_pretty(&mut out, value, 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Nil => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Double(d) => write_double(out, *d),
+        Value::Str(s) => write_string(out, s),
+        Value::Bytes(b) => write_string(out, &crate::base64::encode(b)),
+        Value::DateTime(dt) => write_string(out, &dt.to_string()),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Struct(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, value: &Value, indent: usize) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..indent + 1 {
+                    out.push_str("  ");
+                }
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push_str("  ");
+            }
+            out.push(']');
+        }
+        Value::Struct(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..indent + 1 {
+                    out.push_str("  ");
+                }
+                write_string(out, k);
+                out.push_str(": ");
+                write_pretty(out, v, indent + 1);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push_str("  ");
+            }
+            out.push('}');
+        }
+        other => write_value(out, other),
+    }
+}
+
+/// JSON numbers must not render as `NaN`/`inf`; we substitute `null` as
+/// browsers' `JSON.stringify` does.
+fn write_double(out: &mut String, d: f64) {
+    if d.is_finite() {
+        let s = format!("{d}");
+        // Ensure it re-parses as a double, not an int (e.g. "2" -> "2.0"),
+        // so round-trips preserve the variant.
+        if s.bytes().all(|b| b.is_ascii_digit() || b == b'-') {
+            out.push_str(&s);
+            out.push_str(".0");
+        } else {
+            out.push_str(&s);
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document into a [`Value`].
+pub fn parse(text: &str) -> Result<Value, WireError> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(WireError::parse(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), WireError> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            Some(got) => Err(WireError::parse(format!(
+                "expected '{}' at offset {}, found '{}'",
+                b as char,
+                self.pos - 1,
+                got as char
+            ))),
+            None => Err(WireError::parse(format!(
+                "expected '{}', found EOF",
+                b as char
+            ))),
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, WireError> {
+        if depth > MAX_DEPTH {
+            return Err(WireError::parse("maximum nesting depth exceeded"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Nil),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(WireError::parse(format!(
+                "unexpected character '{}' at offset {}",
+                other as char, self.pos
+            ))),
+            None => Err(WireError::parse("unexpected EOF")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value, WireError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(WireError::parse(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, WireError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                Some(other) => {
+                    return Err(WireError::parse(format!(
+                        "expected ',' or ']' at offset {}, found '{}'",
+                        self.pos - 1,
+                        other as char
+                    )))
+                }
+                None => return Err(WireError::parse("unterminated array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, WireError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Struct(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Struct(map)),
+                Some(other) => {
+                    return Err(WireError::parse(format!(
+                        "expected ',' or '}}' at offset {}, found '{}'",
+                        self.pos - 1,
+                        other as char
+                    )))
+                }
+                None => return Err(WireError::parse("unterminated object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, WireError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| WireError::parse("invalid UTF-8 in string"))?;
+                out.push_str(chunk);
+            }
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'u') => {
+                        let cp = self.parse_hex4()?;
+                        if (0xD800..0xDC00).contains(&cp) {
+                            // High surrogate: require a following \uXXXX low
+                            // surrogate and combine.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(WireError::parse("unpaired surrogate"));
+                            }
+                            let low = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(WireError::parse("invalid low surrogate"));
+                            }
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            out.push(
+                                char::from_u32(combined)
+                                    .ok_or_else(|| WireError::parse("invalid surrogate pair"))?,
+                            );
+                        } else if (0xDC00..0xE000).contains(&cp) {
+                            return Err(WireError::parse("unpaired low surrogate"));
+                        } else {
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| WireError::parse("invalid codepoint"))?,
+                            );
+                        }
+                    }
+                    Some(other) => {
+                        return Err(WireError::parse(format!(
+                            "invalid escape '\\{}'",
+                            other as char
+                        )))
+                    }
+                    None => return Err(WireError::parse("EOF in escape")),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(WireError::parse("raw control character in string"))
+                }
+                Some(_) => unreachable!("fast path consumed plain bytes"),
+                None => return Err(WireError::parse("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, WireError> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .bump()
+                .ok_or_else(|| WireError::parse("EOF in \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| WireError::parse("invalid hex in \\u escape"))?;
+            cp = (cp << 4) | d;
+        }
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, WireError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part.
+        let int_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == int_start {
+            return Err(WireError::parse("number missing digits"));
+        }
+        // Leading zeros are invalid JSON (e.g. 01).
+        if self.bytes[int_start] == b'0' && self.pos - int_start > 1 {
+            return Err(WireError::parse("leading zero in number"));
+        }
+        let mut is_double = false;
+        if self.peek() == Some(b'.') {
+            is_double = true;
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(WireError::parse("missing digits after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_double = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(WireError::parse("missing digits in exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_double {
+            text.parse::<f64>()
+                .map(Value::Double)
+                .map_err(|_| WireError::parse(format!("invalid number {text:?}")))
+        } else {
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Value::Int(i)),
+                // Integers beyond i64 degrade to doubles, like JS clients.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::Double)
+                    .map_err(|_| WireError::parse(format!("invalid number {text:?}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datetime::DateTime;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Nil);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("2.5").unwrap(), Value::Double(2.5));
+        assert_eq!(parse("1e3").unwrap(), Value::Double(1000.0));
+        assert_eq!(parse("-1.5e-2").unwrap(), Value::Double(-0.015));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), Value::Struct(Default::default()));
+        assert_eq!(
+            parse("[1, [2, 3], {\"a\": null}]").unwrap(),
+            Value::array([
+                Value::Int(1),
+                Value::array([Value::Int(2), Value::Int(3)]),
+                Value::structure([("a", Value::Nil)]),
+            ])
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            parse(r#""a\"b\\c\/d\ne\tfA""#).unwrap(),
+            Value::Str("a\"b\\c/d\ne\tfA".into())
+        );
+        // Surrogate pair: U+1F600
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::Str("😀".into()));
+    }
+
+    #[test]
+    fn bad_strings_rejected() {
+        assert!(parse(r#""\ud83d""#).is_err()); // unpaired high surrogate
+        assert!(parse(r#""\ude00""#).is_err()); // unpaired low surrogate
+        assert!(parse(r#""\x""#).is_err()); // bad escape
+        assert!(parse("\"a\nb\"").is_err()); // raw control char
+        assert!(parse("\"abc").is_err()); // unterminated
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        assert!(parse("01").is_err());
+        assert!(parse("1.").is_err());
+        assert!(parse("1e").is_err());
+        assert!(parse("-").is_err());
+        assert!(parse("+1").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("1 2").is_err());
+        assert!(parse("{} x").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_bounded() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(MAX_DEPTH / 2) + &"]".repeat(MAX_DEPTH / 2);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn writer_roundtrip() {
+        let value = Value::structure([
+            ("int", Value::Int(-3)),
+            ("dbl", Value::Double(1.5)),
+            ("whole_dbl", Value::Double(2.0)),
+            ("str", Value::from("line1\nline2 \"quoted\"")),
+            ("arr", Value::array([Value::Bool(true), Value::Nil])),
+            ("nested", Value::structure([("k", Value::from("v"))])),
+        ]);
+        let text = to_string(&value);
+        assert_eq!(parse(&text).unwrap(), value);
+    }
+
+    #[test]
+    fn doubles_stay_doubles() {
+        // A whole-number double must not round-trip into an Int.
+        let text = to_string(&Value::Double(2.0));
+        assert_eq!(text, "2.0");
+        assert_eq!(parse(&text).unwrap(), Value::Double(2.0));
+    }
+
+    #[test]
+    fn bytes_and_datetime_serialize_as_strings() {
+        assert_eq!(to_string(&Value::Bytes(b"foo".to_vec())), "\"Zm9v\"");
+        let dt = DateTime::new(2005, 6, 15, 12, 0, 0).unwrap();
+        assert_eq!(to_string(&Value::DateTime(dt)), "\"20050615T12:00:00\"");
+    }
+
+    #[test]
+    fn nonfinite_doubles_become_null() {
+        assert_eq!(to_string(&Value::Double(f64::NAN)), "null");
+        assert_eq!(to_string(&Value::Double(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn big_integers_degrade_to_double() {
+        let v = parse("99999999999999999999").unwrap();
+        assert!(matches!(v, Value::Double(_)));
+        assert_eq!(parse(&i64::MAX.to_string()).unwrap(), Value::Int(i64::MAX));
+    }
+
+    #[test]
+    fn pretty_printer_reparses() {
+        let value = Value::structure([
+            ("a", Value::array([Value::Int(1), Value::Int(2)])),
+            ("b", Value::structure([("c", Value::Nil)])),
+            ("empty_arr", Value::Array(vec![])),
+            ("empty_obj", Value::Struct(Default::default())),
+        ]);
+        let pretty = to_string_pretty(&value);
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse(&pretty).unwrap(), value);
+    }
+
+    #[test]
+    fn control_chars_escaped_on_write() {
+        let s = Value::Str("\u{01}\u{1f}".into());
+        assert_eq!(to_string(&s), "\"\\u0001\\u001f\"");
+        assert_eq!(parse(&to_string(&s)).unwrap(), s);
+    }
+}

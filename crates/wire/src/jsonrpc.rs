@@ -1,0 +1,210 @@
+//! JSON-RPC codec (1.0 wire shape with 2.0 compatibility).
+//!
+//! Clarens added JSON-RPC as a lightweight protocol for JavaScript portal
+//! clients (paper §2 "Multiple protocols", §3 portal). We emit the 1.0
+//! shape the 2005-era `jsonrpc` library used (`{"method", "params", "id"}`)
+//! and accept 2.0 requests/responses (`"jsonrpc":"2.0"`, error objects with
+//! `code`/`message`).
+
+use crate::fault::{Fault, WireError};
+use crate::value::Value;
+use crate::{RpcCall, RpcResponse};
+
+/// Encode a call. If `call.id` is `None`, an id of `1` is used (JSON-RPC 1.0
+/// requires an id for calls that expect a response).
+pub fn encode_call(call: &RpcCall) -> String {
+    let obj = Value::structure([
+        ("method", Value::Str(call.method.clone())),
+        ("params", Value::Array(call.params.clone())),
+        ("id", call.id.clone().unwrap_or(Value::Int(1))),
+    ]);
+    crate::json::to_string(&obj)
+}
+
+/// Decode a call (accepts both 1.0 and 2.0 shapes).
+pub fn decode_call(text: &str) -> Result<RpcCall, WireError> {
+    let value = crate::json::parse(text)?;
+    let obj = value
+        .as_struct()
+        .ok_or_else(|| WireError::protocol("JSON-RPC request must be an object"))?;
+    if let Some(version) = obj.get("jsonrpc") {
+        if version.as_str() != Some("2.0") {
+            return Err(WireError::protocol("unsupported jsonrpc version"));
+        }
+    }
+    let method = obj
+        .get("method")
+        .and_then(Value::as_str)
+        .ok_or_else(|| WireError::protocol("missing method"))?
+        .to_owned();
+    if method.is_empty() {
+        return Err(WireError::protocol("empty method"));
+    }
+    let params = match obj.get("params") {
+        None => Vec::new(),
+        Some(Value::Array(items)) => items.clone(),
+        // 2.0 named params: pass the object through as a single struct param.
+        Some(v @ Value::Struct(_)) => vec![v.clone()],
+        Some(other) => {
+            return Err(WireError::protocol(format!(
+                "params must be array or object, found {}",
+                other.type_name()
+            )))
+        }
+    };
+    let id = obj.get("id").cloned();
+    Ok(RpcCall { method, params, id })
+}
+
+/// Encode a response, echoing `id` (defaults to `1` like [`encode_call`]).
+///
+/// The 1.0 shape is emitted: success has `"error": null`, faults have
+/// `"result": null` and an error object.
+pub fn encode_response(response: &RpcResponse, id: Option<&Value>) -> String {
+    let id = id.cloned().unwrap_or(Value::Int(1));
+    let obj = match response {
+        RpcResponse::Success(value) => {
+            Value::structure([("result", value.clone()), ("error", Value::Nil), ("id", id)])
+        }
+        RpcResponse::Fault(fault) => Value::structure([
+            ("result", Value::Nil),
+            (
+                "error",
+                Value::structure([
+                    ("code", Value::Int(fault.code)),
+                    ("message", Value::Str(fault.message.clone())),
+                ]),
+            ),
+            ("id", id),
+        ]),
+    };
+    crate::json::to_string(&obj)
+}
+
+/// Decode a response (accepts both 1.0 and 2.0 shapes).
+pub fn decode_response(text: &str) -> Result<RpcResponse, WireError> {
+    let value = crate::json::parse(text)?;
+    let obj = value
+        .as_struct()
+        .ok_or_else(|| WireError::protocol("JSON-RPC response must be an object"))?;
+
+    match obj.get("error") {
+        Some(err) if !err.is_nil() => {
+            // 2.0-style error object, or a bare string (some 1.0 impls).
+            if let Some(emap) = err.as_struct() {
+                let code = emap.get("code").and_then(Value::as_int).unwrap_or(0);
+                let message = emap
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_owned();
+                return Ok(RpcResponse::Fault(Fault::new(code, message)));
+            }
+            if let Some(msg) = err.as_str() {
+                return Ok(RpcResponse::Fault(Fault::new(0, msg)));
+            }
+            return Err(WireError::protocol("error member must be object or string"));
+        }
+        _ => {}
+    }
+    match obj.get("result") {
+        Some(result) => Ok(RpcResponse::Success(result.clone())),
+        None => Err(WireError::protocol("response has neither result nor error")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_roundtrip() {
+        let call = RpcCall {
+            method: "vo.add_member".into(),
+            params: vec![Value::from("groupA"), Value::from("/O=org/CN=Jo")],
+            id: Some(Value::Int(9)),
+        };
+        let text = encode_call(&call);
+        assert_eq!(decode_call(&text).unwrap(), call);
+    }
+
+    #[test]
+    fn call_default_id() {
+        let call = RpcCall::new("m", vec![]);
+        let decoded = decode_call(&encode_call(&call)).unwrap();
+        assert_eq!(decoded.id, Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn v2_call_accepted() {
+        let text = r#"{"jsonrpc":"2.0","method":"sum","params":[1,2],"id":"abc"}"#;
+        let call = decode_call(text).unwrap();
+        assert_eq!(call.method, "sum");
+        assert_eq!(call.params, vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(call.id, Some(Value::from("abc")));
+    }
+
+    #[test]
+    fn v2_named_params_become_single_struct() {
+        let text = r#"{"jsonrpc":"2.0","method":"m","params":{"a":1},"id":1}"#;
+        let call = decode_call(text).unwrap();
+        assert_eq!(call.params.len(), 1);
+        assert_eq!(call.params[0].get("a").unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        assert!(decode_call(r#"{"jsonrpc":"3.0","method":"m","id":1}"#).is_err());
+    }
+
+    #[test]
+    fn missing_method_rejected() {
+        assert!(decode_call(r#"{"id":1}"#).is_err());
+        assert!(decode_call(r#"{"method":"","id":1}"#).is_err());
+        assert!(decode_call(r#"[1,2]"#).is_err());
+        assert!(decode_call(r#"{"method":"m","params":"str","id":1}"#).is_err());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let ok = RpcResponse::Success(Value::array([Value::Int(1)]));
+        assert_eq!(
+            decode_response(&encode_response(&ok, Some(&Value::Int(5)))).unwrap(),
+            ok
+        );
+        let fault = RpcResponse::Fault(Fault::new(4, "denied"));
+        assert_eq!(
+            decode_response(&encode_response(&fault, None)).unwrap(),
+            fault
+        );
+    }
+
+    #[test]
+    fn success_null_result_allowed() {
+        let ok = RpcResponse::Success(Value::Nil);
+        assert_eq!(decode_response(&encode_response(&ok, None)).unwrap(), ok);
+    }
+
+    #[test]
+    fn id_echoed() {
+        let text = encode_response(
+            &RpcResponse::Success(Value::Int(2)),
+            Some(&Value::from("q")),
+        );
+        let obj = crate::json::parse(&text).unwrap();
+        assert_eq!(obj.get("id").unwrap().as_str(), Some("q"));
+    }
+
+    #[test]
+    fn bare_string_error_accepted() {
+        let resp = decode_response(r#"{"result":null,"error":"boom","id":1}"#).unwrap();
+        assert_eq!(resp, RpcResponse::Fault(Fault::new(0, "boom")));
+    }
+
+    #[test]
+    fn empty_object_rejected() {
+        assert!(decode_response("{}").is_err());
+        assert!(decode_response("[]").is_err());
+        assert!(decode_response(r#"{"error":1,"id":1}"#).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Percent-encoding and query-string handling (RFC 3986 subset).
+//!
+//! The Clarens file and portal services receive paths and parameters in GET
+//! URLs; this module handles escaping/unescaping and `k=v&k2=v2` query
+//! parsing.
+
+/// Is `b` an "unreserved" character that never needs escaping in a path
+/// segment or query value?
+fn is_unreserved(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~')
+}
+
+/// Percent-encode arbitrary bytes. Everything outside the unreserved set is
+/// escaped; `/` is additionally kept verbatim when `keep_slash` is true so
+/// that file paths stay readable.
+pub fn encode_with(data: &[u8], keep_slash: bool) -> String {
+    let mut out = String::with_capacity(data.len());
+    for &b in data {
+        if is_unreserved(b) || (keep_slash && b == b'/') {
+            out.push(b as char);
+        } else {
+            out.push('%');
+            out.push(
+                char::from_digit((b >> 4) as u32, 16)
+                    .unwrap()
+                    .to_ascii_uppercase(),
+            );
+            out.push(
+                char::from_digit((b & 0xF) as u32, 16)
+                    .unwrap()
+                    .to_ascii_uppercase(),
+            );
+        }
+    }
+    out
+}
+
+/// Percent-encode a query component (escapes `/`).
+pub fn encode(data: &str) -> String {
+    encode_with(data.as_bytes(), false)
+}
+
+/// Percent-encode a path, preserving `/` separators.
+pub fn encode_path(path: &str) -> String {
+    encode_with(path.as_bytes(), true)
+}
+
+/// Decode a percent-encoded string. `+` becomes a space when
+/// `plus_as_space` (form encoding). Invalid escapes are passed through
+/// verbatim — this mirrors what lenient web servers (Apache, which fronted
+/// PClarens) do rather than failing the whole request.
+pub fn decode_lossy(text: &str, plus_as_space: bool) -> Vec<u8> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hi = (bytes[i + 1] as char).to_digit(16);
+                let lo = (bytes[i + 2] as char).to_digit(16);
+                match (hi, lo) {
+                    (Some(h), Some(l)) => {
+                        out.push(((h << 4) | l) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' if plus_as_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Decode to a UTF-8 string, replacing invalid sequences.
+pub fn decode_str(text: &str) -> String {
+    String::from_utf8_lossy(&decode_lossy(text, false)).into_owned()
+}
+
+/// Parse a query string (`a=1&b=two`) into pairs; keys/values are
+/// form-decoded (`+` is a space).
+pub fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let (k, v) = match part.split_once('=') {
+                Some((k, v)) => (k, v),
+                None => (part, ""),
+            };
+            (
+                String::from_utf8_lossy(&decode_lossy(k, true)).into_owned(),
+                String::from_utf8_lossy(&decode_lossy(v, true)).into_owned(),
+            )
+        })
+        .collect()
+}
+
+/// Split a request target into (path, query).
+pub fn split_target(target: &str) -> (&str, &str) {
+    match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_basic() {
+        assert_eq!(encode("hello world"), "hello%20world");
+        assert_eq!(encode("a/b"), "a%2Fb");
+        assert_eq!(encode_path("a/b c"), "a/b%20c");
+        assert_eq!(encode("Ab9-_.~"), "Ab9-_.~");
+    }
+
+    #[test]
+    fn decode_basic() {
+        assert_eq!(decode_str("hello%20world"), "hello world");
+        assert_eq!(decode_str("a%2Fb"), "a/b");
+        // Lowercase hex accepted.
+        assert_eq!(decode_str("%2f"), "/");
+    }
+
+    #[test]
+    fn decode_invalid_passthrough() {
+        assert_eq!(decode_str("100%"), "100%");
+        assert_eq!(decode_str("%zz"), "%zz");
+        assert_eq!(decode_str("%2"), "%2");
+    }
+
+    #[test]
+    fn plus_handling() {
+        assert_eq!(String::from_utf8(decode_lossy("a+b", true)).unwrap(), "a b");
+        assert_eq!(
+            String::from_utf8(decode_lossy("a+b", false)).unwrap(),
+            "a+b"
+        );
+    }
+
+    #[test]
+    fn query_parsing() {
+        let q = parse_query("name=file.root&offset=0&n=10&flag");
+        assert_eq!(
+            q,
+            vec![
+                ("name".to_string(), "file.root".to_string()),
+                ("offset".to_string(), "0".to_string()),
+                ("n".to_string(), "10".to_string()),
+                ("flag".to_string(), "".to_string()),
+            ]
+        );
+        assert!(parse_query("").is_empty());
+    }
+
+    #[test]
+    fn target_split() {
+        assert_eq!(split_target("/file/a.txt?x=1"), ("/file/a.txt", "x=1"));
+        assert_eq!(split_target("/file/a.txt"), ("/file/a.txt", ""));
+    }
+
+    #[test]
+    fn unicode_roundtrip() {
+        let s = "π/κ métro";
+        assert_eq!(decode_str(&encode(s)), s);
+    }
+}

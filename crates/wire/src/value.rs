@@ -1,0 +1,284 @@
+//! The shared RPC value algebra.
+//!
+//! All three Clarens protocols (XML-RPC, SOAP subset, JSON-RPC) marshal the
+//! same set of scalar and composite types; [`Value`] is the in-memory
+//! representation the server and clients operate on. The variants mirror the
+//! XML-RPC type system, which is the richest of the three on the wire
+//! (it has explicit `base64` and `dateTime.iso8601` types; JSON maps those
+//! to strings).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::datetime::DateTime;
+
+/// A dynamically-typed RPC value.
+///
+/// `Struct` uses a `BTreeMap` so that serialization is deterministic — this
+/// matters for tests, on-disk persistence, and reproducible benchmarks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Explicit nil / null (XML-RPC `<nil/>` extension, JSON `null`).
+    Nil,
+    /// Boolean.
+    Bool(bool),
+    /// Integer. XML-RPC only guarantees `i4`, but real deployments (and the
+    /// Clarens file service with 64-bit offsets) need `i8`; we encode as
+    /// `<i4>` when it fits and `<i8>` otherwise.
+    Int(i64),
+    /// IEEE-754 double.
+    Double(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw bytes (`<base64>` on the XML wire, base64 string in JSON).
+    Bytes(Vec<u8>),
+    /// Date-time (`dateTime.iso8601`).
+    DateTime(DateTime),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// String-keyed mapping.
+    Struct(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Build a struct value from `(key, value)` pairs.
+    pub fn structure<I, K>(pairs: I) -> Value
+    where
+        I: IntoIterator<Item = (K, Value)>,
+        K: Into<String>,
+    {
+        Value::Struct(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Build an array value.
+    pub fn array<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::Array(items.into_iter().collect())
+    }
+
+    /// A short name for the variant, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Nil => "nil",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) => "int",
+            Value::Double(_) => "double",
+            Value::Str(_) => "string",
+            Value::Bytes(_) => "base64",
+            Value::DateTime(_) => "dateTime",
+            Value::Array(_) => "array",
+            Value::Struct(_) => "struct",
+        }
+    }
+
+    /// Interpret as bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Interpret as integer. Doubles with integral values are accepted
+    /// because JSON clients cannot distinguish `2` from `2.0`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Double(d) if d.fract() == 0.0 && d.abs() < 9.007_199_254_740_992e15 => {
+                Some(*d as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Interpret as double (ints widen).
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(d) => Some(*d),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Interpret as string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interpret as bytes. Strings are *not* coerced; use
+    /// [`Value::coerce_bytes`] for the lenient JSON path.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Bytes, with the JSON compatibility coercion: a string is decoded as
+    /// base64 (JSON has no binary type, so Clarens JSON clients send base64
+    /// strings where XML-RPC clients send `<base64>` elements).
+    pub fn coerce_bytes(&self) -> Option<Vec<u8>> {
+        match self {
+            Value::Bytes(b) => Some(b.clone()),
+            Value::Str(s) => crate::base64::decode(s).ok(),
+            _ => None,
+        }
+    }
+
+    /// Interpret as array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Interpret as struct map.
+    pub fn as_struct(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Struct(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Struct field access.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_struct().and_then(|m| m.get(key))
+    }
+
+    /// True if the value is `Nil`.
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Value::Nil)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Human-readable rendering (JSON-ish); used in logs and the portal.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::json::to_string(self))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(d: f64) -> Self {
+        Value::Double(d)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::Bytes(b)
+    }
+}
+impl From<DateTime> for Value {
+    fn from(dt: DateTime) -> Self {
+        Value::DateTime(dt)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Self {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(opt: Option<T>) -> Self {
+        match opt {
+            Some(v) => v.into(),
+            None => Value::Nil,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3usize), Value::Int(3));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(
+            Value::from(vec![1i64, 2]),
+            Value::Array(vec![Value::Int(1), Value::Int(2)])
+        );
+        assert_eq!(Value::from(None::<i64>), Value::Nil);
+        assert_eq!(Value::from(Some(2i64)), Value::Int(2));
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::structure([("a", Value::Int(1)), ("b", Value::from("x"))]);
+        assert_eq!(v.get("a").unwrap().as_int(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x"));
+        assert!(v.get("c").is_none());
+        assert_eq!(v.type_name(), "struct");
+        assert!(Value::Nil.is_nil());
+    }
+
+    #[test]
+    fn int_double_coercion() {
+        assert_eq!(Value::Double(4.0).as_int(), Some(4));
+        assert_eq!(Value::Double(4.5).as_int(), None);
+        assert_eq!(Value::Int(4).as_double(), Some(4.0));
+        // Too large to be exactly representable: refuse.
+        assert_eq!(Value::Double(1e16).as_int(), None);
+    }
+
+    #[test]
+    fn bytes_coercion_from_base64_string() {
+        let v = Value::Str(crate::base64::encode(b"hello"));
+        assert_eq!(v.coerce_bytes().unwrap(), b"hello");
+        assert_eq!(v.as_bytes(), None);
+        assert_eq!(Value::Bytes(vec![1, 2]).coerce_bytes().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn display_is_json() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::from("a\"b").to_string(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn struct_keys_sorted_deterministically() {
+        let v = Value::structure([("z", Value::Int(1)), ("a", Value::Int(2))]);
+        let keys: Vec<_> = v.as_struct().unwrap().keys().cloned().collect();
+        assert_eq!(keys, vec!["a".to_string(), "z".to_string()]);
+    }
+}

@@ -1,0 +1,607 @@
+//! A small XML 1.0 parser and writer.
+//!
+//! Scope: what RPC payloads need — elements, attributes, character data,
+//! entity references, CDATA sections, comments, and the XML declaration.
+//! Out of scope (rejected or skipped): DTDs/doctype internal subsets
+//! (skipped without expansion — no billion-laughs exposure), processing
+//! instructions (skipped). Namespace *syntax* is preserved
+//! (`SOAP-ENV:Envelope` keeps its prefix); [`Element::local_name`] strips
+//! the prefix, which is all the SOAP subset needs.
+
+use std::fmt::Write as _;
+
+use crate::WireError;
+
+/// Maximum element nesting depth, for the same adversarial-input reason as
+/// [`crate::json::MAX_DEPTH`].
+pub const MAX_DEPTH: usize = 256;
+
+/// An XML element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name as written, possibly namespace-prefixed.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+/// A node in the parsed tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Child element.
+    Element(Element),
+    /// Character data (entities decoded, CDATA merged).
+    Text(String),
+}
+
+impl Element {
+    /// Create an empty element.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder: add an attribute.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((name.into(), value.into()));
+        self
+    }
+
+    /// Builder: add a child element.
+    pub fn child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder: add text content.
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// The name with any namespace prefix removed.
+    pub fn local_name(&self) -> &str {
+        self.name.rsplit(':').next().unwrap_or(&self.name)
+    }
+
+    /// Attribute lookup by exact name.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Iterate over child elements.
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// First child element with the given *local* name.
+    pub fn find(&self, local: &str) -> Option<&Element> {
+        self.elements().find(|e| e.local_name() == local)
+    }
+
+    /// All child elements with the given local name.
+    pub fn find_all<'a>(&'a self, local: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.elements().filter(move |e| e.local_name() == local)
+    }
+
+    /// The first *element* child, if any (XML-RPC `<value>` content).
+    pub fn first_element(&self) -> Option<&Element> {
+        self.elements().next()
+    }
+
+    /// Concatenated text content of this element (direct children only).
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        for node in &self.children {
+            if let Node::Text(t) = node {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Serialize this element as a document with an XML declaration.
+    pub fn to_document(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        self.write(&mut out);
+        out
+    }
+
+    /// Serialize this element (no declaration).
+    pub fn write(&self, out: &mut String) {
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attributes {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_into(v, out, true);
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for child in &self.children {
+            match child {
+                Node::Element(e) => e.write(out),
+                Node::Text(t) => escape_into(t, out, false),
+            }
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+}
+
+impl std::fmt::Display for Element {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+/// Escape text for element content (or attribute values when `attr`).
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    escape_into(text, &mut out, false);
+    out
+}
+
+fn escape_into(text: &str, out: &mut String, attr: bool) {
+    for c in text.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if attr => out.push_str("&quot;"),
+            c if (c as u32) < 0x20 && c != '\n' && c != '\t' && c != '\r' => {
+                // XML 1.0 forbids raw control characters; use a numeric
+                // reference so binary-ish strings survive (decoders vary, we
+                // decode them back).
+                let _ = write!(out, "&#{};", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parse an XML document and return the root element.
+pub fn parse(text: &str) -> Result<Element, WireError> {
+    let mut p = XmlParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_prolog()?;
+    let root = p.parse_element(0)?;
+    p.skip_misc();
+    if p.pos != p.bytes.len() {
+        return Err(WireError::parse(format!(
+            "trailing content after root element at offset {}",
+            p.pos
+        )));
+    }
+    Ok(root)
+}
+
+struct XmlParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), WireError> {
+        match find_subslice(&self.bytes[self.pos..], end.as_bytes()) {
+            Some(off) => {
+                self.pos += off + end.len();
+                Ok(())
+            }
+            None => Err(WireError::parse(format!(
+                "unterminated construct, expected {end:?}"
+            ))),
+        }
+    }
+
+    /// Skip declaration, comments, PIs, and a DOCTYPE before the root.
+    fn skip_prolog(&mut self) -> Result<(), WireError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                // Skip to the matching '>' accounting for an internal subset.
+                self.pos += "<!DOCTYPE".len();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match self.peek() {
+                        Some(b'<') => depth += 1,
+                        Some(b'>') => depth -= 1,
+                        Some(_) => {}
+                        None => return Err(WireError::parse("unterminated DOCTYPE")),
+                    }
+                    self.pos += 1;
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skip trailing comments/PIs/whitespace after the root element.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                if self.skip_until("-->").is_err() {
+                    return;
+                }
+            } else if self.starts_with("<?") {
+                if self.skip_until("?>").is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, WireError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let c = b as char;
+            if c.is_ascii_alphanumeric() || matches!(c, ':' | '_' | '-' | '.') || b >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(WireError::parse(format!(
+                "expected name at offset {}",
+                self.pos
+            )));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map(|s| s.to_owned())
+            .map_err(|_| WireError::parse("invalid UTF-8 in name"))
+    }
+
+    fn parse_element(&mut self, depth: usize) -> Result<Element, WireError> {
+        if depth > MAX_DEPTH {
+            return Err(WireError::parse("maximum XML nesting depth exceeded"));
+        }
+        if self.peek() != Some(b'<') {
+            return Err(WireError::parse(format!(
+                "expected '<' at offset {}",
+                self.pos
+            )));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut element = Element::new(name);
+
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(WireError::parse("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(WireError::parse(format!(
+                            "expected '=' after attribute {attr_name:?}"
+                        )));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(WireError::parse("expected quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(WireError::parse("unterminated attribute value"));
+                    }
+                    let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| WireError::parse("invalid UTF-8 in attribute"))?;
+                    self.pos += 1;
+                    element.attributes.push((attr_name, decode_entities(raw)?));
+                }
+                None => return Err(WireError::parse("EOF inside start tag")),
+            }
+        }
+
+        // Content.
+        let mut text_buf = String::new();
+        loop {
+            if self.starts_with("</") {
+                if !text_buf.is_empty() {
+                    element
+                        .children
+                        .push(Node::Text(std::mem::take(&mut text_buf)));
+                }
+                self.pos += 2;
+                let end_name = self.parse_name()?;
+                if end_name != element.name {
+                    return Err(WireError::parse(format!(
+                        "mismatched end tag: expected </{}>, found </{}>",
+                        element.name, end_name
+                    )));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(WireError::parse("expected '>' in end tag"));
+                }
+                self.pos += 1;
+                return Ok(element);
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<![CDATA[") {
+                self.pos += "<![CDATA[".len();
+                let end = find_subslice(&self.bytes[self.pos..], b"]]>")
+                    .ok_or_else(|| WireError::parse("unterminated CDATA"))?;
+                let raw = std::str::from_utf8(&self.bytes[self.pos..self.pos + end])
+                    .map_err(|_| WireError::parse("invalid UTF-8 in CDATA"))?;
+                text_buf.push_str(raw);
+                self.pos += end + 3;
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.peek() == Some(b'<') {
+                if !text_buf.is_empty() {
+                    element
+                        .children
+                        .push(Node::Text(std::mem::take(&mut text_buf)));
+                }
+                let child = self.parse_element(depth + 1)?;
+                element.children.push(Node::Element(child));
+            } else if self.peek().is_none() {
+                return Err(WireError::parse(format!(
+                    "EOF inside element <{}>",
+                    element.name
+                )));
+            } else {
+                // Text run until the next '<'.
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| WireError::parse("invalid UTF-8 in text"))?;
+                text_buf.push_str(&decode_entities(raw)?);
+            }
+        }
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Decode the five predefined entities and numeric character references.
+fn decode_entities(text: &str) -> Result<String, WireError> {
+    if !text.contains('&') {
+        return Ok(text.to_owned());
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| WireError::parse("unterminated entity reference"))?;
+        let entity = &rest[1..semi];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let cp = u32::from_str_radix(&entity[2..], 16)
+                    .map_err(|_| WireError::parse(format!("bad char ref &{entity};")))?;
+                out.push(
+                    char::from_u32(cp)
+                        .ok_or_else(|| WireError::parse(format!("invalid char ref &{entity};")))?,
+                );
+            }
+            _ if entity.starts_with('#') => {
+                let cp = entity[1..]
+                    .parse::<u32>()
+                    .map_err(|_| WireError::parse(format!("bad char ref &{entity};")))?;
+                out.push(
+                    char::from_u32(cp)
+                        .ok_or_else(|| WireError::parse(format!("invalid char ref &{entity};")))?,
+                );
+            }
+            _ => {
+                // Unknown named entities would require a DTD; reject.
+                return Err(WireError::parse(format!("unknown entity &{entity};")));
+            }
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_document() {
+        let root = parse("<?xml version=\"1.0\"?><a><b x=\"1\">hi</b><c/></a>").unwrap();
+        assert_eq!(root.name, "a");
+        assert_eq!(root.elements().count(), 2);
+        let b = root.find("b").unwrap();
+        assert_eq!(b.attribute("x"), Some("1"));
+        assert_eq!(b.text_content(), "hi");
+        assert!(root.find("c").unwrap().children.is_empty());
+        assert!(root.find("zzz").is_none());
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let root = parse("<a>&lt;&gt;&amp;&apos;&quot;&#65;&#x42;</a>").unwrap();
+        assert_eq!(root.text_content(), "<>&'\"AB");
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        assert!(parse("<a>&nbsp;</a>").is_err());
+        assert!(parse("<a>&unterminated</a>").is_err());
+    }
+
+    #[test]
+    fn cdata() {
+        let root = parse("<a><![CDATA[<raw> & text]]></a>").unwrap();
+        assert_eq!(root.text_content(), "<raw> & text");
+        // CDATA merges with adjacent text.
+        let root = parse("<a>x<![CDATA[y]]>z</a>").unwrap();
+        assert_eq!(root.text_content(), "xyz");
+        assert_eq!(root.children.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_pis_skipped() {
+        let root = parse("<!-- hi --><?pi data?><a><!-- inner --><b/><?x?>text</a>").unwrap();
+        assert_eq!(root.elements().count(), 1);
+        assert_eq!(root.text_content(), "text");
+    }
+
+    #[test]
+    fn doctype_skipped_not_expanded() {
+        let doc = "<!DOCTYPE lolz [<!ENTITY lol \"lol\">]><a>safe</a>";
+        let root = parse(doc).unwrap();
+        assert_eq!(root.text_content(), "safe");
+        // But references to DTD-defined entities still fail (no expansion).
+        assert!(parse("<!DOCTYPE l [<!ENTITY lol \"lol\">]><a>&lol;</a>").is_err());
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(parse("<a><b></a></b>").is_err());
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a></a><b></b>").is_err());
+    }
+
+    #[test]
+    fn attributes_with_entities_and_quotes() {
+        let root = parse("<a x=\"&lt;v&gt;\" y='single \"double\"'/>").unwrap();
+        assert_eq!(root.attribute("x"), Some("<v>"));
+        assert_eq!(root.attribute("y"), Some("single \"double\""));
+    }
+
+    #[test]
+    fn namespace_prefixes() {
+        let root = parse("<SOAP-ENV:Envelope xmlns:SOAP-ENV=\"uri\"/>").unwrap();
+        assert_eq!(root.name, "SOAP-ENV:Envelope");
+        assert_eq!(root.local_name(), "Envelope");
+    }
+
+    #[test]
+    fn writer_roundtrip() {
+        let el = Element::new("methodCall")
+            .child(Element::new("methodName").text("file.read"))
+            .child(Element::new("params").child(Element::new("param").child(
+                Element::new("value").child(Element::new("string").text("a<b>&c \"quoted\"")),
+            )));
+        let doc = el.to_document();
+        let reparsed = parse(&doc).unwrap();
+        assert_eq!(reparsed, el);
+    }
+
+    #[test]
+    fn control_chars_roundtrip_via_numeric_refs() {
+        let el = Element::new("a").text("\u{01}ok\u{1f}");
+        let doc = el.to_document();
+        assert!(doc.contains("&#1;"));
+        assert_eq!(parse(&doc).unwrap().text_content(), "\u{01}ok\u{1f}");
+    }
+
+    #[test]
+    fn depth_bounded() {
+        let deep = "<a>".repeat(MAX_DEPTH + 2) + &"</a>".repeat(MAX_DEPTH + 2);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn whitespace_preserved_in_text() {
+        let root = parse("<a>  spaced  </a>").unwrap();
+        assert_eq!(root.text_content(), "  spaced  ");
+    }
+
+    #[test]
+    fn self_closing_with_space() {
+        let root = parse("<a />").unwrap();
+        assert_eq!(root.name, "a");
+    }
+
+    #[test]
+    fn find_all_filters_by_local_name() {
+        let root = parse("<a><m>1</m><n/><m>2</m></a>").unwrap();
+        let texts: Vec<String> = root.find_all("m").map(|e| e.text_content()).collect();
+        assert_eq!(texts, vec!["1", "2"]);
+    }
+
+    #[test]
+    fn display_matches_write() {
+        let el = Element::new("x").attr("a", "1").text("t");
+        assert_eq!(el.to_string(), "<x a=\"1\">t</x>");
+    }
+}

@@ -1,0 +1,407 @@
+//! XML-RPC codec (<http://www.xmlrpc.com>), the primary Clarens protocol.
+//!
+//! The paper's Figure 4 benchmark serializes "more than 30 strings as an
+//! array response in XML-RPC"; this module is that hot path in the
+//! reproduction. Supported types: `i4`/`int`/`i8`, `boolean`, `string`
+//! (including bare text inside `<value>`), `double`, `dateTime.iso8601`,
+//! `base64`, `struct`, `array`, and the widely-implemented `<nil/>`
+//! extension.
+
+use crate::datetime::DateTime;
+use crate::fault::{Fault, WireError};
+use crate::value::Value;
+use crate::xml::{self, Element};
+use crate::{RpcCall, RpcResponse};
+
+/// Encode a method call as an XML-RPC `<methodCall>` document.
+pub fn encode_call(call: &RpcCall) -> String {
+    let mut params = Element::new("params");
+    for param in &call.params {
+        params = params.child(Element::new("param").child(encode_value(param)));
+    }
+    Element::new("methodCall")
+        .child(Element::new("methodName").text(call.method.clone()))
+        .child(params)
+        .to_document()
+}
+
+/// Encode a response (`<params>` on success, `<fault>` on failure).
+pub fn encode_response(response: &RpcResponse) -> String {
+    let root = match response {
+        RpcResponse::Success(value) => Element::new("methodResponse")
+            .child(Element::new("params").child(Element::new("param").child(encode_value(value)))),
+        RpcResponse::Fault(fault) => {
+            let detail = Value::structure([
+                ("faultCode", Value::Int(fault.code)),
+                ("faultString", Value::Str(fault.message.clone())),
+            ]);
+            Element::new("methodResponse").child(Element::new("fault").child(encode_value(&detail)))
+        }
+    };
+    root.to_document()
+}
+
+/// Encode one value as a `<value>` element.
+pub fn encode_value(value: &Value) -> Element {
+    let inner = match value {
+        Value::Nil => Element::new("nil"),
+        Value::Bool(b) => Element::new("boolean").text(if *b { "1" } else { "0" }),
+        Value::Int(i) => {
+            if i32::try_from(*i).is_ok() {
+                Element::new("i4").text(i.to_string())
+            } else {
+                Element::new("i8").text(i.to_string())
+            }
+        }
+        Value::Double(d) => Element::new("double").text(format_double(*d)),
+        Value::Str(s) => Element::new("string").text(s.clone()),
+        Value::Bytes(b) => Element::new("base64").text(crate::base64::encode(b)),
+        Value::DateTime(dt) => Element::new("dateTime.iso8601").text(dt.to_string()),
+        Value::Array(items) => {
+            let mut data = Element::new("data");
+            for item in items {
+                data = data.child(encode_value(item));
+            }
+            Element::new("array").child(data)
+        }
+        Value::Struct(map) => {
+            let mut st = Element::new("struct");
+            for (k, v) in map {
+                st = st.child(
+                    Element::new("member")
+                        .child(Element::new("name").text(k.clone()))
+                        .child(encode_value(v)),
+                );
+            }
+            st
+        }
+    };
+    Element::new("value").child(inner)
+}
+
+/// XML-RPC requires a decimal representation for doubles (no exponents).
+fn format_double(d: f64) -> String {
+    if !d.is_finite() {
+        // The spec has no representation for non-finite doubles; emit 0 with
+        // a marker impossible in legit traffic rather than invalid XML.
+        return "0.0".to_string();
+    }
+    let s = format!("{d}");
+    if s.contains('e') || s.contains('E') {
+        // Expand scientific notation into plain decimal.
+        format!("{d:.17}")
+    } else if !s.contains('.') {
+        format!("{s}.0")
+    } else {
+        s
+    }
+}
+
+/// Decode a `<methodCall>` document.
+pub fn decode_call(text: &str) -> Result<RpcCall, WireError> {
+    let root = xml::parse(text)?;
+    if root.local_name() != "methodCall" {
+        return Err(WireError::protocol(format!(
+            "expected <methodCall>, found <{}>",
+            root.name
+        )));
+    }
+    let method = root
+        .find("methodName")
+        .ok_or_else(|| WireError::protocol("missing <methodName>"))?
+        .text_content()
+        .trim()
+        .to_owned();
+    if method.is_empty() {
+        return Err(WireError::protocol("empty methodName"));
+    }
+    let params = decode_params(&root)?;
+    Ok(RpcCall {
+        method,
+        params,
+        id: None,
+    })
+}
+
+fn decode_params(root: &Element) -> Result<Vec<Value>, WireError> {
+    let mut out = Vec::new();
+    if let Some(params) = root.find("params") {
+        for param in params.find_all("param") {
+            let value = param
+                .find("value")
+                .ok_or_else(|| WireError::protocol("<param> without <value>"))?;
+            out.push(decode_value(value)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Decode a `<methodResponse>` document.
+pub fn decode_response(text: &str) -> Result<RpcResponse, WireError> {
+    let root = xml::parse(text)?;
+    if root.local_name() != "methodResponse" {
+        return Err(WireError::protocol(format!(
+            "expected <methodResponse>, found <{}>",
+            root.name
+        )));
+    }
+    if let Some(fault) = root.find("fault") {
+        let value = fault
+            .find("value")
+            .ok_or_else(|| WireError::protocol("<fault> without <value>"))?;
+        let detail = decode_value(value)?;
+        let code = detail
+            .get("faultCode")
+            .and_then(Value::as_int)
+            .ok_or_else(|| WireError::protocol("fault missing faultCode"))?;
+        let message = detail
+            .get("faultString")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_owned();
+        return Ok(RpcResponse::Fault(Fault::new(code, message)));
+    }
+    let params = decode_params(&root)?;
+    match params.len() {
+        1 => Ok(RpcResponse::Success(params.into_iter().next().unwrap())),
+        0 => Err(WireError::protocol(
+            "response has no <params> and no <fault>",
+        )),
+        n => Err(WireError::protocol(format!(
+            "response has {n} params, expected 1"
+        ))),
+    }
+}
+
+/// Decode one `<value>` element.
+pub fn decode_value(value_el: &Element) -> Result<Value, WireError> {
+    if value_el.local_name() != "value" {
+        return Err(WireError::protocol(format!(
+            "expected <value>, found <{}>",
+            value_el.name
+        )));
+    }
+    let typed = match value_el.first_element() {
+        Some(el) => el,
+        // Bare text inside <value> is a string per the spec.
+        None => return Ok(Value::Str(value_el.text_content())),
+    };
+    let text = typed.text_content();
+    match typed.local_name() {
+        "nil" => Ok(Value::Nil),
+        "boolean" => match text.trim() {
+            "1" | "true" => Ok(Value::Bool(true)),
+            "0" | "false" => Ok(Value::Bool(false)),
+            other => Err(WireError::parse(format!("invalid boolean {other:?}"))),
+        },
+        "i4" | "int" | "i8" => text
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| WireError::parse(format!("invalid integer {text:?}"))),
+        "double" => text
+            .trim()
+            .parse::<f64>()
+            .map(Value::Double)
+            .map_err(|_| WireError::parse(format!("invalid double {text:?}"))),
+        "string" => Ok(Value::Str(text)),
+        "base64" => crate::base64::decode(&text)
+            .map(Value::Bytes)
+            .map_err(|e| WireError::parse(format!("invalid base64: {e}"))),
+        "dateTime.iso8601" => DateTime::parse(&text)
+            .map(Value::DateTime)
+            .map_err(|e| WireError::parse(e.to_string())),
+        "array" => {
+            let data = typed
+                .find("data")
+                .ok_or_else(|| WireError::protocol("<array> without <data>"))?;
+            let mut items = Vec::new();
+            for child in data.find_all("value") {
+                items.push(decode_value(child)?);
+            }
+            Ok(Value::Array(items))
+        }
+        "struct" => {
+            let mut map = std::collections::BTreeMap::new();
+            for member in typed.find_all("member") {
+                let name = member
+                    .find("name")
+                    .ok_or_else(|| WireError::protocol("<member> without <name>"))?
+                    .text_content();
+                let value = member
+                    .find("value")
+                    .ok_or_else(|| WireError::protocol("<member> without <value>"))?;
+                map.insert(name, decode_value(value)?);
+            }
+            Ok(Value::Struct(map))
+        }
+        other => Err(WireError::protocol(format!(
+            "unknown XML-RPC type <{other}>"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_value(v: Value) {
+        let el = encode_value(&v);
+        let doc = el.to_document();
+        let parsed = xml::parse(&doc).unwrap();
+        assert_eq!(decode_value(&parsed).unwrap(), v, "value {v:?}");
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip_value(Value::Nil);
+        roundtrip_value(Value::Bool(true));
+        roundtrip_value(Value::Bool(false));
+        roundtrip_value(Value::Int(0));
+        roundtrip_value(Value::Int(i64::from(i32::MAX)));
+        roundtrip_value(Value::Int(i64::from(i32::MIN)));
+        roundtrip_value(Value::Int(i64::MAX));
+        roundtrip_value(Value::Int(i64::MIN));
+        roundtrip_value(Value::Double(0.5));
+        roundtrip_value(Value::Double(-123.456));
+        roundtrip_value(Value::Double(3.0));
+        roundtrip_value(Value::Str("".into()));
+        roundtrip_value(Value::Str("hello <world> & \"friends\"".into()));
+        roundtrip_value(Value::Bytes(vec![0, 1, 2, 255]));
+        roundtrip_value(Value::DateTime(
+            DateTime::new(2005, 6, 15, 1, 2, 3).unwrap(),
+        ));
+    }
+
+    #[test]
+    fn composite_roundtrips() {
+        roundtrip_value(Value::Array(vec![]));
+        roundtrip_value(Value::array([
+            Value::Int(1),
+            Value::from("two"),
+            Value::Nil,
+        ]));
+        roundtrip_value(Value::Struct(Default::default()));
+        roundtrip_value(Value::structure([
+            ("list", Value::array([Value::Bool(true)])),
+            ("nested", Value::structure([("x", Value::Double(1.25))])),
+        ]));
+    }
+
+    #[test]
+    fn i4_vs_i8_selection() {
+        let small = encode_value(&Value::Int(42)).to_document();
+        assert!(small.contains("<i4>42</i4>"), "{small}");
+        let big = encode_value(&Value::Int(5_000_000_000)).to_document();
+        assert!(big.contains("<i8>5000000000</i8>"), "{big}");
+    }
+
+    #[test]
+    fn double_has_no_exponent() {
+        let doc = encode_value(&Value::Double(1e-9)).to_document();
+        assert!(!doc.contains('e') || !doc.contains("e-"), "{doc}");
+        let parsed = xml::parse(&doc).unwrap();
+        let back = decode_value(&parsed).unwrap().as_double().unwrap();
+        assert!((back - 1e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn call_roundtrip() {
+        let call = RpcCall::new(
+            "file.read",
+            vec![
+                Value::from("/data/f.root"),
+                Value::Int(0),
+                Value::Int(65536),
+            ],
+        );
+        let doc = encode_call(&call);
+        let back = decode_call(&doc).unwrap();
+        assert_eq!(back, call);
+    }
+
+    #[test]
+    fn call_without_params() {
+        let doc = "<?xml version=\"1.0\"?><methodCall><methodName>system.list_methods</methodName></methodCall>";
+        let call = decode_call(doc).unwrap();
+        assert_eq!(call.method, "system.list_methods");
+        assert!(call.params.is_empty());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let ok = RpcResponse::Success(Value::array([Value::from("m1"), Value::from("m2")]));
+        assert_eq!(decode_response(&encode_response(&ok)).unwrap(), ok);
+        let fault = RpcResponse::Fault(Fault::new(4, "access denied"));
+        assert_eq!(decode_response(&encode_response(&fault)).unwrap(), fault);
+    }
+
+    #[test]
+    fn bare_text_value_is_string() {
+        let doc =
+            "<methodResponse><params><param><value>plain</value></param></params></methodResponse>";
+        match decode_response(doc).unwrap() {
+            RpcResponse::Success(Value::Str(s)) => assert_eq!(s, "plain"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn int_spelled_int_accepted() {
+        let doc = "<methodCall><methodName>m</methodName><params><param><value><int>7</int></value></param></params></methodCall>";
+        assert_eq!(decode_call(doc).unwrap().params, vec![Value::Int(7)]);
+    }
+
+    #[test]
+    fn boolean_lenient_forms() {
+        for (text, expect) in [("1", true), ("true", true), ("0", false), ("false", false)] {
+            let doc = format!(
+                "<methodCall><methodName>m</methodName><params><param><value><boolean>{text}</boolean></value></param></params></methodCall>"
+            );
+            assert_eq!(decode_call(&doc).unwrap().params, vec![Value::Bool(expect)]);
+        }
+        let bad = "<methodCall><methodName>m</methodName><params><param><value><boolean>yes</boolean></value></param></params></methodCall>";
+        assert!(decode_call(bad).is_err());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(decode_call("<methodCall/>").is_err()); // no methodName
+        assert!(decode_call("<methodResponse/>").is_err()); // wrong root
+        assert!(decode_response("<methodResponse/>").is_err()); // empty
+        assert!(decode_response(
+            "<methodResponse><params><param><value><i4>1</i4></value></param><param><value><i4>2</i4></value></param></params></methodResponse>"
+        )
+        .is_err()); // two params
+        assert!(decode_call(
+            "<methodCall><methodName>m</methodName><params><param></param></params></methodCall>"
+        )
+        .is_err()); // param without value
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let doc = "<methodCall><methodName>m</methodName><params><param><value><float>1</float></value></param></params></methodCall>";
+        assert!(decode_call(doc).is_err());
+    }
+
+    #[test]
+    fn fault_missing_code_rejected() {
+        let doc = "<methodResponse><fault><value><struct><member><name>faultString</name><value>x</value></member></struct></value></fault></methodResponse>";
+        assert!(decode_response(doc).is_err());
+    }
+
+    #[test]
+    fn thirty_string_array_like_figure4() {
+        // The exact workload of Figure 4: a >30-element string array.
+        let methods: Vec<Value> = (0..32)
+            .map(|i| Value::from(format!("module{i}.method{i}")))
+            .collect();
+        let resp = RpcResponse::Success(Value::Array(methods.clone()));
+        let doc = encode_response(&resp);
+        match decode_response(&doc).unwrap() {
+            RpcResponse::Success(Value::Array(items)) => assert_eq!(items, methods),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

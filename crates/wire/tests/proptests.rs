@@ -1,0 +1,188 @@
+//! Property-based round-trip tests for the wire codecs.
+//!
+//! Strategy: generate arbitrary [`Value`] trees and assert that every
+//! protocol encoder/decoder pair is the identity on them, and that the
+//! byte-level codecs (base64, percent) round-trip arbitrary byte strings.
+
+use proptest::prelude::*;
+
+use clarens_wire::datetime::DateTime;
+use clarens_wire::{base64, json, percent, Protocol, RpcCall, RpcResponse, Value};
+
+/// Strategy for strings that are valid in all our codecs (XML 1.0 cannot
+/// carry arbitrary control characters even escaped — the parser rejects
+/// NUL — so keep to printable + common whitespace; coverage for control
+/// characters is in the unit tests).
+fn wire_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::char::range(' ', '~'),
+            Just('\n'),
+            Just('\t'),
+            proptest::char::range('¡', 'ÿ'),
+            proptest::char::range('А', 'я'), // Cyrillic block exercises multibyte UTF-8
+        ],
+        0..24,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn datetime_strategy() -> impl Strategy<Value = DateTime> {
+    (1970i32..2100, 1u8..=12, 1u8..=28, 0u8..24, 0u8..60, 0u8..60)
+        .prop_map(|(y, mo, d, h, mi, s)| DateTime::new(y, mo, d, h, mi, s).unwrap())
+}
+
+/// Doubles that survive text round-trips exactly (finite, no signed zero
+/// ambiguity concerns for equality).
+fn wire_double() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (-1e12f64..1e12).prop_filter("finite", |d| d.is_finite()),
+        Just(0.0),
+        Just(-2.5),
+        Just(1.0e-9),
+    ]
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Nil),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        wire_double().prop_map(Value::Double),
+        wire_string().prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+        datetime_strategy().prop_map(Value::DateTime),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+            proptest::collection::btree_map(wire_string(), inner, 0..4).prop_map(Value::Struct),
+        ]
+    })
+}
+
+/// JSON cannot represent Bytes/DateTime distinctly; restrict to the JSON
+/// image of the algebra for the JSON round-trip test.
+fn json_value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Nil),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        wire_double().prop_map(Value::Double),
+        wire_string().prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+            proptest::collection::btree_map(wire_string(), inner, 0..4).prop_map(Value::Struct),
+        ]
+    })
+}
+
+fn method_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}(\\.[a-z][a-z0-9_]{0,8}){0,2}"
+}
+
+proptest! {
+    #[test]
+    fn base64_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let encoded = base64::encode(&data);
+        prop_assert_eq!(base64::decode(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn percent_roundtrip(s in wire_string()) {
+        prop_assert_eq!(percent::decode_str(&percent::encode(&s)), s);
+    }
+
+    #[test]
+    fn json_roundtrip(v in json_value_strategy()) {
+        let text = json::to_string(&v);
+        prop_assert_eq!(json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn json_pretty_roundtrip(v in json_value_strategy()) {
+        let text = json::to_string_pretty(&v);
+        prop_assert_eq!(json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn xmlrpc_call_roundtrip(
+        method in method_name(),
+        params in proptest::collection::vec(value_strategy(), 0..4),
+    ) {
+        let call = RpcCall::new(method, params);
+        let doc = clarens_wire::xmlrpc::encode_call(&call);
+        prop_assert_eq!(clarens_wire::xmlrpc::decode_call(&doc).unwrap(), call);
+    }
+
+    #[test]
+    fn xmlrpc_response_roundtrip(v in value_strategy()) {
+        let resp = RpcResponse::Success(v);
+        let doc = clarens_wire::xmlrpc::encode_response(&resp);
+        prop_assert_eq!(clarens_wire::xmlrpc::decode_response(&doc).unwrap(), resp);
+    }
+
+    #[test]
+    fn soap_call_roundtrip(
+        method in method_name(),
+        params in proptest::collection::vec(value_strategy(), 0..4),
+    ) {
+        let call = RpcCall::new(method, params);
+        let doc = clarens_wire::soap::encode_call(&call);
+        prop_assert_eq!(clarens_wire::soap::decode_call(&doc).unwrap(), call);
+    }
+
+    #[test]
+    fn jsonrpc_call_roundtrip(
+        method in method_name(),
+        params in proptest::collection::vec(json_value_strategy(), 0..4),
+    ) {
+        let call = RpcCall { method, params, id: Some(Value::Int(3)) };
+        let text = clarens_wire::jsonrpc::encode_call(&call);
+        prop_assert_eq!(clarens_wire::jsonrpc::decode_call(&text).unwrap(), call);
+    }
+
+    #[test]
+    fn protocol_generic_roundtrip(
+        method in method_name(),
+        params in proptest::collection::vec(json_value_strategy(), 0..3),
+    ) {
+        // The JSON-compatible subset must round-trip through *every* protocol
+        // and be correctly sniffed.
+        let call = RpcCall { method, params, id: Some(Value::Int(1)) };
+        for proto in [Protocol::XmlRpc, Protocol::Soap, Protocol::JsonRpc] {
+            let bytes = clarens_wire::encode_call(proto, &call);
+            prop_assert_eq!(Protocol::sniff(&bytes), Some(proto));
+            let back = clarens_wire::decode_call(proto, &bytes).unwrap();
+            prop_assert_eq!(&back.method, &call.method);
+            prop_assert_eq!(&back.params, &call.params);
+        }
+    }
+
+    #[test]
+    fn json_parser_never_panics(s in "\\PC{0,64}") {
+        let _ = json::parse(&s);
+    }
+
+    #[test]
+    fn xml_parser_never_panics(s in "\\PC{0,64}") {
+        let _ = clarens_wire::xml::parse(&s);
+    }
+
+    #[test]
+    fn base64_decoder_never_panics(s in "\\PC{0,64}") {
+        let _ = base64::decode(&s);
+    }
+
+    #[test]
+    fn datetime_unix_roundtrip(secs in -4_000_000_000i64..4_000_000_000) {
+        prop_assert_eq!(DateTime::from_unix(secs).to_unix(), secs);
+    }
+
+    #[test]
+    fn datetime_text_roundtrip(dt in datetime_strategy()) {
+        prop_assert_eq!(DateTime::parse(&dt.to_string()).unwrap(), dt);
+    }
+}

@@ -1,0 +1,116 @@
+//! Asynchronous job↔analyst messaging — the paper's §6 future-work IM
+//! architecture, implemented as an extension service.
+//!
+//! A batch "job" running behind NAT cannot accept connections, but it can
+//! make outbound HTTP calls; so it reports progress into its analyst's
+//! server-side mailbox and polls its own mailbox for steering commands.
+//!
+//! ```sh
+//! cargo run --example job_messaging
+//! ```
+
+use clarens::testkit::TestGrid;
+use clarens_wire::Value;
+
+fn main() {
+    let grid = TestGrid::start();
+    println!("Clarens server at http://{}\n", grid.addr());
+
+    let analyst_dn = grid.admin.certificate.subject.to_string();
+    let job_dn = grid.user.certificate.subject.to_string();
+
+    // The "job": a thread that processes work units, reports progress via
+    // im.send, and polls for steering between units.
+    let job_addr = grid.addr();
+    let job_credential = grid.user.clone();
+    let analyst_dn_for_job = analyst_dn.clone();
+    let job = std::thread::spawn(move || {
+        let mut client = clarens::ClarensClient::new(job_addr).with_credential(job_credential);
+        client.login().expect("job login");
+        for unit in 0..20 {
+            // "Process" a work unit.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            client
+                .call(
+                    "im.send",
+                    vec![
+                        Value::from(analyst_dn_for_job.clone()),
+                        Value::from(format!("unit {unit}: 10k events reconstructed")),
+                    ],
+                )
+                .expect("progress report");
+            // Check for steering.
+            let inbox = client.call("im.poll", vec![Value::Int(10)]).expect("poll");
+            for message in inbox.as_array().unwrap() {
+                let body = message.get("body").unwrap().as_str().unwrap();
+                println!("  [job] received steering: {body:?}");
+                if body == "stop" {
+                    client
+                        .call(
+                            "im.send",
+                            vec![
+                                Value::from(analyst_dn_for_job.clone()),
+                                Value::from(format!("stopped after unit {unit}")),
+                            ],
+                        )
+                        .expect("final report");
+                    return unit;
+                }
+            }
+        }
+        19
+    });
+
+    // The "analyst": watches progress, then tells the job to stop.
+    let mut analyst = grid.logged_in_client(&grid.admin);
+    let mut seen = 0;
+    while seen < 5 {
+        let inbox = analyst.call("im.poll", vec![Value::Int(50)]).unwrap();
+        for message in inbox.as_array().unwrap() {
+            println!(
+                "[analyst] {}: {}",
+                message
+                    .get("from")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .rsplit('=')
+                    .next()
+                    .unwrap(),
+                message.get("body").unwrap().as_str().unwrap()
+            );
+            seen += 1;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    println!("[analyst] five progress reports seen — sending 'stop'");
+    analyst
+        .call("im.send", vec![Value::from(job_dn), Value::from("stop")])
+        .unwrap();
+
+    let stopped_at = job.join().unwrap();
+    // Drain the final acknowledgement.
+    loop {
+        let inbox = analyst.call("im.poll", vec![Value::Int(50)]).unwrap();
+        let messages = inbox.as_array().unwrap().to_vec();
+        let done = messages.iter().any(|m| {
+            m.get("body")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .starts_with("stopped after")
+        });
+        for message in &messages {
+            println!(
+                "[analyst] {}",
+                message.get("body").unwrap().as_str().unwrap()
+            );
+        }
+        if done {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    println!("\nJob stopped at unit {stopped_at} by asynchronous steering. Done.");
+    grid.cleanup();
+}

@@ -1,0 +1,64 @@
+//! Quickstart: bring up a complete Clarens server (CA, credentials, core
+//! services) and talk to it with the client API.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use clarens::testkit::TestGrid;
+use clarens_wire::{Protocol, Value};
+
+fn main() {
+    // A TestGrid is a miniature deployment: a CA, a server credential, two
+    // user credentials, and a running server with all built-in services
+    // (system, echo, file, shell, proxy, vo, acl).
+    println!("Starting a Clarens server (generating the PKI)...");
+    let grid = TestGrid::start();
+    println!("Server listening on http://{}", grid.addr());
+    println!("Server DN: {}", grid.server_credential.certificate.subject);
+
+    // Authenticate with a certificate: the client signs a challenge with
+    // its key and presents its chain; the server returns a session id.
+    let mut client = grid.client(&grid.user);
+    let session = client.login().expect("certificate login");
+    println!("\nLogged in as {}", grid.user.certificate.subject);
+    println!("Session: {}...", &session[..16]);
+
+    // The Figure-4 method: list every registered method.
+    let methods = client.list_methods().expect("list_methods");
+    println!("\nThe server exports {} methods, e.g.:", methods.len());
+    for method in methods.iter().take(8) {
+        println!("  {method}");
+    }
+
+    // Call a couple of services.
+    let sum = client
+        .call("echo.sum", vec![Value::Int(40), Value::Int(2)])
+        .expect("echo.sum");
+    println!("\necho.sum(40, 2) = {sum}");
+
+    let who = client.call("system.whoami", vec![]).expect("whoami");
+    println!("system.whoami() = {who}");
+
+    // The same server speaks JSON-RPC and SOAP too.
+    for protocol in [Protocol::JsonRpc, Protocol::Soap] {
+        let mut alt = grid.client(&grid.user).with_protocol(protocol);
+        alt.login().expect("login");
+        let pong = alt.call("system.ping", vec![]).expect("ping");
+        println!("system.ping() over {protocol:?} = {pong}");
+    }
+
+    // Use the file service.
+    grid.write_file("/data/hello.txt", b"hello from the grid");
+    let bytes = client
+        .file_read("/data/hello.txt", 0, 1024)
+        .expect("file.read");
+    println!(
+        "\nfile.read(/data/hello.txt) = {:?}",
+        String::from_utf8_lossy(&bytes)
+    );
+
+    client.logout().expect("logout");
+    println!("\nLogged out. Shutting down.");
+    grid.cleanup();
+}

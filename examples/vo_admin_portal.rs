@@ -1,0 +1,111 @@
+//! VO administration and portal walkthrough: builds the exact group tree
+//! from the paper's Figure 2 (admins root; top-level A, B, C; second level
+//! A.1, A.2, A.3), delegates administration, exercises the hierarchical
+//! membership rules, and renders the portal pages a browser user would
+//! see (paper §3).
+//!
+//! ```sh
+//! cargo run --example vo_admin_portal
+//! ```
+
+use clarens::testkit::TestGrid;
+use clarens_wire::Value;
+
+fn main() {
+    let grid = TestGrid::start();
+    println!("Clarens server at http://{}\n", grid.addr());
+
+    let mut admin = grid.logged_in_client(&grid.admin);
+    let user_dn = grid.user.certificate.subject.to_string();
+
+    // --- Figure 2: the group tree.
+    println!("Building the Figure-2 VO tree:");
+    for group in ["A", "B", "C", "A.1", "A.2", "A.3"] {
+        admin
+            .call("vo.create_group", vec![Value::from(group)])
+            .unwrap();
+        println!("  created group {group}");
+    }
+
+    // Delegate: uma becomes an admin of branch A.
+    admin
+        .call(
+            "vo.add_admin",
+            vec![Value::from("A"), Value::from(user_dn.clone())],
+        )
+        .unwrap();
+    println!("\nDelegated: {user_dn} is now an admin of branch A");
+
+    // The branch admin manages members of A.1 without being a site admin.
+    let mut branch_admin = grid.logged_in_client(&grid.user);
+    branch_admin
+        .call(
+            "vo.add_member",
+            vec![
+                Value::from("A.1"),
+                Value::from("/O=cern.ch/OU=People/CN=collab"),
+            ],
+        )
+        .unwrap();
+    branch_admin
+        .call(
+            "vo.add_member",
+            vec![Value::from("A"), Value::from("/O=fnal.gov/OU=People")],
+        )
+        .unwrap();
+    println!("Branch admin added members to A and A.1");
+
+    // ...but cannot touch branch B.
+    match branch_admin.call(
+        "vo.add_member",
+        vec![Value::from("B"), Value::from("/O=x/CN=y")],
+    ) {
+        Err(e) => println!("Branch admin denied on B as expected: {e}"),
+        Ok(_) => panic!("privilege isolation failed"),
+    }
+
+    // Hierarchical membership: a member of A is automatically a member of
+    // A.1/A.2/A.3 (paper §2.1).
+    println!("\nHierarchical membership (member entry /O=fnal.gov/OU=People on A):");
+    for group in ["A", "A.1", "A.2", "A.3", "B"] {
+        let is_member = branch_admin
+            .call(
+                "vo.is_member",
+                vec![
+                    Value::from(group),
+                    Value::from("/O=fnal.gov/OU=People/CN=Some Physicist"),
+                ],
+            )
+            .unwrap();
+        println!("  member of {group:<4}? {is_member}");
+    }
+
+    // Inspect a group record.
+    let info = admin.call("vo.group_info", vec![Value::from("A")]).unwrap();
+    println!("\nvo.group_info(A) = {info}");
+
+    // --- Portal pages (server-rendered HTML).
+    println!("\nPortal pages as seen by the branch admin:");
+    for page in ["/", "/portal/vo", "/portal/methods"] {
+        let (status, html) = branch_admin.get_page(page).unwrap();
+        let title = html
+            .split("<h1>")
+            .nth(1)
+            .and_then(|rest| rest.split("</h1>").next())
+            .unwrap_or("?");
+        println!(
+            "  GET {page:<18} -> {status} ({title}, {} bytes)",
+            html.len()
+        );
+    }
+
+    // The VO page contains the tree we built.
+    let (_, vo_html) = branch_admin.get_page("/portal/vo").unwrap();
+    for group in ["A.1", "A.2", "A.3"] {
+        assert!(vo_html.contains(group), "portal missing group {group}");
+    }
+    println!("\nThe VO portal page lists all {} groups.", 7);
+
+    grid.cleanup();
+    println!("Done.");
+}
