@@ -157,7 +157,7 @@ fn gt3() {
 
     // GT3-like path: connection per call, per-message GSI auth, per-call
     // container boot, multi-pass message handling.
-    let (root, credential) = gt3_baseline::test_credentials(0x61 as u64);
+    let (root, credential) = gt3_baseline::test_credentials(0x61_u64);
     let server = gt3_baseline::Gt3Server::start(
         "127.0.0.1:0",
         gt3_baseline::Gt3Config::default(),

@@ -121,7 +121,7 @@ impl Service for FileService {
                 let name = params::string(params_in, 0, "name")?;
                 let offset = params::int(params_in, 1, "offset")?;
                 let nbytes = params::int(params_in, 2, "nbytes")?;
-                if offset < 0 || nbytes < 0 || nbytes > MAX_READ {
+                if offset < 0 || !(0..=MAX_READ).contains(&nbytes) {
                     return Err(Fault::bad_params("offset/nbytes out of range"));
                 }
                 let (_, real) = self.authorize(ctx, &name, FileAccess::Read)?;

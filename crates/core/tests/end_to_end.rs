@@ -326,7 +326,7 @@ fn file_acl_enforced_on_get_and_rpc() {
     core.acl.set_file_acl(
         "/secret",
         &FileAcl {
-            read: Acl::deny_dn(&grid.user.certificate.subject.to_string()),
+            read: Acl::deny_dn(grid.user.certificate.subject.to_string()),
             write: Acl::default(),
         },
     );

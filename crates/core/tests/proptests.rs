@@ -60,14 +60,9 @@ proptest! {
         let (engine, vo) = fresh_engine();
         // Grant everything at every ancestor level...
         let mut node = method.clone();
-        loop {
-            match node.rfind('.') {
-                Some(pos) => {
-                    node = node[..pos].to_owned();
-                    engine.set_method_acl(&node, &Acl::allow_dn("*"));
-                }
-                None => break,
-            }
+        while let Some(pos) = node.rfind('.') {
+            node = node[..pos].to_owned();
+            engine.set_method_acl(&node, &Acl::allow_dn("*"));
         }
         engine.set_method_acl(&method, &Acl::allow_dn("*"));
         prop_assert!(engine.check_method(&method, &dn, &vo));
@@ -88,7 +83,7 @@ proptest! {
         suffix in proptest::collection::vec("[a-z]{1,5}", 1..3),
     ) {
         let (engine, vo) = fresh_engine();
-        engine.set_method_acl(&module, &Acl::allow_dn(&dn.to_string()));
+        engine.set_method_acl(&module, &Acl::allow_dn(dn.to_string()));
         let method = format!("{module}.{}", suffix.join("."));
         prop_assert!(engine.check_method(&method, &dn, &vo));
         // A different module stays denied.

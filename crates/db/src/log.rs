@@ -14,7 +14,7 @@
 //! server failures or restarts transparently" (paper §2).
 
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{self, BufReader, BufWriter, Read, Seek, Write};
 use std::path::Path;
 
 use crate::crc32::crc32;
@@ -235,7 +235,7 @@ pub fn recover(path: &Path) -> io::Result<Recovery> {
             }
         }
         offset += 4 + len as u64 + 4;
-        let _ = reader.seek(SeekFrom::Current(0));
+        let _ = reader.stream_position();
     }
 }
 

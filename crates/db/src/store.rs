@@ -127,7 +127,7 @@ impl Store {
         self.buckets
             .read()
             .get(bucket)
-            .map_or(false, |b| b.contains_key(key))
+            .is_some_and(|b| b.contains_key(key))
     }
 
     /// Delete a key. Returns whether it existed.
@@ -143,7 +143,7 @@ impl Store {
             .buckets
             .write()
             .get_mut(bucket)
-            .map_or(false, |b| b.remove(key).is_some()))
+            .is_some_and(|b| b.remove(key).is_some()))
     }
 
     /// All `(key, value)` pairs in a bucket whose keys start with `prefix`

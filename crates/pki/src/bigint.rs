@@ -143,7 +143,7 @@ impl BigUint {
 
     /// Is the low bit set?
     pub fn is_odd(&self) -> bool {
-        self.limbs.first().map_or(false, |&l| l & 1 == 1)
+        self.limbs.first().is_some_and(|&l| l & 1 == 1)
     }
 
     /// Is the low bit clear (true for zero)?
@@ -163,7 +163,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
         let off = i % 64;
-        self.limbs.get(limb).map_or(false, |&l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|&l| (l >> off) & 1 == 1)
     }
 
     /// Cast to u64 if it fits.
@@ -184,9 +184,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(longer.len() + 1);
         let mut carry = 0u64;
-        for i in 0..longer.len() {
+        for (i, &limb) in longer.iter().enumerate() {
             let b = shorter.get(i).copied().unwrap_or(0);
-            let (s1, c1) = longer[i].overflowing_add(b);
+            let (s1, c1) = limb.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);

@@ -228,13 +228,13 @@ impl Certificate {
                 "key-n" => {
                     key_n = Some(
                         BigUint::from_hex(value)
-                            .ok_or_else(|| CertError::Malformed(format!("bad key-n")))?,
+                            .ok_or_else(|| CertError::Malformed("bad key-n".to_string()))?,
                     )
                 }
                 "key-e" => {
                     key_e = Some(
                         BigUint::from_hex(value)
-                            .ok_or_else(|| CertError::Malformed(format!("bad key-e")))?,
+                            .ok_or_else(|| CertError::Malformed("bad key-e".to_string()))?,
                     )
                 }
                 "kind" => {
@@ -273,7 +273,7 @@ impl Certificate {
 }
 
 fn hex_to_bytes(text: &str) -> Option<Vec<u8>> {
-    if text.len() % 2 != 0 {
+    if !text.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::with_capacity(text.len() / 2);
@@ -621,8 +621,8 @@ mod tests {
             .verify_signature(&ca.certificate.public_key)
             .unwrap();
         let id = verify_chain(
-            &[user.certificate.clone()],
-            &[ca.certificate.clone()],
+            std::slice::from_ref(&user.certificate),
+            std::slice::from_ref(&ca.certificate),
             NOW + DAY,
         )
         .unwrap();
@@ -635,11 +635,15 @@ mod tests {
         let user = user_credential(&ca, "/O=x/CN=u", 5);
         let roots = [ca.certificate.clone()];
         assert_eq!(
-            verify_chain(&[user.certificate.clone()], &roots, NOW + 366 * DAY),
+            verify_chain(
+                std::slice::from_ref(&user.certificate),
+                &roots,
+                NOW + 366 * DAY
+            ),
             Err(CertError::Expired)
         );
         assert_eq!(
-            verify_chain(&[user.certificate.clone()], &roots, NOW - 1),
+            verify_chain(std::slice::from_ref(&user.certificate), &roots, NOW - 1),
             Err(CertError::Expired)
         );
     }
@@ -652,7 +656,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let other_ca = CertificateAuthority::new(&mut rng, dn("/O=cern.ch/CN=Other CA"), NOW, 3650);
         match verify_chain(
-            &[user.certificate.clone()],
+            std::slice::from_ref(&user.certificate),
             &[other_ca.certificate],
             NOW + 1,
         ) {
@@ -691,7 +695,7 @@ mod tests {
         // Chain: proxy -> user -> CA root.
         let mut chain = vec![proxy.certificate.clone()];
         chain.extend(proxy.chain.clone());
-        let id = verify_chain(&chain, &[ca.certificate.clone()], NOW + 20).unwrap();
+        let id = verify_chain(&chain, std::slice::from_ref(&ca.certificate), NOW + 20).unwrap();
         // The effective identity is the *user*, not the proxy.
         assert_eq!(id, user.certificate.subject);
         assert_eq!(proxy.identity(), &user.certificate.subject);
@@ -710,7 +714,7 @@ mod tests {
         );
         let mut chain = vec![p2.certificate.clone()];
         chain.extend(p2.chain.clone());
-        let id = verify_chain(&chain, &[ca.certificate.clone()], NOW + 5).unwrap();
+        let id = verify_chain(&chain, std::slice::from_ref(&ca.certificate), NOW + 5).unwrap();
         assert_eq!(id, user.certificate.subject);
     }
 
@@ -724,7 +728,7 @@ mod tests {
         chain.extend(proxy.chain.clone());
         // After the proxy lifetime but well within the user cert lifetime.
         assert_eq!(
-            verify_chain(&chain, &[ca.certificate.clone()], NOW + 7200),
+            verify_chain(&chain, std::slice::from_ref(&ca.certificate), NOW + 7200),
             Err(CertError::Expired)
         );
     }
@@ -760,7 +764,7 @@ mod tests {
         };
         let mut chain = vec![rogue, proxy.certificate.clone()];
         chain.extend(proxy.chain.clone());
-        match verify_chain(&chain, &[ca.certificate.clone()], NOW + 1) {
+        match verify_chain(&chain, std::slice::from_ref(&ca.certificate), NOW + 1) {
             Err(CertError::InvalidChain(msg)) => {
                 assert!(msg.contains("cannot be issued"), "{msg}")
             }
@@ -796,7 +800,7 @@ mod tests {
             signature: user.key.sign(&tbs),
         };
         let chain = vec![bad_proxy, user.certificate.clone()];
-        match verify_chain(&chain, &[ca.certificate.clone()], NOW + 1) {
+        match verify_chain(&chain, std::slice::from_ref(&ca.certificate), NOW + 1) {
             Err(CertError::InvalidChain(msg)) => assert!(msg.contains("extend"), "{msg}"),
             other => panic!("unexpected {other:?}"),
         }
@@ -822,7 +826,7 @@ mod tests {
         let user_kp = rsa::generate(&mut rng, rsa::DEFAULT_KEY_BITS);
         let user_cert = inter.issue(dn("/O=org/CN=frank"), &user_kp.public, NOW, 365);
         let chain = vec![user_cert, inter_cert];
-        let id = verify_chain(&chain, &[root.certificate.clone()], NOW + 1).unwrap();
+        let id = verify_chain(&chain, std::slice::from_ref(&root.certificate), NOW + 1).unwrap();
         assert_eq!(id.to_string(), "/O=org/CN=frank");
     }
 
@@ -869,6 +873,6 @@ mod tests {
     #[test]
     fn empty_chain_rejected() {
         let ca = test_ca(33);
-        assert!(verify_chain(&[], &[ca.certificate.clone()], NOW).is_err());
+        assert!(verify_chain(&[], std::slice::from_ref(&ca.certificate), NOW).is_err());
     }
 }

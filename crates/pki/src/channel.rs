@@ -538,15 +538,15 @@ mod tests {
         }
     }
 
+    type ClientResult = Result<SecureStream<TcpStream>, ChannelError>;
+    type ServerResult = Result<(SecureStream<TcpStream>, Vec<Certificate>), ChannelError>;
+
     /// Run client and server handshakes over a real TCP socket pair.
     fn handshake_pair(
         pki: &TestPki,
         client_cred: &Credential,
         now: i64,
-    ) -> (
-        Result<SecureStream<TcpStream>, ChannelError>,
-        Result<(SecureStream<TcpStream>, Vec<Certificate>), ChannelError>,
-    ) {
+    ) -> (ClientResult, ServerResult) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let roots = vec![pki.ca.certificate.clone()];

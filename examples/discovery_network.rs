@@ -138,9 +138,8 @@ fn main() {
 
     aggregator.shutdown();
     for station in stations {
-        match Arc::try_unwrap(station) {
-            Ok(s) => s.shutdown(),
-            Err(_) => {}
+        if let Ok(s) = Arc::try_unwrap(station) {
+            s.shutdown()
         }
     }
     println!("Done.");

@@ -1,0 +1,174 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the bench targets use (`benchmark_group`,
+//! `sample_size`, `measurement_time`, `throughput`, `bench_function`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros) as
+//! a plain timing harness: each benchmark is warmed up briefly, then timed
+//! over `sample_size` samples within the configured measurement window, and
+//! the median ns/iter (plus derived throughput) is printed. No statistics,
+//! plots, or baselines — enough to observe relative performance offline.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("default");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: find an iteration count that takes ~1/sample_size of the
+        // measurement window, starting from a single iteration.
+        let target_sample = self.measurement_time.div_f64(self.sample_size as f64);
+        f(&mut bencher);
+        let mut per_iter = bencher.elapsed.div_f64(bencher.iters as f64);
+        if per_iter.is_zero() {
+            per_iter = Duration::from_nanos(1);
+        }
+        let iters_per_sample =
+            (target_sample.as_secs_f64() / per_iter.as_secs_f64()).clamp(1.0, 1e9) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
+            // Never run more than ~2x the requested window even if the
+            // workload slowed down after warm-up.
+            if started.elapsed() > self.measurement_time * 2 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let ns = median * 1e9;
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let mib_s = bytes as f64 / median / (1024.0 * 1024.0);
+                println!("  {name}: {ns:.0} ns/iter ({mib_s:.1} MiB/s)");
+            }
+            Some(Throughput::Elements(n)) => {
+                let elem_s = n as f64 / median;
+                println!("  {name}: {ns:.0} ns/iter ({elem_s:.0} elem/s)");
+            }
+            None => {
+                let per_s = 1e9 / ns;
+                println!("  {name}: {ns:.0} ns/iter ({per_s:.0} iters/s)");
+            }
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Prevents the optimizer from eliding a value (re-export of `std::hint`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_a_cheap_closure() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("test");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50));
+        let mut count = 0u64;
+        group.bench_function("increment", |b| b.iter(|| count += 1));
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Fixed-size array strategies.
+
+use crate::{Strategy, TestRng};
+
+#[derive(Clone, Debug)]
+pub struct UniformArray<S, const N: usize>(S);
+
+/// `[S::Value; 32]` with each element drawn independently from `strategy`.
+pub fn uniform32<S: Strategy>(strategy: S) -> UniformArray<S, 32> {
+    UniformArray(strategy)
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.0.generate(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform32;
+    use crate::{any, Strategy, TestRng};
+
+    #[test]
+    fn fills_all_elements() {
+        let mut rng = TestRng::seed(9);
+        let arr: [u8; 32] = uniform32(any::<u8>()).generate(&mut rng);
+        assert!(arr.iter().any(|&b| b != 0));
+    }
+}

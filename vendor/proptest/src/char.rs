@@ -1,0 +1,59 @@
+//! Character strategies.
+
+use crate::{Strategy, TestRng};
+
+#[derive(Clone, Copy, Debug)]
+pub struct CharRange {
+    lo: u32,
+    hi: u32,
+}
+
+/// Uniform characters in the inclusive range `[lo, hi]`.
+pub fn range(lo: char, hi: char) -> CharRange {
+    assert!(lo <= hi, "empty char range");
+    CharRange {
+        lo: lo as u32,
+        hi: hi as u32,
+    }
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> char {
+        // Retry codepoints that fall in the surrogate gap; every valid
+        // range contains at least one scalar value, so this terminates.
+        loop {
+            let code = self.lo + rng.below((self.hi - self.lo + 1) as u64) as u32;
+            if let Some(c) = std::primitive::char::from_u32(code) {
+                return c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::range;
+    use crate::{Strategy, TestRng};
+
+    #[test]
+    fn chars_stay_in_range() {
+        let mut rng = TestRng::seed(7);
+        let strategy = range(' ', '~');
+        for _ in 0..200 {
+            let c = strategy.generate(&mut rng);
+            assert!((' '..='~').contains(&c));
+        }
+    }
+
+    #[test]
+    fn multibyte_range() {
+        let mut rng = TestRng::seed(8);
+        let strategy = range('А', 'я');
+        for _ in 0..100 {
+            let c = strategy.generate(&mut rng);
+            assert!(('А'..='я').contains(&c));
+        }
+    }
+}

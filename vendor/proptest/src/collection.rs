@@ -1,0 +1,116 @@
+//! Collection strategies: `vec`, `btree_map`, `btree_set`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let count = sample_size(&self.size, rng);
+        (0..count).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: Range<usize>,
+}
+
+pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy { keys, values, size }
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let count = sample_size(&self.size, rng);
+        // Duplicate keys collapse, so the map may be smaller than `count`;
+        // real proptest has the same property.
+        (0..count)
+            .map(|_| (self.keys.generate(rng), self.values.generate(rng)))
+            .collect()
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let count = sample_size(&self.size, rng);
+        (0..count).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+fn sample_size(size: &Range<usize>, rng: &mut TestRng) -> usize {
+    assert!(size.start < size.end, "empty collection size range");
+    size.start + rng.below((size.end - size.start) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::seed(5);
+        let strategy = vec(any::<u8>(), 2..6);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_collections_generate() {
+        let mut rng = TestRng::seed(6);
+        let m = btree_map("[a-z]{1,3}", any::<u8>(), 0..8).generate(&mut rng);
+        assert!(m.len() < 8);
+        let s = btree_set("[a-z]{1,3}", 1..8).generate(&mut rng);
+        assert!(!s.is_empty() && s.len() < 8);
+    }
+}

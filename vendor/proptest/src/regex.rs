@@ -1,0 +1,342 @@
+//! Mini regex *generator*: parses the small pattern language the workspace's
+//! property tests use and produces random matching strings.
+//!
+//! Supported syntax: literals, `\`-escapes (including `\PC` = any
+//! non-control character, as in proptest), `.`, character classes
+//! `[a-z0-9._@-]` (ranges and literals, no negation), groups with
+//! alternation `(a|bc)`, and the quantifiers `?`, `*`, `+`, `{n}`, `{m,n}`.
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// `.` or `\PC`: any non-control character.
+    AnyPrintable,
+    /// Inclusive character ranges; single chars are degenerate ranges.
+    Class(Vec<(char, char)>),
+    /// Alternatives, each a sequence.
+    Group(Vec<Vec<Node>>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        }
+    }
+
+    fn fail(&self, message: &str) -> ! {
+        panic!("unsupported regex pattern {:?}: {message}", self.pattern)
+    }
+
+    fn parse_alternatives(&mut self) -> Vec<Vec<Node>> {
+        let mut alternatives = vec![self.parse_sequence()];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            alternatives.push(self.parse_sequence());
+        }
+        alternatives
+    }
+
+    fn parse_sequence(&mut self) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            nodes.push(self.parse_quantifier(atom));
+        }
+        nodes
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next() {
+            Some('(') => {
+                let alternatives = self.parse_alternatives();
+                if self.chars.next() != Some(')') {
+                    self.fail("unterminated group");
+                }
+                Node::Group(alternatives)
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => self.parse_escape(),
+            Some('.') => Node::AnyPrintable,
+            Some(c) if c == '*' || c == '+' || c == '?' || c == '{' => {
+                self.fail("dangling quantifier")
+            }
+            Some(c) => Node::Literal(c),
+            None => self.fail("unexpected end of pattern"),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Node {
+        match self.chars.next() {
+            Some('P') => {
+                // proptest spells "any non-control char" as \PC.
+                match self.chars.next() {
+                    Some('C') => Node::AnyPrintable,
+                    _ => self.fail("unsupported \\P class"),
+                }
+            }
+            Some('d') => Node::Class(vec![('0', '9')]),
+            Some('w') => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            Some('s') => Node::Class(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')]),
+            Some('n') => Node::Literal('\n'),
+            Some('t') => Node::Literal('\t'),
+            Some('r') => Node::Literal('\r'),
+            Some(c) => Node::Literal(c),
+            None => self.fail("trailing backslash"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.chars.next() {
+                Some(']') => break,
+                Some('\\') => match self.parse_escape() {
+                    Node::Literal(c) => c,
+                    Node::Class(mut escaped) => {
+                        ranges.append(&mut escaped);
+                        continue;
+                    }
+                    _ => self.fail("unsupported escape in class"),
+                },
+                Some(c) => c,
+                None => self.fail("unterminated character class"),
+            };
+            // `a-z` range, unless `-` is the final literal before `]`.
+            if self.chars.peek() == Some(&'-') {
+                let mut lookahead = self.chars.clone();
+                lookahead.next();
+                match lookahead.peek() {
+                    Some(&']') | None => ranges.push((c, c)),
+                    Some(_) => {
+                        self.chars.next();
+                        let end = match self.chars.next() {
+                            Some('\\') => match self.parse_escape() {
+                                Node::Literal(e) => e,
+                                _ => self.fail("unsupported escape in class range"),
+                            },
+                            Some(e) => e,
+                            None => self.fail("unterminated class range"),
+                        };
+                        if end < c {
+                            self.fail("descending class range");
+                        }
+                        ranges.push((c, end));
+                    }
+                }
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            self.fail("empty character class");
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Node {
+        match self.chars.peek() {
+            Some('?') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            Some('{') => {
+                self.chars.next();
+                let min = self.parse_number();
+                let max = match self.chars.next() {
+                    Some('}') => min,
+                    Some(',') => {
+                        let max = self.parse_number();
+                        if self.chars.next() != Some('}') {
+                            self.fail("unterminated repetition");
+                        }
+                        max
+                    }
+                    _ => self.fail("malformed repetition"),
+                };
+                if max < min {
+                    self.fail("descending repetition bounds");
+                }
+                Node::Repeat(Box::new(atom), min, max)
+            }
+            _ => atom,
+        }
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let mut value: u32 = 0;
+        let mut digits = 0;
+        while let Some(c) = self.chars.peek().copied() {
+            if let Some(d) = c.to_digit(10) {
+                value = value.saturating_mul(10).saturating_add(d);
+                digits += 1;
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        if digits == 0 {
+            self.fail("expected number in repetition");
+        }
+        value
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::AnyPrintable => out.push(any_printable(rng)),
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let size = *hi as u64 - *lo as u64 + 1;
+                if pick < size {
+                    // Ranges in test patterns never straddle surrogates, but
+                    // fall back to the range start rather than panic.
+                    let code = *lo as u32 + pick as u32;
+                    out.push(std::char::from_u32(code).unwrap_or(*lo));
+                    return;
+                }
+                pick -= size;
+            }
+        }
+        Node::Group(alternatives) => {
+            let index = rng.below(alternatives.len() as u64) as usize;
+            for child in &alternatives[index] {
+                emit(child, rng, out);
+            }
+        }
+        Node::Repeat(inner, min, max) => {
+            let count = *min as u64 + rng.below(*max as u64 - *min as u64 + 1);
+            for _ in 0..count {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Any non-control character: mostly printable ASCII, with occasional
+/// Latin-1 and multibyte (Cyrillic) characters to exercise UTF-8 paths.
+fn any_printable(rng: &mut TestRng) -> char {
+    match rng.below(20) {
+        0..=15 => std::char::from_u32(' ' as u32 + rng.below(95) as u32).unwrap(),
+        16..=17 => std::char::from_u32(0x00A1 + rng.below(0x5F) as u32).unwrap(),
+        18 => std::char::from_u32(0x0410 + rng.below(0x40) as u32).unwrap(),
+        _ => ['§', '€', '→', '中', '𝒳'][rng.below(5) as usize],
+    }
+}
+
+/// Generate one random string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser::new(pattern);
+    let alternatives = parser.parse_alternatives();
+    if parser.chars.next().is_some() {
+        parser.fail("unbalanced ')'");
+    }
+    let mut out = String::new();
+    let index = rng.below(alternatives.len() as u64) as usize;
+    for node in &alternatives[index] {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::TestRng;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::seed(42);
+        (0..n).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_repeat() {
+        for s in samples("[a-z]{1,4}", 100) {
+            assert!((1..=4).contains(&s.len()), "bad length: {s:?}");
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn alternation_groups() {
+        for s in samples("(C|ST|L|O|OU|CN|DC)", 100) {
+            assert!(["C", "ST", "L", "O", "OU", "CN", "DC"].contains(&s.as_str()));
+        }
+    }
+
+    #[test]
+    fn nested_group_repeat() {
+        for s in samples("[a-z][a-z0-9_]{0,8}(\\.[a-z][a-z0-9_]{0,8}){0,2}", 200) {
+            assert!(s.split('.').count() <= 3, "{s:?}");
+            for part in s.split('.') {
+                assert!(!part.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn optional_group() {
+        for s in samples(
+            "[A-Za-z0-9._@-]([A-Za-z0-9 ._@-]{0,10}[A-Za-z0-9._@-])?",
+            200,
+        ) {
+            assert!(!s.is_empty());
+            assert!(!s.starts_with(' ') && !s.ends_with(' '), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        for s in samples("[ -~]{0,30}", 100) {
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let all: String = samples("[a-b-]{1,1}", 300).concat();
+        assert!(all.contains('-'));
+        assert!(all.chars().all(|c| c == 'a' || c == 'b' || c == '-'));
+    }
+
+    #[test]
+    fn non_control_class() {
+        for s in samples("\\PC{0,40}", 200) {
+            assert!(s.len() <= 4 * 40);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_count() {
+        for s in samples("x{3}", 20) {
+            assert_eq!(s, "xxx");
+        }
+    }
+}
