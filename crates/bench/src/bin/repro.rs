@@ -67,7 +67,9 @@ fn fig4(point: Duration) {
     header("Figure 4 — requests/second vs concurrent clients (system.list_methods, XML-RPC)");
     println!("Workload per the paper: every request passes the session check and the");
     println!("method ACL check, scans the method registry in the DB (30+ methods), and");
-    println!("serializes the names as an XML-RPC string array. No server-side caching.\n");
+    println!("serializes the names as an XML-RPC string array. The method-registry scan");
+    println!("is deliberately uncached, as the paper stresses; the session/ACL checks use");
+    println!("the epoch-invalidated auth caches (disable with auth_cache: false).\n");
 
     let grid = bench_grid();
     let session = bench_session(&grid);
@@ -99,6 +101,12 @@ fn fig4(point: Duration) {
     println!(
         "DB activity: {} lookups + {} scans served (the paper's per-request DB lookups)",
         db_stats.lookups, db_stats.scans
+    );
+    let sessions = grid.core().sessions.cache_stats();
+    let decisions = grid.core().acl.decision_cache_stats();
+    println!(
+        "auth caches: sessions {}/{} hits/misses, ACL decisions {}/{} hits/misses",
+        sessions.hits, sessions.misses, decisions.hits, decisions.misses
     );
     println!("(paper, dual 2.8 GHz Xeon, 2005: average 1450 requests/sec, flat profile)");
     grid.cleanup();
@@ -320,49 +328,92 @@ fn discovery() {
     aggregator.shutdown();
 }
 
+/// Measurement rounds per Ablation-A sweep; each variant's fastest round
+/// is kept. An 8-client sweep on a small shared host is scheduler-noise-
+/// dominated (single points swing ±20%), so the variants are interleaved
+/// — a slow stretch of the machine hits every variant, not just one —
+/// and peak throughput is the comparable statistic.
+const ABLATION_ROUNDS: usize = 3;
+
+/// One request-path decomposition sweep (Ablation A rows) against a
+/// running grid; returns (echo, ping) rates for the auth-overhead gap.
+fn ablation_rows(grid: &clarens::testkit::TestGrid, point: Duration, clients: usize) -> (f64, f64) {
+    let session = bench_session(grid);
+    let addr = grid.addr();
+    let variants: [(&str, &str, &'static str); 4] = [
+        // Full Figure-4 path: session + ACL + DB scan + 30-string array.
+        (
+            "list_methods (session+ACL+DB scan)",
+            &session,
+            "system.list_methods",
+        ),
+        // Same checks, trivial payload: isolates the DB scan cost.
+        ("echo.echo (session+ACL, no DB scan)", &session, "echo.echo"),
+        // Public method WITH a session header: the session is resolved but
+        // no ACL walk runs — isolates the session check from the ACL check.
+        (
+            "system.ping (session check, no ACL)",
+            &session,
+            "system.ping",
+        ),
+        // Public method, no session header: no session lookup, no ACL walk.
+        ("system.ping (no session, no ACL)", "", "system.ping"),
+    ];
+    let mut best = [0.0f64; 4];
+    for _ in 0..ABLATION_ROUNDS {
+        for (i, (_, sess, method)) in variants.iter().enumerate() {
+            let p = measure_throughput(&addr, sess, clients, point, method, Protocol::XmlRpc);
+            best[i] = best[i].max(p.calls_per_sec);
+        }
+    }
+    for (i, (label, _, _)) in variants.iter().enumerate() {
+        println!("{:>44} {:>12.0}", label, best[i]);
+    }
+    let (echo, ping) = (best[1], best[3]);
+    println!(
+        "{:>44} {:>11.1}%",
+        "echo.echo gap below ping (auth overhead)",
+        (1.0 - echo / ping) * 100.0
+    );
+    (echo, ping)
+}
+
 /// Ablation: where does the request time go, and which GT3 overhead knob
 /// costs what.
 fn ablation(point: Duration) {
     header("Ablation A — Clarens request-path decomposition (8 clients)");
-    let grid = bench_grid();
-    let session = bench_session(&grid);
-    let addr = grid.addr();
     let clients = 8;
 
+    println!("with authorization caches (default configuration):");
     println!("{:>44} {:>12}", "variant", "calls/sec");
-    // Full Figure-4 path: session + ACL + DB scan + 30-string array.
-    let full = measure_throughput(
-        &addr,
-        &session,
-        clients,
-        point,
-        "system.list_methods",
-        Protocol::XmlRpc,
-    );
+    let grid = bench_grid();
+    let (echo_cached, ping_cached) = ablation_rows(&grid, point, clients);
+    let core = grid.core();
+    let sessions = core.sessions.cache_stats();
+    let decisions = core.acl.decision_cache_stats();
     println!(
-        "{:>44} {:>12.0}",
-        "list_methods (session+ACL+DB scan)", full.calls_per_sec
-    );
-    // Same checks, trivial payload: isolates the DB scan + serialization.
-    let echo = measure_throughput(
-        &addr,
-        &session,
-        clients,
-        point,
-        "echo.echo",
-        Protocol::XmlRpc,
-    );
-    println!(
-        "{:>44} {:>12.0}",
-        "echo.echo (session+ACL, no DB scan)", echo.calls_per_sec
-    );
-    // Public method, no session header: no session lookup, no ACL walk.
-    let ping = measure_throughput(&addr, "", clients, point, "system.ping", Protocol::XmlRpc);
-    println!(
-        "{:>44} {:>12.0}",
-        "system.ping (no session, no ACL)", ping.calls_per_sec
+        "cache counters: sessions {}/{} hits/misses, ACL decisions {}/{} hits/misses",
+        sessions.hits, sessions.misses, decisions.hits, decisions.misses
     );
 
+    println!("\nwithout caches (auth_cache: false — the paper's \"no caching\" server):");
+    println!("{:>44} {:>12}", "variant", "calls/sec");
+    let uncached_grid = clarens_bench::bench_grid_uncached();
+    let (echo_uncached, _) = ablation_rows(&uncached_grid, point, clients);
+    uncached_grid.cleanup();
+    println!(
+        "\ncaching speedup on the session+ACL path: {:.2}x (echo.echo {:.0} -> {:.0} calls/sec)",
+        echo_cached / echo_uncached,
+        echo_uncached,
+        echo_cached
+    );
+    println!(
+        "target: cached echo.echo within 5% of ping — measured gap {:.1}%",
+        (1.0 - echo_cached / ping_cached) * 100.0
+    );
+
+    let session = bench_session(&grid);
+    let addr = grid.addr();
     println!("\nAblation B — protocol comparison (echo.echo, 8 clients)");
     println!("{:>44} {:>12}", "protocol", "calls/sec");
     for (name, protocol) in [

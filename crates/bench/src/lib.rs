@@ -47,7 +47,11 @@ pub fn measure_throughput(
         let total = Arc::clone(&total);
         handles.push(std::thread::spawn(move || {
             let mut client = ClarensClient::new(addr).with_protocol(protocol);
-            client.set_session(session);
+            // An empty session means "anonymous client" — send no header at
+            // all rather than an empty one the server would look up.
+            if !session.is_empty() {
+                client.set_session(session);
+            }
             let mut local = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 let result = match method {
@@ -125,6 +129,17 @@ pub fn measure_throughput_tls(
 pub fn bench_grid() -> TestGrid {
     TestGrid::start_with(GridOptions {
         workers: 96,
+        ..Default::default()
+    })
+}
+
+/// Start the benchmark grid with the authorization caches disabled —
+/// the paper's original "No caching was performed on the server"
+/// configuration, kept for cached-vs-uncached comparison.
+pub fn bench_grid_uncached() -> TestGrid {
+    TestGrid::start_with(GridOptions {
+        workers: 96,
+        auth_cache: false,
         ..Default::default()
     })
 }

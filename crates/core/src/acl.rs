@@ -12,14 +12,26 @@
 //!
 //! File ACLs extend method ACLs "with two extra fields: read and write" —
 //! [`FileAcl`] carries an [`Acl`] per access kind.
+//!
+//! The engine layers epoch-invalidated caches over the store (see
+//! [`crate::cache`]): stored ACL records are *compiled* once — DN-prefix
+//! entries parsed into [`DistinguishedName`]s — and memoized per node
+//! tagged with the ACL bucket's generation, and full authorization
+//! decisions are memoized per `(node, DN)` tagged with the ACL *and* VO
+//! bucket generations, so a grant or revocation anywhere in either tree is
+//! visible on the very next check.
 
+use std::borrow::Cow;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use clarens_db::Store;
 use clarens_pki::dn::DistinguishedName;
 use clarens_wire::{json, Value};
 
-use crate::vo::VoManager;
+use crate::cache::{CacheStats, Sharded};
+use crate::vo::{VoManager, VO_BUCKET};
 
 /// DB bucket for method ACLs.
 pub const METHOD_ACL_BUCKET: &str = "acl.methods";
@@ -180,6 +192,84 @@ fn dn_match(dn: &DistinguishedName, entries: &[String]) -> bool {
     })
 }
 
+/// One compiled DN entry: the wildcard, or a parsed prefix.
+#[derive(Debug, Clone)]
+enum DnEntry {
+    /// [`ANY_DN`] — matches every authenticated DN.
+    Any,
+    /// A DN prefix, parsed once at compile time.
+    Prefix(DistinguishedName),
+}
+
+/// Parse a DN entry list once. Unparseable entries are dropped — exactly
+/// the matching behavior of [`dn_match`], which treats them as
+/// never-matching.
+fn compile_entries(entries: &[String]) -> Vec<DnEntry> {
+    entries
+        .iter()
+        .filter_map(|entry| {
+            if entry == ANY_DN {
+                Some(DnEntry::Any)
+            } else {
+                DistinguishedName::parse(entry).ok().map(DnEntry::Prefix)
+            }
+        })
+        .collect()
+}
+
+fn compiled_match(dn: &DistinguishedName, entries: &[DnEntry]) -> bool {
+    entries.iter().any(|entry| match entry {
+        DnEntry::Any => true,
+        DnEntry::Prefix(prefix) => dn.has_prefix(prefix),
+    })
+}
+
+/// An [`Acl`] with its DN-prefix entries pre-parsed, so a cached node
+/// evaluates without re-parsing every entry on every request.
+#[derive(Debug, Clone)]
+struct CompiledAcl {
+    order: Order,
+    allow_dns: Vec<DnEntry>,
+    allow_groups: Vec<String>,
+    deny_dns: Vec<DnEntry>,
+    deny_groups: Vec<String>,
+}
+
+impl CompiledAcl {
+    fn compile(acl: &Acl) -> CompiledAcl {
+        CompiledAcl {
+            order: acl.order,
+            allow_dns: compile_entries(&acl.allow_dns),
+            allow_groups: acl.allow_groups.clone(),
+            deny_dns: compile_entries(&acl.deny_dns),
+            deny_groups: acl.deny_groups.clone(),
+        }
+    }
+
+    fn evaluate(&self, dn: &DistinguishedName, vo: &VoManager) -> LevelDecision {
+        let allowed = compiled_match(dn, &self.allow_dns)
+            || self.allow_groups.iter().any(|g| vo.is_member(g, dn));
+        let denied = compiled_match(dn, &self.deny_dns)
+            || self.deny_groups.iter().any(|g| vo.is_member(g, dn));
+        match (allowed, denied) {
+            (false, false) => LevelDecision::Silent,
+            (true, false) => LevelDecision::Allow,
+            (false, true) => LevelDecision::Deny,
+            (true, true) => match self.order {
+                Order::AllowDeny => LevelDecision::Deny,
+                Order::DenyAllow => LevelDecision::Allow,
+            },
+        }
+    }
+}
+
+/// A compiled [`FileAcl`].
+#[derive(Debug, Clone)]
+struct CompiledFileAcl {
+    read: CompiledAcl,
+    write: CompiledAcl,
+}
+
 /// A file ACL: separate lists per access kind (paper §2.3).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FileAcl {
@@ -214,51 +304,94 @@ impl FileAcl {
     }
 }
 
-/// Split a method name into its hierarchy, most specific first:
-/// `module.submodule.method` → `[module.submodule.method,
-/// module.submodule, module]`.
-fn method_levels(method: &str) -> Vec<String> {
-    let mut out = vec![method.to_owned()];
-    let mut current = method;
-    while let Some(pos) = current.rfind('.') {
-        current = &current[..pos];
-        out.push(current.to_owned());
-    }
-    out
+/// Walk a method name's hierarchy, most specific first:
+/// `module.submodule.method` → `module.submodule.method`,
+/// `module.submodule`, `module`. Borrows from the input — no per-request
+/// allocation.
+fn method_levels(method: &str) -> impl Iterator<Item = &str> {
+    std::iter::successors(Some(method), |m| m.rfind('.').map(|pos| &m[..pos]))
 }
 
-/// Split a file path into its hierarchy, most specific first:
-/// `/a/b/c` → `[/a/b/c, /a/b, /a, /]`.
-fn path_levels(path: &str) -> Vec<String> {
-    let normalized = if path.starts_with('/') {
-        path.to_owned()
+/// Ensure a file path starts with `/`, borrowing when it already does
+/// (the common case: callers pass canonicalized paths).
+fn rooted(path: &str) -> Cow<'_, str> {
+    if path.starts_with('/') {
+        Cow::Borrowed(path)
     } else {
-        format!("/{path}")
-    };
-    let mut out = vec![normalized.clone()];
-    let mut current = normalized.as_str();
-    while let Some(pos) = current.rfind('/') {
-        if pos == 0 {
-            if current != "/" {
-                out.push("/".to_owned());
-            }
-            break;
-        }
-        current = &current[..pos];
-        out.push(current.to_owned());
+        Cow::Owned(format!("/{path}"))
     }
-    out
+}
+
+/// Walk a rooted file path's hierarchy, most specific first:
+/// `/a/b/c` → `/a/b/c`, `/a/b`, `/a`, `/`. Borrows from the input; the
+/// path must start with `/` (see [`rooted`]).
+fn path_levels(path: &str) -> impl Iterator<Item = &str> {
+    debug_assert!(path.starts_with('/'));
+    std::iter::successors(Some(path), |p| match p.rfind('/') {
+        Some(0) => (*p != "/").then_some("/"),
+        Some(pos) => Some(&p[..pos]),
+        None => None,
+    })
 }
 
 /// The ACL engine: stores ACLs in the DB and answers access questions.
+///
+/// With caching enabled (the default), the engine keeps two layers of
+/// epoch-invalidated state: compiled per-node records tagged with the ACL
+/// bucket generation, and `(node, DN) → bool` decisions tagged with the
+/// ACL and VO bucket generations. Any `put`/`delete` to either bucket
+/// moves the corresponding generation, so no stale grant can survive a
+/// revocation.
 pub struct AclEngine {
     store: Arc<Store>,
+    caching: bool,
+    method_gen: Arc<AtomicU64>,
+    file_gen: Arc<AtomicU64>,
+    vo_gen: Arc<AtomicU64>,
+    compiled_methods: Sharded<String, Option<Arc<CompiledAcl>>>,
+    compiled_files: Sharded<String, Option<Arc<CompiledFileAcl>>>,
+    method_decisions: Sharded<String, bool, (u64, u64)>,
+    file_decisions: Sharded<String, bool, (u64, u64)>,
 }
 
 impl AclEngine {
-    /// Create an engine over the shared store.
+    /// Create an engine over the shared store (caching enabled).
     pub fn new(store: Arc<Store>) -> Self {
-        AclEngine { store }
+        AclEngine::with_caching(store, true)
+    }
+
+    /// Create an engine with the cache layer explicitly on or off. With
+    /// caching off every check re-reads and re-parses the stored records,
+    /// which is the paper's original uncached behavior.
+    pub fn with_caching(store: Arc<Store>, caching: bool) -> Self {
+        let method_gen = store.generation_handle(METHOD_ACL_BUCKET);
+        let file_gen = store.generation_handle(FILE_ACL_BUCKET);
+        let vo_gen = store.generation_handle(VO_BUCKET);
+        AclEngine {
+            store,
+            caching,
+            method_gen,
+            file_gen,
+            vo_gen,
+            compiled_methods: Sharded::new(),
+            compiled_files: Sharded::new(),
+            method_decisions: Sharded::new(),
+            file_decisions: Sharded::new(),
+        }
+    }
+
+    /// Hit/miss counters of the compiled-node caches (method + file).
+    pub fn node_cache_stats(&self) -> CacheStats {
+        self.compiled_methods
+            .stats()
+            .merged(self.compiled_files.stats())
+    }
+
+    /// Hit/miss counters of the decision caches (method + file).
+    pub fn decision_cache_stats(&self) -> CacheStats {
+        self.method_decisions
+            .stats()
+            .merged(self.file_decisions.stats())
     }
 
     /// Attach an ACL to a method-hierarchy node.
@@ -312,8 +445,80 @@ impl AclEngine {
     /// paper's two per-request checks ("whether the client has access to
     /// the particular method being called").
     pub fn check_method(&self, method: &str, dn: &DistinguishedName, vo: &VoManager) -> bool {
+        if !self.caching {
+            return self.check_method_uncached(method, dn, vo);
+        }
+        self.check_method_cached(method, dn, dn, vo)
+    }
+
+    /// Same as [`AclEngine::check_method`], but with the caller supplying
+    /// `dn_key`: a pre-rendered form of `dn` (the session's stored DN
+    /// string), used verbatim in the decision-cache key so the hot request
+    /// path does not re-render the DN on every call.
+    pub fn check_method_keyed(
+        &self,
+        method: &str,
+        dn: &DistinguishedName,
+        dn_key: &str,
+        vo: &VoManager,
+    ) -> bool {
+        if !self.caching {
+            return self.check_method_uncached(method, dn, vo);
+        }
+        self.check_method_cached(method, dn, dn_key, vo)
+    }
+
+    fn check_method_cached(
+        &self,
+        method: &str,
+        dn: &DistinguishedName,
+        dn_key: impl std::fmt::Display,
+        vo: &VoManager,
+    ) -> bool {
+        // The decision key is built in a per-thread reusable buffer: on the
+        // steady-state hit path the probe allocates nothing; only a miss
+        // clones the key for insertion.
+        thread_local! {
+            static KEY_BUF: std::cell::RefCell<String> = const { std::cell::RefCell::new(String::new()) };
+        }
+        KEY_BUF.with(|buf| {
+            let mut key = buf.borrow_mut();
+            key.clear();
+            let _ = write!(key, "{}\u{1f}{method}\u{1f}{dn_key}", method.len());
+            // Generations are loaded BEFORE any record is read: a
+            // concurrent write bumps its generation inside the store's
+            // write-lock scope, so the decision cached below can at worst
+            // be tagged with a superseded epoch (a spurious miss next
+            // time), never be a stale grant under a current one.
+            let tag = (
+                self.method_gen.load(Ordering::SeqCst),
+                self.vo_gen.load(Ordering::SeqCst),
+            );
+            if let Some(decision) = self.method_decisions.get(key.as_str(), tag) {
+                return decision;
+            }
+            let gen = tag.0;
+            let mut decision = false;
+            for level in method_levels(method) {
+                if let Some(acl) = self.compiled_method_acl(level, gen) {
+                    match acl.evaluate(dn, vo) {
+                        LevelDecision::Allow => {
+                            decision = true;
+                            break;
+                        }
+                        LevelDecision::Deny => break,
+                        LevelDecision::Silent => continue,
+                    }
+                }
+            }
+            self.method_decisions.insert(key.clone(), tag, decision);
+            decision
+        })
+    }
+
+    fn check_method_uncached(&self, method: &str, dn: &DistinguishedName, vo: &VoManager) -> bool {
         for level in method_levels(method) {
-            if let Some(acl) = self.method_acl(&level) {
+            if let Some(acl) = self.method_acl(level) {
                 match acl.evaluate(dn, vo) {
                     LevelDecision::Allow => return true,
                     LevelDecision::Deny => return false,
@@ -322,6 +527,21 @@ impl AclEngine {
             }
         }
         false
+    }
+
+    /// Compiled record for one method node, read through the node cache.
+    /// `None` (the absence of an ACL) is cached too — most hierarchy
+    /// levels have no ACL attached.
+    fn compiled_method_acl(&self, node: &str, gen: u64) -> Option<Arc<CompiledAcl>> {
+        if let Some(cached) = self.compiled_methods.get(node, gen) {
+            return cached;
+        }
+        let compiled = self
+            .method_acl(node)
+            .map(|acl| Arc::new(CompiledAcl::compile(&acl)));
+        self.compiled_methods
+            .insert(node.to_owned(), gen, compiled.clone());
+        compiled
     }
 
     /// May `dn` access `path` for `access`? Same lowest-first evaluation
@@ -333,8 +553,55 @@ impl AclEngine {
         dn: &DistinguishedName,
         vo: &VoManager,
     ) -> bool {
+        let path = rooted(path);
+        if !self.caching {
+            return self.check_file_uncached(&path, access, dn, vo);
+        }
+        let tag = (
+            self.file_gen.load(Ordering::SeqCst),
+            self.vo_gen.load(Ordering::SeqCst),
+        );
+        let access_mark = match access {
+            FileAccess::Read => "r",
+            FileAccess::Write => "w",
+        };
+        let mut key = decision_key(&path, dn);
+        key.push('\u{1f}');
+        key.push_str(access_mark);
+        if let Some(decision) = self.file_decisions.get(&key, tag) {
+            return decision;
+        }
+        let gen = tag.0;
+        let mut decision = false;
+        for level in path_levels(&path) {
+            if let Some(file_acl) = self.compiled_file_acl(level, gen) {
+                let acl = match access {
+                    FileAccess::Read => &file_acl.read,
+                    FileAccess::Write => &file_acl.write,
+                };
+                match acl.evaluate(dn, vo) {
+                    LevelDecision::Allow => {
+                        decision = true;
+                        break;
+                    }
+                    LevelDecision::Deny => break,
+                    LevelDecision::Silent => continue,
+                }
+            }
+        }
+        self.file_decisions.insert(key, tag, decision);
+        decision
+    }
+
+    fn check_file_uncached(
+        &self,
+        path: &str,
+        access: FileAccess,
+        dn: &DistinguishedName,
+        vo: &VoManager,
+    ) -> bool {
         for level in path_levels(path) {
-            if let Some(file_acl) = self.file_acl(&level) {
+            if let Some(file_acl) = self.file_acl(level) {
                 let acl = match access {
                     FileAccess::Read => &file_acl.read,
                     FileAccess::Write => &file_acl.write,
@@ -348,6 +615,32 @@ impl AclEngine {
         }
         false
     }
+
+    /// Compiled record for one file node, read through the node cache.
+    fn compiled_file_acl(&self, node: &str, gen: u64) -> Option<Arc<CompiledFileAcl>> {
+        if let Some(cached) = self.compiled_files.get(node, gen) {
+            return cached;
+        }
+        let compiled = self.file_acl(node).map(|file_acl| {
+            Arc::new(CompiledFileAcl {
+                read: CompiledAcl::compile(&file_acl.read),
+                write: CompiledAcl::compile(&file_acl.write),
+            })
+        });
+        self.compiled_files
+            .insert(node.to_owned(), gen, compiled.clone());
+        compiled
+    }
+}
+
+/// Decision-cache key for `(node, DN)`, used by the file-decision cache
+/// (method decisions build the same shape into a reusable buffer, see
+/// `check_method_cached`). Length-prefixed so no crafted method or path
+/// string can collide with another caller's entry.
+fn decision_key(node: &str, dn: impl std::fmt::Display) -> String {
+    let mut key = String::with_capacity(node.len() + 48);
+    let _ = write!(key, "{}\u{1f}{node}\u{1f}{dn}", node.len());
+    key
 }
 
 #[cfg(test)]
@@ -368,17 +661,26 @@ mod tests {
     #[test]
     fn method_level_splitting() {
         assert_eq!(
-            method_levels("module.submodule.method"),
+            method_levels("module.submodule.method").collect::<Vec<_>>(),
             vec!["module.submodule.method", "module.submodule", "module"]
         );
-        assert_eq!(method_levels("echo"), vec!["echo"]);
+        assert_eq!(method_levels("echo").collect::<Vec<_>>(), vec!["echo"]);
     }
 
     #[test]
     fn path_level_splitting() {
-        assert_eq!(path_levels("/a/b/c"), vec!["/a/b/c", "/a/b", "/a", "/"]);
-        assert_eq!(path_levels("/"), vec!["/"]);
-        assert_eq!(path_levels("a"), vec!["/a", "/"]);
+        assert_eq!(
+            path_levels("/a/b/c").collect::<Vec<_>>(),
+            vec!["/a/b/c", "/a/b", "/a", "/"]
+        );
+        assert_eq!(path_levels("/").collect::<Vec<_>>(), vec!["/"]);
+        // Unrooted paths are normalized first (allocating only then).
+        assert_eq!(rooted("a"), "/a");
+        assert_eq!(
+            path_levels(&rooted("a")).collect::<Vec<_>>(),
+            vec!["/a", "/"]
+        );
+        assert!(matches!(rooted("/already"), Cow::Borrowed(_)));
     }
 
     #[test]
@@ -534,6 +836,103 @@ mod tests {
         // A lower-level deny still overrides the wildcard grant.
         engine.set_method_acl("open.secret", &Acl::deny_dn("/O=anywhere/CN=anyone"));
         assert!(!engine.check_method("open.secret", &dn("/O=anywhere/CN=anyone"), &vo));
+    }
+
+    #[test]
+    fn decision_cache_hits_on_repeat_checks() {
+        let (engine, vo, _) = setup();
+        let alice = dn("/O=grid/CN=alice");
+        engine.set_method_acl("file", &Acl::allow_dn("/O=grid"));
+        assert!(engine.check_method("file.read", &alice, &vo));
+        let first = engine.decision_cache_stats();
+        assert_eq!(first.hits, 0);
+        assert!(engine.check_method("file.read", &alice, &vo));
+        let second = engine.decision_cache_stats();
+        assert_eq!(second.hits, 1);
+        assert_eq!(second.misses, first.misses);
+    }
+
+    #[test]
+    fn keyed_check_shares_cache_entries_with_plain_check() {
+        let (engine, vo, _) = setup();
+        let alice = dn("/O=grid/CN=alice");
+        let rendered = alice.to_string();
+        engine.set_method_acl("file", &Acl::allow_dn("/O=grid"));
+        // A keyed check (session path: pre-rendered DN string) lands on
+        // the same cache entry as a plain check of the same identity.
+        assert!(engine.check_method("file.read", &alice, &vo));
+        assert!(engine.check_method_keyed("file.read", &alice, &rendered, &vo));
+        assert_eq!(engine.decision_cache_stats().hits, 1);
+        // Revocation applies to the keyed path too.
+        engine.clear_method_acl("file");
+        assert!(!engine.check_method_keyed("file.read", &alice, &rendered, &vo));
+    }
+
+    #[test]
+    fn revocation_invalidates_cached_decision() {
+        let (engine, vo, _) = setup();
+        let alice = dn("/O=grid/CN=alice");
+        engine.set_method_acl("file", &Acl::allow_dn("/O=grid/CN=alice"));
+        // Warm both cache layers.
+        assert!(engine.check_method("file.read", &alice, &vo));
+        assert!(engine.check_method("file.read", &alice, &vo));
+        // Revoke: the very next check must see it (no stale-grant window).
+        engine.clear_method_acl("file");
+        assert!(!engine.check_method("file.read", &alice, &vo));
+        // And re-granting is equally immediate.
+        engine.set_method_acl("file", &Acl::allow_dn("/O=grid/CN=alice"));
+        assert!(engine.check_method("file.read", &alice, &vo));
+    }
+
+    #[test]
+    fn vo_change_invalidates_cached_decision() {
+        let (engine, vo, admin) = setup();
+        let alice = dn("/O=grid/CN=alice");
+        vo.create_group(&admin, "cms").unwrap();
+        engine.set_method_acl("proof", &Acl::allow_group("cms"));
+        assert!(!engine.check_method("proof.query", &alice, &vo));
+        // A VO-side grant flips the cached deny immediately...
+        vo.add_member(&admin, "cms", &alice.to_string()).unwrap();
+        assert!(engine.check_method("proof.query", &alice, &vo));
+        // ...and a VO-side revocation flips it back.
+        vo.remove_member(&admin, "cms", &alice.to_string()).unwrap();
+        assert!(!engine.check_method("proof.query", &alice, &vo));
+    }
+
+    #[test]
+    fn file_decision_cache_keeps_read_write_distinct() {
+        let (engine, vo, _) = setup();
+        let alice = dn("/O=grid/CN=alice");
+        engine.set_file_acl(
+            "/data",
+            &FileAcl {
+                read: Acl::allow_dn("/O=grid"),
+                write: Acl::default(),
+            },
+        );
+        // Repeat each check so both answers come from the decision cache.
+        for _ in 0..2 {
+            assert!(engine.check_file("/data/f", FileAccess::Read, &alice, &vo));
+            assert!(!engine.check_file("/data/f", FileAccess::Write, &alice, &vo));
+        }
+        // File-side revocation is immediate too.
+        engine.clear_file_acl("/data");
+        assert!(!engine.check_file("/data/f", FileAccess::Read, &alice, &vo));
+    }
+
+    #[test]
+    fn uncached_engine_behaves_identically_and_counts_nothing() {
+        let store = Arc::new(Store::in_memory());
+        let vo = VoManager::new(Arc::clone(&store), &[]);
+        let engine = AclEngine::with_caching(store, false);
+        let alice = dn("/O=grid/CN=alice");
+        engine.set_method_acl("file", &Acl::allow_dn("/O=grid"));
+        assert!(engine.check_method("file.read", &alice, &vo));
+        assert!(engine.check_method("file.read", &alice, &vo));
+        engine.clear_method_acl("file");
+        assert!(!engine.check_method("file.read", &alice, &vo));
+        assert_eq!(engine.decision_cache_stats(), CacheStats::default());
+        assert_eq!(engine.node_cache_stats(), CacheStats::default());
     }
 
     #[test]

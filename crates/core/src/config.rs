@@ -33,6 +33,10 @@ pub struct ClarensConfig {
     pub workers: usize,
     /// Path for the persistent store; `None` = in-memory.
     pub db_path: Option<PathBuf>,
+    /// Enable the epoch-invalidated authorization caches (sessions, VO
+    /// groups, compiled ACLs, decisions). On by default; disable only to
+    /// measure the uncached request path.
+    pub auth_cache: bool,
 }
 
 impl Default for ClarensConfig {
@@ -47,6 +51,7 @@ impl Default for ClarensConfig {
             auth_skew: 300,
             workers: 16,
             db_path: None,
+            auth_cache: true,
         }
     }
 }
@@ -91,6 +96,11 @@ impl ClarensConfig {
                         .map_err(|_| format!("line {}: bad workers", lineno + 1))?
                 }
                 "db_path" => config.db_path = Some(PathBuf::from(value)),
+                "auth_cache" => {
+                    config.auth_cache = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad auth_cache", lineno + 1))?
+                }
                 other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
             }
         }
@@ -136,6 +146,15 @@ db_path: /var/clarens/clarens.db
         assert_eq!(config.session_ttl, 24 * 3600);
         assert!(config.admin_dns.is_empty());
         assert!(config.file_root.is_none());
+        assert!(config.auth_cache);
+    }
+
+    #[test]
+    fn auth_cache_knob() {
+        let config = ClarensConfig::parse("auth_cache: false").unwrap();
+        assert!(!config.auth_cache);
+        let config = ClarensConfig::parse("auth_cache: true").unwrap();
+        assert!(config.auth_cache);
     }
 
     #[test]
@@ -143,5 +162,6 @@ db_path: /var/clarens/clarens.db
         assert!(ClarensConfig::parse("not a setting").is_err());
         assert!(ClarensConfig::parse("unknown_key: x").is_err());
         assert!(ClarensConfig::parse("session_ttl: soon").is_err());
+        assert!(ClarensConfig::parse("auth_cache: maybe").is_err());
     }
 }

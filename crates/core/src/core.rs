@@ -51,9 +51,10 @@ impl ClarensCore {
             Some(path) => Store::open(path)?,
             None => Store::in_memory(),
         });
-        let sessions = SessionManager::new(Arc::clone(&store), config.session_ttl);
-        let vo = VoManager::new(Arc::clone(&store), &config.admin_dns);
-        let acl = AclEngine::new(Arc::clone(&store));
+        let sessions =
+            SessionManager::with_caching(Arc::clone(&store), config.session_ttl, config.auth_cache);
+        let vo = VoManager::with_caching(Arc::clone(&store), &config.admin_dns, config.auth_cache);
+        let acl = AclEngine::with_caching(Arc::clone(&store), config.auth_cache);
         Ok(Arc::new(ClarensCore {
             config,
             store,

@@ -28,6 +28,7 @@
 //! [`server::ClarensServer`], and talk to it with a [`client::ClarensClient`].
 
 pub mod acl;
+pub mod cache;
 pub mod client;
 pub mod config;
 pub mod core;

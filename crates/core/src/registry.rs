@@ -46,14 +46,16 @@ impl MethodInfo {
     }
 }
 
-/// Per-call context handed to services.
+/// Per-call context handed to services. Identity and session are shared
+/// pointers into the resolved-session cache, so building a context does
+/// not copy any per-request strings.
 pub struct CallContext<'a> {
     /// The server core (config, DB, sessions, VO, ACL, ...).
     pub core: &'a crate::core::ClarensCore,
     /// Authenticated caller identity, if any.
-    pub identity: Option<DistinguishedName>,
+    pub identity: Option<Arc<DistinguishedName>>,
     /// The validated session, if the call carried one.
-    pub session: Option<Session>,
+    pub session: Option<Arc<Session>>,
     /// Certificate chain presented on the transport (TLS connections).
     pub peer_chain: Vec<Certificate>,
     /// Request time (Unix seconds).
@@ -64,7 +66,7 @@ impl<'a> CallContext<'a> {
     /// The caller DN, or a NOT_AUTHENTICATED fault.
     pub fn require_identity(&self) -> Result<&DistinguishedName, Fault> {
         self.identity
-            .as_ref()
+            .as_deref()
             .ok_or_else(|| Fault::not_authenticated("this method requires authentication"))
     }
 }

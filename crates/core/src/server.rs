@@ -7,6 +7,7 @@
 //! files ("GET requests return a file or an XML-encoded error message")
 //! and the portal pages of §3.
 
+use std::borrow::Cow;
 use std::io;
 use std::sync::Arc;
 
@@ -133,10 +134,21 @@ struct ClarensHandler {
     core: Arc<ClarensCore>,
 }
 
-/// The caller identity resolved for one request.
+/// The caller identity resolved for one request. Shared pointers out of
+/// the resolved-session cache — moving these into a [`CallContext`] costs
+/// no string copies.
 struct ResolvedIdentity {
-    identity: Option<DistinguishedName>,
-    session: Option<Session>,
+    identity: Option<Arc<DistinguishedName>>,
+    session: Option<Arc<Session>>,
+}
+
+/// "GET requests return a file or an XML-encoded error message to the
+/// client" (paper §2.3) — every GET-side error honours that format.
+fn xml_error(status: u16, message: &str) -> Response {
+    let xml = clarens_wire::xml::Element::new("error")
+        .attr("code", status.to_string())
+        .text(message);
+    Response::new(status, "text/xml", xml.to_document())
 }
 
 impl ClarensHandler {
@@ -144,36 +156,35 @@ impl ClarensHandler {
     /// `session` query parameter for GETs) takes precedence; otherwise the
     /// TLS peer identity is used directly. This is the paper's first
     /// access check ("whether the client credentials are associated with a
-    /// current session").
+    /// current session") — answered from the resolved-session cache, with
+    /// the DN already parsed.
     fn resolve_identity(
         &self,
         request: &Request,
         peer: Option<&PeerInfo>,
         now: i64,
     ) -> ResolvedIdentity {
-        let session_id = request
-            .headers
-            .get("x-clarens-session")
-            .map(str::to_owned)
-            .or_else(|| {
-                clarens_wire::percent::parse_query(request.query())
-                    .into_iter()
-                    .find(|(k, _)| k == "session")
-                    .map(|(_, v)| v)
-            });
+        // Borrow the header value when present (the hot path); only the
+        // GET query fallback needs an owned copy.
+        let session_id: Option<Cow<'_, str>> = match request.headers.get("x-clarens-session") {
+            Some(id) => Some(Cow::Borrowed(id)),
+            None => clarens_wire::percent::parse_query(request.query())
+                .into_iter()
+                .find(|(k, _)| k == "session")
+                .map(|(_, v)| Cow::Owned(v)),
+        };
         if let Some(id) = session_id {
-            if let Some(session) = self.core.sessions.validate(&id, now) {
-                let identity = DistinguishedName::parse(&session.dn).ok();
+            if let Some(entry) = self.core.sessions.resolve(&id, now) {
                 return ResolvedIdentity {
-                    identity,
-                    session: Some(session),
+                    identity: entry.identity,
+                    session: Some(entry.session),
                 };
             }
             // An invalid session falls through to the TLS identity (if
             // any) rather than silently authenticating as nobody.
         }
         ResolvedIdentity {
-            identity: peer.map(|p| p.identity.clone()),
+            identity: peer.map(|p| Arc::new(p.identity.clone())),
             session: None,
         }
     }
@@ -231,8 +242,18 @@ impl ClarensHandler {
                 )));
             };
             // The paper's second access check: "whether the client has
-            // access to the particular method being called".
-            if !self.core.acl.check_method(&method, identity, &self.core.vo) {
+            // access to the particular method being called". A session
+            // already carries the rendered DN string, which the decision
+            // cache can key on without re-rendering the identity.
+            let allowed = match &resolved.session {
+                Some(session) => {
+                    self.core
+                        .acl
+                        .check_method_keyed(&method, identity, &session.dn, &self.core.vo)
+                }
+                None => self.core.acl.check_method(&method, identity, &self.core.vo),
+            };
+            if !allowed {
                 return RpcResponse::Fault(Fault::access_denied(format!(
                     "{identity} may not call {method}"
                 )));
@@ -267,62 +288,55 @@ impl ClarensHandler {
         let path = request.path().to_owned();
 
         if path == "/" || path == "/index.html" {
-            return portal::index(&self.core, resolved.identity.as_ref());
+            return portal::index(&self.core, resolved.identity.as_deref());
         }
         if let Some(rest) = path.strip_prefix("/file/") {
-            return self.serve_file(rest, &resolved);
+            return self.serve_file(rest, resolved.identity.as_deref());
         }
         if path.starts_with("/portal") {
-            return portal::route(&self.core, &request, resolved.identity.as_ref());
+            return portal::route(&self.core, &request, resolved.identity.as_deref());
         }
-        Response::error(404, &format!("no such resource: {path}"))
+        xml_error(404, &format!("no such resource: {path}"))
     }
 
     /// HTTP GET file downloads (paper §2.3): streamed with the
     /// fixed-buffer `sendfile()`-style path, gated by the read ACL.
-    fn serve_file(&self, raw_path: &str, resolved: &ResolvedIdentity) -> Response {
-        let Some(root) = self.core.config.file_root.clone() else {
-            return Response::error(404, "file service not configured");
+    fn serve_file(&self, raw_path: &str, identity: Option<&DistinguishedName>) -> Response {
+        let Some(root) = self.core.config.file_root.as_deref() else {
+            return xml_error(404, "file service not configured");
         };
         let decoded = clarens_wire::percent::decode_str(raw_path);
-        let Some(identity) = &resolved.identity else {
-            return Response::error(401, "file downloads require a session or TLS identity");
+        let Some(identity) = identity else {
+            return xml_error(401, "file downloads require a session or TLS identity");
         };
         let Some(canonical) = paths::canonical(&decoded) else {
-            return Response::error(400, "illegal path");
+            return xml_error(400, "illegal path");
         };
         if !self
             .core
             .acl
             .check_file(&canonical, FileAccess::Read, identity, &self.core.vo)
         {
-            return Response::error(403, &format!("no read access to {canonical}"));
+            return xml_error(403, &format!("no read access to {canonical}"));
         }
-        let Some(real) = paths::resolve(&root, &decoded) else {
-            return Response::error(400, "illegal path");
+        let Some(real) = paths::resolve(root, &decoded) else {
+            return xml_error(400, "illegal path");
         };
         match std::fs::File::open(&real) {
             Ok(file) => {
                 let len = match file.metadata() {
                     Ok(meta) if meta.is_dir() => {
-                        return Response::error(400, "is a directory; use file.ls")
+                        return xml_error(400, "is a directory; use file.ls")
                     }
                     Ok(meta) => meta.len(),
-                    Err(e) => return Response::error(500, &e.to_string()),
+                    Err(e) => return xml_error(500, &e.to_string()),
                 };
                 Response::stream("application/octet-stream", Box::new(file), len)
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                // "GET requests return a file or an XML-encoded error
-                // message to the client" — honour the XML error format.
-                let xml = clarens_wire::xml::Element::new("error")
-                    .attr("code", "404")
-                    .text(format!("not found: {canonical}"));
-                let mut response = Response::new(404, "text/xml", xml.to_document());
-                response.status = 404;
-                response
+                xml_error(404, &format!("not found: {canonical}"))
             }
-            Err(e) => Response::error(500, &e.to_string()),
+            Err(e) => xml_error(500, &e.to_string()),
         }
     }
 }

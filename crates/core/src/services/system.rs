@@ -60,6 +60,11 @@ impl Service for SystemService {
                 "system.session_count()",
                 "Number of live sessions (admin)",
             ),
+            MethodInfo::new(
+                "system.stats",
+                "system.stats()",
+                "DB and authorization-cache counters (admin)",
+            ),
         ]
     }
 
@@ -116,6 +121,42 @@ impl Service for SystemService {
                     return Err(Fault::access_denied("session_count requires site admin"));
                 }
                 Ok(Value::Int(ctx.core.sessions.count() as i64))
+            }
+            "system.stats" => {
+                params::expect_len(params_in, 0, method)?;
+                let dn = ctx.require_identity()?;
+                if !ctx.core.vo.is_site_admin(dn) {
+                    return Err(Fault::access_denied("stats requires site admin"));
+                }
+                let db = ctx.core.store.stats();
+                let cache_value = |stats: crate::cache::CacheStats| {
+                    Value::structure([
+                        ("hits", Value::Int(stats.hits as i64)),
+                        ("misses", Value::Int(stats.misses as i64)),
+                    ])
+                };
+                Ok(Value::structure([
+                    (
+                        "db",
+                        Value::structure([
+                            ("lookups", Value::Int(db.lookups as i64)),
+                            ("scans", Value::Int(db.scans as i64)),
+                            ("writes", Value::Int(db.writes as i64)),
+                        ]),
+                    ),
+                    (
+                        "cache",
+                        Value::structure([
+                            ("sessions", cache_value(ctx.core.sessions.cache_stats())),
+                            ("vo_groups", cache_value(ctx.core.vo.cache_stats())),
+                            ("acl_nodes", cache_value(ctx.core.acl.node_cache_stats())),
+                            (
+                                "acl_decisions",
+                                cache_value(ctx.core.acl.decision_cache_stats()),
+                            ),
+                        ]),
+                    ),
+                ]))
             }
             other => Err(Fault::new(
                 codes::NO_SUCH_METHOD,

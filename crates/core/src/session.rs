@@ -7,7 +7,18 @@
 //! re-authenticate themselves" (paper §2). Sessions live in the
 //! [`clarens_db::Store`] (bucket `sessions`), keyed by a random 256-bit id,
 //! and carry the authenticated identity plus expiry.
+//!
+//! The store stays the source of truth — a freshly constructed manager
+//! starts with an empty cache and reloads sessions from the DB, which is
+//! exactly the restart-survival property above. On top of that sits a
+//! write-through cache of [`ResolvedSession`] records (the session plus
+//! its DN parsed once), tagged with the `sessions` bucket generation:
+//! any write to the bucket (create, logout, proxy attach, sweep, expiry
+//! delete) makes every cached entry stale, so a revoked session can never
+//! be served from cache — at worst a concurrent write causes a spurious
+//! reload.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rand::RngExt;
@@ -16,6 +27,8 @@ use clarens_db::Store;
 use clarens_pki::dn::DistinguishedName;
 use clarens_pki::sha256;
 use clarens_wire::{json, Value};
+
+use crate::cache::{CacheStats, Sharded};
 
 /// DB bucket for sessions.
 pub const SESSIONS_BUCKET: &str = "sessions";
@@ -64,16 +77,52 @@ impl Session {
     }
 }
 
+/// A session together with its identity parsed once — what the request
+/// path actually needs per call. Both fields are shared pointers so a
+/// cache hit hands them out without copying any strings; `Clone` is two
+/// reference-count bumps.
+#[derive(Debug, Clone)]
+pub struct ResolvedSession {
+    /// The validated session record.
+    pub session: Arc<Session>,
+    /// The session DN, parsed; `None` if the stored DN is malformed.
+    pub identity: Option<Arc<DistinguishedName>>,
+}
+
 /// The session manager.
 pub struct SessionManager {
     store: Arc<Store>,
     ttl: i64,
+    caching: bool,
+    /// Generation handle of [`SESSIONS_BUCKET`].
+    generation: Arc<AtomicU64>,
+    /// Write-through cache of resolved sessions, tagged with the bucket
+    /// generation so any session write invalidates every entry.
+    cache: Sharded<String, ResolvedSession>,
 }
 
 impl SessionManager {
     /// Create a manager over the shared store.
     pub fn new(store: Arc<Store>, ttl: i64) -> Self {
-        SessionManager { store, ttl }
+        SessionManager::with_caching(store, ttl, true)
+    }
+
+    /// Like [`SessionManager::new`], but with the resolved-session cache
+    /// explicitly enabled or disabled (benchmarks compare the two).
+    pub fn with_caching(store: Arc<Store>, ttl: i64, caching: bool) -> Self {
+        let generation = store.generation_handle(SESSIONS_BUCKET);
+        SessionManager {
+            store,
+            ttl,
+            caching,
+            generation,
+            cache: Sharded::new(),
+        }
+    }
+
+    /// Hit/miss counters of the resolved-session cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Create a new session for `dn`, returning it.
@@ -89,6 +138,16 @@ impl SessionManager {
             proxy: None,
         };
         self.persist(&session);
+        if self.caching {
+            // Write through with the post-persist generation: the entry is
+            // immediately servable and any later bucket write supersedes it.
+            let entry = ResolvedSession {
+                identity: Some(Arc::new(dn.clone())),
+                session: Arc::new(session.clone()),
+            };
+            self.cache
+                .insert(id, self.generation.load(Ordering::SeqCst), entry);
+        }
         session
     }
 
@@ -100,11 +159,8 @@ impl SessionManager {
         );
     }
 
-    /// Validate a session id: returns the session if it exists and has not
-    /// expired. This is the first of the two per-request access-control
-    /// checks in the paper's Figure-4 workload ("whether the client
-    /// credentials are associated with a current session").
-    pub fn validate(&self, id: &str, now: i64) -> Option<Session> {
+    /// Load a session from the store, enforcing expiry.
+    fn load(&self, id: &str, now: i64) -> Option<Session> {
         let bytes = self.store.get(SESSIONS_BUCKET, id)?;
         let text = String::from_utf8(bytes).ok()?;
         let value = json::parse(&text).ok()?;
@@ -116,6 +172,44 @@ impl SessionManager {
         Some(session)
     }
 
+    /// Validate a session id and resolve its identity, through the cache.
+    /// This is the first of the two per-request access-control checks in
+    /// the paper's Figure-4 workload ("whether the client credentials are
+    /// associated with a current session").
+    pub fn resolve(&self, id: &str, now: i64) -> Option<ResolvedSession> {
+        if self.caching {
+            // Load the generation before consulting the cache: a write
+            // racing with us can only make the entry look stale.
+            let generation = self.generation.load(Ordering::SeqCst);
+            if let Some(entry) = self.cache.get(id, generation) {
+                if entry.session.expires <= now {
+                    self.cache.remove(id);
+                    let _ = self.store.delete(SESSIONS_BUCKET, id);
+                    return None;
+                }
+                return Some(entry);
+            }
+            let session = self.load(id, now)?;
+            let entry = ResolvedSession {
+                identity: DistinguishedName::parse(&session.dn).ok().map(Arc::new),
+                session: Arc::new(session),
+            };
+            self.cache.insert(id.to_owned(), generation, entry.clone());
+            return Some(entry);
+        }
+        let session = self.load(id, now)?;
+        Some(ResolvedSession {
+            identity: DistinguishedName::parse(&session.dn).ok().map(Arc::new),
+            session: Arc::new(session),
+        })
+    }
+
+    /// Validate a session id: returns the session if it exists and has not
+    /// expired.
+    pub fn validate(&self, id: &str, now: i64) -> Option<Session> {
+        Some(self.resolve(id, now)?.session.as_ref().clone())
+    }
+
     /// Attach (or replace) a proxy credential on an existing session,
     /// extending its lifetime (proxy renewal semantics of §2.6).
     pub fn attach_proxy(&self, id: &str, proxy_text: &str, now: i64) -> Option<Session> {
@@ -123,12 +217,25 @@ impl SessionManager {
         session.proxy = Some(proxy_text.to_owned());
         session.expires = now + self.ttl;
         self.persist(&session);
+        if self.caching {
+            let entry = ResolvedSession {
+                identity: DistinguishedName::parse(&session.dn).ok().map(Arc::new),
+                session: Arc::new(session.clone()),
+            };
+            self.cache
+                .insert(id.to_owned(), self.generation.load(Ordering::SeqCst), entry);
+        }
         Some(session)
     }
 
     /// Destroy a session. Returns whether it existed.
     pub fn logout(&self, id: &str) -> bool {
-        self.store.delete(SESSIONS_BUCKET, id).unwrap_or(false)
+        // The delete bumps the bucket generation, so even an entry a racing
+        // `resolve` re-inserts afterwards is already stale; the explicit
+        // remove just frees the slot promptly.
+        let existed = self.store.delete(SESSIONS_BUCKET, id).unwrap_or(false);
+        self.cache.remove(id);
+        existed
     }
 
     /// Remove expired sessions; returns how many were dropped.
@@ -143,6 +250,7 @@ impl SessionManager {
                 .unwrap_or(true);
             if expired {
                 let _ = self.store.delete(SESSIONS_BUCKET, &id);
+                self.cache.remove(&id);
                 dropped += 1;
             }
         }
@@ -226,6 +334,62 @@ mod tests {
         assert_eq!(mgr.sweep(4000), 1);
         assert!(mgr.validate(&old.id, 4000).is_none());
         assert!(mgr.validate(&fresh.id, 4000).is_some());
+    }
+
+    #[test]
+    fn repeat_validation_is_served_from_cache() {
+        let store = Arc::new(Store::in_memory());
+        let mgr = SessionManager::new(Arc::clone(&store), 3600);
+        let session = mgr.create(&dn(), 1000);
+        let lookups_before = store.stats().lookups;
+        // Write-through on create plus cache hits on validate: the store
+        // is never consulted.
+        let entry = mgr.resolve(&session.id, 2000).unwrap();
+        assert_eq!(entry.identity.as_ref().unwrap().to_string(), session.dn);
+        assert!(mgr.validate(&session.id, 2500).is_some());
+        assert_eq!(store.stats().lookups, lookups_before);
+        assert_eq!(mgr.cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn logout_invalidates_cached_session() {
+        let mgr = manager();
+        let session = mgr.create(&dn(), 0);
+        assert!(mgr.validate(&session.id, 1).is_some());
+        assert!(mgr.logout(&session.id));
+        assert!(mgr.validate(&session.id, 1).is_none());
+    }
+
+    #[test]
+    fn expiry_enforced_on_cached_entries() {
+        let mgr = manager();
+        let session = mgr.create(&dn(), 1000);
+        assert!(mgr.validate(&session.id, 2000).is_some());
+        // The cached entry must not outlive its expiry, and the expired
+        // record is removed from the store as before.
+        assert!(mgr.validate(&session.id, 4600).is_none());
+        assert_eq!(mgr.count(), 0);
+        assert!(mgr.validate(&session.id, 2000).is_none());
+    }
+
+    #[test]
+    fn proxy_attachment_visible_through_cache() {
+        let mgr = manager();
+        let session = mgr.create(&dn(), 1000);
+        assert!(mgr.validate(&session.id, 1500).is_some());
+        mgr.attach_proxy(&session.id, "PROXY", 2000).unwrap();
+        let entry = mgr.resolve(&session.id, 2500).unwrap();
+        assert_eq!(entry.session.proxy.as_deref(), Some("PROXY"));
+        assert_eq!(entry.session.expires, 5600);
+    }
+
+    #[test]
+    fn uncached_manager_counts_nothing() {
+        let mgr = SessionManager::with_caching(Arc::new(Store::in_memory()), 3600, false);
+        let session = mgr.create(&dn(), 0);
+        assert!(mgr.resolve(&session.id, 1).is_some());
+        assert!(mgr.validate(&session.id, 1).is_some());
+        assert_eq!(mgr.cache_stats(), CacheStats::default());
     }
 
     #[test]

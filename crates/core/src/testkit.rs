@@ -62,6 +62,9 @@ pub struct GridOptions {
     pub workers: usize,
     /// Persist the DB at this path (None = in-memory).
     pub db_path: Option<PathBuf>,
+    /// Enable the authorization caches (disable to measure the uncached
+    /// request path).
+    pub auth_cache: bool,
 }
 
 impl Default for GridOptions {
@@ -72,6 +75,7 @@ impl Default for GridOptions {
             permissive_acls: true,
             workers: 16,
             db_path: None,
+            auth_cache: true,
         }
     }
 }
@@ -158,6 +162,7 @@ impl TestGrid {
             shell_user_map: format!("uma: dn={}\nada: group=admins\n", user.certificate.subject),
             workers: options.workers,
             db_path: options.db_path,
+            auth_cache: options.auth_cache,
             ..Default::default()
         };
 

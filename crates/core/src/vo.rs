@@ -15,12 +15,23 @@
 //!   branch";
 //! * member entries are DN *prefixes*: `/O=doesciencegrid.org/OU=People`
 //!   admits every individual under that CA branch.
+//!
+//! Membership checks sit on the per-request authorization path (every
+//! group-based ACL consults them), so the manager keeps an
+//! epoch-invalidated cache of *compiled* group records — entries parsed
+//! into [`DistinguishedName`] prefixes once at load instead of on every
+//! check. Entries are tagged with the `vo.groups` bucket generation;
+//! any group write makes every cached record stale on its next lookup,
+//! so revocations are visible on the very next check.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use clarens_db::Store;
 use clarens_pki::dn::DistinguishedName;
 use clarens_wire::{json, Value};
+
+use crate::cache::{CacheStats, Sharded};
 
 /// DB bucket for group records.
 pub const VO_BUCKET: &str = "vo.groups";
@@ -100,15 +111,38 @@ fn dn_matches_any(dn: &DistinguishedName, entries: &[String]) -> bool {
     })
 }
 
-/// Ancestor chain of a group name, nearest first: `A.1.x` → `[A.1, A]`.
-fn ancestors(name: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut current = name;
-    while let Some(pos) = current.rfind('.') {
-        current = &current[..pos];
-        out.push(current.to_owned());
+/// A group with its DN-prefix entries parsed once at load. Unparseable
+/// entries are dropped, which matches [`dn_matches_any`]: an entry that
+/// fails to parse can never match anything.
+struct CompiledGroup {
+    members: Vec<DistinguishedName>,
+    admins: Vec<DistinguishedName>,
+}
+
+impl CompiledGroup {
+    fn compile(group: &Group) -> CompiledGroup {
+        let parse = |entries: &[String]| {
+            entries
+                .iter()
+                .filter_map(|e| DistinguishedName::parse(e).ok())
+                .collect()
+        };
+        CompiledGroup {
+            members: parse(&group.members),
+            admins: parse(&group.admins),
+        }
     }
-    out
+}
+
+fn compiled_matches(dn: &DistinguishedName, prefixes: &[DistinguishedName]) -> bool {
+    prefixes.iter().any(|prefix| dn.has_prefix(prefix))
+}
+
+/// A group name followed by its ancestors, nearest first:
+/// `A.1.x` → `A.1.x`, `A.1`, `A`. Borrows from the input — no per-check
+/// allocation.
+fn self_and_ancestors(name: &str) -> impl Iterator<Item = &str> {
+    std::iter::successors(Some(name), |n| n.rfind('.').map(|pos| &n[..pos]))
 }
 
 fn valid_group_name(name: &str) -> bool {
@@ -125,19 +159,57 @@ fn valid_group_name(name: &str) -> bool {
 /// The VO manager.
 pub struct VoManager {
     store: Arc<Store>,
+    caching: bool,
+    /// Generation handle of [`VO_BUCKET`]; every group write bumps it.
+    generation: Arc<AtomicU64>,
+    /// Compiled group records tagged with the bucket generation. The inner
+    /// `Option` caches "group does not exist" too.
+    compiled: Sharded<String, Option<Arc<CompiledGroup>>>,
 }
 
 impl VoManager {
     /// Create the manager and (re)populate the root `admins` group from the
     /// configured DNs — "populated statically ... on each server restart".
     pub fn new(store: Arc<Store>, admin_dns: &[String]) -> Self {
-        let manager = VoManager { store };
+        VoManager::with_caching(store, admin_dns, true)
+    }
+
+    /// Like [`VoManager::new`], but with the compiled-group cache
+    /// explicitly enabled or disabled (benchmarks compare the two).
+    pub fn with_caching(store: Arc<Store>, admin_dns: &[String], caching: bool) -> Self {
+        let generation = store.generation_handle(VO_BUCKET);
+        let manager = VoManager {
+            store,
+            caching,
+            generation,
+            compiled: Sharded::new(),
+        };
         let root = Group {
             members: admin_dns.to_vec(),
             admins: admin_dns.to_vec(),
         };
         manager.save(ADMINS_GROUP, &root);
         manager
+    }
+
+    /// Hit/miss counters of the compiled-group cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.compiled.stats()
+    }
+
+    /// Load a compiled group through the cache. `generation` must have
+    /// been read from the bucket *before* this call so a concurrent write
+    /// can only cause a spurious miss, never a stale hit.
+    fn compiled(&self, name: &str, generation: u64) -> Option<Arc<CompiledGroup>> {
+        if let Some(cached) = self.compiled.get(name, generation) {
+            return cached;
+        }
+        let loaded = self
+            .group(name)
+            .map(|group| Arc::new(CompiledGroup::compile(&group)));
+        self.compiled
+            .insert(name.to_owned(), generation, loaded.clone());
+        loaded
     }
 
     fn save(&self, name: &str, group: &Group) {
@@ -162,6 +234,13 @@ impl VoManager {
 
     /// Is `dn` a site administrator (member of the root `admins` group)?
     pub fn is_site_admin(&self, dn: &DistinguishedName) -> bool {
+        if self.caching {
+            let generation = self.generation.load(Ordering::SeqCst);
+            return self
+                .compiled(ADMINS_GROUP, generation)
+                .map(|g| compiled_matches(dn, &g.members) || compiled_matches(dn, &g.admins))
+                .unwrap_or(false);
+        }
         self.group(ADMINS_GROUP)
             .map(|g| dn_matches_any(dn, &g.members) || dn_matches_any(dn, &g.admins))
             .unwrap_or(false)
@@ -173,9 +252,15 @@ impl VoManager {
         if self.is_site_admin(dn) {
             return true;
         }
-        let mut names = vec![group_name.to_owned()];
-        names.extend(ancestors(group_name));
-        names.iter().any(|name| {
+        if self.caching {
+            let generation = self.generation.load(Ordering::SeqCst);
+            return self_and_ancestors(group_name).any(|name| {
+                self.compiled(name, generation)
+                    .map(|g| compiled_matches(dn, &g.admins))
+                    .unwrap_or(false)
+            });
+        }
+        self_and_ancestors(group_name).any(|name| {
             self.group(name)
                 .map(|g| dn_matches_any(dn, &g.admins))
                 .unwrap_or(false)
@@ -189,9 +274,15 @@ impl VoManager {
         if self.is_site_admin(dn) {
             return true;
         }
-        let mut names = vec![group_name.to_owned()];
-        names.extend(ancestors(group_name));
-        names.iter().any(|name| {
+        if self.caching {
+            let generation = self.generation.load(Ordering::SeqCst);
+            return self_and_ancestors(group_name).any(|name| {
+                self.compiled(name, generation)
+                    .map(|g| compiled_matches(dn, &g.members) || compiled_matches(dn, &g.admins))
+                    .unwrap_or(false)
+            });
+        }
+        self_and_ancestors(group_name).any(|name| {
             self.group(name)
                 .map(|g| dn_matches_any(dn, &g.members) || dn_matches_any(dn, &g.admins))
                 .unwrap_or(false)
@@ -544,5 +635,47 @@ mod tests {
         vo.create_group(&admin, "A").unwrap();
         assert!(vo.is_member("A", &admin));
         assert!(vo.is_admin("A", &admin));
+    }
+
+    #[test]
+    fn membership_changes_visible_through_cache() {
+        let (vo, admin) = setup();
+        vo.create_group(&admin, "A").unwrap();
+        let alice = dn("/O=grid/CN=alice");
+        // Warm the compiled cache with the deny answer.
+        assert!(!vo.is_member("A", &alice));
+        assert!(!vo.is_member("A", &alice));
+        assert!(vo.cache_stats().hits > 0);
+        // Granting and revoking must each be visible on the next check.
+        vo.add_member(&admin, "A", &alice.to_string()).unwrap();
+        assert!(vo.is_member("A", &alice));
+        vo.remove_member(&admin, "A", &alice.to_string()).unwrap();
+        assert!(!vo.is_member("A", &alice));
+    }
+
+    #[test]
+    fn unparseable_entries_never_match_cached_or_not() {
+        for caching in [true, false] {
+            let admin = "/O=grid/CN=root";
+            let vo =
+                VoManager::with_caching(Arc::new(Store::in_memory()), &[admin.into()], caching);
+            let admin = dn(admin);
+            vo.create_group(&admin, "A").unwrap();
+            // "*" is an ACL wildcard, but VO groups have no wildcard
+            // entries — and garbage entries are simply inert.
+            vo.add_member(&admin, "A", "*").unwrap();
+            vo.add_member(&admin, "A", "not a dn").unwrap();
+            assert!(!vo.is_member("A", &dn("/O=grid/CN=alice")));
+        }
+    }
+
+    #[test]
+    fn uncached_manager_counts_nothing() {
+        let admin = "/O=grid/CN=root";
+        let vo = VoManager::with_caching(Arc::new(Store::in_memory()), &[admin.into()], false);
+        let admin = dn(admin);
+        vo.create_group(&admin, "A").unwrap();
+        assert!(vo.is_member("A", &dn("/O=grid/CN=root/CN=proxy")));
+        assert_eq!(vo.cache_stats(), CacheStats::default());
     }
 }

@@ -1,0 +1,173 @@
+//! Integration tests for the epoch-invalidated authorization caches: the
+//! full request path (real TCP, sessions, ACL walk) must never serve a
+//! stale grant — every revocation is visible on the very next request —
+//! while repeat requests are answered from the caches.
+
+use clarens::acl::{Acl, FileAcl};
+use clarens::testkit::{dn, GridOptions, TestGrid};
+use clarens::ClientError;
+use clarens_wire::fault::codes;
+use clarens_wire::Value;
+
+fn assert_denied(result: Result<Value, ClientError>) {
+    match result {
+        Err(ClientError::Fault(f)) => assert_eq!(f.code, codes::ACCESS_DENIED, "{f:?}"),
+        other => panic!("expected access-denied fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn method_acl_revocation_is_immediate() {
+    let grid = TestGrid::start();
+    let mut client = grid.logged_in_client(&grid.user);
+
+    // Warm every cache layer with repeated allowed calls.
+    for i in 0..3 {
+        client.call("echo.echo", vec![Value::Int(i)]).unwrap();
+    }
+    // Revoke: the next request must already see the deny — no stale-grant
+    // window, even though the decision was cached a moment ago.
+    grid.core().acl.set_method_acl("echo", &Acl::deny_dn("*"));
+    assert_denied(client.call("echo.echo", vec![Value::Int(9)]));
+    // Re-granting is equally immediate.
+    grid.core().acl.set_method_acl("echo", &Acl::allow_dn("*"));
+    client.call("echo.echo", vec![Value::Int(10)]).unwrap();
+    grid.cleanup();
+}
+
+#[test]
+fn vo_membership_revocation_is_immediate() {
+    let grid = TestGrid::start();
+    let admin = dn(&grid.admin.certificate.subject.to_string());
+    let user = grid.user.certificate.subject.to_string();
+    let core = grid.core();
+
+    // Gate echo behind a VO group instead of the permissive wildcard.
+    core.vo.create_group(&admin, "testers").unwrap();
+    core.acl
+        .set_method_acl("echo", &Acl::allow_group("testers"));
+
+    let mut client = grid.logged_in_client(&grid.user);
+    assert_denied(client.call("echo.echo", vec![Value::Int(1)]));
+    // A VO-side grant flips the cached deny on the next request...
+    core.vo.add_member(&admin, "testers", &user).unwrap();
+    client.call("echo.echo", vec![Value::Int(2)]).unwrap();
+    client.call("echo.echo", vec![Value::Int(3)]).unwrap();
+    // ...and a VO-side revocation flips it back, despite the cached allow.
+    core.vo.remove_member(&admin, "testers", &user).unwrap();
+    assert_denied(client.call("echo.echo", vec![Value::Int(4)]));
+    grid.cleanup();
+}
+
+#[test]
+fn file_acl_revocation_is_immediate_on_get_path() {
+    let grid = TestGrid::start();
+    grid.write_file("/sec/data.txt", b"payload");
+    let mut client = grid.logged_in_client(&grid.user);
+
+    assert_eq!(client.http_get_file("/sec/data.txt").unwrap(), b"payload");
+    grid.core().acl.set_file_acl(
+        "/sec",
+        &FileAcl {
+            read: Acl::deny_dn("*"),
+            write: Acl::default(),
+        },
+    );
+    match client.http_get_file("/sec/data.txt") {
+        Err(ClientError::Http(403, body)) => {
+            // GET errors keep the paper's XML error format.
+            assert!(body.contains("<error"), "{body}");
+        }
+        other => panic!("expected 403, got {other:?}"),
+    }
+    grid.core().acl.clear_file_acl("/sec");
+    assert_eq!(client.http_get_file("/sec/data.txt").unwrap(), b"payload");
+    grid.cleanup();
+}
+
+#[test]
+fn logout_revokes_cached_session() {
+    let grid = TestGrid::start();
+    let mut client = grid.logged_in_client(&grid.user);
+    // Warm the resolved-session cache.
+    client.call("system.whoami", vec![]).unwrap();
+    client.call("system.whoami", vec![]).unwrap();
+    assert_eq!(
+        client.call("system.logout", vec![]).unwrap(),
+        Value::Bool(true)
+    );
+    // The cached session must not outlive the logout.
+    match client.call("system.whoami", vec![]) {
+        Err(ClientError::Fault(f)) => assert_eq!(f.code, codes::NOT_AUTHENTICATED, "{f:?}"),
+        other => panic!("expected not-authenticated fault, got {other:?}"),
+    }
+    grid.cleanup();
+}
+
+#[test]
+fn sessions_survive_restart_with_cache_layer() {
+    let db = std::env::temp_dir().join(format!("clarens-cache-restart-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&db);
+
+    let grid = TestGrid::start_with(GridOptions {
+        db_path: Some(db.clone()),
+        seed: 0xCAC4E,
+        ..Default::default()
+    });
+    let mut client = grid.logged_in_client(&grid.user);
+    let session = client.session_id().unwrap().to_owned();
+    client.call("system.whoami", vec![]).unwrap();
+    grid.cleanup();
+
+    // "Restart": a new server process over the same DB starts with cold
+    // caches — the store stays the source of truth.
+    let grid2 = TestGrid::start_with(GridOptions {
+        db_path: Some(db.clone()),
+        seed: 0xCAC4E,
+        ..Default::default()
+    });
+    let mut revived = grid2.client(&grid2.user);
+    revived.set_session(session);
+    let who = revived.call("system.whoami", vec![]).unwrap();
+    assert_eq!(
+        who.as_str().unwrap(),
+        grid2.user.certificate.subject.to_string()
+    );
+    // The first revived call reloaded from the store (a miss); repeats are
+    // served from the rebuilt cache.
+    let misses = grid2.core().sessions.cache_stats().misses;
+    assert!(misses > 0, "revived session should have missed the cache");
+    let hits_before = grid2.core().sessions.cache_stats().hits;
+    revived.call("system.whoami", vec![]).unwrap();
+    assert!(grid2.core().sessions.cache_stats().hits > hits_before);
+    grid2.cleanup();
+    let _ = std::fs::remove_file(&db);
+}
+
+#[test]
+fn stats_rpc_reports_db_and_cache_counters() {
+    let grid = TestGrid::start();
+    let mut user = grid.logged_in_client(&grid.user);
+    // Drive some cached traffic first.
+    for i in 0..3 {
+        user.call("echo.echo", vec![Value::Int(i)]).unwrap();
+    }
+    // Admin-gated, like session_count.
+    assert_denied(user.call("system.stats", vec![]));
+
+    let mut admin = grid.logged_in_client(&grid.admin);
+    let stats = admin.call("system.stats", vec![]).unwrap();
+    let db = stats.get("db").unwrap();
+    assert!(db.get("lookups").unwrap().as_int().unwrap() > 0);
+    assert!(db.get("writes").unwrap().as_int().unwrap() > 0);
+    let cache = stats.get("cache").unwrap();
+    for kind in ["sessions", "vo_groups", "acl_nodes", "acl_decisions"] {
+        let entry = cache.get(kind).unwrap();
+        assert!(entry.get("hits").unwrap().as_int().is_some(), "{kind}");
+        assert!(entry.get("misses").unwrap().as_int().is_some(), "{kind}");
+    }
+    // The echo traffic above was answered from the decision cache.
+    let decisions = cache.get("acl_decisions").unwrap();
+    assert!(decisions.get("hits").unwrap().as_int().unwrap() > 0);
+    grid.cleanup();
+}

@@ -89,7 +89,7 @@ fn call(
         .unwrap_or_else(|| panic!("no service for {method}"));
     let ctx = CallContext {
         core: &fixture.core,
-        identity: identity.cloned(),
+        identity: identity.cloned().map(std::sync::Arc::new),
         session: None,
         peer_chain: vec![],
         now: fixture.core.now(),

@@ -10,12 +10,16 @@
 //! * crash recovery with torn-tail truncation and log compaction,
 //! * prefix scans (hierarchical ACL/VO keys are path-like),
 //! * lookup counters, so the benchmark harness can report DB activity per
-//!   request like the paper describes.
+//!   request like the paper describes,
+//! * per-bucket generation counters, so read-through caches layered above
+//!   the store can validate an entry with a single atomic load instead of a
+//!   lookup plus deserialization.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
@@ -44,6 +48,12 @@ pub struct Store {
     lookups: AtomicU64,
     scans: AtomicU64,
     writes: AtomicU64,
+    /// Per-bucket generation counters. Bumped inside the buckets write-lock
+    /// scope after every mutation, so a reader that loads a generation
+    /// *before* reading data can never cache stale data under a current
+    /// tag (the bump invalidates it; spurious invalidation is the only
+    /// possible race, never staleness).
+    generations: RwLock<HashMap<String, Arc<AtomicU64>>>,
 }
 
 impl Store {
@@ -56,6 +66,7 @@ impl Store {
             lookups: AtomicU64::new(0),
             scans: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            generations: RwLock::new(HashMap::new()),
         }
     }
 
@@ -89,6 +100,7 @@ impl Store {
             lookups: AtomicU64::new(0),
             scans: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            generations: RwLock::new(HashMap::new()),
         };
         if recovery.torn_tail {
             store.compact()?;
@@ -107,11 +119,13 @@ impl Store {
                 value: value.clone(),
             })?;
         }
-        self.buckets
-            .write()
+        let generation = self.generation_handle(bucket);
+        let mut buckets = self.buckets.write();
+        buckets
             .entry(bucket.to_owned())
             .or_default()
             .insert(key.to_owned(), value);
+        generation.fetch_add(1, Ordering::SeqCst);
         Ok(())
     }
 
@@ -139,11 +153,13 @@ impl Store {
                 key: key.to_owned(),
             })?;
         }
-        Ok(self
-            .buckets
-            .write()
+        let generation = self.generation_handle(bucket);
+        let mut buckets = self.buckets.write();
+        let existed = buckets
             .get_mut(bucket)
-            .is_some_and(|b| b.remove(key).is_some()))
+            .is_some_and(|b| b.remove(key).is_some());
+        generation.fetch_add(1, Ordering::SeqCst);
+        Ok(existed)
     }
 
     /// All `(key, value)` pairs in a bucket whose keys start with `prefix`
@@ -230,6 +246,30 @@ impl Store {
             wal.lock().sync()?;
         }
         Ok(())
+    }
+
+    /// Current generation of a bucket. Starts at 0 and increases on every
+    /// `put`/`delete` touching the bucket (including no-op deletes — the
+    /// counter may over-invalidate, never under-invalidate).
+    ///
+    /// Reader protocol for epoch-validated caches: load the generation
+    /// *first*, then read the data, then store both; a cached entry is
+    /// valid only while the bucket generation still equals its tag. Writers
+    /// bump the counter inside the write-lock scope after mutating, so a
+    /// tag can never be newer than the data it guards.
+    pub fn generation(&self, bucket: &str) -> u64 {
+        self.generation_handle(bucket).load(Ordering::SeqCst)
+    }
+
+    /// Shared handle to a bucket's generation counter, for callers that
+    /// validate on every request and want a single atomic load with no
+    /// map lookup.
+    pub fn generation_handle(&self, bucket: &str) -> Arc<AtomicU64> {
+        if let Some(handle) = self.generations.read().get(bucket) {
+            return Arc::clone(handle);
+        }
+        let mut generations = self.generations.write();
+        Arc::clone(generations.entry(bucket.to_owned()).or_default())
     }
 
     /// Snapshot of the counters.
@@ -392,6 +432,56 @@ mod tests {
         assert_eq!(stats.lookups, 2);
         assert_eq!(stats.scans, 1);
         assert_eq!(stats.writes, 2);
+    }
+
+    #[test]
+    fn generations_bump_on_writes_only() {
+        let store = Store::in_memory();
+        assert_eq!(store.generation("b"), 0);
+        store.put("b", "k", b"v".to_vec()).unwrap();
+        assert_eq!(store.generation("b"), 1);
+        // Reads never move the counter.
+        let _ = store.get("b", "k");
+        let _ = store.scan_prefix("b", "");
+        let _ = store.keys("b");
+        assert_eq!(store.generation("b"), 1);
+        store.delete("b", "k").unwrap();
+        assert_eq!(store.generation("b"), 2);
+        // A no-op delete still bumps (over-invalidation is allowed).
+        store.delete("b", "ghost").unwrap();
+        assert_eq!(store.generation("b"), 3);
+    }
+
+    #[test]
+    fn generations_are_per_bucket() {
+        let store = Store::in_memory();
+        store.put("a", "k", b"v".to_vec()).unwrap();
+        store.put("a", "k2", b"v".to_vec()).unwrap();
+        store.put("b", "k", b"v".to_vec()).unwrap();
+        assert_eq!(store.generation("a"), 2);
+        assert_eq!(store.generation("b"), 1);
+        assert_eq!(store.generation("untouched"), 0);
+    }
+
+    #[test]
+    fn generation_handle_tracks_bucket() {
+        let store = Store::in_memory();
+        let handle = store.generation_handle("b");
+        assert_eq!(handle.load(Ordering::SeqCst), 0);
+        store.put("b", "k", b"v".to_vec()).unwrap();
+        assert_eq!(handle.load(Ordering::SeqCst), 1);
+        // The handle is shared, not a snapshot.
+        assert!(Arc::ptr_eq(&handle, &store.generation_handle("b")));
+    }
+
+    #[test]
+    fn clear_bucket_moves_generation() {
+        let store = Store::in_memory();
+        store.put("b", "k1", b"1".to_vec()).unwrap();
+        store.put("b", "k2", b"2".to_vec()).unwrap();
+        let before = store.generation("b");
+        store.clear_bucket("b").unwrap();
+        assert!(store.generation("b") > before);
     }
 
     #[test]

@@ -50,36 +50,40 @@ impl From<io::Error> for ParseError {
 }
 
 /// Read one CRLF- (or LF-) terminated line without the terminator.
+///
+/// Scans the reader's internal buffer via `read_until` rather than pulling
+/// one byte at a time — line reading is on the per-request hot path, and a
+/// byte-at-a-time loop pays a dispatched `read` call per header byte. The
+/// `take` bound keeps an unterminated line from buffering more than
+/// `limit` bytes (+2 allows the CRLF terminator on a maximal line).
 fn read_line<R: BufRead>(reader: &mut R, limit: usize) -> Result<String, ParseError> {
     let mut line = Vec::with_capacity(64);
-    loop {
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte) {
-            Ok(0) => {
-                if line.is_empty() {
-                    return Err(ParseError::Eof);
-                }
-                return Err(ParseError::Io(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "EOF mid-line",
-                )));
-            }
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    if line.last() == Some(&b'\r') {
-                        line.pop();
-                    }
-                    return String::from_utf8(line)
-                        .map_err(|_| ParseError::Protocol(400, "non-UTF-8 header line".into()));
-                }
-                line.push(byte[0]);
-                if line.len() > limit {
-                    return Err(ParseError::Protocol(431, "line too long".into()));
-                }
-            }
-            Err(e) => return Err(ParseError::Io(e)),
-        }
+    let n = reader
+        .by_ref()
+        .take(limit as u64 + 2)
+        .read_until(b'\n', &mut line)?;
+    if n == 0 {
+        return Err(ParseError::Eof);
     }
+    if line.last() != Some(&b'\n') {
+        // No terminator: either the bound was hit (oversized line) or the
+        // stream ended mid-line.
+        if line.len() > limit {
+            return Err(ParseError::Protocol(431, "line too long".into()));
+        }
+        return Err(ParseError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "EOF mid-line",
+        )));
+    }
+    line.pop();
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    if line.len() > limit {
+        return Err(ParseError::Protocol(431, "line too long".into()));
+    }
+    String::from_utf8(line).map_err(|_| ParseError::Protocol(400, "non-UTF-8 header line".into()))
 }
 
 /// Parse a request from a buffered reader. `max_body` bounds decoded body

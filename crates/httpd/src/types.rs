@@ -70,9 +70,14 @@ impl Headers {
         self.map.insert(name.to_ascii_lowercase(), value.into());
     }
 
-    /// Get a header by case-insensitive name.
+    /// Get a header by case-insensitive name. Already-lowercase names
+    /// (every internal caller) look up without allocating.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.map.get(&name.to_ascii_lowercase()).map(String::as_str)
+        if name.bytes().any(|b| b.is_ascii_uppercase()) {
+            self.map.get(&name.to_ascii_lowercase()).map(String::as_str)
+        } else {
+            self.map.get(name).map(String::as_str)
+        }
     }
 
     /// Remove a header.
