@@ -13,6 +13,8 @@
 //!   stream     SC2003 bandwidth-challenge style file streaming
 //!   discovery  local-DB vs station fan-out query latency
 //!   ablation   request-path cost decomposition + GT3 knob attribution
+//!   quick      CI smoke: short workload, then assert GET /metrics serves
+//!              non-zero request counts (snapshot to $METRICS_SNAPSHOT)
 
 use std::time::{Duration, Instant};
 
@@ -37,6 +39,7 @@ fn main() {
         "stream" => stream(),
         "discovery" => discovery(),
         "ablation" => ablation(point),
+        "quick" | "--quick" => quick(),
         "all" => {
             fig4(point);
             ssl(point);
@@ -47,7 +50,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; use fig4|ssl|gt3|stream|discovery|ablation|all"
+                "unknown experiment {other:?}; use fig4|ssl|gt3|stream|discovery|ablation|quick|all"
             );
             std::process::exit(2);
         }
@@ -108,6 +111,24 @@ fn fig4(point: Duration) {
         "auth caches: sessions {}/{} hits/misses, ACL decisions {}/{} hits/misses",
         sessions.hits, sessions.misses, decisions.hits, decisions.misses
     );
+    // Server-side percentiles from the telemetry plane — latency as the
+    // server observed it, free of client-side queueing.
+    let telemetry = &grid.core().telemetry;
+    if let Some((_, stats)) = telemetry
+        .methods_snapshot()
+        .iter()
+        .find(|(name, _)| name == "system.list_methods")
+    {
+        let snap = stats.latency.snapshot();
+        println!(
+            "server-side latency (system.list_methods): p50 {}µs  p95 {}µs  p99 {}µs  max {}µs  ({} samples)",
+            snap.p50(),
+            snap.p95(),
+            snap.p99(),
+            snap.max,
+            snap.count
+        );
+    }
     println!("(paper, dual 2.8 GHz Xeon, 2005: average 1450 requests/sec, flat profile)");
     grid.cleanup();
 }
@@ -378,6 +399,50 @@ fn ablation_rows(grid: &clarens::testkit::TestGrid, point: Duration, clients: us
     (echo, ping)
 }
 
+/// CI smoke: drive a short workload, then prove the telemetry export
+/// surface works end-to-end — `GET /metrics` as the site admin must serve
+/// non-zero request counts. The exposition body is written to the path in
+/// `$METRICS_SNAPSHOT` (default `metrics-snapshot.txt`) for upload as a
+/// build artifact.
+fn quick() {
+    header("Quick smoke — telemetry export over a live server");
+    let grid = bench_grid();
+    let mut user = grid.logged_in_client(&grid.user);
+    for i in 0..25 {
+        user.call("echo.echo", vec![Value::Int(i)]).unwrap();
+    }
+    user.call("system.list_methods", vec![]).unwrap();
+
+    let mut admin = grid.logged_in_client(&grid.admin);
+    let (status, body) = admin.get_page("/metrics").expect("GET /metrics");
+    assert_eq!(status, 200, "admin GET /metrics must answer 200");
+    let requests: u64 = body
+        .lines()
+        .find_map(|l| l.strip_prefix("clarens_requests_total "))
+        .expect("metrics must include clarens_requests_total")
+        .parse()
+        .expect("clarens_requests_total must be a number");
+    assert!(
+        requests > 0,
+        "request counter must be non-zero after traffic"
+    );
+    assert!(
+        body.contains("clarens_method_calls_total{method=\"echo.echo\"} 25"),
+        "per-method counts must reflect the workload"
+    );
+
+    println!(
+        "GET /metrics: {} bytes, clarens_requests_total {requests}",
+        body.len()
+    );
+    let snapshot =
+        std::env::var("METRICS_SNAPSHOT").unwrap_or_else(|_| "metrics-snapshot.txt".to_string());
+    std::fs::write(&snapshot, &body).expect("write metrics snapshot");
+    println!("snapshot written to {snapshot}");
+    println!("quick smoke passed");
+    grid.cleanup();
+}
+
 /// Ablation: where does the request time go, and which GT3 overhead knob
 /// costs what.
 fn ablation(point: Duration) {
@@ -410,6 +475,47 @@ fn ablation(point: Duration) {
     println!(
         "target: cached echo.echo within 5% of ping — measured gap {:.1}%",
         (1.0 - echo_cached / ping_cached) * 100.0
+    );
+
+    // Telemetry overhead: the span-timed request path vs the counters-only
+    // path, interleaved best-of rounds like the other ablations. Budget:
+    // timing must cost echo.echo less than 5%.
+    println!("\nAblation D — telemetry overhead (echo.echo, 8 clients)");
+    println!("{:>44} {:>12}", "configuration", "calls/sec");
+    let off_grid = clarens_bench::bench_grid_no_telemetry();
+    let on_session = bench_session(&grid);
+    let off_session = bench_session(&off_grid);
+    let (mut best_on, mut best_off) = (0.0f64, 0.0f64);
+    for _ in 0..ABLATION_ROUNDS {
+        let on = measure_throughput(
+            &grid.addr(),
+            &on_session,
+            clients,
+            point,
+            "echo.echo",
+            Protocol::XmlRpc,
+        );
+        best_on = best_on.max(on.calls_per_sec);
+        let off = measure_throughput(
+            &off_grid.addr(),
+            &off_session,
+            clients,
+            point,
+            "echo.echo",
+            Protocol::XmlRpc,
+        );
+        best_off = best_off.max(off.calls_per_sec);
+    }
+    off_grid.cleanup();
+    println!(
+        "{:>44} {:>12.0}",
+        "telemetry on (spans + histograms)", best_on
+    );
+    println!("{:>44} {:>12.0}", "telemetry off (counters only)", best_off);
+    println!(
+        "{:>44} {:>11.1}%  (budget: < 5%)",
+        "timing overhead",
+        (1.0 - best_on / best_off) * 100.0
     );
 
     let session = bench_session(&grid);

@@ -144,6 +144,16 @@ pub fn bench_grid_uncached() -> TestGrid {
     })
 }
 
+/// Start the benchmark grid with request span timing disabled (counters
+/// stay live) — the baseline for measuring telemetry overhead.
+pub fn bench_grid_no_telemetry() -> TestGrid {
+    TestGrid::start_with(GridOptions {
+        workers: 96,
+        telemetry: false,
+        ..Default::default()
+    })
+}
+
 /// Start the TLS benchmark grid.
 pub fn bench_grid_tls() -> TestGrid {
     TestGrid::start_with(GridOptions {

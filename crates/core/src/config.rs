@@ -37,6 +37,13 @@ pub struct ClarensConfig {
     /// groups, compiled ACLs, decisions). On by default; disable only to
     /// measure the uncached request path.
     pub auth_cache: bool,
+    /// Enable request span timing (phase/method latency histograms, slow
+    /// traces). Counters stay live even when this is off; the knob only
+    /// gates the per-request clock reads.
+    pub telemetry: bool,
+    /// Requests slower than this many microseconds are captured in the
+    /// slow-trace ring served by `system.trace_tail`.
+    pub slow_trace_us: u64,
 }
 
 impl Default for ClarensConfig {
@@ -52,6 +59,8 @@ impl Default for ClarensConfig {
             workers: 16,
             db_path: None,
             auth_cache: true,
+            telemetry: true,
+            slow_trace_us: 10_000,
         }
     }
 }
@@ -100,6 +109,16 @@ impl ClarensConfig {
                     config.auth_cache = value
                         .parse()
                         .map_err(|_| format!("line {}: bad auth_cache", lineno + 1))?
+                }
+                "telemetry" => {
+                    config.telemetry = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad telemetry", lineno + 1))?
+                }
+                "slow_trace_us" => {
+                    config.slow_trace_us = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad slow_trace_us", lineno + 1))?
                 }
                 other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
             }
@@ -155,6 +174,17 @@ db_path: /var/clarens/clarens.db
         assert!(!config.auth_cache);
         let config = ClarensConfig::parse("auth_cache: true").unwrap();
         assert!(config.auth_cache);
+    }
+
+    #[test]
+    fn telemetry_knobs() {
+        let config = ClarensConfig::parse("").unwrap();
+        assert!(config.telemetry);
+        assert_eq!(config.slow_trace_us, 10_000);
+        let config = ClarensConfig::parse("telemetry: false\nslow_trace_us: 2500").unwrap();
+        assert!(!config.telemetry);
+        assert_eq!(config.slow_trace_us, 2500);
+        assert!(ClarensConfig::parse("slow_trace_us: slow").is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use parking_lot::RwLock;
 
 use clarens_db::Store;
 use clarens_pki::cert::{Certificate, Credential};
+use clarens_telemetry::Telemetry;
 
 use crate::acl::AclEngine;
 use crate::config::ClarensConfig;
@@ -34,6 +35,9 @@ pub struct ClarensCore {
     pub credential: Credential,
     /// Registered services.
     pub registry: RwLock<Registry>,
+    /// The observability plane: request counters, phase/method latency
+    /// histograms, slow traces, and gauges over the DB and auth caches.
+    pub telemetry: Arc<Telemetry>,
     /// Clock (overridable for deterministic tests).
     pub now_fn: Arc<dyn Fn() -> i64 + Send + Sync>,
 }
@@ -55,7 +59,12 @@ impl ClarensCore {
             SessionManager::with_caching(Arc::clone(&store), config.session_ttl, config.auth_cache);
         let vo = VoManager::with_caching(Arc::clone(&store), &config.admin_dns, config.auth_cache);
         let acl = AclEngine::with_caching(Arc::clone(&store), config.auth_cache);
-        Ok(Arc::new(ClarensCore {
+        let telemetry = Telemetry::new(
+            config.telemetry,
+            config.slow_trace_us,
+            clarens_telemetry::DEFAULT_RING_CAPACITY,
+        );
+        let core = Arc::new(ClarensCore {
             config,
             store,
             sessions,
@@ -64,13 +73,67 @@ impl ClarensCore {
             roots,
             credential,
             registry: RwLock::new(Registry::new()),
+            telemetry,
             now_fn: Arc::new(|| {
                 std::time::SystemTime::now()
                     .duration_since(std::time::UNIX_EPOCH)
                     .map(|d| d.as_secs() as i64)
                     .unwrap_or(0)
             }),
-        }))
+        });
+        core.register_gauges();
+        Ok(core)
+    }
+
+    /// Expose DB and auth-cache counters as named telemetry gauges, so
+    /// `system.stats`, `system.metrics`, and `GET /metrics` all read the
+    /// same numbers through one registry.
+    fn register_gauges(self: &Arc<Self>) {
+        let store = Arc::clone(&self.store);
+        self.telemetry
+            .register_gauge("db.lookups", move || store.stats().lookups);
+        let store = Arc::clone(&self.store);
+        self.telemetry
+            .register_gauge("db.scans", move || store.stats().scans);
+        let store = Arc::clone(&self.store);
+        self.telemetry
+            .register_gauge("db.writes", move || store.stats().writes);
+        let store = Arc::clone(&self.store);
+        self.telemetry
+            .register_gauge("db.wal_syncs", move || store.stats().syncs);
+        // Cache gauges capture a weak handle: the telemetry plane lives
+        // inside the core, so a strong Arc here would leak it.
+        type CacheReader = fn(&ClarensCore) -> (u64, u64);
+        let cache_gauges: [(&str, CacheReader); 4] = [
+            ("cache.sessions", |core| {
+                let s = core.sessions.cache_stats();
+                (s.hits, s.misses)
+            }),
+            ("cache.vo_groups", |core| {
+                let s = core.vo.cache_stats();
+                (s.hits, s.misses)
+            }),
+            ("cache.acl_nodes", |core| {
+                let s = core.acl.node_cache_stats();
+                (s.hits, s.misses)
+            }),
+            ("cache.acl_decisions", |core| {
+                let s = core.acl.decision_cache_stats();
+                (s.hits, s.misses)
+            }),
+        ];
+        for (name, read) in cache_gauges {
+            let weak = Arc::downgrade(self);
+            self.telemetry
+                .register_gauge(format!("{name}.hits"), move || {
+                    weak.upgrade().map(|core| read(&core).0).unwrap_or(0)
+                });
+            let weak = Arc::downgrade(self);
+            self.telemetry
+                .register_gauge(format!("{name}.misses"), move || {
+                    weak.upgrade().map(|core| read(&core).1).unwrap_or(0)
+                });
+        }
     }
 
     /// Current time per the configured clock.

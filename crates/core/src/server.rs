@@ -15,6 +15,7 @@ use clarens_httpd::{
     Handler, HttpServer, Method, PeerInfo, Request, Response, ServerConfig, TlsConfig,
 };
 use clarens_pki::dn::DistinguishedName;
+use clarens_telemetry::{Phase, RequestTrace};
 use clarens_wire::fault::codes;
 use clarens_wire::{Fault, Protocol, RpcResponse, Value};
 
@@ -48,6 +49,7 @@ impl ClarensServer {
             tls,
             now_fn: Arc::clone(&core.now_fn),
             read_timeout: std::time::Duration::from_secs(5),
+            telemetry: Some(Arc::clone(&core.telemetry)),
             ..Default::default()
         };
         let http = HttpServer::bind(addr, config, handler)?;
@@ -189,7 +191,12 @@ impl ClarensHandler {
         }
     }
 
-    fn handle_rpc(&self, request: Request, peer: Option<&PeerInfo>) -> Response {
+    fn handle_rpc(
+        &self,
+        request: Request,
+        peer: Option<&PeerInfo>,
+        trace: &mut RequestTrace,
+    ) -> Response {
         // Protocol negotiation: Content-Type first, body sniffing as the
         // tie-breaker (XML-RPC and SOAP share text/xml).
         let content_type = request
@@ -209,18 +216,33 @@ impl ClarensHandler {
         let Some(protocol) = protocol else {
             return Response::error(400, "cannot determine RPC protocol");
         };
+        trace.protocol = Some(match protocol {
+            Protocol::XmlRpc => "xmlrpc",
+            Protocol::Soap => "soap",
+            Protocol::JsonRpc => "jsonrpc",
+        });
 
-        let (response, id) = match clarens_wire::decode_call(protocol, &request.body) {
+        let decoded = trace.span(Phase::Parse, || {
+            clarens_wire::decode_call(protocol, &request.body)
+        });
+        let (response, id) = match decoded {
             Err(e) => (
                 RpcResponse::Fault(Fault::new(codes::PARSE, e.to_string())),
                 None,
             ),
             Ok(call) => {
                 let id = call.id.clone();
-                (self.dispatch(&request, peer, call.method, call.params), id)
+                trace.method = Some(call.method.clone());
+                (
+                    self.dispatch(&request, peer, call.method, call.params, trace),
+                    id,
+                )
             }
         };
-        let body = clarens_wire::encode_response(protocol, &response, id.as_ref());
+        trace.fault = matches!(response, RpcResponse::Fault(_));
+        let body = trace.span(Phase::Serialize, || {
+            clarens_wire::encode_response(protocol, &response, id.as_ref())
+        });
         Response::ok(protocol.content_type(), body)
     }
 
@@ -231,9 +253,10 @@ impl ClarensHandler {
         peer: Option<&PeerInfo>,
         method: String,
         params: Vec<Value>,
+        trace: &mut RequestTrace,
     ) -> RpcResponse {
         let now = self.core.now();
-        let resolved = self.resolve_identity(request, peer, now);
+        let resolved = trace.span(Phase::Auth, || self.resolve_identity(request, peer, now));
 
         if !services::is_public(&method) {
             let Some(identity) = &resolved.identity else {
@@ -245,14 +268,14 @@ impl ClarensHandler {
             // access to the particular method being called". A session
             // already carries the rendered DN string, which the decision
             // cache can key on without re-rendering the identity.
-            let allowed = match &resolved.session {
+            let allowed = trace.span(Phase::Acl, || match &resolved.session {
                 Some(session) => {
                     self.core
                         .acl
                         .check_method_keyed(&method, identity, &session.dn, &self.core.vo)
                 }
                 None => self.core.acl.check_method(&method, identity, &self.core.vo),
-            };
+            });
             if !allowed {
                 return RpcResponse::Fault(Fault::access_denied(format!(
                     "{identity} may not call {method}"
@@ -276,17 +299,25 @@ impl ClarensHandler {
             peer_chain: peer.map(|p| p.chain.clone()).unwrap_or_default(),
             now,
         };
-        match service.call(&ctx, &method, &params) {
+        match trace.span(Phase::Dispatch, || service.call(&ctx, &method, &params)) {
             Ok(value) => RpcResponse::Success(value),
             Err(fault) => RpcResponse::Fault(fault),
         }
     }
 
-    fn handle_get(&self, request: Request, peer: Option<&PeerInfo>) -> Response {
+    fn handle_get(
+        &self,
+        request: Request,
+        peer: Option<&PeerInfo>,
+        trace: &mut RequestTrace,
+    ) -> Response {
         let now = self.core.now();
-        let resolved = self.resolve_identity(&request, peer, now);
+        let resolved = trace.span(Phase::Auth, || self.resolve_identity(&request, peer, now));
         let path = request.path().to_owned();
 
+        if path == "/metrics" {
+            return self.serve_metrics(resolved.identity.as_deref());
+        }
         if path == "/" || path == "/index.html" {
             return portal::index(&self.core, resolved.identity.as_deref());
         }
@@ -297,6 +328,21 @@ impl ClarensHandler {
             return portal::route(&self.core, &request, resolved.identity.as_deref());
         }
         xml_error(404, &format!("no such resource: {path}"))
+    }
+
+    /// `GET /metrics`: the whole telemetry plane in Prometheus-style
+    /// plaintext, gated like `system.stats` — site admins only.
+    fn serve_metrics(&self, identity: Option<&DistinguishedName>) -> Response {
+        let Some(identity) = identity else {
+            return xml_error(401, "metrics require a session or TLS identity");
+        };
+        if !self.core.vo.is_site_admin(identity) {
+            return xml_error(403, "metrics require site admin");
+        }
+        Response::ok(
+            "text/plain; version=0.0.4",
+            self.core.telemetry.render_prometheus(),
+        )
     }
 
     /// HTTP GET file downloads (paper §2.3): streamed with the
@@ -343,9 +389,21 @@ impl ClarensHandler {
 
 impl Handler for ClarensHandler {
     fn handle(&self, request: Request, peer: Option<&PeerInfo>) -> Response {
+        self.handle_traced(request, peer, &mut RequestTrace::disabled())
+    }
+
+    fn handle_traced(
+        &self,
+        request: Request,
+        peer: Option<&PeerInfo>,
+        trace: &mut RequestTrace,
+    ) -> Response {
         match request.method {
-            Method::Post => self.handle_rpc(request, peer),
-            Method::Get | Method::Head => self.handle_get(request, peer),
+            Method::Post => self.handle_rpc(request, peer, trace),
+            Method::Get | Method::Head => {
+                trace.method = Some("http.get".into());
+                self.handle_get(request, peer, trace)
+            }
             _ => Response::error(405, "use GET for files/portal, POST for RPC"),
         }
     }

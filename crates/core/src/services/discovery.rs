@@ -131,6 +131,24 @@ impl Service for DiscoveryService {
                     .as_ref()
                     .ok_or_else(|| Fault::service("this server has no publisher configured"))?;
                 // One descriptor per registered module, methods from the DB.
+                // Descriptors carry live load/latency attributes so the
+                // station network can steer clients toward lightly-loaded
+                // servers (the paper's MonALISA monitoring integration).
+                let telemetry = &ctx.core.telemetry;
+                let latency = telemetry.total_snapshot();
+                let load_attributes: Vec<(String, String)> = vec![
+                    (
+                        "requests_total".into(),
+                        telemetry.http.requests.get().to_string(),
+                    ),
+                    (
+                        "errors_total".into(),
+                        telemetry.http.responses_5xx.get().to_string(),
+                    ),
+                    ("p50_us".into(), latency.p50().to_string()),
+                    ("p95_us".into(), latency.p95().to_string()),
+                    ("p99_us".into(), latency.p99().to_string()),
+                ];
                 let modules = ctx.core.registry.read().modules();
                 let mut published = 0i64;
                 for module in modules {
@@ -146,7 +164,7 @@ impl Service for DiscoveryService {
                         server_dn: ctx.core.credential.certificate.subject.to_string(),
                         service: module,
                         methods,
-                        attributes: Default::default(),
+                        attributes: load_attributes.iter().cloned().collect(),
                         timestamp: ctx.now,
                     };
                     publisher

@@ -65,6 +65,16 @@ impl Service for SystemService {
                 "system.stats()",
                 "DB and authorization-cache counters (admin)",
             ),
+            MethodInfo::new(
+                "system.metrics",
+                "system.metrics()",
+                "Full telemetry snapshot: HTTP counters, per-phase and per-method latency (admin)",
+            ),
+            MethodInfo::new(
+                "system.trace_tail",
+                "system.trace_tail([limit])",
+                "Most recent slow-request traces, newest first (admin)",
+            ),
         ]
     }
 
@@ -128,35 +138,63 @@ impl Service for SystemService {
                 if !ctx.core.vo.is_site_admin(dn) {
                     return Err(Fault::access_denied("stats requires site admin"));
                 }
-                let db = ctx.core.store.stats();
-                let cache_value = |stats: crate::cache::CacheStats| {
+                // Served from the telemetry gauge registry: the same
+                // numbers `system.metrics` and `GET /metrics` export.
+                let gauge =
+                    |name: &str| Value::Int(ctx.core.telemetry.gauge(name).unwrap_or(0) as i64);
+                let cache_value = |name: &str| {
                     Value::structure([
-                        ("hits", Value::Int(stats.hits as i64)),
-                        ("misses", Value::Int(stats.misses as i64)),
+                        ("hits", gauge(&format!("{name}.hits"))),
+                        ("misses", gauge(&format!("{name}.misses"))),
                     ])
                 };
                 Ok(Value::structure([
                     (
                         "db",
                         Value::structure([
-                            ("lookups", Value::Int(db.lookups as i64)),
-                            ("scans", Value::Int(db.scans as i64)),
-                            ("writes", Value::Int(db.writes as i64)),
+                            ("lookups", gauge("db.lookups")),
+                            ("scans", gauge("db.scans")),
+                            ("writes", gauge("db.writes")),
+                            ("wal_syncs", gauge("db.wal_syncs")),
                         ]),
                     ),
                     (
                         "cache",
                         Value::structure([
-                            ("sessions", cache_value(ctx.core.sessions.cache_stats())),
-                            ("vo_groups", cache_value(ctx.core.vo.cache_stats())),
-                            ("acl_nodes", cache_value(ctx.core.acl.node_cache_stats())),
-                            (
-                                "acl_decisions",
-                                cache_value(ctx.core.acl.decision_cache_stats()),
-                            ),
+                            ("sessions", cache_value("cache.sessions")),
+                            ("vo_groups", cache_value("cache.vo_groups")),
+                            ("acl_nodes", cache_value("cache.acl_nodes")),
+                            ("acl_decisions", cache_value("cache.acl_decisions")),
                         ]),
                     ),
                 ]))
+            }
+            "system.metrics" => {
+                params::expect_len(params_in, 0, method)?;
+                let dn = ctx.require_identity()?;
+                if !ctx.core.vo.is_site_admin(dn) {
+                    return Err(Fault::access_denied("metrics requires site admin"));
+                }
+                Ok(metrics_snapshot(&ctx.core.telemetry))
+            }
+            "system.trace_tail" => {
+                if params_in.len() > 1 {
+                    return Err(Fault::bad_params("trace_tail takes at most one parameter"));
+                }
+                let dn = ctx.require_identity()?;
+                if !ctx.core.vo.is_site_admin(dn) {
+                    return Err(Fault::access_denied("trace_tail requires site admin"));
+                }
+                let limit = match params_in.first() {
+                    None => 16,
+                    Some(v) => v
+                        .as_int()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| Fault::bad_params("limit must be a positive int"))?
+                        as usize,
+                };
+                let tail = ctx.core.telemetry.trace_tail(limit);
+                Ok(Value::Array(tail.iter().map(slow_trace_value).collect()))
             }
             other => Err(Fault::new(
                 codes::NO_SUCH_METHOD,
@@ -224,4 +262,109 @@ impl SystemService {
 /// The challenge message a client signs for `system.auth`.
 pub fn auth_challenge(timestamp: i64) -> String {
     format!("clarens-auth:{timestamp}")
+}
+
+/// Render a latency histogram snapshot as an RPC structure.
+fn histogram_value(snap: &clarens_telemetry::HistogramSnapshot) -> Value {
+    Value::structure([
+        ("count", Value::Int(snap.count as i64)),
+        ("sum_us", Value::Int(snap.sum as i64)),
+        ("p50_us", Value::Int(snap.p50() as i64)),
+        ("p95_us", Value::Int(snap.p95() as i64)),
+        ("p99_us", Value::Int(snap.p99() as i64)),
+        ("max_us", Value::Int(snap.max as i64)),
+    ])
+}
+
+/// The full `system.metrics` response body.
+fn metrics_snapshot(telemetry: &clarens_telemetry::Telemetry) -> Value {
+    let http = &telemetry.http;
+    let http_value = Value::structure([
+        ("connections", Value::Int(http.connections.get() as i64)),
+        ("requests", Value::Int(http.requests.get() as i64)),
+        (
+            "keepalive_reuse",
+            Value::Int(http.keepalive_reuse.get() as i64),
+        ),
+        ("idle_timeouts", Value::Int(http.idle_timeouts.get() as i64)),
+        ("peer_resets", Value::Int(http.peer_resets.get() as i64)),
+        (
+            "handshake_failures",
+            Value::Int(http.handshake_failures.get() as i64),
+        ),
+        ("responses_5xx", Value::Int(http.responses_5xx.get() as i64)),
+    ]);
+    let protocols = Value::structure(telemetry.protocols_snapshot().into_iter().map(
+        |(name, requests, faults)| {
+            (
+                name,
+                Value::structure([
+                    ("requests", Value::Int(requests as i64)),
+                    ("faults", Value::Int(faults as i64)),
+                ]),
+            )
+        },
+    ));
+    let phases = Value::structure(
+        telemetry
+            .phase_snapshots()
+            .into_iter()
+            .map(|(name, snap)| (name, histogram_value(&snap))),
+    );
+    let methods = Value::structure(telemetry.methods_snapshot().into_iter().map(
+        |(name, stats)| {
+            let latency = stats.latency.snapshot();
+            (
+                name,
+                Value::structure([
+                    ("calls", Value::Int(stats.calls.get() as i64)),
+                    ("faults", Value::Int(stats.faults.get() as i64)),
+                    ("latency", histogram_value(&latency)),
+                ]),
+            )
+        },
+    ));
+    let gauges = Value::structure(
+        telemetry
+            .gauges_snapshot()
+            .into_iter()
+            .map(|(name, value)| (name, Value::Int(value as i64))),
+    );
+    Value::structure([
+        ("http", http_value),
+        ("protocols", protocols),
+        ("phases", phases),
+        ("methods", methods),
+        ("gauges", gauges),
+        (
+            "slow_traces",
+            Value::Int(telemetry.slow_trace_count() as i64),
+        ),
+    ])
+}
+
+/// Render one slow-request trace for `system.trace_tail`.
+fn slow_trace_value(trace: &clarens_telemetry::SlowTrace) -> Value {
+    use clarens_telemetry::PHASE_NAMES;
+    Value::structure([
+        ("seq", Value::Int(trace.seq as i64)),
+        ("time", Value::Int(trace.unix_time)),
+        (
+            "method",
+            Value::from(trace.method.clone().unwrap_or_default()),
+        ),
+        ("protocol", Value::from(trace.protocol.unwrap_or(""))),
+        ("status", Value::Int(trace.status as i64)),
+        ("fault", Value::Bool(trace.fault)),
+        ("total_us", Value::Int(trace.total_us as i64)),
+        (
+            "phases",
+            Value::structure(
+                PHASE_NAMES
+                    .iter()
+                    .zip(trace.phase_us.iter())
+                    .map(|(name, us)| (*name, Value::Int(*us as i64))),
+            ),
+        ),
+    ])
 }

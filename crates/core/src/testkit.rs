@@ -65,6 +65,8 @@ pub struct GridOptions {
     /// Enable the authorization caches (disable to measure the uncached
     /// request path).
     pub auth_cache: bool,
+    /// Enable request span timing (disable to measure the untimed path).
+    pub telemetry: bool,
 }
 
 impl Default for GridOptions {
@@ -76,6 +78,7 @@ impl Default for GridOptions {
             workers: 16,
             db_path: None,
             auth_cache: true,
+            telemetry: true,
         }
     }
 }
@@ -163,6 +166,7 @@ impl TestGrid {
             workers: options.workers,
             db_path: options.db_path,
             auth_cache: options.auth_cache,
+            telemetry: options.telemetry,
             ..Default::default()
         };
 

@@ -37,6 +37,9 @@ pub struct StoreStats {
     pub scans: u64,
     /// Number of writes (put + delete).
     pub writes: u64,
+    /// Number of WAL fsyncs issued (per-append syncs, explicit syncs,
+    /// and compaction rewrites).
+    pub syncs: u64,
 }
 
 /// A concurrent, optionally-persistent KV store.
@@ -48,6 +51,7 @@ pub struct Store {
     lookups: AtomicU64,
     scans: AtomicU64,
     writes: AtomicU64,
+    syncs: AtomicU64,
     /// Per-bucket generation counters. Bumped inside the buckets write-lock
     /// scope after every mutation, so a reader that loads a generation
     /// *before* reading data can never cache stale data under a current
@@ -66,6 +70,7 @@ impl Store {
             lookups: AtomicU64::new(0),
             scans: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
             generations: RwLock::new(HashMap::new()),
         }
     }
@@ -100,6 +105,7 @@ impl Store {
             lookups: AtomicU64::new(0),
             scans: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
             generations: RwLock::new(HashMap::new()),
         };
         if recovery.torn_tail {
@@ -113,11 +119,15 @@ impl Store {
         let value = value.into();
         self.writes.fetch_add(1, Ordering::Relaxed);
         if let Some(wal) = &self.wal {
-            wal.lock().append(&LogOp::Put {
+            let mut wal = wal.lock();
+            wal.append(&LogOp::Put {
                 bucket: bucket.to_owned(),
                 key: key.to_owned(),
                 value: value.clone(),
             })?;
+            if wal.sync_on_append {
+                self.syncs.fetch_add(1, Ordering::Relaxed);
+            }
         }
         let generation = self.generation_handle(bucket);
         let mut buckets = self.buckets.write();
@@ -148,10 +158,14 @@ impl Store {
     pub fn delete(&self, bucket: &str, key: &str) -> io::Result<bool> {
         self.writes.fetch_add(1, Ordering::Relaxed);
         if let Some(wal) = &self.wal {
-            wal.lock().append(&LogOp::Delete {
+            let mut wal = wal.lock();
+            wal.append(&LogOp::Delete {
                 bucket: bucket.to_owned(),
                 key: key.to_owned(),
             })?;
+            if wal.sync_on_append {
+                self.syncs.fetch_add(1, Ordering::Relaxed);
+            }
         }
         let generation = self.generation_handle(bucket);
         let mut buckets = self.buckets.write();
@@ -232,6 +246,7 @@ impl Store {
                 }
             }
             new_wal.sync()?;
+            self.syncs.fetch_add(1, Ordering::Relaxed);
         }
         let mut wal_guard = wal.lock();
         std::fs::rename(&tmp, path)?;
@@ -244,6 +259,7 @@ impl Store {
     pub fn sync(&self) -> io::Result<()> {
         if let Some(wal) = &self.wal {
             wal.lock().sync()?;
+            self.syncs.fetch_add(1, Ordering::Relaxed);
         }
         Ok(())
     }
@@ -276,6 +292,7 @@ impl Store {
     pub fn stats(&self) -> StoreStats {
         StoreStats {
             lookups: self.lookups.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
             scans: self.scans.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
         }

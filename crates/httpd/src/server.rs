@@ -15,6 +15,8 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
+use clarens_telemetry::{Phase, RequestTrace, Telemetry};
+
 use clarens_pki::cert::{Certificate, Credential};
 use clarens_pki::dn::DistinguishedName;
 use clarens_pki::SecureStream;
@@ -42,6 +44,18 @@ pub struct PeerInfo {
 pub trait Handler: Send + Sync + 'static {
     /// Handle one request. `peer` is `Some` only on TLS connections.
     fn handle(&self, request: Request, peer: Option<&PeerInfo>) -> Response;
+
+    /// Handle one request with a trace riding along. Handlers that time
+    /// their internal phases (auth, ACL walk, dispatch, serialization)
+    /// override this; the default ignores the trace.
+    fn handle_traced(
+        &self,
+        request: Request,
+        peer: Option<&PeerInfo>,
+        _trace: &mut RequestTrace,
+    ) -> Response {
+        self.handle(request, peer)
+    }
 }
 
 impl<F> Handler for F
@@ -74,6 +88,8 @@ pub struct ServerConfig {
     pub tls: Option<TlsConfig>,
     /// Clock used for certificate validation (overridable in tests).
     pub now_fn: Arc<dyn Fn() -> i64 + Send + Sync>,
+    /// Telemetry plane to record into. `None` = untraced (tests, tools).
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +105,7 @@ impl Default for ServerConfig {
                     .map(|d| d.as_secs() as i64)
                     .unwrap_or(0)
             }),
+            telemetry: None,
         }
     }
 }
@@ -176,6 +193,7 @@ impl HttpServer {
             max_body: config.max_body,
             read_timeout: config.read_timeout,
             now_fn: config.now_fn,
+            telemetry: config.telemetry,
             stop: Arc::clone(&stop),
             stats: Arc::clone(&stats),
             live: Arc::clone(&live),
@@ -195,6 +213,7 @@ impl HttpServer {
 
         let accept_stop = Arc::clone(&stop);
         let accept_stats = Arc::clone(&stats);
+        let accept_telemetry = shared.telemetry.clone();
         let acceptor = std::thread::Builder::new()
             .name("clarens-acceptor".into())
             .spawn(move || {
@@ -205,6 +224,9 @@ impl HttpServer {
                     match stream {
                         Ok(sock) => {
                             accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+                            if let Some(t) = &accept_telemetry {
+                                t.http.connections.inc();
+                            }
                             if tx.send(sock).is_err() {
                                 break;
                             }
@@ -274,6 +296,7 @@ struct WorkerShared<H: Handler> {
     max_body: usize,
     read_timeout: Duration,
     now_fn: Arc<dyn Fn() -> i64 + Send + Sync>,
+    telemetry: Option<Arc<Telemetry>>,
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     live: Arc<LiveConnections>,
@@ -313,9 +336,35 @@ fn serve_connection<H: Handler>(
                     };
                     serve_stream(stream, Some(peer), shared)
                 }
-                Err(_) => Ok(()), // failed handshake: drop silently
+                Err(error) => {
+                    if let Some(t) = &shared.telemetry {
+                        t.http.handshake_failures.inc();
+                    }
+                    clarens_telemetry::debug!("TLS handshake failed: {error:?}");
+                    Ok(())
+                }
             }
         }
+    }
+}
+
+/// Classify a keep-alive read/write I/O failure: the server's own idle
+/// timeout firing is normal churn, while everything else means the peer
+/// tore the connection down under us.
+fn classify_io_error<H: Handler>(error: &io::Error, shared: &WorkerShared<H>) {
+    let idle = matches!(
+        error.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    );
+    if let Some(t) = &shared.telemetry {
+        if idle {
+            t.http.idle_timeouts.inc();
+        } else {
+            t.http.peer_resets.inc();
+        }
+    }
+    if !idle {
+        clarens_telemetry::debug!("connection reset by peer: {error}");
     }
 }
 
@@ -325,14 +374,30 @@ fn serve_stream<S: Transport, H: Handler>(
     shared: &WorkerShared<H>,
 ) -> Result<(), ParseError> {
     let mut reader = BufReader::new(stream);
+    let mut served = 0u64;
     loop {
-        let request = match read_request(&mut reader, shared.max_body) {
+        // The trace opens before the read, so for keep-alive connections
+        // the parse phase includes time spent waiting for the next request
+        // (negligible under the closed-loop benchmark workloads).
+        let mut trace = match &shared.telemetry {
+            Some(t) => t.begin_request(),
+            None => RequestTrace::disabled(),
+        };
+        let request = match trace.span(Phase::Parse, || read_request(&mut reader, shared.max_body))
+        {
             Ok(req) => req,
-            Err(ParseError::Eof) => return Ok(()),
-            Err(ParseError::Io(_)) => return Ok(()), // timeout or reset
+            Err(ParseError::Eof) => return Ok(()), // clean close between requests
+            Err(ParseError::Io(error)) => {
+                classify_io_error(&error, shared);
+                return Ok(());
+            }
             Err(ParseError::Protocol(status, message)) => {
                 shared.stats.requests.fetch_add(1, Ordering::Relaxed);
                 let response = Response::error(status, &message);
+                if let Some(t) = &shared.telemetry {
+                    trace.status = status;
+                    t.finish_request(&trace, (shared.now_fn)());
+                }
                 let _ = write_response(reader.get_mut(), response, false, false);
                 return Ok(());
             }
@@ -340,12 +405,30 @@ fn serve_stream<S: Transport, H: Handler>(
         let keep_alive = request.wants_keep_alive() && !shared.stop.load(Ordering::SeqCst);
         let head_only = request.method == Method::Head;
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        if served > 0 {
+            if let Some(t) = &shared.telemetry {
+                t.http.keepalive_reuse.inc();
+            }
+        }
+        served += 1;
 
-        let response = shared.handler.handle(request, peer.as_ref());
+        let response = shared
+            .handler
+            .handle_traced(request, peer.as_ref(), &mut trace);
         if response.status >= 500 {
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
         }
-        write_response(reader.get_mut(), response, keep_alive, head_only)?;
+        trace.status = response.status;
+        let written = trace.span(Phase::Write, || {
+            write_response(reader.get_mut(), response, keep_alive, head_only)
+        });
+        if let Some(t) = &shared.telemetry {
+            t.finish_request(&trace, (shared.now_fn)());
+        }
+        if let Err(error) = written {
+            classify_io_error(&error, shared);
+            return Err(ParseError::Io(error));
+        }
         if !keep_alive {
             return Ok(());
         }
@@ -499,6 +582,65 @@ mod tests {
         );
         assert_eq!(status, 413);
         server.shutdown();
+    }
+
+    #[test]
+    fn io_errors_classified_idle_vs_reset() {
+        let telemetry = Telemetry::enabled();
+        let config = ServerConfig {
+            telemetry: Some(Arc::clone(&telemetry)),
+            ..test_config()
+        };
+        let server = HttpServer::bind("127.0.0.1:0", config, echo_handler()).unwrap();
+
+        // Idle past the read timeout: counted as an idle timeout.
+        let idle_sock = TcpStream::connect(server.local_addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(400));
+        drop(idle_sock);
+
+        // Close mid-request (truncated body → UnexpectedEof): counted as
+        // a peer reset, not a clean close.
+        let mut reset_sock = TcpStream::connect(server.local_addr()).unwrap();
+        reset_sock
+            .write_all(b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 100\r\n\r\npartial")
+            .unwrap();
+        drop(reset_sock);
+        std::thread::sleep(Duration::from_millis(100));
+
+        assert_eq!(telemetry.http.idle_timeouts.get(), 1);
+        assert_eq!(telemetry.http.peer_resets.get(), 1);
+        // Neither path counts as a completed request.
+        assert_eq!(telemetry.http.requests.get(), 0);
+        assert_eq!(telemetry.http.connections.get(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn telemetry_counts_requests_and_keepalive_reuse() {
+        let telemetry = Telemetry::enabled();
+        let config = ServerConfig {
+            telemetry: Some(Arc::clone(&telemetry)),
+            ..test_config()
+        };
+        let server = HttpServer::bind("127.0.0.1:0", config, echo_handler()).unwrap();
+        let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+        for i in 0..3 {
+            let req = format!("GET /r{i} HTTP/1.1\r\nHost: h\r\n\r\n");
+            sock.write_all(req.as_bytes()).unwrap();
+        }
+        let mut reader = BufReader::new(sock);
+        for _ in 0..3 {
+            assert_eq!(read_response(&mut reader, usize::MAX).unwrap().status, 200);
+        }
+        drop(reader);
+        server.shutdown();
+        assert_eq!(telemetry.http.requests.get(), 3);
+        assert_eq!(telemetry.http.keepalive_reuse.get(), 2);
+        // Spans were timed: parse and write histograms saw every request.
+        let phases = telemetry.phase_snapshots();
+        assert_eq!(phases[Phase::Parse as usize].1.count, 3);
+        assert_eq!(phases[Phase::Write as usize].1.count, 3);
+        assert_eq!(phases.last().unwrap().1.count, 3);
     }
 
     #[test]

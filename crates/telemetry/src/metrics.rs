@@ -1,0 +1,405 @@
+//! The lock-free metrics plane: counters, gauges, and log2-bucketed
+//! latency histograms.
+//!
+//! Design constraints (DESIGN.md "Observability"): every update on the
+//! request hot path must be a handful of relaxed atomic operations — no
+//! locks, no allocation — because PR 1 just spent a whole change making
+//! that path fast. Aggregation (snapshots, quantiles, rendering) is the
+//! cold path and may take locks.
+//!
+//! * [`Counter`] / [`Gauge`] — single wait-free atomics.
+//! * [`Histogram`] — log2-bucketed, striped across cache-line-aligned
+//!   shards indexed by a per-thread id, so concurrent recorders on
+//!   different cores do not bounce the same cache line. Quantiles are
+//!   answered from bucket counts at export time (p50/p95/p99 resolve to
+//!   the upper bound of the covering power-of-two bucket).
+//! * [`MethodTable`] — a 16-way sharded name → stats map. Updates through
+//!   an existing entry are lock-free; resolving a name takes one sharded
+//!   read lock held for a hash lookup (first registration of a new method
+//!   takes the matching write lock once).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets. Bucket `i` covers `[2^i, 2^(i+1))` (bucket 0
+/// covers 0 and 1). With microsecond samples the last bucket's lower bound
+/// is ~2^39 µs ≈ 6.4 days, far beyond any request.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Stripes per histogram. Each stripe is cache-line aligned; a thread
+/// always hits the same stripe, so two recording threads contend only when
+/// they hash to the same stripe.
+const STRIPES: usize = 4;
+
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's stripe index, assigned round-robin on first use.
+    static STRIPE: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) % STRIPES;
+}
+
+/// Bucket index for a sample (⌊log2⌋, clamped).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < 2 {
+        0
+    } else {
+        ((63 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// One cache-line-aligned histogram stripe.
+#[repr(align(64))]
+struct Stripe {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Stripe {
+    fn default() -> Self {
+        Stripe {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A striped, lock-free log2 histogram (values in microseconds by
+/// convention, but unit-agnostic).
+pub struct Histogram {
+    stripes: [Stripe; STRIPES],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            stripes: std::array::from_fn(|_| Stripe::default()),
+        }
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample: four relaxed atomic RMWs on this thread's stripe.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let stripe = &self.stripes[STRIPE.with(|s| *s)];
+        stripe.count.fetch_add(1, Ordering::Relaxed);
+        stripe.sum.fetch_add(v, Ordering::Relaxed);
+        stripe.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        stripe.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Merge all stripes into an owned snapshot (cold path).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::default();
+        for stripe in &self.stripes {
+            snap.count += stripe.count.load(Ordering::Relaxed);
+            snap.sum += stripe.sum.load(Ordering::Relaxed);
+            snap.max = snap.max.max(stripe.max.load(Ordering::Relaxed));
+            for (i, b) in stripe.buckets.iter().enumerate() {
+                snap.buckets[i] += b.load(Ordering::Relaxed);
+            }
+        }
+        snap
+    }
+}
+
+/// An owned, mergeable view of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+    /// Per-bucket counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` (0.0..=1.0): the upper bound of the first
+    /// bucket whose cumulative count reaches `q * count`, clamped to the
+    /// observed max. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cumulative += b;
+            if cumulative >= target {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean (exact — sum and count are exact).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Per-method statistics.
+#[derive(Default)]
+pub struct MethodStats {
+    /// Calls dispatched to the method.
+    pub calls: Counter,
+    /// Calls that produced an RPC fault.
+    pub faults: Counter,
+    /// End-to-end request latency, microseconds.
+    pub latency: Histogram,
+}
+
+const TABLE_SHARDS: usize = 16;
+
+/// FNV-1a — tiny, deterministic, no SipHash state allocation per lookup.
+fn shard_of(name: &str) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h as usize) % TABLE_SHARDS
+}
+
+/// A sharded `method name → stats` table. The common case (method already
+/// registered) takes one sharded read lock for the lookup; all stat
+/// updates are lock-free atomics on the returned entry.
+pub struct MethodTable {
+    shards: [RwLock<HashMap<String, Arc<MethodStats>>>; TABLE_SHARDS],
+}
+
+impl Default for MethodTable {
+    fn default() -> Self {
+        MethodTable {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+        }
+    }
+}
+
+impl MethodTable {
+    /// New empty table.
+    pub fn new() -> Self {
+        MethodTable::default()
+    }
+
+    /// Stats entry for `name`, creating it on first use.
+    pub fn entry(&self, name: &str) -> Arc<MethodStats> {
+        let shard = &self.shards[shard_of(name)];
+        if let Some(stats) = shard.read().get(name) {
+            return Arc::clone(stats);
+        }
+        Arc::clone(shard.write().entry(name.to_owned()).or_default())
+    }
+
+    /// All `(name, stats)` pairs, name-sorted (cold path).
+    pub fn snapshot(&self) -> Vec<(String, Arc<MethodStats>)> {
+        let mut out: Vec<(String, Arc<MethodStats>)> = Vec::new();
+        for shard in &self.shards {
+            for (name, stats) in shard.read().iter() {
+                out.push((name.clone(), Arc::clone(stats)));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.set(42);
+        assert_eq!(g.get(), 42);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 1);
+        assert_eq!(bucket_upper(9), 1023);
+    }
+
+    #[test]
+    fn histogram_exact_sums() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 100, 1000, 65_536] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 66_642);
+        assert_eq!(s.max, 65_536);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+    }
+
+    /// Satellite requirement: N threads hammer one histogram; totals and
+    /// bucket sums must be conserved exactly.
+    #[test]
+    fn histogram_concurrent_conservation() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        let h = Arc::new(Histogram::new());
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic spread across many buckets.
+                    h.record((t * PER_THREAD + i) % 4096);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, THREADS * PER_THREAD);
+        // Each thread records the full residue range 0..4096 spread evenly.
+        let expected_sum: u64 = (0..THREADS * PER_THREAD).map(|n| n % 4096).sum();
+        assert_eq!(s.sum, expected_sum);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        assert_eq!(s.max, 4095);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(10); // bucket [8,16)
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket [512,1024)
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 15);
+        assert_eq!(s.p95(), 1000); // clamped to observed max
+        assert_eq!(s.p99(), 1000);
+        assert_eq!(s.quantile(1.0), 1000);
+        assert!(s.mean() > 10.0 && s.mean() < 1000.0);
+        assert_eq!(HistogramSnapshot::default().p50(), 0);
+    }
+
+    #[test]
+    fn method_table_entries_are_shared() {
+        let table = MethodTable::new();
+        table.entry("echo.echo").calls.inc();
+        table.entry("echo.echo").calls.inc();
+        table.entry("system.ping").calls.inc();
+        let snap = table.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, "echo.echo");
+        assert_eq!(snap[0].1.calls.get(), 2);
+        assert_eq!(snap[1].1.calls.get(), 1);
+    }
+}
