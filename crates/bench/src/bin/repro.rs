@@ -19,9 +19,17 @@
 use std::time::{Duration, Instant};
 
 use clarens_bench::{
-    bench_grid, bench_grid_tls, bench_session, measure_throughput, measure_throughput_tls,
+    alloc_count, bench_grid, bench_grid_dom, bench_grid_tls, bench_session,
+    measure_allocs_per_request, measure_throughput, measure_throughput_tls,
 };
 use clarens_wire::{Protocol, Value};
+
+/// Count every heap allocation so Ablation E and the `quick` gate can
+/// report server-side allocations per request. Counting is off until a
+/// measurement window turns it on, so the wrapper is two branches on the
+/// hot path for every other experiment.
+#[global_allocator]
+static ALLOC: alloc_count::CountingAlloc = alloc_count::CountingAlloc;
 
 fn main() {
     let experiment = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -114,6 +122,15 @@ fn fig4(point: Duration) {
     // Server-side percentiles from the telemetry plane — latency as the
     // server observed it, free of client-side queueing.
     let telemetry = &grid.core().telemetry;
+    let bytes_out = telemetry.http.bytes_out.get();
+    let reuses = telemetry.http.buffer_pool_reuse.get();
+    println!(
+        "wire volume: {:.1} MiB written ({:.0} bytes/request); buffer pool reused {} buffers ({:.1}/request)",
+        bytes_out as f64 / (1024.0 * 1024.0),
+        bytes_out as f64 / total_calls.max(1) as f64,
+        reuses,
+        reuses as f64 / total_calls.max(1) as f64
+    );
     if let Some((_, stats)) = telemetry
         .methods_snapshot()
         .iter()
@@ -276,6 +293,12 @@ fn stream() {
          network I/O off to the web server\" for bulk data (3.2 Gb/s at SC2003).",
         get_rate / rpc_rate
     );
+    let telemetry = &grid.core().telemetry;
+    println!(
+        "wire volume: {:.1} MiB written; buffer pool reused {} buffers",
+        telemetry.http.bytes_out.get() as f64 / (1024.0 * 1024.0),
+        telemetry.http.buffer_pool_reuse.get()
+    );
     grid.cleanup();
 }
 
@@ -429,6 +452,29 @@ fn quick() {
     assert!(
         body.contains("clarens_method_calls_total{method=\"echo.echo\"} 25"),
         "per-method counts must reflect the workload"
+    );
+
+    // Allocation regression gate: steady-state echo.echo over a warm
+    // keep-alive connection. The streaming serializers + buffer pool land
+    // at ~18 allocations/request on the reference machine; the committed
+    // ceiling leaves 2x headroom for allocator/platform variation while
+    // still catching a reintroduced per-request DOM or buffer churn
+    // (the pre-optimization path measures ~56).
+    const MAX_ALLOCS_PER_ECHO: f64 = 40.0;
+    assert!(
+        alloc_count::allocator_installed(),
+        "repro must run with the counting allocator"
+    );
+    let session = bench_session(&grid);
+    let alloc = measure_allocs_per_request(&grid.addr(), &session, 400, Protocol::XmlRpc);
+    println!(
+        "steady-state echo.echo: {:.1} allocations/request, {:.0} bytes/request (ceiling {MAX_ALLOCS_PER_ECHO})",
+        alloc.allocs_per_call, alloc.bytes_per_call
+    );
+    assert!(
+        alloc.allocs_per_call <= MAX_ALLOCS_PER_ECHO,
+        "allocations/request regressed: {:.1} > {MAX_ALLOCS_PER_ECHO}",
+        alloc.allocs_per_call
     );
 
     println!(
@@ -590,4 +636,75 @@ fn ablation(point: Duration) {
         );
         server.shutdown();
     }
+
+    // Before/after for the allocation-lean serialization work: streaming
+    // encoders + streaming call decoder + per-worker buffer pool vs the
+    // DOM reference codecs with recycling disabled (the pre-optimization
+    // data path). Two statistics: server-side allocations per request
+    // (counting allocator, single warm keep-alive connection) and
+    // throughput (8 clients, interleaved best-of rounds).
+    println!("\nAblation E — allocation-lean serialization path (echo.echo)");
+    if !alloc_count::allocator_installed() {
+        println!("(counting allocator not installed; skipping)");
+        return;
+    }
+    let streaming_grid = bench_grid();
+    let dom_grid = bench_grid_dom();
+    let streaming_session = bench_session(&streaming_grid);
+    let dom_session = bench_session(&dom_grid);
+    let streaming_alloc = measure_allocs_per_request(
+        &streaming_grid.addr(),
+        &streaming_session,
+        400,
+        Protocol::XmlRpc,
+    );
+    let dom_alloc =
+        measure_allocs_per_request(&dom_grid.addr(), &dom_session, 400, Protocol::XmlRpc);
+    let (mut best_streaming, mut best_dom) = (0.0f64, 0.0f64);
+    for _ in 0..ABLATION_ROUNDS {
+        let s = measure_throughput(
+            &streaming_grid.addr(),
+            &streaming_session,
+            clients,
+            point,
+            "echo.echo",
+            Protocol::XmlRpc,
+        );
+        best_streaming = best_streaming.max(s.calls_per_sec);
+        let d = measure_throughput(
+            &dom_grid.addr(),
+            &dom_session,
+            clients,
+            point,
+            "echo.echo",
+            Protocol::XmlRpc,
+        );
+        best_dom = best_dom.max(d.calls_per_sec);
+    }
+    let reuses = streaming_grid.core().telemetry.http.buffer_pool_reuse.get();
+    streaming_grid.cleanup();
+    dom_grid.cleanup();
+    println!(
+        "{:>44} {:>14} {:>12}",
+        "configuration", "allocs/request", "calls/sec"
+    );
+    println!(
+        "{:>44} {:>14.1} {:>12.0}",
+        "streaming + buffer pool (default)", streaming_alloc.allocs_per_call, best_streaming
+    );
+    println!(
+        "{:>44} {:>14.1} {:>12.0}",
+        "DOM codecs, no recycling (before)", dom_alloc.allocs_per_call, best_dom
+    );
+    println!(
+        "{:>44} {:>13.0}%  (target: >= 50%)",
+        "allocation reduction",
+        (1.0 - streaming_alloc.allocs_per_call / dom_alloc.allocs_per_call) * 100.0
+    );
+    println!(
+        "{:>44} {:>+13.1}%  ({} buffers recycled)",
+        "throughput delta",
+        (best_streaming / best_dom - 1.0) * 100.0,
+        reuses
+    );
 }

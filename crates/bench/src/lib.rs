@@ -13,6 +13,8 @@ use clarens::testkit::{GridOptions, TestGrid};
 use clarens::ClarensClient;
 use clarens_wire::{Protocol, Value};
 
+pub mod alloc_count;
+
 /// Result of one throughput measurement point.
 #[derive(Debug, Clone, Copy)]
 pub struct ThroughputPoint {
@@ -154,6 +156,18 @@ pub fn bench_grid_no_telemetry() -> TestGrid {
     })
 }
 
+/// Start the benchmark grid in the pre-optimization configuration: DOM
+/// reference encoders and no buffer recycling — the "before" side of the
+/// allocation ablation (Ablation E).
+pub fn bench_grid_dom() -> TestGrid {
+    TestGrid::start_with(GridOptions {
+        workers: 96,
+        streaming_encode: false,
+        buffer_pool: false,
+        ..Default::default()
+    })
+}
+
 /// Start the TLS benchmark grid.
 pub fn bench_grid_tls() -> TestGrid {
     TestGrid::start_with(GridOptions {
@@ -167,6 +181,58 @@ pub fn bench_grid_tls() -> TestGrid {
 pub fn bench_session(grid: &TestGrid) -> String {
     let client = grid.logged_in_client(&grid.user);
     client.session_id().expect("session").to_owned()
+}
+
+/// Server-side allocation profile of a steady-state request loop.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocReport {
+    /// Calls measured (after warm-up).
+    pub calls: u64,
+    /// Allocation events per request on the server side.
+    pub allocs_per_call: f64,
+    /// Bytes requested from the allocator per request.
+    pub bytes_per_call: f64,
+}
+
+/// Measure server-side allocations per request for a steady-state
+/// `echo.echo` loop over one keep-alive connection.
+///
+/// Requires [`alloc_count::CountingAlloc`] to be registered as the global
+/// allocator (the `repro` binary does this); returns zeros otherwise. The
+/// calling thread is exempted from counting, so in an in-process grid the
+/// counts come from the server worker alone.
+pub fn measure_allocs_per_request(
+    addr: &str,
+    session: &str,
+    calls: u64,
+    protocol: Protocol,
+) -> AllocReport {
+    alloc_count::exempt_current_thread();
+    let mut client = ClarensClient::new(addr.to_owned()).with_protocol(protocol);
+    if !session.is_empty() {
+        client.set_session(session.to_owned());
+    }
+    // Warm-up: fill the worker's buffer pool and the auth caches so the
+    // measured window is the recycled steady state.
+    for i in 0..64 {
+        client
+            .call("echo.echo", vec![Value::Int(i)])
+            .expect("warm-up call");
+    }
+    let (a0, b0) = alloc_count::snapshot();
+    alloc_count::set_counting(true);
+    for i in 0..calls {
+        client
+            .call("echo.echo", vec![Value::Int(i as i64)])
+            .expect("measured call");
+    }
+    alloc_count::set_counting(false);
+    let (a1, b1) = alloc_count::snapshot();
+    AllocReport {
+        calls,
+        allocs_per_call: (a1 - a0) as f64 / calls as f64,
+        bytes_per_call: (b1 - b0) as f64 / calls as f64,
+    }
 }
 
 #[cfg(test)]

@@ -44,6 +44,13 @@ pub struct ClarensConfig {
     /// Requests slower than this many microseconds are captured in the
     /// slow-trace ring served by `system.trace_tail`.
     pub slow_trace_us: u64,
+    /// Encode RPC responses with the allocation-lean streaming serializers
+    /// (straight into a recycled per-worker buffer). On by default; disable
+    /// to fall back to the DOM reference encoders for A/B measurement.
+    pub streaming_encode: bool,
+    /// Recycle per-worker HTTP buffers across keep-alive requests. On by
+    /// default; disable to measure the allocate-per-request baseline.
+    pub buffer_pool: bool,
 }
 
 impl Default for ClarensConfig {
@@ -61,6 +68,8 @@ impl Default for ClarensConfig {
             auth_cache: true,
             telemetry: true,
             slow_trace_us: 10_000,
+            streaming_encode: true,
+            buffer_pool: true,
         }
     }
 }
@@ -119,6 +128,16 @@ impl ClarensConfig {
                     config.slow_trace_us = value
                         .parse()
                         .map_err(|_| format!("line {}: bad slow_trace_us", lineno + 1))?
+                }
+                "streaming_encode" => {
+                    config.streaming_encode = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad streaming_encode", lineno + 1))?
+                }
+                "buffer_pool" => {
+                    config.buffer_pool = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad buffer_pool", lineno + 1))?
                 }
                 other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
             }
@@ -185,6 +204,18 @@ db_path: /var/clarens/clarens.db
         assert!(!config.telemetry);
         assert_eq!(config.slow_trace_us, 2500);
         assert!(ClarensConfig::parse("slow_trace_us: slow").is_err());
+    }
+
+    #[test]
+    fn streaming_encode_knob() {
+        let config = ClarensConfig::parse("").unwrap();
+        assert!(config.streaming_encode);
+        let config = ClarensConfig::parse("streaming_encode: false").unwrap();
+        assert!(!config.streaming_encode);
+        assert!(config.buffer_pool);
+        assert!(ClarensConfig::parse("streaming_encode: sometimes").is_err());
+        let config = ClarensConfig::parse("buffer_pool: false").unwrap();
+        assert!(!config.buffer_pool);
     }
 
     #[test]

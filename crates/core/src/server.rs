@@ -12,7 +12,7 @@ use std::io;
 use std::sync::Arc;
 
 use clarens_httpd::{
-    Handler, HttpServer, Method, PeerInfo, Request, Response, ServerConfig, TlsConfig,
+    Handler, HttpServer, Method, PeerInfo, Request, Response, Scratch, ServerConfig, TlsConfig,
 };
 use clarens_pki::dn::DistinguishedName;
 use clarens_telemetry::{Phase, RequestTrace};
@@ -50,6 +50,7 @@ impl ClarensServer {
             now_fn: Arc::clone(&core.now_fn),
             read_timeout: std::time::Duration::from_secs(5),
             telemetry: Some(Arc::clone(&core.telemetry)),
+            buffer_pool: core.config.buffer_pool,
             ..Default::default()
         };
         let http = HttpServer::bind(addr, config, handler)?;
@@ -193,9 +194,10 @@ impl ClarensHandler {
 
     fn handle_rpc(
         &self,
-        request: Request,
+        mut request: Request,
         peer: Option<&PeerInfo>,
         trace: &mut RequestTrace,
+        mut scratch: Option<&mut Scratch>,
     ) -> Response {
         // Protocol negotiation: Content-Type first, body sniffing as the
         // tie-breaker (XML-RPC and SOAP share text/xml).
@@ -223,7 +225,11 @@ impl ClarensHandler {
         });
 
         let decoded = trace.span(Phase::Parse, || {
-            clarens_wire::decode_call(protocol, &request.body)
+            if self.core.config.streaming_encode {
+                clarens_wire::decode_call(protocol, &request.body)
+            } else {
+                clarens_wire::decode_call_dom(protocol, &request.body)
+            }
         });
         let (response, id) = match decoded {
             Err(e) => (
@@ -240,8 +246,26 @@ impl ClarensHandler {
             }
         };
         trace.fault = matches!(response, RpcResponse::Fault(_));
-        let body = trace.span(Phase::Serialize, || {
-            clarens_wire::encode_response(protocol, &response, id.as_ref())
+        // The request body is fully decoded; hand its capacity back to the
+        // worker's arena so the response (or the next request) can reuse it.
+        if let Some(s) = scratch.as_deref_mut() {
+            s.recycle(std::mem::take(&mut request.body));
+        }
+        let streaming = self.core.config.streaming_encode;
+        let body: Vec<u8> = trace.span(Phase::Serialize, || {
+            if streaming {
+                // Allocation-lean path: stream straight into a recycled
+                // buffer, no intermediate DOM tree or String copies. The
+                // HTTP layer recycles the buffer after the vectored write.
+                let mut out = match scratch {
+                    Some(s) => s.take(),
+                    None => Vec::new(),
+                };
+                clarens_wire::encode_response_into(protocol, &response, id.as_ref(), &mut out);
+                out
+            } else {
+                clarens_wire::encode_response(protocol, &response, id.as_ref())
+            }
         });
         Response::ok(protocol.content_type(), body)
     }
@@ -387,6 +411,25 @@ impl ClarensHandler {
     }
 }
 
+impl ClarensHandler {
+    fn handle_request(
+        &self,
+        request: Request,
+        peer: Option<&PeerInfo>,
+        trace: &mut RequestTrace,
+        scratch: Option<&mut Scratch>,
+    ) -> Response {
+        match request.method {
+            Method::Post => self.handle_rpc(request, peer, trace, scratch),
+            Method::Get | Method::Head => {
+                trace.method = Some("http.get".into());
+                self.handle_get(request, peer, trace)
+            }
+            _ => Response::error(405, "use GET for files/portal, POST for RPC"),
+        }
+    }
+}
+
 impl Handler for ClarensHandler {
     fn handle(&self, request: Request, peer: Option<&PeerInfo>) -> Response {
         self.handle_traced(request, peer, &mut RequestTrace::disabled())
@@ -398,13 +441,16 @@ impl Handler for ClarensHandler {
         peer: Option<&PeerInfo>,
         trace: &mut RequestTrace,
     ) -> Response {
-        match request.method {
-            Method::Post => self.handle_rpc(request, peer, trace),
-            Method::Get | Method::Head => {
-                trace.method = Some("http.get".into());
-                self.handle_get(request, peer, trace)
-            }
-            _ => Response::error(405, "use GET for files/portal, POST for RPC"),
-        }
+        self.handle_request(request, peer, trace, None)
+    }
+
+    fn handle_pooled(
+        &self,
+        request: Request,
+        peer: Option<&PeerInfo>,
+        trace: &mut RequestTrace,
+        scratch: &mut Scratch,
+    ) -> Response {
+        self.handle_request(request, peer, trace, Some(scratch))
     }
 }

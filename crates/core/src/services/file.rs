@@ -8,12 +8,14 @@
 //! virtual (under the configured root) and every method is gated by the
 //! hierarchical file ACLs with their read/write fields.
 
+use std::collections::HashMap;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 
 use clarens_pki::md5::Md5;
 use clarens_wire::fault::codes;
 use clarens_wire::{Fault, Value};
+use parking_lot::Mutex;
 
 use crate::acl::FileAccess;
 use crate::paths;
@@ -23,15 +25,31 @@ use crate::registry::{params, CallContext, MethodInfo, Service};
 /// paper's chunked client pulls).
 pub const MAX_READ: i64 = 16 * 1024 * 1024;
 
+/// Bound on cached `file.md5` digests; the cache is cleared wholesale when
+/// it fills (digest entries are tiny, recomputation is the expensive part).
+const MD5_CACHE_CAP: usize = 1024;
+
+/// Cache key for one file state: canonical real path plus the metadata
+/// that changes whenever the content does (mtime to nanosecond precision,
+/// and length to catch same-mtime rewrites).
+type Md5Key = (PathBuf, u64, u32, u64);
+
 /// The `file` service.
 pub struct FileService {
     root: PathBuf,
+    /// `file.md5` digests keyed by `(canonical path, mtime, len)`. Large
+    /// files are re-hashed end-to-end on every call otherwise; integrity
+    /// checks after a transfer loop hit the same unchanged file repeatedly.
+    md5_cache: Mutex<HashMap<Md5Key, String>>,
 }
 
 impl FileService {
     /// Serve files under `root`.
     pub fn new(root: PathBuf) -> Self {
-        FileService { root }
+        FileService {
+            root,
+            md5_cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// ACL check + resolution for one virtual path.
@@ -126,9 +144,18 @@ impl Service for FileService {
                 }
                 let (_, real) = self.authorize(ctx, &name, FileAccess::Read)?;
                 let mut file = std::fs::File::open(&real).map_err(|e| io_fault(&name, e))?;
+                // Clamp the buffer to what the file can actually yield from
+                // this offset: a short tail read of a 16 MiB-chunked pull
+                // must not allocate (and zero) the full chunk size.
+                let remaining = file
+                    .metadata()
+                    .map_err(|e| io_fault(&name, e))?
+                    .len()
+                    .saturating_sub(offset as u64);
+                let want = (nbytes as u64).min(remaining) as usize;
                 file.seek(SeekFrom::Start(offset as u64))
                     .map_err(|e| io_fault(&name, e))?;
-                let mut buf = vec![0u8; nbytes as usize];
+                let mut buf = vec![0u8; want];
                 let mut filled = 0usize;
                 while filled < buf.len() {
                     match file.read(&mut buf[filled..]) {
@@ -194,6 +221,19 @@ impl Service for FileService {
                 let path = params::string(params_in, 0, "path")?;
                 let (_, real) = self.authorize(ctx, &path, FileAccess::Read)?;
                 let mut file = std::fs::File::open(&real).map_err(|e| io_fault(&path, e))?;
+                // Key the digest cache on the file state *before* hashing;
+                // a rewrite bumps mtime or length and misses the cache.
+                let key = file.metadata().ok().and_then(|meta| {
+                    let mtime = meta.modified().ok()?;
+                    let since = mtime.duration_since(std::time::UNIX_EPOCH).ok()?;
+                    let canonical = real.canonicalize().ok()?;
+                    Some((canonical, since.as_secs(), since.subsec_nanos(), meta.len()))
+                });
+                if let Some(key) = &key {
+                    if let Some(hex) = self.md5_cache.lock().get(key) {
+                        return Ok(Value::from(hex.clone()));
+                    }
+                }
                 let mut hasher = Md5::new();
                 let mut buf = vec![0u8; 64 * 1024];
                 loop {
@@ -203,7 +243,15 @@ impl Service for FileService {
                         Err(e) => return Err(io_fault(&path, e)),
                     }
                 }
-                Ok(Value::from(clarens_pki::sha256::to_hex(&hasher.finalize())))
+                let hex = clarens_pki::sha256::to_hex(&hasher.finalize());
+                if let Some(key) = key {
+                    let mut cache = self.md5_cache.lock();
+                    if cache.len() >= MD5_CACHE_CAP {
+                        cache.clear();
+                    }
+                    cache.insert(key, hex.clone());
+                }
+                Ok(Value::from(hex))
             }
             "file.find" => {
                 params::expect_len(params_in, 2, method)?;

@@ -67,6 +67,11 @@ pub struct GridOptions {
     pub auth_cache: bool,
     /// Enable request span timing (disable to measure the untimed path).
     pub telemetry: bool,
+    /// Encode responses with the streaming serializers (disable for the
+    /// DOM reference encoders, e.g. in allocation ablations).
+    pub streaming_encode: bool,
+    /// Recycle per-worker HTTP buffers across keep-alive requests.
+    pub buffer_pool: bool,
 }
 
 impl Default for GridOptions {
@@ -79,6 +84,8 @@ impl Default for GridOptions {
             db_path: None,
             auth_cache: true,
             telemetry: true,
+            streaming_encode: true,
+            buffer_pool: true,
         }
     }
 }
@@ -167,6 +174,8 @@ impl TestGrid {
             db_path: options.db_path,
             auth_cache: options.auth_cache,
             telemetry: options.telemetry,
+            streaming_encode: options.streaming_encode,
+            buffer_pool: options.buffer_pool,
             ..Default::default()
         };
 

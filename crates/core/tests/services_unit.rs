@@ -256,6 +256,74 @@ fn file_service_edges() {
 }
 
 #[test]
+fn md5_cache_invalidated_by_rewrite() {
+    let f = fixture("md5cache");
+    let user = f.user_dn.clone();
+    let path = f.data_dir.join("files/sum.dat");
+
+    let digest_of = |data: &[u8]| {
+        let mut h = clarens_pki::md5::Md5::new();
+        h.update(data);
+        clarens_pki::sha256::to_hex(&h.finalize())
+    };
+
+    std::fs::write(&path, b"first contents").unwrap();
+    let first = call(&f, Some(&user), "file.md5", vec![Value::from("/sum.dat")]).unwrap();
+    assert_eq!(first.as_str(), Some(digest_of(b"first contents").as_str()));
+    // Second call is served from the cache and must agree.
+    let again = call(&f, Some(&user), "file.md5", vec![Value::from("/sum.dat")]).unwrap();
+    assert_eq!(again, first);
+
+    // Rewrite the file (different length, so even a coarse-mtime
+    // filesystem can't alias the key) — the cache must miss.
+    std::fs::write(&path, b"entirely different, longer contents").unwrap();
+    let second = call(&f, Some(&user), "file.md5", vec![Value::from("/sum.dat")]).unwrap();
+    assert_eq!(
+        second.as_str(),
+        Some(digest_of(b"entirely different, longer contents").as_str())
+    );
+    assert_ne!(second, first);
+    let _ = std::fs::remove_dir_all(&f.data_dir);
+}
+
+#[test]
+fn file_read_clamps_to_file_length() {
+    let f = fixture("readclamp");
+    let user = f.user_dn.clone();
+    std::fs::write(f.data_dir.join("files/small.bin"), b"0123456789").unwrap();
+
+    // Asking for far more than the file holds returns exactly the file
+    // (the read buffer is clamped, not zero-filled to nbytes).
+    let bytes = call(
+        &f,
+        Some(&user),
+        "file.read",
+        vec![
+            Value::from("/small.bin"),
+            Value::Int(0),
+            Value::Int(4 * 1024 * 1024),
+        ],
+    )
+    .unwrap();
+    assert_eq!(bytes.coerce_bytes().unwrap(), b"0123456789");
+
+    // Mid-file offset with an oversized request yields just the tail.
+    let tail = call(
+        &f,
+        Some(&user),
+        "file.read",
+        vec![
+            Value::from("/small.bin"),
+            Value::Int(6),
+            Value::Int(4 * 1024 * 1024),
+        ],
+    )
+    .unwrap();
+    assert_eq!(tail.coerce_bytes().unwrap(), b"6789");
+    let _ = std::fs::remove_dir_all(&f.data_dir);
+}
+
+#[test]
 fn acl_admin_service_roundtrip() {
     let f = fixture("acl");
     let admin = f.admin_dn.clone();

@@ -14,10 +14,12 @@
 
 pub mod client;
 pub mod parse;
+pub mod scratch;
 pub mod server;
 pub mod types;
 
 pub use client::{ClientError, ClientTls, HttpClient};
 pub use parse::{ClientResponse, ParseError};
+pub use scratch::Scratch;
 pub use server::{Handler, HttpServer, PeerInfo, ServerConfig, ServerStats, TlsConfig};
 pub use types::{Body, Headers, Method, Request, Response};

@@ -4,8 +4,9 @@
 //! status lines, header fields, `Content-Length` and `chunked` bodies, with
 //! hard limits so a hostile peer cannot exhaust memory.
 
-use std::io::{self, BufRead, Read, Write};
+use std::io::{self, BufRead, IoSlice, Read, Write};
 
+use crate::scratch::Scratch;
 use crate::types::{reason, Body, Headers, Method, Request, Response};
 
 /// Maximum total header block size (Apache's default is 8 KiB per line;
@@ -56,12 +57,16 @@ impl From<io::Error> for ParseError {
 /// byte-at-a-time loop pays a dispatched `read` call per header byte. The
 /// `take` bound keeps an unterminated line from buffering more than
 /// `limit` bytes (+2 allows the CRLF terminator on a maximal line).
-fn read_line<R: BufRead>(reader: &mut R, limit: usize) -> Result<String, ParseError> {
-    let mut line = Vec::with_capacity(64);
+fn read_line_into<'a, R: BufRead>(
+    reader: &mut R,
+    limit: usize,
+    line: &'a mut Vec<u8>,
+) -> Result<&'a str, ParseError> {
+    line.clear();
     let n = reader
         .by_ref()
         .take(limit as u64 + 2)
-        .read_until(b'\n', &mut line)?;
+        .read_until(b'\n', line)?;
     if n == 0 {
         return Err(ParseError::Eof);
     }
@@ -83,41 +88,68 @@ fn read_line<R: BufRead>(reader: &mut R, limit: usize) -> Result<String, ParseEr
     if line.len() > limit {
         return Err(ParseError::Protocol(431, "line too long".into()));
     }
-    String::from_utf8(line).map_err(|_| ParseError::Protocol(400, "non-UTF-8 header line".into()))
+    std::str::from_utf8(line).map_err(|_| ParseError::Protocol(400, "non-UTF-8 header line".into()))
 }
 
 /// Parse a request from a buffered reader. `max_body` bounds decoded body
-/// size.
+/// size. Allocates working buffers fresh; the server's hot path goes
+/// through [`read_request_pooled`] instead.
 pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, ParseError> {
-    let request_line = read_line(reader, MAX_REQUEST_LINE)?;
-    let mut parts = request_line.split(' ');
-    let method_token = parts.next().unwrap_or("");
-    let target = parts
-        .next()
-        .ok_or_else(|| ParseError::Protocol(400, "missing request target".into()))?;
-    let version = parts
-        .next()
-        .ok_or_else(|| ParseError::Protocol(400, "missing HTTP version".into()))?;
-    if parts.next().is_some() {
-        return Err(ParseError::Protocol(400, "malformed request line".into()));
-    }
-    let method = Method::parse(method_token)
-        .ok_or_else(|| ParseError::Protocol(501, format!("method {method_token:?}")))?;
-    let minor_version = match version {
-        "HTTP/1.1" => 1,
-        "HTTP/1.0" => 0,
-        other => return Err(ParseError::Protocol(505, format!("version {other:?}"))),
-    };
-    if target.len() > MAX_REQUEST_LINE {
-        return Err(ParseError::Protocol(414, "target too long".into()));
-    }
+    read_request_pooled(reader, max_body, &mut Scratch::new())
+}
 
-    let headers = read_headers(reader)?;
-    let body = read_body(reader, &headers, max_body)?;
+/// Parse a request drawing the line and body buffers from a per-worker
+/// [`Scratch`] arena, so steady-state keep-alive parsing allocates nothing
+/// beyond the owned header/target strings.
+pub fn read_request_pooled<R: BufRead>(
+    reader: &mut R,
+    max_body: usize,
+    scratch: &mut Scratch,
+) -> Result<Request, ParseError> {
+    let mut line_buf = scratch.take();
+    let result = read_request_with(reader, max_body, &mut line_buf, scratch);
+    scratch.recycle(line_buf);
+    result
+}
+
+fn read_request_with<R: BufRead>(
+    reader: &mut R,
+    max_body: usize,
+    line_buf: &mut Vec<u8>,
+    scratch: &mut Scratch,
+) -> Result<Request, ParseError> {
+    let (method, target, minor_version) = {
+        let request_line = read_line_into(reader, MAX_REQUEST_LINE, line_buf)?;
+        let mut parts = request_line.split(' ');
+        let method_token = parts.next().unwrap_or("");
+        let target = parts
+            .next()
+            .ok_or_else(|| ParseError::Protocol(400, "missing request target".into()))?;
+        let version = parts
+            .next()
+            .ok_or_else(|| ParseError::Protocol(400, "missing HTTP version".into()))?;
+        if parts.next().is_some() {
+            return Err(ParseError::Protocol(400, "malformed request line".into()));
+        }
+        let method = Method::parse(method_token)
+            .ok_or_else(|| ParseError::Protocol(501, format!("method {method_token:?}")))?;
+        let minor_version = match version {
+            "HTTP/1.1" => 1,
+            "HTTP/1.0" => 0,
+            other => return Err(ParseError::Protocol(505, format!("version {other:?}"))),
+        };
+        if target.len() > MAX_REQUEST_LINE {
+            return Err(ParseError::Protocol(414, "target too long".into()));
+        }
+        (method, target.to_owned(), minor_version)
+    };
+
+    let headers = read_headers_with(reader, line_buf)?;
+    let body = read_body_with(reader, &headers, max_body, line_buf, scratch.take())?;
 
     Ok(Request {
         method,
-        target: target.to_owned(),
+        target,
         minor_version,
         headers,
         body,
@@ -125,10 +157,17 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
 }
 
 fn read_headers<R: BufRead>(reader: &mut R) -> Result<Headers, ParseError> {
+    read_headers_with(reader, &mut Vec::with_capacity(64))
+}
+
+fn read_headers_with<R: BufRead>(
+    reader: &mut R,
+    line_buf: &mut Vec<u8>,
+) -> Result<Headers, ParseError> {
     let mut headers = Headers::new();
     let mut total = 0usize;
     loop {
-        let line = match read_line(reader, MAX_HEADER_BYTES) {
+        let line = match read_line_into(reader, MAX_HEADER_BYTES, line_buf) {
             Ok(l) => l,
             Err(ParseError::Eof) => {
                 return Err(ParseError::Io(io::Error::new(
@@ -171,9 +210,28 @@ fn read_body<R: BufRead>(
     headers: &Headers,
     max_body: usize,
 ) -> Result<Vec<u8>, ParseError> {
+    read_body_with(
+        reader,
+        headers,
+        max_body,
+        &mut Vec::with_capacity(64),
+        Vec::new(),
+    )
+}
+
+/// Read the message body into `body` (an empty, possibly pre-capacitized
+/// recycled buffer) and return it.
+fn read_body_with<R: BufRead>(
+    reader: &mut R,
+    headers: &Headers,
+    max_body: usize,
+    line_buf: &mut Vec<u8>,
+    mut body: Vec<u8>,
+) -> Result<Vec<u8>, ParseError> {
+    debug_assert!(body.is_empty());
     if let Some(te) = headers.get("transfer-encoding") {
         if te.to_ascii_lowercase().contains("chunked") {
-            return read_chunked(reader, max_body);
+            return read_chunked_with(reader, max_body, line_buf, body);
         }
         return Err(ParseError::Protocol(
             501,
@@ -181,7 +239,7 @@ fn read_body<R: BufRead>(
         ));
     }
     match headers.get("content-length") {
-        None => Ok(Vec::new()),
+        None => Ok(body),
         Some(text) => {
             let len: usize = text
                 .trim()
@@ -190,34 +248,40 @@ fn read_body<R: BufRead>(
             if len > max_body {
                 return Err(ParseError::Protocol(413, format!("body of {len} bytes")));
             }
-            let mut body = vec![0u8; len];
+            body.resize(len, 0);
             reader.read_exact(&mut body).map_err(ParseError::Io)?;
             Ok(body)
         }
     }
 }
 
-fn read_chunked<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Vec<u8>, ParseError> {
-    let mut body = Vec::new();
+fn read_chunked_with<R: BufRead>(
+    reader: &mut R,
+    max_body: usize,
+    line_buf: &mut Vec<u8>,
+    mut body: Vec<u8>,
+) -> Result<Vec<u8>, ParseError> {
     loop {
-        let size_line = read_line(reader, 64).map_err(|e| match e {
-            ParseError::Eof => ParseError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "EOF in chunk size",
-            )),
-            other => other,
-        })?;
-        // Chunk extensions after ';' are ignored.
-        let size_text = size_line.split(';').next().unwrap_or("").trim();
-        let size = usize::from_str_radix(size_text, 16)
-            .map_err(|_| ParseError::Protocol(400, format!("bad chunk size {size_line:?}")))?;
+        let size = {
+            let size_line = read_line_into(reader, 64, line_buf).map_err(|e| match e {
+                ParseError::Eof => ParseError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF in chunk size",
+                )),
+                other => other,
+            })?;
+            // Chunk extensions after ';' are ignored.
+            let size_text = size_line.split(';').next().unwrap_or("").trim();
+            usize::from_str_radix(size_text, 16)
+                .map_err(|_| ParseError::Protocol(400, format!("bad chunk size {size_line:?}")))?
+        };
         if body.len() + size > max_body {
             return Err(ParseError::Protocol(413, "chunked body too large".into()));
         }
         if size == 0 {
             // Trailer section: read until the blank line.
             loop {
-                let trailer = read_line(reader, MAX_HEADER_BYTES)?;
+                let trailer = read_line_into(reader, MAX_HEADER_BYTES, line_buf)?;
                 if trailer.is_empty() {
                     return Ok(body);
                 }
@@ -229,7 +293,7 @@ fn read_chunked<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Vec<u8>, 
             .read_exact(&mut body[start..])
             .map_err(ParseError::Io)?;
         // Chunk data is followed by CRLF.
-        let blank = read_line(reader, 8)?;
+        let blank = read_line_into(reader, 8, line_buf)?;
         if !blank.is_empty() {
             return Err(ParseError::Protocol(400, "missing chunk terminator".into()));
         }
@@ -244,56 +308,137 @@ pub fn write_response<W: Write>(
     keep_alive: bool,
     head_only: bool,
 ) -> io::Result<u64> {
-    let mut head = format!(
+    let body_len = if head_only { 0 } else { response.body.len() };
+    write_response_pooled(writer, response, keep_alive, head_only, &mut Scratch::new())?;
+    Ok(body_len)
+}
+
+/// Serialize and send a response using scratch buffers for the head and the
+/// stream-copy loop, and a single vectored write for head + body.
+///
+/// On success the status line, headers, and an in-memory body leave in one
+/// `writev` syscall instead of two `write`s; the body buffer is recycled
+/// into `scratch` afterwards so the next response on this worker encodes
+/// into it. Returns the **total** bytes written (head + body) for the
+/// `bytes_out` telemetry counter.
+pub fn write_response_pooled<W: Write>(
+    writer: &mut W,
+    response: Response,
+    keep_alive: bool,
+    head_only: bool,
+    scratch: &mut Scratch,
+) -> io::Result<u64> {
+    let mut head = scratch.take();
+    write!(
+        head,
         "HTTP/1.1 {} {}\r\n",
         response.status,
         reason(response.status)
-    );
+    )?;
     for (name, value) in response.headers.iter() {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
+        head.extend_from_slice(name.as_bytes());
+        head.extend_from_slice(b": ");
+        head.extend_from_slice(value.as_bytes());
+        head.extend_from_slice(b"\r\n");
     }
-    head.push_str(&format!("content-length: {}\r\n", response.body.len()));
-    head.push_str(if keep_alive {
-        "connection: keep-alive\r\n"
+    write!(head, "content-length: {}\r\n", response.body.len())?;
+    head.extend_from_slice(if keep_alive {
+        b"connection: keep-alive\r\n".as_slice()
     } else {
-        "connection: close\r\n"
+        b"connection: close\r\n".as_slice()
     });
-    head.push_str("server: clarens-rs/0.1\r\n\r\n");
-    writer.write_all(head.as_bytes())?;
+    head.extend_from_slice(b"server: clarens-rs/0.1\r\n\r\n");
 
-    let mut written = 0u64;
-    if !head_only {
-        match response.body {
-            Body::Bytes(bytes) => {
-                writer.write_all(&bytes)?;
-                written = bytes.len() as u64;
-            }
-            Body::Stream { mut reader, len } => {
-                // The zero-copy-style path: fixed buffer, no intermediate
-                // allocation proportional to the file size.
-                let mut buf = vec![0u8; COPY_BUFFER];
+    let head_len = head.len() as u64;
+    let body_written: io::Result<u64> = match response.body {
+        Body::Bytes(bytes) => {
+            let body_slice: &[u8] = if head_only { &[] } else { &bytes };
+            let result =
+                write_all_vectored(writer, &head, body_slice).map(|()| body_slice.len() as u64);
+            scratch.recycle(bytes);
+            result
+        }
+        Body::Stream { mut reader, len } => {
+            // The zero-copy-style path: fixed buffer (recycled across
+            // responses), no intermediate allocation proportional to the
+            // file size.
+            let mut result = writer.write_all(&head);
+            let mut written = 0u64;
+            let mut buf = scratch.take();
+            if result.is_ok() && !head_only {
+                buf.resize(COPY_BUFFER, 0);
                 let mut remaining = len;
                 while remaining > 0 {
                     let want = (remaining as usize).min(buf.len());
-                    let n = reader.read(&mut buf[..want])?;
-                    if n == 0 {
-                        return Err(io::Error::new(
-                            io::ErrorKind::UnexpectedEof,
-                            "stream body ended early",
-                        ));
+                    match reader.read(&mut buf[..want]) {
+                        Ok(0) => {
+                            result = Err(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "stream body ended early",
+                            ));
+                            break;
+                        }
+                        Ok(n) => {
+                            if let Err(e) = writer.write_all(&buf[..n]) {
+                                result = Err(e);
+                                break;
+                            }
+                            remaining -= n as u64;
+                            written += n as u64;
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
                     }
-                    writer.write_all(&buf[..n])?;
-                    remaining -= n as u64;
-                    written += n as u64;
                 }
             }
+            scratch.recycle(buf);
+            result.map(|()| written)
+        }
+    };
+    scratch.recycle(head);
+    let body_written = body_written?;
+    writer.flush()?;
+    Ok(head_len + body_written)
+}
+
+/// Write `head` then `body` completely, preferring a vectored write that
+/// sends both in one syscall. Writers without real `writev` support (the
+/// default `Write::write_vectored` writes only the first buffer, as does
+/// the TLS stream) degrade gracefully: the loop treats every return as a
+/// partial write and advances through both slices.
+fn write_all_vectored<W: Write>(
+    writer: &mut W,
+    mut head: &[u8],
+    mut body: &[u8],
+) -> io::Result<()> {
+    while !head.is_empty() || !body.is_empty() {
+        let wrote = if head.is_empty() {
+            writer.write(body)
+        } else if body.is_empty() {
+            writer.write(head)
+        } else {
+            writer.write_vectored(&[IoSlice::new(head), IoSlice::new(body)])
+        };
+        match wrote {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "failed to write whole response",
+                ))
+            }
+            Ok(n) => {
+                let from_head = n.min(head.len());
+                head = &head[from_head..];
+                body = &body[(n - from_head).min(body.len())..];
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
         }
     }
-    writer.flush()?;
-    Ok(written)
+    Ok(())
 }
 
 /// Serialize and send a request (client side). The body always uses
@@ -338,7 +483,8 @@ pub fn read_response<R: BufRead>(
     reader: &mut R,
     max_body: usize,
 ) -> Result<ClientResponse, ParseError> {
-    let status_line = read_line(reader, MAX_REQUEST_LINE)?;
+    let mut line_buf = Vec::with_capacity(64);
+    let status_line = read_line_into(reader, MAX_REQUEST_LINE, &mut line_buf)?;
     let mut parts = status_line.splitn(3, ' ');
     let version = parts.next().unwrap_or("");
     if version != "HTTP/1.1" && version != "HTTP/1.0" {

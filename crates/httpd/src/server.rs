@@ -21,7 +21,8 @@ use clarens_pki::cert::{Certificate, Credential};
 use clarens_pki::dn::DistinguishedName;
 use clarens_pki::SecureStream;
 
-use crate::parse::{read_request, write_response, ParseError};
+use crate::parse::{read_request_pooled, write_response_pooled, ParseError};
+use crate::scratch::Scratch;
 use crate::types::{Method, Request, Response};
 
 /// A bidirectional byte stream the server can serve HTTP over.
@@ -55,6 +56,20 @@ pub trait Handler: Send + Sync + 'static {
         _trace: &mut RequestTrace,
     ) -> Response {
         self.handle(request, peer)
+    }
+
+    /// Handle one request with the worker's scratch arena riding along.
+    /// Handlers on the allocation-lean path override this to encode the
+    /// response body into a recycled buffer (and recycle the request body
+    /// once decoded); the default ignores the arena.
+    fn handle_pooled(
+        &self,
+        request: Request,
+        peer: Option<&PeerInfo>,
+        trace: &mut RequestTrace,
+        _scratch: &mut Scratch,
+    ) -> Response {
+        self.handle_traced(request, peer, trace)
     }
 }
 
@@ -90,6 +105,10 @@ pub struct ServerConfig {
     pub now_fn: Arc<dyn Fn() -> i64 + Send + Sync>,
     /// Telemetry plane to record into. `None` = untraced (tests, tools).
     pub telemetry: Option<Arc<Telemetry>>,
+    /// Recycle per-worker scratch buffers across requests. Disable only to
+    /// measure the per-request-allocation baseline (every buffer is then
+    /// allocated fresh, like the pre-pooling data path).
+    pub buffer_pool: bool,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +125,7 @@ impl Default for ServerConfig {
                     .unwrap_or(0)
             }),
             telemetry: None,
+            buffer_pool: true,
         }
     }
 }
@@ -194,6 +214,7 @@ impl HttpServer {
             read_timeout: config.read_timeout,
             now_fn: config.now_fn,
             telemetry: config.telemetry,
+            buffer_pool: config.buffer_pool,
             stop: Arc::clone(&stop),
             stats: Arc::clone(&stats),
             live: Arc::clone(&live),
@@ -297,23 +318,28 @@ struct WorkerShared<H: Handler> {
     read_timeout: Duration,
     now_fn: Arc<dyn Fn() -> i64 + Send + Sync>,
     telemetry: Option<Arc<Telemetry>>,
+    buffer_pool: bool,
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     live: Arc<LiveConnections>,
 }
 
 fn worker_loop<H: Handler>(rx: Receiver<TcpStream>, shared: Arc<WorkerShared<H>>) {
+    // The worker's scratch arena lives as long as the thread: buffers
+    // recycle across requests *and* connections.
+    let mut scratch = Scratch::new();
     while let Ok(sock) = rx.recv() {
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
-        let _ = serve_connection(sock, &shared);
+        let _ = serve_connection(sock, &shared, &mut scratch);
     }
 }
 
 fn serve_connection<H: Handler>(
     sock: TcpStream,
     shared: &WorkerShared<H>,
+    scratch: &mut Scratch,
 ) -> Result<(), ParseError> {
     sock.set_read_timeout(Some(shared.read_timeout)).ok();
     sock.set_nodelay(true).ok();
@@ -323,7 +349,7 @@ fn serve_connection<H: Handler>(
     let _live_guard = shared.live.register(&sock);
 
     match &shared.tls {
-        None => serve_stream(sock, None, shared),
+        None => serve_stream(sock, None, shared, scratch),
         Some(tls) => {
             let now = (shared.now_fn)();
             let mut rng = rand::rng();
@@ -334,7 +360,7 @@ fn serve_connection<H: Handler>(
                         certificate: stream.peer_certificate().clone(),
                         chain,
                     };
-                    serve_stream(stream, Some(peer), shared)
+                    serve_stream(stream, Some(peer), shared, scratch)
                 }
                 Err(error) => {
                     if let Some(t) = &shared.telemetry {
@@ -372,6 +398,7 @@ fn serve_stream<S: Transport, H: Handler>(
     stream: S,
     peer: Option<PeerInfo>,
     shared: &WorkerShared<H>,
+    scratch: &mut Scratch,
 ) -> Result<(), ParseError> {
     let mut reader = BufReader::new(stream);
     let mut served = 0u64;
@@ -383,8 +410,10 @@ fn serve_stream<S: Transport, H: Handler>(
             Some(t) => t.begin_request(),
             None => RequestTrace::disabled(),
         };
-        let request = match trace.span(Phase::Parse, || read_request(&mut reader, shared.max_body))
-        {
+        let reuses_before = scratch.reuses();
+        let request = match trace.span(Phase::Parse, || {
+            read_request_pooled(&mut reader, shared.max_body, scratch)
+        }) {
             Ok(req) => req,
             Err(ParseError::Eof) => return Ok(()), // clean close between requests
             Err(ParseError::Io(error)) => {
@@ -398,7 +427,7 @@ fn serve_stream<S: Transport, H: Handler>(
                     trace.status = status;
                     t.finish_request(&trace, (shared.now_fn)());
                 }
-                let _ = write_response(reader.get_mut(), response, false, false);
+                let _ = write_response_pooled(reader.get_mut(), response, false, false, scratch);
                 return Ok(());
             }
         };
@@ -414,20 +443,29 @@ fn serve_stream<S: Transport, H: Handler>(
 
         let response = shared
             .handler
-            .handle_traced(request, peer.as_ref(), &mut trace);
+            .handle_pooled(request, peer.as_ref(), &mut trace, scratch);
         if response.status >= 500 {
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
         }
         trace.status = response.status;
         let written = trace.span(Phase::Write, || {
-            write_response(reader.get_mut(), response, keep_alive, head_only)
+            write_response_pooled(reader.get_mut(), response, keep_alive, head_only, scratch)
         });
         if let Some(t) = &shared.telemetry {
+            if let Ok(total) = written {
+                t.http.bytes_out.add(total);
+            }
+            t.http
+                .buffer_pool_reuse
+                .add(scratch.reuses().wrapping_sub(reuses_before));
             t.finish_request(&trace, (shared.now_fn)());
         }
         if let Err(error) = written {
             classify_io_error(&error, shared);
             return Err(ParseError::Io(error));
+        }
+        if !shared.buffer_pool {
+            scratch.purge();
         }
         if !keep_alive {
             return Ok(());

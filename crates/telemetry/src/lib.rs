@@ -47,6 +47,11 @@ pub struct HttpCounters {
     pub handshake_failures: Counter,
     /// Responses with a 5xx status.
     pub responses_5xx: Counter,
+    /// Total response bytes written (head + body, all statuses).
+    pub bytes_out: Counter,
+    /// Scratch-arena buffer takes served from the per-worker pool instead
+    /// of allocating (see `clarens-httpd`'s `Scratch`).
+    pub buffer_pool_reuse: Counter,
 }
 
 /// Per-protocol counters.
@@ -272,6 +277,8 @@ impl Telemetry {
                 h.handshake_failures.get(),
             ),
             ("clarens_http_responses_5xx_total", h.responses_5xx.get()),
+            ("clarens_http_bytes_out_total", h.bytes_out.get()),
+            ("clarens_buffer_pool_reuse_total", h.buffer_pool_reuse.get()),
         ] {
             let _ = writeln!(out, "{name} {value}");
         }

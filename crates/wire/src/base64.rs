@@ -23,33 +23,44 @@ const REVERSE: [u8; 256] = build_reverse();
 
 /// Encode bytes as base64 with padding.
 pub fn encode(data: &[u8]) -> String {
-    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    let mut out = Vec::with_capacity(data.len().div_ceil(3) * 4);
+    encode_into(data, &mut out);
+    // The alphabet (plus '=') is pure ASCII.
+    String::from_utf8(out).expect("base64 output is ASCII")
+}
+
+/// Encode bytes as base64 with padding, appending to `out`.
+///
+/// This is the streaming form used by the allocation-lean response encoders:
+/// `Value::Bytes` payloads go straight from the value into the response
+/// buffer without an intermediate `String`.
+pub fn encode_into(data: &[u8], out: &mut Vec<u8>) {
+    out.reserve(data.len().div_ceil(3) * 4);
     let mut chunks = data.chunks_exact(3);
     for chunk in &mut chunks {
         let n = ((chunk[0] as u32) << 16) | ((chunk[1] as u32) << 8) | chunk[2] as u32;
-        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
-        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
-        out.push(ALPHABET[(n >> 6) as usize & 63] as char);
-        out.push(ALPHABET[n as usize & 63] as char);
+        out.push(ALPHABET[(n >> 18) as usize & 63]);
+        out.push(ALPHABET[(n >> 12) as usize & 63]);
+        out.push(ALPHABET[(n >> 6) as usize & 63]);
+        out.push(ALPHABET[n as usize & 63]);
     }
     match chunks.remainder() {
         [] => {}
         [a] => {
             let n = (*a as u32) << 16;
-            out.push(ALPHABET[(n >> 18) as usize & 63] as char);
-            out.push(ALPHABET[(n >> 12) as usize & 63] as char);
-            out.push_str("==");
+            out.push(ALPHABET[(n >> 18) as usize & 63]);
+            out.push(ALPHABET[(n >> 12) as usize & 63]);
+            out.extend_from_slice(b"==");
         }
         [a, b] => {
             let n = ((*a as u32) << 16) | ((*b as u32) << 8);
-            out.push(ALPHABET[(n >> 18) as usize & 63] as char);
-            out.push(ALPHABET[(n >> 12) as usize & 63] as char);
-            out.push(ALPHABET[(n >> 6) as usize & 63] as char);
-            out.push('=');
+            out.push(ALPHABET[(n >> 18) as usize & 63]);
+            out.push(ALPHABET[(n >> 12) as usize & 63]);
+            out.push(ALPHABET[(n >> 6) as usize & 63]);
+            out.push(b'=');
         }
         _ => unreachable!("chunks_exact(3) remainder has at most 2 bytes"),
     }
-    out
 }
 
 /// Decoding error.

@@ -18,131 +18,158 @@ pub const MAX_DEPTH: usize = 128;
 
 /// Serialize a value as compact JSON.
 pub fn to_string(value: &Value) -> String {
-    let mut out = String::new();
-    write_value(&mut out, value);
-    out
+    let mut out = Vec::new();
+    write_into(&mut out, value);
+    // The writer only ever emits valid UTF-8 (escapes are ASCII, the rest
+    // is copied from `str` data).
+    String::from_utf8(out).expect("JSON writer output is UTF-8")
 }
 
 /// Serialize with two-space indentation (used by the portal pages).
 pub fn to_string_pretty(value: &Value) -> String {
-    let mut out = String::new();
+    let mut out = Vec::new();
     write_pretty(&mut out, value, 0);
-    out
+    String::from_utf8(out).expect("JSON writer output is UTF-8")
 }
 
-fn write_value(out: &mut String, value: &Value) {
+/// Serialize a value as compact JSON appended to a byte buffer.
+///
+/// This is the single writer implementation: [`to_string`] wraps it, and the
+/// allocation-lean response path ([`crate::jsonrpc::encode_response_into`])
+/// calls it directly so values stream into the response buffer with no
+/// intermediate `String`s (integers via `write!`, bytes via
+/// [`crate::base64::encode_into`]).
+pub fn write_into(out: &mut Vec<u8>, value: &Value) {
+    use std::io::Write as _;
     match value {
-        Value::Nil => out.push_str("null"),
-        Value::Bool(true) => out.push_str("true"),
-        Value::Bool(false) => out.push_str("false"),
-        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Nil => out.extend_from_slice(b"null"),
+        Value::Bool(true) => out.extend_from_slice(b"true"),
+        Value::Bool(false) => out.extend_from_slice(b"false"),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
         Value::Double(d) => write_double(out, *d),
-        Value::Str(s) => write_string(out, s),
-        Value::Bytes(b) => write_string(out, &crate::base64::encode(b)),
-        Value::DateTime(dt) => write_string(out, &dt.to_string()),
+        Value::Str(s) => write_string_into(out, s),
+        Value::Bytes(b) => {
+            out.push(b'"');
+            // Base64 output contains no characters that need escaping.
+            crate::base64::encode_into(b, out);
+            out.push(b'"');
+        }
+        Value::DateTime(dt) => {
+            // The ISO form is digits/'T'/':' only — nothing to escape.
+            let _ = write!(out, "\"{dt}\"");
+        }
         Value::Array(items) => {
-            out.push('[');
+            out.push(b'[');
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.push(b',');
                 }
-                write_value(out, item);
+                write_into(out, item);
             }
-            out.push(']');
+            out.push(b']');
         }
         Value::Struct(map) => {
-            out.push('{');
+            out.push(b'{');
             for (i, (k, v)) in map.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.push(b',');
                 }
-                write_string(out, k);
-                out.push(':');
-                write_value(out, v);
+                write_string_into(out, k);
+                out.push(b':');
+                write_into(out, v);
             }
-            out.push('}');
+            out.push(b'}');
         }
     }
 }
 
-fn write_pretty(out: &mut String, value: &Value, indent: usize) {
+fn write_pretty(out: &mut Vec<u8>, value: &Value, indent: usize) {
     match value {
         Value::Array(items) if !items.is_empty() => {
-            out.push_str("[\n");
+            out.extend_from_slice(b"[\n");
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push_str(",\n");
+                    out.extend_from_slice(b",\n");
                 }
                 for _ in 0..indent + 1 {
-                    out.push_str("  ");
+                    out.extend_from_slice(b"  ");
                 }
                 write_pretty(out, item, indent + 1);
             }
-            out.push('\n');
+            out.push(b'\n');
             for _ in 0..indent {
-                out.push_str("  ");
+                out.extend_from_slice(b"  ");
             }
-            out.push(']');
+            out.push(b']');
         }
         Value::Struct(map) if !map.is_empty() => {
-            out.push_str("{\n");
+            out.extend_from_slice(b"{\n");
             for (i, (k, v)) in map.iter().enumerate() {
                 if i > 0 {
-                    out.push_str(",\n");
+                    out.extend_from_slice(b",\n");
                 }
                 for _ in 0..indent + 1 {
-                    out.push_str("  ");
+                    out.extend_from_slice(b"  ");
                 }
-                write_string(out, k);
-                out.push_str(": ");
+                write_string_into(out, k);
+                out.extend_from_slice(b": ");
                 write_pretty(out, v, indent + 1);
             }
-            out.push('\n');
+            out.push(b'\n');
             for _ in 0..indent {
-                out.push_str("  ");
+                out.extend_from_slice(b"  ");
             }
-            out.push('}');
+            out.push(b'}');
         }
-        other => write_value(out, other),
+        other => write_into(out, other),
     }
 }
 
 /// JSON numbers must not render as `NaN`/`inf`; we substitute `null` as
 /// browsers' `JSON.stringify` does.
-fn write_double(out: &mut String, d: f64) {
+fn write_double(out: &mut Vec<u8>, d: f64) {
+    use std::io::Write as _;
     if d.is_finite() {
-        let s = format!("{d}");
+        let start = out.len();
+        let _ = write!(out, "{d}");
         // Ensure it re-parses as a double, not an int (e.g. "2" -> "2.0"),
         // so round-trips preserve the variant.
-        if s.bytes().all(|b| b.is_ascii_digit() || b == b'-') {
-            out.push_str(&s);
-            out.push_str(".0");
-        } else {
-            out.push_str(&s);
+        if out[start..]
+            .iter()
+            .all(|b| b.is_ascii_digit() || *b == b'-')
+        {
+            out.extend_from_slice(b".0");
         }
     } else {
-        out.push_str("null");
+        out.extend_from_slice(b"null");
     }
 }
 
-fn write_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{08}' => out.push_str("\\b"),
-            '\u{0c}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+/// Write a JSON string literal (quotes and escapes included) into `out`.
+///
+/// All escapable characters are ASCII, so the byte-wise walk emits exactly
+/// what the old char-wise writer did; multi-byte UTF-8 passes through.
+pub fn write_string_into(out: &mut Vec<u8>, s: &str) {
+    use std::io::Write as _;
+    out.push(b'"');
+    for &b in s.as_bytes() {
+        match b {
+            b'"' => out.extend_from_slice(b"\\\""),
+            b'\\' => out.extend_from_slice(b"\\\\"),
+            b'\n' => out.extend_from_slice(b"\\n"),
+            b'\r' => out.extend_from_slice(b"\\r"),
+            b'\t' => out.extend_from_slice(b"\\t"),
+            0x08 => out.extend_from_slice(b"\\b"),
+            0x0c => out.extend_from_slice(b"\\f"),
+            b if b < 0x20 => {
+                let _ = write!(out, "\\u{b:04x}");
             }
-            c => out.push(c),
+            b => out.push(b),
         }
     }
-    out.push('"');
+    out.push(b'"');
 }
 
 /// Parse a JSON document into a [`Value`].

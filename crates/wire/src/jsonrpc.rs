@@ -81,6 +81,36 @@ pub fn encode_response(response: &RpcResponse, id: Option<&Value>) -> String {
     crate::json::to_string(&obj)
 }
 
+/// Encode a response directly into `out` without building the intermediate
+/// response `Value::Struct` (and its clones of the result value).
+///
+/// Byte-identical to [`encode_response`]`.into_bytes()`: the DOM path
+/// renders a `BTreeMap`, whose iteration order for the three members is
+/// `error` < `id` < `result` (and `code` < `message` inside the error
+/// object) — enforced by property tests in `tests/stream_identity.rs`.
+pub fn encode_response_into(response: &RpcResponse, id: Option<&Value>, out: &mut Vec<u8>) {
+    use std::io::Write as _;
+    let default_id = Value::Int(1);
+    let id = id.unwrap_or(&default_id);
+    out.extend_from_slice(b"{\"error\":");
+    match response {
+        RpcResponse::Success(_) => out.extend_from_slice(b"null"),
+        RpcResponse::Fault(fault) => {
+            let _ = write!(out, "{{\"code\":{},\"message\":", fault.code);
+            crate::json::write_string_into(out, &fault.message);
+            out.push(b'}');
+        }
+    }
+    out.extend_from_slice(b",\"id\":");
+    crate::json::write_into(out, id);
+    out.extend_from_slice(b",\"result\":");
+    match response {
+        RpcResponse::Success(value) => crate::json::write_into(out, value),
+        RpcResponse::Fault(_) => out.extend_from_slice(b"null"),
+    }
+    out.push(b'}');
+}
+
 /// Decode a response (accepts both 1.0 and 2.0 shapes).
 pub fn decode_response(text: &str) -> Result<RpcResponse, WireError> {
     let value = crate::json::parse(text)?;

@@ -57,6 +57,35 @@ pub fn encode_response(response: &RpcResponse) -> String {
         .to_document()
 }
 
+/// Encode a response envelope directly into `out` — byte-identical to
+/// [`encode_response`]`.into_bytes()` (property-tested in
+/// `tests/stream_identity.rs`); the DOM form stays as the reference.
+pub fn encode_response_into(response: &RpcResponse, out: &mut Vec<u8>) {
+    use std::io::Write as _;
+    out.extend_from_slice(
+        b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+          <SOAP-ENV:Envelope xmlns:SOAP-ENV=\"http://schemas.xmlsoap.org/soap/envelope/\">\
+          <SOAP-ENV:Body>",
+    );
+    match response {
+        RpcResponse::Success(value) => {
+            out.extend_from_slice(b"<m:Response xmlns:m=\"urn:clarens\"><return>");
+            crate::xmlrpc::encode_value_into(value, out);
+            out.extend_from_slice(b"</return></m:Response>");
+        }
+        RpcResponse::Fault(fault) => {
+            let _ = write!(
+                out,
+                "<SOAP-ENV:Fault><faultcode>SOAP-ENV:Server.{}</faultcode><faultstring>",
+                fault.code
+            );
+            xml::escape_text_into(&fault.message, out);
+            out.extend_from_slice(b"</faultstring></SOAP-ENV:Fault>");
+        }
+    }
+    out.extend_from_slice(b"</SOAP-ENV:Body></SOAP-ENV:Envelope>");
+}
+
 /// Encode one named parameter. The child structure reuses the XML-RPC value
 /// element lexicon, which keeps the two XML protocols' type systems aligned.
 fn encode_param(name: &str, value: &Value) -> Element {

@@ -161,6 +161,26 @@ pub fn escape(text: &str) -> String {
     out
 }
 
+/// Escape element text directly into a byte buffer (streaming encoders).
+///
+/// Byte-for-byte equivalent to [`escape`]: all escapable characters are
+/// ASCII, so multi-byte UTF-8 sequences (every byte ≥ 0x80) pass through
+/// untouched and the decimal in `&#N;` equals the byte value.
+pub fn escape_text_into(text: &str, out: &mut Vec<u8>) {
+    for &b in text.as_bytes() {
+        match b {
+            b'<' => out.extend_from_slice(b"&lt;"),
+            b'>' => out.extend_from_slice(b"&gt;"),
+            b'&' => out.extend_from_slice(b"&amp;"),
+            b if b < 0x20 && b != b'\n' && b != b'\t' && b != b'\r' => {
+                use std::io::Write as _;
+                let _ = write!(out, "&#{b};");
+            }
+            b => out.push(b),
+        }
+    }
+}
+
 fn escape_into(text: &str, out: &mut String, attr: bool) {
     for c in text.chars() {
         match c {
@@ -432,7 +452,7 @@ fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
 }
 
 /// Decode the five predefined entities and numeric character references.
-fn decode_entities(text: &str) -> Result<String, WireError> {
+pub(crate) fn decode_entities(text: &str) -> Result<String, WireError> {
     if !text.contains('&') {
         return Ok(text.to_owned());
     }

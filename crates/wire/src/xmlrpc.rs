@@ -79,6 +79,125 @@ pub fn encode_value(value: &Value) -> Element {
     Element::new("value").child(inner)
 }
 
+/// Encode a response directly into `out` with no intermediate `Element`
+/// tree or per-field `String`s.
+///
+/// Byte-identical to [`encode_response`]`.into_bytes()` — the DOM encoder
+/// stays as the reference implementation and the equivalence is enforced by
+/// property tests (`tests/stream_identity.rs`).
+pub fn encode_response_into(response: &RpcResponse, out: &mut Vec<u8>) {
+    out.extend_from_slice(b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    match response {
+        RpcResponse::Success(value) => {
+            out.extend_from_slice(b"<methodResponse><params><param>");
+            encode_value_into(value, out);
+            out.extend_from_slice(b"</param></params></methodResponse>");
+        }
+        RpcResponse::Fault(fault) => {
+            // The fault detail struct has exactly two members; BTreeMap
+            // ordering in the DOM path puts faultCode before faultString.
+            out.extend_from_slice(
+                b"<methodResponse><fault><value><struct><member><name>faultCode</name>",
+            );
+            encode_value_into(&Value::Int(fault.code), out);
+            out.extend_from_slice(b"</member><member><name>faultString</name><value><string>");
+            xml::escape_text_into(&fault.message, out);
+            out.extend_from_slice(
+                b"</string></value></member></struct></value></fault></methodResponse>",
+            );
+        }
+    }
+}
+
+/// Encode one `<value>` element directly into `out` (see
+/// [`encode_response_into`]).
+pub fn encode_value_into(value: &Value, out: &mut Vec<u8>) {
+    use std::io::Write as _;
+    out.extend_from_slice(b"<value>");
+    match value {
+        Value::Nil => out.extend_from_slice(b"<nil/>"),
+        Value::Bool(b) => {
+            out.extend_from_slice(if *b {
+                b"<boolean>1</boolean>"
+            } else {
+                b"<boolean>0</boolean>"
+            });
+        }
+        Value::Int(i) => {
+            if i32::try_from(*i).is_ok() {
+                let _ = write!(out, "<i4>{i}</i4>");
+            } else {
+                let _ = write!(out, "<i8>{i}</i8>");
+            }
+        }
+        Value::Double(d) => {
+            out.extend_from_slice(b"<double>");
+            format_double_into(*d, out);
+            out.extend_from_slice(b"</double>");
+        }
+        Value::Str(s) => {
+            out.extend_from_slice(b"<string>");
+            xml::escape_text_into(s, out);
+            out.extend_from_slice(b"</string>");
+        }
+        Value::Bytes(b) => {
+            out.extend_from_slice(b"<base64>");
+            crate::base64::encode_into(b, out);
+            out.extend_from_slice(b"</base64>");
+        }
+        Value::DateTime(dt) => {
+            // The ISO form is digits/'T'/':' only — nothing to escape.
+            let _ = write!(out, "<dateTime.iso8601>{dt}</dateTime.iso8601>");
+        }
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.extend_from_slice(b"<array><data/></array>");
+            } else {
+                out.extend_from_slice(b"<array><data>");
+                for item in items {
+                    encode_value_into(item, out);
+                }
+                out.extend_from_slice(b"</data></array>");
+            }
+        }
+        Value::Struct(map) => {
+            if map.is_empty() {
+                out.extend_from_slice(b"<struct/>");
+            } else {
+                out.extend_from_slice(b"<struct>");
+                for (k, v) in map {
+                    out.extend_from_slice(b"<member><name>");
+                    xml::escape_text_into(k, out);
+                    out.extend_from_slice(b"</name>");
+                    encode_value_into(v, out);
+                    out.extend_from_slice(b"</member>");
+                }
+                out.extend_from_slice(b"</struct>");
+            }
+        }
+    }
+    out.extend_from_slice(b"</value>");
+}
+
+/// Streaming twin of [`format_double`]: identical output, no intermediate
+/// `String`. The rare scientific-notation case rewrites in place by
+/// truncating back to the field start.
+fn format_double_into(d: f64, out: &mut Vec<u8>) {
+    use std::io::Write as _;
+    if !d.is_finite() {
+        out.extend_from_slice(b"0.0");
+        return;
+    }
+    let start = out.len();
+    let _ = write!(out, "{d}");
+    if out[start..].iter().any(|&b| b == b'e' || b == b'E') {
+        out.truncate(start);
+        let _ = write!(out, "{d:.17}");
+    } else if !out[start..].contains(&b'.') {
+        out.extend_from_slice(b".0");
+    }
+}
+
 /// XML-RPC requires a decimal representation for doubles (no exponents).
 fn format_double(d: f64) -> String {
     if !d.is_finite() {
@@ -98,7 +217,23 @@ fn format_double(d: f64) -> String {
 }
 
 /// Decode a `<methodCall>` document.
+///
+/// The common wire profile (what every mainstream XML-RPC client emits:
+/// no attributes, comments, CDATA, or namespace prefixes) is parsed by a
+/// streaming decoder that builds no intermediate `Element` tree; anything
+/// outside that profile — including malformed documents, so error messages
+/// stay identical — falls back to [`decode_call_dom`].
 pub fn decode_call(text: &str) -> Result<RpcCall, WireError> {
+    if let Some(call) = fast::decode_call(text) {
+        return Ok(call);
+    }
+    decode_call_dom(text)
+}
+
+/// DOM reference decoder for `<methodCall>` documents. [`decode_call`]
+/// delegates here for anything the streaming fast path does not accept;
+/// property tests assert the two agree on the fast path's profile.
+pub fn decode_call_dom(text: &str) -> Result<RpcCall, WireError> {
     let root = xml::parse(text)?;
     if root.local_name() != "methodCall" {
         return Err(WireError::protocol(format!(
@@ -121,6 +256,247 @@ pub fn decode_call(text: &str) -> Result<RpcCall, WireError> {
         params,
         id: None,
     })
+}
+
+/// Streaming `<methodCall>` decoder: a single left-to-right pass with no
+/// `Element` tree. Strictly conservative — any construct it is not sure
+/// about (attributes, comments, CDATA, prefixes, out-of-order children,
+/// unparsable scalars) yields `None` and the caller re-parses with the DOM
+/// decoder, so accepted documents decode exactly as the reference would.
+mod fast {
+    use super::*;
+
+    pub(super) fn decode_call(text: &str) -> Option<RpcCall> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        // Prolog: whitespace and `<?...?>` declarations only; DOCTYPEs and
+        // comments are DOM territory.
+        loop {
+            p.skip_ws();
+            if p.bytes[p.pos..].starts_with(b"<?") {
+                let off = find(&p.bytes[p.pos..], b"?>")?;
+                p.pos += off + 2;
+            } else {
+                break;
+            }
+        }
+        p.eat(b"<methodCall>")?;
+        p.skip_ws();
+        p.eat(b"<methodName>")?;
+        let method = p.text_until_lt()?;
+        let method = method.trim();
+        if method.is_empty() {
+            return None; // DOM reports the proper protocol error.
+        }
+        let method = method.to_owned();
+        p.eat(b"</methodName>")?;
+        p.skip_ws();
+        let mut params = Vec::new();
+        if p.eat(b"<params/>").is_none() {
+            p.eat(b"<params>")?;
+            loop {
+                p.skip_ws();
+                if p.eat(b"</params>").is_some() {
+                    break;
+                }
+                p.eat(b"<param>")?;
+                p.skip_ws();
+                params.push(p.value(0)?);
+                p.skip_ws();
+                p.eat(b"</param>")?;
+            }
+        }
+        p.skip_ws();
+        p.eat(b"</methodCall>")?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return None;
+        }
+        Some(RpcCall {
+            method,
+            params,
+            id: None,
+        })
+    }
+
+    fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+        haystack.windows(needle.len()).position(|w| w == needle)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                self.pos += 1;
+            }
+        }
+
+        /// Consume `token` exactly (no attributes, no intra-tag space).
+        fn eat(&mut self, token: &[u8]) -> Option<()> {
+            if self.bytes[self.pos..].starts_with(token) {
+                self.pos += token.len();
+                Some(())
+            } else {
+                None
+            }
+        }
+
+        /// Entity-decoded character data up to the next `<`. The input is
+        /// a `&str` and `<` is ASCII, so the slice stays on char
+        /// boundaries; unknown or malformed entities defer to the DOM.
+        fn text_until_lt(&mut self) -> Option<String> {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'<' {
+                    let raw = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+                    return xml::decode_entities(raw).ok();
+                }
+                self.pos += 1;
+            }
+            None // EOF inside an element: malformed, let the DOM say so.
+        }
+
+        /// One `<value>...</value>`.
+        fn value(&mut self, depth: usize) -> Option<Value> {
+            if depth > xml::MAX_DEPTH {
+                return None;
+            }
+            if self.eat(b"<value/>").is_some() {
+                return Some(Value::Str(String::new()));
+            }
+            self.eat(b"<value>")?;
+            // Leading character data: either the whole (bare-string) value
+            // or insignificant whitespace before a typed element.
+            let leading = self.text_until_lt()?;
+            if self.eat(b"</value>").is_some() {
+                return Some(Value::Str(leading));
+            }
+            if !leading.trim().is_empty() {
+                // Text AND an element inside <value>: the DOM ignores the
+                // text; don't second-guess it here.
+                return None;
+            }
+            let value = self.typed_value(depth)?;
+            self.skip_ws();
+            self.eat(b"</value>")?;
+            Some(value)
+        }
+
+        /// The typed element inside a `<value>`.
+        fn typed_value(&mut self, depth: usize) -> Option<Value> {
+            if self.eat(b"<nil/>").is_some() || self.eat(b"<nil></nil>").is_some() {
+                return Some(Value::Nil);
+            }
+            if self.eat(b"<string>").is_some() {
+                let s = self.text_until_lt()?;
+                self.eat(b"</string>")?;
+                return Some(Value::Str(s));
+            }
+            if self.eat(b"<string/>").is_some() {
+                return Some(Value::Str(String::new()));
+            }
+            for tag in [&b"i4"[..], b"int", b"i8"] {
+                if let Some(text) = self.scalar(tag)? {
+                    return text.trim().parse::<i64>().ok().map(Value::Int);
+                }
+            }
+            if let Some(text) = self.scalar(b"boolean")? {
+                return match text.trim() {
+                    "1" | "true" => Some(Value::Bool(true)),
+                    "0" | "false" => Some(Value::Bool(false)),
+                    _ => None,
+                };
+            }
+            if let Some(text) = self.scalar(b"double")? {
+                return text.trim().parse::<f64>().ok().map(Value::Double);
+            }
+            if let Some(text) = self.scalar(b"base64")? {
+                return crate::base64::decode(&text).ok().map(Value::Bytes);
+            }
+            if let Some(text) = self.scalar(b"dateTime.iso8601")? {
+                // The DOM decoder parses the text untrimmed; match it.
+                return DateTime::parse(&text).ok().map(Value::DateTime);
+            }
+            if self.eat(b"<array>").is_some() {
+                self.skip_ws();
+                let mut items = Vec::new();
+                if self.eat(b"<data/>").is_none() {
+                    self.eat(b"<data>")?;
+                    loop {
+                        self.skip_ws();
+                        if self.eat(b"</data>").is_some() {
+                            break;
+                        }
+                        items.push(self.value(depth + 1)?);
+                    }
+                }
+                self.skip_ws();
+                self.eat(b"</array>")?;
+                return Some(Value::Array(items));
+            }
+            if self.eat(b"<struct/>").is_some() {
+                return Some(Value::Struct(std::collections::BTreeMap::new()));
+            }
+            if self.eat(b"<struct>").is_some() {
+                let mut map = std::collections::BTreeMap::new();
+                loop {
+                    self.skip_ws();
+                    if self.eat(b"</struct>").is_some() {
+                        break;
+                    }
+                    self.eat(b"<member>")?;
+                    self.skip_ws();
+                    let name = if self.eat(b"<name/>").is_some() {
+                        String::new()
+                    } else {
+                        self.eat(b"<name>")?;
+                        let name = self.text_until_lt()?;
+                        self.eat(b"</name>")?;
+                        name
+                    };
+                    self.skip_ws();
+                    let value = self.value(depth + 1)?;
+                    self.skip_ws();
+                    self.eat(b"</member>")?;
+                    map.insert(name, value);
+                }
+                return Some(Value::Struct(map));
+            }
+            None
+        }
+
+        /// `<tag>text</tag>` (or `<tag/>` for empty text). Outer `None`
+        /// means "malformed, fall back"; inner `None` means "not this tag".
+        #[allow(clippy::option_option)]
+        fn scalar(&mut self, tag: &[u8]) -> Option<Option<String>> {
+            let mut open = Vec::with_capacity(tag.len() + 2);
+            open.push(b'<');
+            open.extend_from_slice(tag);
+            if self.bytes[self.pos..].starts_with(&open)
+                && self.bytes.get(self.pos + open.len()) == Some(&b'>')
+            {
+                self.pos += open.len() + 1;
+                let text = self.text_until_lt()?;
+                self.eat(b"</")?;
+                self.eat(tag)?;
+                self.eat(b">")?;
+                Some(Some(text))
+            } else if self.bytes[self.pos..].starts_with(&open)
+                && self.bytes[self.pos + open.len()..].starts_with(b"/>")
+            {
+                self.pos += open.len() + 2;
+                Some(Some(String::new()))
+            } else {
+                Some(None)
+            }
+        }
+    }
 }
 
 fn decode_params(root: &Element) -> Result<Vec<Value>, WireError> {
@@ -343,6 +719,111 @@ mod tests {
         match decode_response(doc).unwrap() {
             RpcResponse::Success(Value::Str(s)) => assert_eq!(s, "plain"),
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// The streaming decoder must accept (not fall back on) everything our
+    /// own encoder emits — otherwise the fast path is dead code and the
+    /// allocation win silently evaporates.
+    #[test]
+    fn fast_path_accepts_canonical_documents() {
+        let calls = [
+            RpcCall::new("system.list_methods", vec![]),
+            RpcCall::new("echo.echo", vec![Value::Int(42)]),
+            RpcCall::new(
+                "file.read",
+                vec![
+                    Value::from("/data/f.root"),
+                    Value::Int(0),
+                    Value::Int(65536),
+                ],
+            ),
+            RpcCall::new(
+                "kitchen.sink",
+                vec![
+                    Value::Nil,
+                    Value::Bool(true),
+                    Value::Bool(false),
+                    Value::Int(i64::MIN),
+                    Value::Int(i64::MAX),
+                    Value::Double(-123.456),
+                    Value::Str(String::new()),
+                    Value::Str("hello <world> & \"friends\"".into()),
+                    Value::Bytes(vec![]),
+                    Value::Bytes(vec![0, 1, 2, 255]),
+                    Value::DateTime(DateTime::new(2005, 6, 15, 1, 2, 3).unwrap()),
+                    Value::Array(vec![]),
+                    Value::array([Value::Int(1), Value::from("two"), Value::Nil]),
+                    Value::Struct(Default::default()),
+                    Value::structure([
+                        ("list", Value::array([Value::Bool(true)])),
+                        ("nested", Value::structure([("x", Value::Double(1.25))])),
+                    ]),
+                ],
+            ),
+        ];
+        for call in calls {
+            let doc = encode_call(&call);
+            let fast = fast::decode_call(&doc)
+                .unwrap_or_else(|| panic!("fast path rejected canonical doc: {doc}"));
+            assert_eq!(fast, call);
+            assert_eq!(decode_call_dom(&doc).unwrap(), call);
+        }
+    }
+
+    /// Whitespace between tags (pretty-printed clients) stays on the fast
+    /// path; the result must match the DOM decoder exactly.
+    #[test]
+    fn fast_path_accepts_indented_documents() {
+        let doc = "<?xml version=\"1.0\"?>\n<methodCall>\n  <methodName>echo.echo</methodName>\n  <params>\n    <param>\n      <value><i4>7</i4></value>\n    </param>\n    <param>\n      <value>  </value>\n    </param>\n  </params>\n</methodCall>\n";
+        let fast = fast::decode_call(doc).expect("fast path");
+        let dom = decode_call_dom(doc).unwrap();
+        assert_eq!(fast, dom);
+        assert_eq!(fast.params[0], Value::Int(7));
+        // Bare whitespace inside <value> is a literal (untrimmed) string.
+        assert_eq!(fast.params[1], Value::Str("  ".into()));
+    }
+
+    /// Off-profile constructs must fall back to the DOM decoder rather
+    /// than being guessed at: the dispatcher still decodes them, but via
+    /// [`decode_call_dom`].
+    #[test]
+    fn fast_path_falls_back_off_profile() {
+        let off_profile = [
+            // Comments and DOCTYPE in the prolog.
+            "<!-- hi --><methodCall><methodName>m</methodName></methodCall>",
+            // Attributes anywhere.
+            "<methodCall x=\"1\"><methodName>m</methodName></methodCall>",
+            "<methodCall><methodName>m</methodName><params><param><value><string a=\"b\">x</string></value></param></params></methodCall>",
+            // CDATA sections.
+            "<methodCall><methodName>m</methodName><params><param><value><string><![CDATA[x]]></string></value></param></params></methodCall>",
+            // Struct member with <value> before <name>.
+            "<methodCall><methodName>m</methodName><params><param><value><struct><member><value><i4>1</i4></value><name>k</name></member></struct></value></param></params></methodCall>",
+            // Text mixed with a typed element inside <value>.
+            "<methodCall><methodName>m</methodName><params><param><value>junk<i4>1</i4></value></param></params></methodCall>",
+        ];
+        for doc in off_profile {
+            assert!(
+                fast::decode_call(doc).is_none(),
+                "fast path should defer to DOM for: {doc}"
+            );
+            // The dispatcher still handles it (DOM semantics).
+            decode_call(doc).unwrap();
+        }
+        // Malformed documents: fast path defers so the DOM's error text
+        // is what callers see.
+        let malformed = [
+            "<methodCall><methodName>m</methodName>",
+            "<methodCall><methodName></methodName></methodCall>",
+            "<methodCall><methodName>m</methodName><params><param><value><i4>NaN</i4></value></param></params></methodCall>",
+        ];
+        for doc in malformed {
+            assert!(fast::decode_call(doc).is_none(), "{doc}");
+            assert_eq!(
+                decode_call(doc).is_err(),
+                decode_call_dom(doc).is_err(),
+                "{doc}"
+            );
         }
     }
 

@@ -117,6 +117,21 @@ proptest! {
         prop_assert_eq!(clarens_wire::xmlrpc::decode_call(&doc).unwrap(), call);
     }
 
+    /// The streaming call decoder (dispatcher fast path) and the DOM
+    /// reference decoder must agree on every document our encoder emits.
+    #[test]
+    fn xmlrpc_fast_and_dom_call_decoders_agree(
+        method in method_name(),
+        params in proptest::collection::vec(value_strategy(), 0..4),
+    ) {
+        let call = RpcCall::new(method, params);
+        let doc = clarens_wire::xmlrpc::encode_call(&call);
+        prop_assert_eq!(
+            clarens_wire::xmlrpc::decode_call(&doc).unwrap(),
+            clarens_wire::xmlrpc::decode_call_dom(&doc).unwrap()
+        );
+    }
+
     #[test]
     fn xmlrpc_response_roundtrip(v in value_strategy()) {
         let resp = RpcResponse::Success(v);
