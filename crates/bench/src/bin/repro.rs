@@ -13,8 +13,12 @@
 //!   stream     SC2003 bandwidth-challenge style file streaming
 //!   discovery  local-DB vs station fan-out query latency
 //!   ablation   request-path cost decomposition + GT3 knob attribution
+//!   multiplex  Ablation F alone — parked keep-alive vs thread-per-connection
+//!              sweep (also runs as part of `ablation`)
 //!   quick      CI smoke: short workload, then assert GET /metrics serves
-//!              non-zero request counts (snapshot to $METRICS_SNAPSHOT)
+//!              non-zero request counts (snapshot to $METRICS_SNAPSHOT),
+//!              the allocation ceiling holds, and 256 parked keep-alive
+//!              connections do not slow active traffic
 
 use std::time::{Duration, Instant};
 
@@ -47,6 +51,7 @@ fn main() {
         "stream" => stream(),
         "discovery" => discovery(),
         "ablation" => ablation(point),
+        "multiplex" => ablation_f(point),
         "quick" | "--quick" => quick(),
         "all" => {
             fig4(point);
@@ -58,7 +63,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; use fig4|ssl|gt3|stream|discovery|ablation|quick|all"
+                "unknown experiment {other:?}; use fig4|ssl|gt3|stream|discovery|ablation|multiplex|quick|all"
             );
             std::process::exit(2);
         }
@@ -477,6 +482,61 @@ fn quick() {
         alloc.allocs_per_call
     );
 
+    // Connection-scheduler gate: 256 parked keep-alive connections on a
+    // 4-worker event-mode grid must cost active traffic no more than 10%
+    // against an idle-free baseline grid of the same shape. Parked sockets
+    // live in the poller, not on workers, so holding them should be close
+    // to free. Interleaved best-of-3 rounds for the same scheduler-noise
+    // reasons as Ablation A; the idlers are refreshed each round so the
+    // server's 5 s idle timeout never reaps them mid-measurement.
+    let base_grid = clarens_bench::bench_grid_sweep(4, true);
+    let load_grid = clarens_bench::bench_grid_sweep(4, true);
+    let base_session = bench_session(&base_grid);
+    let load_session = bench_session(&load_grid);
+    let mut idlers = clarens_bench::IdleConnections::open(&load_grid.addr(), 256);
+    let gate_point = Duration::from_millis(1000);
+    let (mut best_base, mut best_load) = (0.0f64, 0.0f64);
+    for _ in 0..3 {
+        let base = measure_throughput(
+            &base_grid.addr(),
+            &base_session,
+            8,
+            gate_point,
+            "echo.echo",
+            Protocol::XmlRpc,
+        );
+        best_base = best_base.max(base.calls_per_sec);
+        idlers.refresh();
+        let load = measure_throughput(
+            &load_grid.addr(),
+            &load_session,
+            8,
+            gate_point,
+            "echo.echo",
+            Protocol::XmlRpc,
+        );
+        best_load = best_load.max(load.calls_per_sec);
+    }
+    let parked = load_grid.core().telemetry.http.parked.get();
+    println!(
+        "parked-idlers gate: idle-free {best_base:.0} calls/sec, with {} idle keep-alive \
+         connections {best_load:.0} calls/sec ({:+.1}%); parked gauge {parked}",
+        idlers.len(),
+        (best_load / best_base - 1.0) * 100.0,
+    );
+    assert!(
+        parked >= 250,
+        "the idle connections must be parked in the poller (gauge {parked})"
+    );
+    assert!(
+        best_load >= 0.90 * best_base,
+        "256 parked connections slowed active traffic beyond 10%: \
+         {best_load:.0} vs {best_base:.0} calls/sec"
+    );
+    drop(idlers);
+    base_grid.cleanup();
+    load_grid.cleanup();
+
     println!(
         "GET /metrics: {} bytes, clarens_requests_total {requests}",
         body.len()
@@ -637,12 +697,17 @@ fn ablation(point: Duration) {
         server.shutdown();
     }
 
-    // Before/after for the allocation-lean serialization work: streaming
-    // encoders + streaming call decoder + per-worker buffer pool vs the
-    // DOM reference codecs with recycling disabled (the pre-optimization
-    // data path). Two statistics: server-side allocations per request
-    // (counting allocator, single warm keep-alive connection) and
-    // throughput (8 clients, interleaved best-of rounds).
+    ablation_e(point, clients);
+    ablation_f(point);
+}
+
+/// Ablation E — before/after for the allocation-lean serialization work:
+/// streaming encoders + streaming call decoder + per-worker buffer pool vs
+/// the DOM reference codecs with recycling disabled (the pre-optimization
+/// data path). Two statistics: server-side allocations per request
+/// (counting allocator, single warm keep-alive connection) and throughput
+/// (8 clients, interleaved best-of rounds).
+fn ablation_e(point: Duration, clients: usize) {
     println!("\nAblation E — allocation-lean serialization path (echo.echo)");
     if !alloc_count::allocator_installed() {
         println!("(counting allocator not installed; skipping)");
@@ -707,4 +772,98 @@ fn ablation(point: Duration) {
         (best_streaming / best_dom - 1.0) * 100.0,
         reuses
     );
+}
+
+/// Ablation F — connection multiplexing: the readiness scheduler that parks
+/// idle keep-alive connections off the worker pool (`park_idle`, the
+/// default) versus the classic thread-per-connection path, on a
+/// deliberately small 4-worker pool. The paper's Apache deployment owns a
+/// process per connection; this is the in-process equivalent of that
+/// ceiling and the scheduler that removes it.
+fn ablation_f(point: Duration) {
+    header("Ablation F — connection multiplexing (system.ping, 4 workers, 2 ms think time)");
+    println!("Each client loops one keep-alive connection: ping, think ~2 ms, ping again —");
+    println!("idle most of the time, like a real analysis client between calls. The");
+    println!("thread-per-connection path parks a *worker* in read() through every think,");
+    println!("so 4 workers serve exactly 4 connections and the rest starve into their 2 s");
+    println!("client timeout ('stalled'). The event path parks the *connection* in the");
+    println!("readiness poller and re-dispatches it to the queue when bytes arrive.\n");
+
+    const WORKERS: usize = 4;
+    let think = Duration::from_millis(2);
+    // A sweep point needs enough steady state to dominate its connect ramp.
+    let window = point.max(Duration::from_secs(2));
+    let sweep = [64usize, 256, 1024];
+
+    let mut rate_256 = [0.0f64; 2]; // indexed by park_idle as usize
+    for park in [true, false] {
+        let mode = if park {
+            "parked (park_idle: true, default)"
+        } else {
+            "thread-per-connection (park_idle: false)"
+        };
+        println!("{mode}:");
+        println!(
+            "{:>8} {:>12} {:>12} {:>8} {:>8} {:>12}",
+            "conns", "calls", "calls/sec", "served", "stalled", "parked(mid)"
+        );
+        let grid = clarens_bench::bench_grid_sweep(WORKERS, park);
+        let addr = grid.addr();
+        for &conns in &sweep {
+            let http = &grid.core().telemetry.http;
+            let p = clarens_bench::measure_keepalive_sweep(&addr, conns, window, think, || {
+                http.parked.get()
+            });
+            if conns == 256 {
+                rate_256[park as usize] = p.calls_per_sec;
+            }
+            println!(
+                "{:>8} {:>12} {:>12.0} {:>8} {:>8} {:>12}",
+                p.connections, p.calls, p.calls_per_sec, p.served, p.stalled, p.mid_sample
+            );
+        }
+        // The counters as an operator would read them: off the exposition
+        // surface, not the in-process handles.
+        let mut admin = grid.logged_in_client(&grid.admin);
+        let (status, body) = admin.get_page("/metrics").expect("GET /metrics");
+        assert_eq!(status, 200, "admin GET /metrics must answer 200");
+        for key in [
+            "clarens_http_connections_total",
+            "clarens_http_poll_wakeups_total",
+            "clarens_http_idle_timeouts_total",
+            "clarens_http_sheds_total",
+        ] {
+            if let Some(line) = body.lines().find(|l| l.starts_with(key)) {
+                println!("    /metrics: {line}");
+            }
+        }
+        grid.cleanup();
+        println!();
+    }
+    println!(
+        "parked/blocking throughput at 256 connections: {:.1}x  (target: >= 5x)",
+        rate_256[1] / rate_256[0].max(1.0)
+    );
+
+    // Backpressure rider: cap the budget below the offered load and the
+    // overflow must shed with `503` + `Connection: close` instead of
+    // queueing without bound — visible as stalled clients here and a
+    // non-zero shed counter.
+    println!("\nbackpressure: max_connections = 64, 96 connections offered");
+    let grid = clarens::testkit::TestGrid::start_with(clarens::testkit::GridOptions {
+        workers: WORKERS,
+        max_connections: 64,
+        ..Default::default()
+    });
+    let http = &grid.core().telemetry.http;
+    let p = clarens_bench::measure_keepalive_sweep(&grid.addr(), 96, window, think, || {
+        http.parked.get()
+    });
+    let sheds = http.sheds.get();
+    println!(
+        "served {} connections at {:.0} calls/sec under the cap; shed {} with 503 ({} clients stalled)",
+        p.served, p.calls_per_sec, sheds, p.stalled
+    );
+    assert!(sheds > 0, "the over-budget connections must be shed");
+    grid.cleanup();
 }

@@ -5,13 +5,15 @@
 //! Criterion benches. Each experiment in DESIGN.md's per-experiment index
 //! maps to one function here.
 
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use clarens::testkit::{GridOptions, TestGrid};
 use clarens::ClarensClient;
-use clarens_wire::{Protocol, Value};
+use clarens_wire::{Protocol, RpcCall, Value};
 
 pub mod alloc_count;
 
@@ -124,6 +126,242 @@ pub fn measure_throughput_tls(
         calls,
         calls_per_sec: calls as f64 / elapsed,
     }
+}
+
+/// Result of one keep-alive connection-sweep point (Ablation F).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Concurrent keep-alive connections attempted.
+    pub connections: usize,
+    /// Total completed calls across all connections.
+    pub calls: u64,
+    /// Completed calls per second.
+    pub calls_per_sec: f64,
+    /// Connections that completed at least one call.
+    pub served: usize,
+    /// Connections that gave up before the window ended (read timeout while
+    /// starved behind a pinned worker, a `503` shed, or a dropped socket).
+    pub stalled: usize,
+    /// Whatever `mid_sample` returned halfway through the window (the
+    /// callers pass a parked-connections gauge probe).
+    pub mid_sample: u64,
+}
+
+/// The wire bytes of one `system.ping` XML-RPC POST, reused verbatim by
+/// every sweep client: the sweep stresses connection scheduling, not RPC
+/// encoding, and `system.ping` needs no session so every connection is
+/// self-contained.
+fn ping_request_bytes() -> Vec<u8> {
+    let body = clarens_wire::encode_call(
+        Protocol::XmlRpc,
+        &RpcCall {
+            method: "system.ping".into(),
+            params: vec![],
+            id: Some(Value::Int(1)),
+        },
+    );
+    let mut request = format!(
+        "POST /clarens HTTP/1.1\r\nhost: sweep\r\ncontent-type: text/xml\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    request.extend_from_slice(&body);
+    request
+}
+
+/// Connect with exponential backoff: a 1024-connection point overruns the
+/// listen backlog no matter how the connects are staggered, so refused or
+/// reset connects retry instead of failing the client.
+fn connect_patiently(addr: &str) -> std::io::Result<TcpStream> {
+    let mut delay = Duration::from_millis(5);
+    for _ in 0..8 {
+        match TcpStream::connect(addr) {
+            Ok(sock) => return Ok(sock),
+            Err(_) => {
+                std::thread::sleep(delay);
+                delay *= 2;
+            }
+        }
+    }
+    TcpStream::connect(addr)
+}
+
+/// Drive `connections` concurrent keep-alive connections against `addr`,
+/// each looping `system.ping` with `think` of client-side idle time between
+/// calls, for `duration`. This is the Ablation-F workload: the think time
+/// makes every connection idle most of the time, which is exactly the
+/// pattern that pins the thread-per-connection path (a worker blocks in
+/// `read` during each client's think) while the parked-connection path
+/// multiplexes all of them over a few workers.
+///
+/// Clients that starve behind a pinned worker hit a 2-second read timeout
+/// and are counted in [`SweepPoint::stalled`] instead of panicking — with
+/// `workers` far below `connections`, starvation is the expected blocking-
+/// mode outcome, and surviving it is what the sweep measures.
+///
+/// `mid_sample` runs on the calling thread halfway through the window;
+/// callers pass a probe of the parked-connections gauge so the point
+/// records how many connections were parked under steady load.
+pub fn measure_keepalive_sweep(
+    addr: &str,
+    connections: usize,
+    duration: Duration,
+    think: Duration,
+    mid_sample: impl FnOnce() -> u64,
+) -> SweepPoint {
+    let request = Arc::new(ping_request_bytes());
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let served = Arc::new(AtomicU64::new(0));
+    let stalled = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::with_capacity(connections);
+    for i in 0..connections {
+        let addr = addr.to_owned();
+        let request = Arc::clone(&request);
+        let stop = Arc::clone(&stop);
+        let total = Arc::clone(&total);
+        let served = Arc::clone(&served);
+        let stalled = Arc::clone(&stalled);
+        handles.push(
+            std::thread::Builder::new()
+                // Up to 1024 client threads; the default 8 MiB stacks would
+                // reserve gigabytes of address space for threads that only
+                // write a static buffer and parse a tiny response.
+                .stack_size(128 * 1024)
+                .spawn(move || {
+                    // Stagger connects so a big point ramps over ~50 ms
+                    // instead of SYN-flooding the accept backlog at once.
+                    std::thread::sleep(Duration::from_micros((i as u64 % 256) * 200));
+                    let sock = match connect_patiently(&addr) {
+                        Ok(sock) => sock,
+                        Err(_) => {
+                            stalled.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    };
+                    sock.set_read_timeout(Some(Duration::from_secs(2))).ok();
+                    sock.set_write_timeout(Some(Duration::from_secs(2))).ok();
+                    sock.set_nodelay(true).ok();
+                    let mut writer = match sock.try_clone() {
+                        Ok(clone) => clone,
+                        Err(_) => {
+                            stalled.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    };
+                    let mut reader = BufReader::new(sock);
+                    let mut local = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let ok = writer.write_all(&request).is_ok()
+                            && matches!(
+                                clarens_httpd::parse::read_response(&mut reader, 64 * 1024),
+                                Ok(response) if response.status == 200
+                            );
+                        if !ok {
+                            // Starved, shed, or torn down. A failure after
+                            // the stop flag is just shutdown noise.
+                            if !stop.load(Ordering::Relaxed) {
+                                stalled.fetch_add(1, Ordering::Relaxed);
+                            }
+                            break;
+                        }
+                        local += 1;
+                        if !think.is_zero() {
+                            std::thread::sleep(think);
+                        }
+                    }
+                    total.fetch_add(local, Ordering::Relaxed);
+                    if local > 0 {
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+                .expect("spawn sweep client"),
+        );
+    }
+    let t0 = Instant::now();
+    std::thread::sleep(duration / 2);
+    let mid = mid_sample();
+    std::thread::sleep(duration.saturating_sub(t0.elapsed()));
+    // Clock the window at the stop flag, not after the joins: starved
+    // clients take up to their 2 s read timeout to notice the flag, and that
+    // teardown tail is not measurement time.
+    let elapsed = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    for handle in handles {
+        handle.join().expect("sweep client thread");
+    }
+    let calls = total.load(Ordering::Relaxed);
+    SweepPoint {
+        connections,
+        calls,
+        calls_per_sec: calls as f64 / elapsed,
+        served: served.load(Ordering::Relaxed) as usize,
+        stalled: stalled.load(Ordering::Relaxed) as usize,
+        mid_sample: mid,
+    }
+}
+
+/// A set of idle keep-alive connections held open against a server — the
+/// `repro quick` gate parks 256 of these and asserts active traffic does
+/// not slow down. Each connection completes one `system.ping` so the server
+/// sees it as a mid-stream keep-alive client, then goes quiet.
+pub struct IdleConnections {
+    socks: Vec<(TcpStream, BufReader<TcpStream>)>,
+    request: Vec<u8>,
+}
+
+impl IdleConnections {
+    /// Open `n` connections to `addr` and park them all.
+    pub fn open(addr: &str, n: usize) -> IdleConnections {
+        let request = ping_request_bytes();
+        let socks = (0..n)
+            .map(|_| {
+                let sock = connect_patiently(addr).expect("idle connect");
+                sock.set_read_timeout(Some(Duration::from_secs(5))).ok();
+                sock.set_nodelay(true).ok();
+                let reader = BufReader::new(sock.try_clone().expect("clone idle socket"));
+                (sock, reader)
+            })
+            .collect();
+        let mut idle = IdleConnections { socks, request };
+        idle.refresh();
+        idle
+    }
+
+    /// Complete one ping on every connection, restarting each one's
+    /// server-side idle clock (the grid expires parked connections after
+    /// its read timeout).
+    pub fn refresh(&mut self) {
+        for (sock, reader) in &mut self.socks {
+            sock.write_all(&self.request).expect("idle ping write");
+            let response =
+                clarens_httpd::parse::read_response(reader, 64 * 1024).expect("idle ping response");
+            assert_eq!(response.status, 200, "idle keep-alive ping must succeed");
+        }
+    }
+
+    /// Number of connections held.
+    pub fn len(&self) -> usize {
+        self.socks.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.socks.is_empty()
+    }
+}
+
+/// Start the Ablation-F grid: a deliberately small worker pool with the
+/// connection scheduler on (`park_idle`) or off (thread-per-connection).
+/// The small pool is the point — parked mode serves hundreds of keep-alive
+/// connections from it, while the blocking path pins one worker per
+/// connection and starves the rest.
+pub fn bench_grid_sweep(workers: usize, park_idle: bool) -> TestGrid {
+    TestGrid::start_with(GridOptions {
+        workers,
+        park_idle,
+        ..Default::default()
+    })
 }
 
 /// Start the standard benchmark grid: plaintext, permissive ACLs, enough
@@ -254,6 +492,42 @@ mod tests {
         assert_eq!(point.clients, 2);
         assert!(point.calls > 0, "no calls completed");
         assert!(point.calls_per_sec > 0.0);
+        grid.cleanup();
+    }
+
+    #[test]
+    fn keepalive_sweep_driver_smoke() {
+        let grid = bench_grid_sweep(2, true);
+        let http = &grid.core().telemetry.http;
+        let point = measure_keepalive_sweep(
+            &grid.addr(),
+            8,
+            Duration::from_millis(600),
+            Duration::from_millis(2),
+            || http.parked.get(),
+        );
+        assert_eq!(point.connections, 8);
+        assert_eq!(point.served, 8, "every connection should complete calls");
+        assert_eq!(point.stalled, 0, "nothing should starve at 8 connections");
+        assert!(point.calls > 0);
+        grid.cleanup();
+    }
+
+    #[test]
+    fn idle_connections_park_and_refresh() {
+        let grid = bench_grid_sweep(2, true);
+        let mut idle = IdleConnections::open(&grid.addr(), 16);
+        assert_eq!(idle.len(), 16);
+        // All 16 are between requests now; give the poller a moment to
+        // take them and the parked gauge must account for every one.
+        let http = &grid.core().telemetry.http;
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while http.parked.get() < 16 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(http.parked.get(), 16, "idle connections must be parked");
+        idle.refresh();
+        drop(idle);
         grid.cleanup();
     }
 }

@@ -51,6 +51,14 @@ pub struct ClarensConfig {
     /// Recycle per-worker HTTP buffers across keep-alive requests. On by
     /// default; disable to measure the allocate-per-request baseline.
     pub buffer_pool: bool,
+    /// Cap on simultaneously live HTTP connections; connections beyond it
+    /// are shed with `503` + `Connection: close` instead of queueing
+    /// without bound.
+    pub max_connections: usize,
+    /// Park idle keep-alive connections in the readiness poller instead of
+    /// pinning a worker thread per connection. On by default; disable to
+    /// select the classic thread-per-connection path for A/B measurement.
+    pub park_idle: bool,
 }
 
 impl Default for ClarensConfig {
@@ -70,6 +78,8 @@ impl Default for ClarensConfig {
             slow_trace_us: 10_000,
             streaming_encode: true,
             buffer_pool: true,
+            max_connections: 4096,
+            park_idle: true,
         }
     }
 }
@@ -138,6 +148,16 @@ impl ClarensConfig {
                     config.buffer_pool = value
                         .parse()
                         .map_err(|_| format!("line {}: bad buffer_pool", lineno + 1))?
+                }
+                "max_connections" => {
+                    config.max_connections = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad max_connections", lineno + 1))?
+                }
+                "park_idle" => {
+                    config.park_idle = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad park_idle", lineno + 1))?
                 }
                 other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
             }
@@ -216,6 +236,18 @@ db_path: /var/clarens/clarens.db
         assert!(ClarensConfig::parse("streaming_encode: sometimes").is_err());
         let config = ClarensConfig::parse("buffer_pool: false").unwrap();
         assert!(!config.buffer_pool);
+    }
+
+    #[test]
+    fn concurrency_knobs() {
+        let config = ClarensConfig::parse("").unwrap();
+        assert_eq!(config.max_connections, 4096);
+        assert!(config.park_idle);
+        let config = ClarensConfig::parse("max_connections: 128\npark_idle: false").unwrap();
+        assert_eq!(config.max_connections, 128);
+        assert!(!config.park_idle);
+        assert!(ClarensConfig::parse("max_connections: lots").is_err());
+        assert!(ClarensConfig::parse("park_idle: maybe").is_err());
     }
 
     #[test]

@@ -51,6 +51,8 @@ impl ClarensServer {
             read_timeout: std::time::Duration::from_secs(5),
             telemetry: Some(Arc::clone(&core.telemetry)),
             buffer_pool: core.config.buffer_pool,
+            max_connections: core.config.max_connections,
+            park_idle: core.config.park_idle,
             ..Default::default()
         };
         let http = HttpServer::bind(addr, config, handler)?;

@@ -72,6 +72,11 @@ pub struct GridOptions {
     pub streaming_encode: bool,
     /// Recycle per-worker HTTP buffers across keep-alive requests.
     pub buffer_pool: bool,
+    /// Cap on simultaneously live HTTP connections (beyond it: 503 shed).
+    pub max_connections: usize,
+    /// Park idle keep-alive connections off the worker pool (disable for
+    /// the classic thread-per-connection path).
+    pub park_idle: bool,
 }
 
 impl Default for GridOptions {
@@ -86,6 +91,8 @@ impl Default for GridOptions {
             telemetry: true,
             streaming_encode: true,
             buffer_pool: true,
+            max_connections: 4096,
+            park_idle: true,
         }
     }
 }
@@ -176,6 +183,8 @@ impl TestGrid {
             telemetry: options.telemetry,
             streaming_encode: options.streaming_encode,
             buffer_pool: options.buffer_pool,
+            max_connections: options.max_connections,
+            park_idle: options.park_idle,
             ..Default::default()
         };
 

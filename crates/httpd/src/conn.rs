@@ -1,0 +1,376 @@
+//! The per-connection state machine for the parked (event-driven) path.
+//!
+//! In the classic path a worker owns a connection for its whole life and
+//! blocks in `read()` between keep-alive requests. Here the connection is
+//! an explicit object — socket, accumulated input bytes, request count,
+//! budget/shutdown guards — that shuttles between a worker (while there is
+//! CPU work to do) and the poller (while waiting for bytes). A worker
+//! *drives* the connection: parse whatever is buffered, serve complete
+//! requests, read more without blocking, and hand the connection back to
+//! the poller the moment the socket runs dry.
+//!
+//! Invariant: a connection is only ever parked when its input buffer holds
+//! no complete request (either empty or a strict prefix of one), so a
+//! readiness event is always the correct wake condition and pipelined
+//! requests can never stall in the buffer.
+
+use std::io::{self, Cursor, IoSlice, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use clarens_telemetry::{Phase, RequestTrace};
+
+use crate::parse::{read_request_pooled, write_response_pooled, ParseError};
+use crate::poller;
+use crate::scratch::Scratch;
+use crate::server::{classify_io_error, BudgetGuard, Handler, LiveGuard, WorkerShared};
+use crate::types::{Method, Response};
+
+/// Bytes pulled off the socket per `read` call while filling.
+const READ_CHUNK: usize = 16 * 1024;
+/// Cap on bytes absorbed in one fill burst before re-parsing, so one
+/// fire-hose peer cannot monopolize a worker between parse attempts.
+const MAX_FILL_BURST: usize = 256 * 1024;
+
+/// One plaintext keep-alive connection on the event-driven path. Owns the
+/// (non-blocking) socket and every piece of per-connection state that must
+/// survive a park/resume cycle.
+pub(crate) struct Conn {
+    /// The non-blocking socket.
+    pub(crate) sock: TcpStream,
+    /// Bytes read but not yet consumed by the parser (at most a strict
+    /// prefix of one request whenever the connection parks).
+    pub(crate) inbuf: Vec<u8>,
+    /// Requests served on this connection (drives `keepalive_reuse`).
+    pub(crate) served: u64,
+    /// Poller token; unique per connection for the server's lifetime.
+    pub(crate) id: u64,
+    /// Whether the socket has ever been registered with the poller (first
+    /// park registers, later parks re-arm).
+    pub(crate) registered: bool,
+    /// Connection-budget slot, released when the connection drops.
+    pub(crate) _budget: Option<BudgetGuard>,
+    /// Shutdown registration: force-closed by `HttpServer::shutdown` so
+    /// in-flight writes fail fast.
+    pub(crate) _live: Option<LiveGuard>,
+}
+
+/// What a worker does with a connection after driving it as far as the
+/// buffered bytes and the socket allow.
+pub(crate) enum Disposition {
+    /// Waiting for more bytes: hand the connection to the poller.
+    Park(Conn),
+    /// Finished (clean close, error, or shutdown): the socket closes when
+    /// the connection drops.
+    Closed,
+}
+
+enum Parsed {
+    /// A full request plus the number of input bytes it consumed.
+    Complete(crate::types::Request, usize),
+    /// The buffer holds a strict prefix of a request; need more bytes.
+    Incomplete,
+    /// Protocol violation: answer with this status and close.
+    Fail(u16, String),
+}
+
+enum Fill {
+    /// New bytes were appended; try parsing again.
+    Progress,
+    /// Nothing available without blocking; park.
+    Park,
+    /// Peer closed its end.
+    Eof,
+    /// Transport error.
+    Err(io::Error),
+}
+
+/// Drive `conn` until it parks, closes, or fails. This is the event-path
+/// sibling of `serve_stream`: identical request accounting, identical
+/// response bytes (both funnel through `write_response_pooled`), but reads
+/// never block — they either make progress or return the connection to the
+/// poller.
+pub(crate) fn drive<H: Handler>(
+    mut conn: Conn,
+    shared: &WorkerShared<H>,
+    scratch: &mut Scratch,
+) -> Disposition {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Disposition::Closed;
+        }
+        let mut trace = match &shared.telemetry {
+            Some(t) => t.begin_request(),
+            None => RequestTrace::disabled(),
+        };
+        let reuses_before = scratch.reuses();
+        let attempt = trace.span(Phase::Parse, || {
+            try_parse(&conn.inbuf, shared.max_body, scratch)
+        });
+        match attempt {
+            Parsed::Incomplete => {
+                // Not a request yet; the trace never finishes and records
+                // nothing. Pull more bytes or park.
+                match fill(&mut conn, scratch) {
+                    Fill::Progress => continue,
+                    Fill::Park => return Disposition::Park(conn),
+                    Fill::Eof => {
+                        if conn.inbuf.is_empty() {
+                            // EOF exactly at a message boundary: clean close.
+                        } else if let Some(t) = &shared.telemetry {
+                            // Peer abandoned a half-sent request.
+                            t.http.peer_resets.inc();
+                        }
+                        return Disposition::Closed;
+                    }
+                    Fill::Err(error) => {
+                        classify_io_error(&error, shared);
+                        return Disposition::Closed;
+                    }
+                }
+            }
+            Parsed::Fail(status, message) => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                let response = Response::error(status, &message);
+                if let Some(t) = &shared.telemetry {
+                    trace.status = status;
+                    t.finish_request(&trace, (shared.now_fn)());
+                }
+                let mut writer = NonblockingWriter::new(&conn.sock, shared.read_timeout);
+                let _ = write_response_pooled(&mut writer, response, false, false, scratch);
+                return Disposition::Closed;
+            }
+            Parsed::Complete(request, consumed) => {
+                conn.inbuf.drain(..consumed);
+                let keep_alive = request.wants_keep_alive() && !shared.stop.load(Ordering::SeqCst);
+                let head_only = request.method == Method::Head;
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                if conn.served > 0 {
+                    if let Some(t) = &shared.telemetry {
+                        t.http.keepalive_reuse.inc();
+                    }
+                }
+                conn.served += 1;
+
+                let response = shared
+                    .handler
+                    .handle_pooled(request, None, &mut trace, scratch);
+                if response.status >= 500 {
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                trace.status = response.status;
+                let written = trace.span(Phase::Write, || {
+                    let mut writer = NonblockingWriter::new(&conn.sock, shared.read_timeout);
+                    write_response_pooled(&mut writer, response, keep_alive, head_only, scratch)
+                });
+                if let Some(t) = &shared.telemetry {
+                    if let Ok(total) = written {
+                        t.http.bytes_out.add(total);
+                    }
+                    t.http
+                        .buffer_pool_reuse
+                        .add(scratch.reuses().wrapping_sub(reuses_before));
+                    t.finish_request(&trace, (shared.now_fn)());
+                }
+                if let Err(error) = written {
+                    classify_io_error(&error, shared);
+                    return Disposition::Closed;
+                }
+                if !shared.buffer_pool {
+                    scratch.purge();
+                }
+                if !keep_alive {
+                    return Disposition::Closed;
+                }
+            }
+        }
+    }
+}
+
+/// Try to parse one request out of the accumulated bytes. Runs the exact
+/// parser the blocking path uses, over an in-memory cursor: running out of
+/// buffered bytes mid-message surfaces as `UnexpectedEof`, which here means
+/// "incomplete", not "error".
+fn try_parse(inbuf: &[u8], max_body: usize, scratch: &mut Scratch) -> Parsed {
+    if inbuf.is_empty() {
+        return Parsed::Incomplete;
+    }
+    let mut cursor = Cursor::new(inbuf);
+    match read_request_pooled(&mut cursor, max_body, scratch) {
+        Ok(request) => Parsed::Complete(request, cursor.position() as usize),
+        Err(ParseError::Eof) | Err(ParseError::Io(_)) => Parsed::Incomplete,
+        Err(ParseError::Protocol(status, message)) => Parsed::Fail(status, message),
+    }
+}
+
+/// Pull whatever the socket has without blocking.
+fn fill(conn: &mut Conn, scratch: &mut Scratch) -> Fill {
+    let mut chunk = scratch.take();
+    chunk.resize(READ_CHUNK, 0);
+    let mut appended = 0usize;
+    let outcome = loop {
+        match (&conn.sock).read(&mut chunk) {
+            Ok(0) => break Fill::Eof,
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&chunk[..n]);
+                appended += n;
+                if n < chunk.len() || appended >= MAX_FILL_BURST {
+                    break Fill::Progress;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                break if appended > 0 {
+                    Fill::Progress
+                } else {
+                    Fill::Park
+                };
+            }
+            Err(e) => break Fill::Err(e),
+        }
+    };
+    scratch.recycle(chunk);
+    outcome
+}
+
+/// `Write` adapter over a non-blocking socket: on `WouldBlock` it waits for
+/// writability (bounded by `timeout`) and retries, so the shared response
+/// serializer behaves exactly as it does on a blocking socket — including
+/// the vectored head+body write.
+pub(crate) struct NonblockingWriter<'a> {
+    sock: &'a TcpStream,
+    timeout: Duration,
+}
+
+impl<'a> NonblockingWriter<'a> {
+    pub(crate) fn new(sock: &'a TcpStream, timeout: Duration) -> NonblockingWriter<'a> {
+        NonblockingWriter { sock, timeout }
+    }
+
+    fn wait_writable(&self) -> io::Result<()> {
+        wait_writable(self.sock, self.timeout)
+    }
+}
+
+#[cfg(unix)]
+fn wait_writable(sock: &TcpStream, timeout: Duration) -> io::Result<()> {
+    use std::os::unix::io::AsRawFd;
+    poller::wait_writable(sock.as_raw_fd(), timeout)
+}
+
+#[cfg(not(unix))]
+fn wait_writable(_sock: &TcpStream, _timeout: Duration) -> io::Result<()> {
+    // The event path never runs here: Poller construction fails on
+    // non-Unix hosts and the server stays on the blocking path.
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "readiness polling unsupported on this platform",
+    ))
+}
+
+impl Write for NonblockingWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        loop {
+            match (&mut &*self.sock).write(buf) {
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => self.wait_writable()?,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                other => return other,
+            }
+        }
+    }
+
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        loop {
+            match (&mut &*self.sock).write_vectored(bufs) {
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => self.wait_writable()?,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                other => return other,
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        // TCP sockets have no userspace buffer to flush.
+        Ok(())
+    }
+}
+
+/// Raw fd of a socket, for poller registration.
+#[cfg(unix)]
+pub(crate) fn raw_fd(sock: &TcpStream) -> poller::RawFd {
+    use std::os::unix::io::AsRawFd;
+    sock.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+pub(crate) fn raw_fd(_sock: &TcpStream) -> poller::RawFd {
+    -1
+}
+
+/// Raw fd of a listener, for the acceptor's wakeable poll loop.
+#[cfg(unix)]
+pub(crate) fn raw_fd_listener(listener: &std::net::TcpListener) -> poller::RawFd {
+    use std::os::unix::io::AsRawFd;
+    listener.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+pub(crate) fn raw_fd_listener(_listener: &std::net::TcpListener) -> poller::RawFd {
+    -1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_parse_states() {
+        let mut scratch = Scratch::new();
+        // Empty and prefix buffers are incomplete, not errors.
+        assert!(matches!(
+            try_parse(b"", 1024, &mut scratch),
+            Parsed::Incomplete
+        ));
+        assert!(matches!(
+            try_parse(b"GET / HT", 1024, &mut scratch),
+            Parsed::Incomplete
+        ));
+        assert!(matches!(
+            try_parse(b"GET / HTTP/1.1\r\nHost: h\r\n", 1024, &mut scratch),
+            Parsed::Incomplete
+        ));
+        // Partial body: still incomplete.
+        assert!(matches!(
+            try_parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+                1024,
+                &mut scratch
+            ),
+            Parsed::Incomplete
+        ));
+        // A complete request reports exactly the bytes it consumed.
+        let wire = b"GET /a HTTP/1.1\r\nHost: h\r\n\r\nGET /b";
+        match try_parse(wire, 1024, &mut scratch) {
+            Parsed::Complete(request, consumed) => {
+                assert_eq!(request.target, "/a");
+                assert_eq!(&wire[consumed..], b"GET /b");
+            }
+            _ => panic!("expected a complete request"),
+        }
+        // Garbage is a protocol failure.
+        assert!(matches!(
+            try_parse(b"NONSENSE\r\n\r\n", 1024, &mut scratch),
+            Parsed::Fail(400, _)
+        ));
+        // An oversized declared body fails fast without needing the bytes.
+        assert!(matches!(
+            try_parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 99999\r\n\r\n",
+                1024,
+                &mut scratch
+            ),
+            Parsed::Fail(413, _)
+        ));
+    }
+}

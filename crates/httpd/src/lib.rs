@@ -7,13 +7,21 @@
 //! * [`parse`] — HTTP/1.1 request/response parsing with Content-Length and
 //!   chunked bodies, hard limits, and streaming response writes (the
 //!   `sendfile()`-style path the file service uses),
-//! * [`server`] — a bounded worker-pool server (the Apache-prefork shape)
-//!   with transparent secure-channel support and per-connection keep-alive,
+//! * [`server`] — a worker pool fed by an event-driven connection
+//!   scheduler: idle keep-alive connections are *parked* in [`poller`]
+//!   instead of pinning a worker thread, so live-connection capacity is
+//!   bounded by `max_connections`, not `workers` (the classic
+//!   thread-per-connection path stays selectable for A/B),
+//! * [`poller`] — a dependency-free readiness facade (epoll on Linux,
+//!   `poll(2)` elsewhere on Unix) with a self-pipe waker and a deadline
+//!   wheel for keep-alive idle expiry,
 //! * [`client`] — a keep-alive client used by examples, tests, and the
 //!   Figure-4 benchmark driver.
 
 pub mod client;
+mod conn;
 pub mod parse;
+pub mod poller;
 pub mod scratch;
 pub mod server;
 pub mod types;

@@ -1,17 +1,35 @@
-//! The threaded HTTP server.
+//! The HTTP server: a worker pool fed by an event-driven connection
+//! scheduler.
 //!
 //! Architecturally this plays the role of "Apache + mod_python" in Figure 1
 //! of the paper: it accepts connections, does SSL "transparently... with no
 //! special coding needed in [the service layer] to decrypt (encrypt)
-//! requests (responses)", and hands parsed requests to a [`Handler`]. The
-//! concurrency model is a bounded worker pool over blocking sockets — the
-//! same process-pool shape as the Apache prefork server the paper measured.
+//! requests (responses)", and hands parsed requests to a [`Handler`].
+//!
+//! The concurrency model (see DESIGN.md "Concurrency model") decouples
+//! connections from threads. Workers are pure CPU executors pulling
+//! [`WorkItem`]s off one queue; the acceptor feeds fresh connections into
+//! that queue; and a poller thread ([`crate::poller`]) holds every idle
+//! keep-alive connection *parked* on an epoll set, re-dispatching each one
+//! to the queue when bytes arrive and expiring it through a deadline wheel
+//! when the keep-alive idle timeout lapses. An idle connection therefore
+//! costs a few hundred bytes of state instead of a blocked worker thread —
+//! the difference between concurrency capped at `workers` (the Apache
+//! prefork shape the paper measured, which is what Figure 4 tops out on)
+//! and concurrency capped at `max_connections`.
+//!
+//! The classic thread-per-connection path is kept selectable
+//! (`park_idle = false`, and always used for TLS connections, whose record
+//! layer buffers plaintext internally and therefore cannot be parked on
+//! socket readiness) and produces byte-identical responses; both paths
+//! funnel through the same parser and serializer.
 
+use std::collections::HashMap;
 use std::io::{self, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
@@ -21,7 +39,9 @@ use clarens_pki::cert::{Certificate, Credential};
 use clarens_pki::dn::DistinguishedName;
 use clarens_pki::SecureStream;
 
+use crate::conn::{self, Conn, Disposition};
 use crate::parse::{read_request_pooled, write_response_pooled, ParseError};
+use crate::poller::{DeadlineWheel, Event, Poller};
 use crate::scratch::Scratch;
 use crate::types::{Method, Request, Response};
 
@@ -92,12 +112,14 @@ pub struct TlsConfig {
 
 /// Server configuration.
 pub struct ServerConfig {
-    /// Number of worker threads (each serves one connection at a time, like
-    /// Apache prefork children).
+    /// Number of worker threads. With parking on they are pure CPU
+    /// executors sized to cores; without it each serves one connection at
+    /// a time, like Apache prefork children.
     pub workers: usize,
     /// Maximum decoded request body.
     pub max_body: usize,
-    /// Socket read timeout for keep-alive connections.
+    /// Socket read timeout for keep-alive connections (parked connections
+    /// idle past this are expired by the deadline wheel).
     pub read_timeout: Duration,
     /// Enable the secure channel. `None` = plaintext HTTP.
     pub tls: Option<TlsConfig>,
@@ -109,6 +131,15 @@ pub struct ServerConfig {
     /// measure the per-request-allocation baseline (every buffer is then
     /// allocated fresh, like the pre-pooling data path).
     pub buffer_pool: bool,
+    /// Cap on simultaneously live connections (queued + active + parked).
+    /// Connections beyond the cap are shed with `503` +
+    /// `Connection: close` instead of growing the queue without bound.
+    pub max_connections: usize,
+    /// Park idle keep-alive connections in the readiness poller instead of
+    /// blocking a worker in `read()` between requests. `false` selects the
+    /// classic thread-per-connection path (the A/B baseline; also what TLS
+    /// connections always use).
+    pub park_idle: bool,
 }
 
 impl Default for ServerConfig {
@@ -126,6 +157,8 @@ impl Default for ServerConfig {
             }),
             telemetry: None,
             buffer_pool: true,
+            max_connections: 4096,
+            park_idle: true,
         }
     }
 }
@@ -142,16 +175,54 @@ pub struct ServerStats {
     pub errors: AtomicU64,
 }
 
+/// One unit of worker work: a connection with (potential) CPU work to do.
+pub(crate) enum WorkItem {
+    /// A connection served on the classic path: the worker owns it until
+    /// it closes (TLS, or `park_idle = false`).
+    Blocking(TcpStream, Option<BudgetGuard>),
+    /// An event-path connection to drive until it parks or closes.
+    Event(Conn),
+}
+
+/// RAII slot in the live-connection budget.
+pub(crate) struct BudgetGuard {
+    count: Arc<AtomicUsize>,
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        self.count.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The worker side of the park channel: where to send a connection that
+/// ran out of bytes, and how to nudge the poller to pick it up.
+pub(crate) struct Parker {
+    tx: Sender<Conn>,
+    poller: Arc<Poller>,
+}
+
+enum AcceptWake {
+    /// Acceptor blocks in its own poller; wake it through the self-pipe.
+    Poller(Arc<Poller>),
+    /// Acceptor blocks in `accept(2)` (poller construction failed); wake
+    /// it the old way, with a throwaway connection.
+    Connect,
+}
+
 /// A running HTTP server.
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     acceptor: Option<std::thread::JoinHandle<()>>,
+    poller_thread: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     stats: Arc<ServerStats>,
     /// Raw handles of live connections, force-closed on shutdown so that
     /// workers blocked in keep-alive reads wake immediately.
     live: Arc<LiveConnections>,
+    accept_wake: AcceptWake,
+    conn_poller: Option<Arc<Poller>>,
 }
 
 /// Registry of raw socket handles for live connections. Entries are
@@ -159,7 +230,7 @@ pub struct HttpServer {
 /// peer observes EOF normally; on server shutdown all remaining handles
 /// are force-closed to wake blocked keep-alive reads.
 #[derive(Default)]
-struct LiveConnections {
+pub(crate) struct LiveConnections {
     next_id: AtomicU64,
     sockets: parking_lot::Mutex<std::collections::HashMap<u64, TcpStream>>,
 }
@@ -182,7 +253,7 @@ impl LiveConnections {
     }
 }
 
-struct LiveGuard {
+pub(crate) struct LiveGuard {
     id: u64,
     live: Arc<LiveConnections>,
 }
@@ -205,7 +276,20 @@ impl HttpServer {
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
         let live = Arc::new(LiveConnections::default());
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = unbounded();
+        let conn_count = Arc::new(AtomicUsize::new(0));
+        let (tx, rx): (Sender<WorkItem>, Receiver<WorkItem>) = unbounded();
+
+        // Event mode needs a working readiness backend; TLS connections
+        // cannot be parked (the record layer buffers decrypted bytes the
+        // poller cannot see), so a TLS server stays fully on the classic
+        // path.
+        let conn_poller = if config.park_idle && config.tls.is_none() {
+            Poller::new().ok().map(Arc::new)
+        } else {
+            None
+        };
+        let event_mode = conn_poller.is_some();
+        let (park_tx, park_rx): (Sender<Conn>, Receiver<Conn>) = unbounded();
 
         let shared = Arc::new(WorkerShared {
             handler,
@@ -218,6 +302,10 @@ impl HttpServer {
             stop: Arc::clone(&stop),
             stats: Arc::clone(&stats),
             live: Arc::clone(&live),
+            parker: conn_poller.as_ref().map(|p| Parker {
+                tx: park_tx,
+                poller: Arc::clone(p),
+            }),
         });
 
         let mut workers = Vec::with_capacity(config.workers);
@@ -232,30 +320,49 @@ impl HttpServer {
             );
         }
 
+        let poller_thread = conn_poller.as_ref().map(|p| {
+            let poller = Arc::clone(p);
+            let work_tx = tx.clone();
+            let stop = Arc::clone(&stop);
+            let telemetry = shared.telemetry.clone();
+            let read_timeout = config.read_timeout;
+            std::thread::Builder::new()
+                .name("clarens-poller".into())
+                .spawn(move || poller_loop(poller, park_rx, work_tx, stop, telemetry, read_timeout))
+                .expect("spawn poller")
+        });
+
+        // The acceptor gets its own poller purely for a wakeable accept
+        // loop; if that fails (non-Unix host) it falls back to blocking
+        // `accept` plus the connect-to-self wake.
+        let accept_poller = Poller::new().ok().map(Arc::new);
+        let accept_wake = match &accept_poller {
+            Some(p) => AcceptWake::Poller(Arc::clone(p)),
+            None => AcceptWake::Connect,
+        };
+
         let accept_stop = Arc::clone(&stop);
         let accept_stats = Arc::clone(&stats);
         let accept_telemetry = shared.telemetry.clone();
+        let accept_live = Arc::clone(&live);
+        let max_connections = config.max_connections.max(1);
         let acceptor = std::thread::Builder::new()
             .name("clarens-acceptor".into())
             .spawn(move || {
-                for stream in listener.incoming() {
-                    if accept_stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    match stream {
-                        Ok(sock) => {
-                            accept_stats.connections.fetch_add(1, Ordering::Relaxed);
-                            if let Some(t) = &accept_telemetry {
-                                t.http.connections.inc();
-                            }
-                            if tx.send(sock).is_err() {
-                                break;
-                            }
-                        }
-                        Err(_) => continue,
-                    }
-                }
-                // Dropping `tx` lets workers drain and exit.
+                accept_loop(AcceptLoop {
+                    listener,
+                    poller: accept_poller,
+                    stop: accept_stop,
+                    stats: accept_stats,
+                    telemetry: accept_telemetry,
+                    live: accept_live,
+                    conn_count,
+                    max_connections,
+                    event_mode,
+                    tx,
+                });
+                // Dropping the acceptor's (and later the poller's) sender
+                // lets workers drain and exit.
             })
             .expect("spawn acceptor");
 
@@ -263,9 +370,12 @@ impl HttpServer {
             addr: local_addr,
             stop,
             acceptor: Some(acceptor),
+            poller_thread,
             workers,
             stats,
             live,
+            accept_wake,
+            conn_poller,
         })
     }
 
@@ -280,15 +390,32 @@ impl HttpServer {
     }
 
     /// Stop accepting and join all threads. Outstanding keep-alive
-    /// connections are closed after their current request.
+    /// connections are closed after their current request. Deterministic
+    /// under zero traffic: both the acceptor and the poller are woken
+    /// explicitly (no dummy connection, no timeout race).
     pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the acceptor with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
-        // Force-close live connections so keep-alive reads return now.
+        match &self.accept_wake {
+            AcceptWake::Poller(p) => p.wake(),
+            AcceptWake::Connect => {
+                let _ = TcpStream::connect(self.addr);
+            }
+        }
+        if let Some(p) = &self.conn_poller {
+            p.wake();
+        }
+        // Force-close live connections (blocking-path keep-alive reads and
+        // in-flight writes return immediately; parked sockets see HUP).
         self.live.close_all();
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
+        }
+        if let Some(poller) = self.poller_thread.take() {
+            let _ = poller.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -298,41 +425,304 @@ impl HttpServer {
 
 impl Drop for HttpServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        // Force-close live connections so keep-alive reads return now.
-        self.live.close_all();
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        self.shutdown_inner();
+    }
+}
+
+pub(crate) struct WorkerShared<H: Handler> {
+    pub(crate) handler: Arc<H>,
+    pub(crate) tls: Option<TlsConfig>,
+    pub(crate) max_body: usize,
+    pub(crate) read_timeout: Duration,
+    pub(crate) now_fn: Arc<dyn Fn() -> i64 + Send + Sync>,
+    pub(crate) telemetry: Option<Arc<Telemetry>>,
+    pub(crate) buffer_pool: bool,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) stats: Arc<ServerStats>,
+    pub(crate) live: Arc<LiveConnections>,
+    pub(crate) parker: Option<Parker>,
+}
+
+struct AcceptLoop {
+    listener: TcpListener,
+    poller: Option<Arc<Poller>>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    telemetry: Option<Arc<Telemetry>>,
+    live: Arc<LiveConnections>,
+    conn_count: Arc<AtomicUsize>,
+    max_connections: usize,
+    event_mode: bool,
+    tx: Sender<WorkItem>,
+}
+
+fn accept_loop(ctx: AcceptLoop) {
+    // The acceptor is the sole allocator of connection ids (poller tokens).
+    let mut next_id: u64 = 0;
+    let mut admit = |sock: TcpStream| -> bool {
+        ctx.stats.connections.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &ctx.telemetry {
+            t.http.connections.inc();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        // Budget check: `fetch_add` claims a slot; over-budget claims are
+        // rolled back and the connection shed instead of queued.
+        let prev = ctx.conn_count.fetch_add(1, Ordering::AcqRel);
+        if prev >= ctx.max_connections {
+            ctx.conn_count.fetch_sub(1, Ordering::AcqRel);
+            shed(sock, &ctx.telemetry);
+            return true;
+        }
+        let budget = BudgetGuard {
+            count: Arc::clone(&ctx.conn_count),
+        };
+        let item = if ctx.event_mode && sock.set_nonblocking(true).is_ok() {
+            sock.set_nodelay(true).ok();
+            let id = next_id;
+            next_id += 1;
+            WorkItem::Event(Conn {
+                _live: ctx.live.register(&sock),
+                sock,
+                inbuf: Vec::new(),
+                served: 0,
+                id,
+                registered: false,
+                _budget: Some(budget),
+            })
+        } else {
+            // Classic path; `serve_connection` expects a blocking socket.
+            sock.set_nonblocking(false).ok();
+            WorkItem::Blocking(sock, Some(budget))
+        };
+        if let Some(t) = &ctx.telemetry {
+            t.http.queue_depth.inc();
+        }
+        ctx.tx.send(item).is_ok()
+    };
+
+    match &ctx.poller {
+        Some(poller) => {
+            // Wakeable accept loop: non-blocking listener registered
+            // level-triggered, so `wait` returns whenever connections are
+            // pending or `wake()` is called.
+            if ctx.listener.set_nonblocking(true).is_err()
+                || poller
+                    .add(conn::raw_fd_listener(&ctx.listener), 0, false)
+                    .is_err()
+            {
+                return blocking_accept_loop(&ctx.listener, &ctx.stop, admit);
+            }
+            let mut events: Vec<Event> = Vec::new();
+            loop {
+                if ctx.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                events.clear();
+                let _ = poller.wait(None, &mut events);
+                if ctx.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                loop {
+                    match ctx.listener.accept() {
+                        Ok((sock, _)) => {
+                            if !admit(sock) {
+                                return;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => break, // transient (e.g. ECONNABORTED)
+                    }
+                }
+            }
+        }
+        None => blocking_accept_loop(&ctx.listener, &ctx.stop, admit),
+    }
+}
+
+fn blocking_accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    mut admit: impl FnMut(TcpStream) -> bool,
+) {
+    listener.set_nonblocking(false).ok();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream {
+            Ok(sock) => {
+                if !admit(sock) {
+                    return;
+                }
+            }
+            Err(_) => continue,
         }
     }
 }
 
-struct WorkerShared<H: Handler> {
-    handler: Arc<H>,
-    tls: Option<TlsConfig>,
-    max_body: usize,
-    read_timeout: Duration,
-    now_fn: Arc<dyn Fn() -> i64 + Send + Sync>,
-    telemetry: Option<Arc<Telemetry>>,
-    buffer_pool: bool,
-    stop: Arc<AtomicBool>,
-    stats: Arc<ServerStats>,
-    live: Arc<LiveConnections>,
+/// Answer an over-budget connection with `503` + `Connection: close` and
+/// drop it, without ever reading the request (the peer may not have sent
+/// one yet, and we will not hold a slot waiting for it).
+fn shed(mut sock: TcpStream, telemetry: &Option<Arc<Telemetry>>) {
+    if let Some(t) = telemetry {
+        t.http.sheds.inc();
+    }
+    sock.set_nonblocking(false).ok();
+    sock.set_write_timeout(Some(Duration::from_secs(1))).ok();
+    let _ = crate::parse::write_response(
+        &mut sock,
+        Response::error(503, "connection limit reached, retry later"),
+        false,
+        false,
+    );
 }
 
-fn worker_loop<H: Handler>(rx: Receiver<TcpStream>, shared: Arc<WorkerShared<H>>) {
+/// The poller thread: owns every parked connection, its epoll set, and the
+/// deadline wheel. Three duties per iteration: absorb newly parked
+/// connections from the park channel, re-dispatch readable ones to the
+/// worker queue, and expire those idle past the keep-alive timeout.
+fn poller_loop(
+    poller: Arc<Poller>,
+    park_rx: Receiver<Conn>,
+    work_tx: Sender<WorkItem>,
+    stop: Arc<AtomicBool>,
+    telemetry: Option<Arc<Telemetry>>,
+    read_timeout: Duration,
+) {
+    struct Parked {
+        conn: Conn,
+        deadline: Instant,
+        seq: u64,
+    }
+
+    let mut parked: HashMap<u64, Parked> = HashMap::new();
+    let mut wheel = DeadlineWheel::new(read_timeout);
+    let mut events: Vec<Event> = Vec::new();
+    let mut due: Vec<(u64, u64)> = Vec::new();
+    // Park sequence numbers distinguish a connection's current park from
+    // stale wheel candidates left by its earlier parks.
+    let mut seq: u64 = 0;
+
+    loop {
+        while let Some(mut conn) = park_rx.try_recv() {
+            let fd = conn::raw_fd(&conn.sock);
+            let armed = if conn.registered {
+                poller.rearm(fd, conn.id)
+            } else {
+                let added = poller.add(fd, conn.id, true);
+                if added.is_ok() {
+                    conn.registered = true;
+                }
+                added
+            };
+            if armed.is_err() {
+                // Cannot watch it → cannot ever wake it; close now.
+                continue;
+            }
+            seq += 1;
+            let deadline = Instant::now() + read_timeout;
+            wheel.insert(conn.id, seq, deadline);
+            parked.insert(
+                conn.id,
+                Parked {
+                    conn,
+                    deadline,
+                    seq,
+                },
+            );
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Some(t) = &telemetry {
+            t.http.parked.set(parked.len() as u64);
+        }
+
+        // With nothing parked there is no deadline to honor: sleep until a
+        // wake (new park or shutdown). Otherwise sleep to the next wheel
+        // tick.
+        let timeout = if parked.is_empty() {
+            None
+        } else {
+            Some(wheel.next_tick_in(Instant::now()))
+        };
+        events.clear();
+        if poller.wait(timeout, &mut events).is_err() {
+            // Defensive: never spin hot on a persistent backend error.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        for event in events.drain(..) {
+            if let Some(p) = parked.remove(&event.token) {
+                if let Some(t) = &telemetry {
+                    t.http.poll_wakeups.inc();
+                    t.http.queue_depth.inc();
+                }
+                if work_tx.send(WorkItem::Event(p.conn)).is_err() {
+                    return;
+                }
+            }
+        }
+
+        let now = Instant::now();
+        due.clear();
+        wheel.advance(now, &mut due);
+        for &(token, candidate_seq) in &due {
+            let verdict = match parked.get(&token) {
+                Some(p) if p.seq == candidate_seq => Some(now >= p.deadline),
+                _ => None, // stale candidate from an earlier park
+            };
+            match verdict {
+                Some(true) => {
+                    parked.remove(&token);
+                    if let Some(t) = &telemetry {
+                        // The server's own idle timeout, not a peer reset.
+                        t.http.idle_timeouts.inc();
+                    }
+                }
+                Some(false) => {
+                    // Early candidate (wheel tick granularity); requeue.
+                    let deadline = parked[&token].deadline;
+                    wheel.insert(token, candidate_seq, deadline);
+                }
+                None => {}
+            }
+        }
+    }
+    // Shutdown: dropping the map closes every parked socket.
+    if let Some(t) = &telemetry {
+        t.http.parked.set(0);
+    }
+}
+
+fn worker_loop<H: Handler>(rx: Receiver<WorkItem>, shared: Arc<WorkerShared<H>>) {
     // The worker's scratch arena lives as long as the thread: buffers
     // recycle across requests *and* connections.
     let mut scratch = Scratch::new();
-    while let Ok(sock) = rx.recv() {
-        if shared.stop.load(Ordering::SeqCst) {
-            break;
+    while let Ok(item) = rx.recv() {
+        if let Some(t) = &shared.telemetry {
+            t.http.queue_depth.dec();
         }
-        let _ = serve_connection(sock, &shared, &mut scratch);
+        if shared.stop.load(Ordering::SeqCst) {
+            // Drain and drop: queued sockets close unserved.
+            continue;
+        }
+        match item {
+            WorkItem::Blocking(sock, budget) => {
+                let _budget = budget;
+                let _ = serve_connection(sock, &shared, &mut scratch);
+            }
+            WorkItem::Event(conn) => match conn::drive(conn, &shared, &mut scratch) {
+                Disposition::Park(conn) => {
+                    if let Some(parker) = &shared.parker {
+                        if parker.tx.send(conn).is_ok() {
+                            parker.poller.wake();
+                        }
+                    }
+                }
+                Disposition::Closed => {}
+            },
+        }
     }
 }
 
@@ -377,7 +767,7 @@ fn serve_connection<H: Handler>(
 /// Classify a keep-alive read/write I/O failure: the server's own idle
 /// timeout firing is normal churn, while everything else means the peer
 /// tore the connection down under us.
-fn classify_io_error<H: Handler>(error: &io::Error, shared: &WorkerShared<H>) {
+pub(crate) fn classify_io_error<H: Handler>(error: &io::Error, shared: &WorkerShared<H>) {
     let idle = matches!(
         error.kind(),
         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
@@ -497,15 +887,21 @@ mod tests {
     }
 
     /// Short keep-alive timeout so `shutdown()` joins quickly in tests.
-    fn test_config() -> ServerConfig {
+    /// Every scenario runs under both concurrency models (`park` =
+    /// event-driven vs classic thread-per-connection) — the two paths must
+    /// be behaviorally indistinguishable from the wire.
+    fn test_config(park: bool) -> ServerConfig {
         ServerConfig {
             read_timeout: Duration::from_millis(200),
+            park_idle: park,
             ..Default::default()
         }
     }
 
-    fn start_plain() -> HttpServer {
-        HttpServer::bind("127.0.0.1:0", test_config(), echo_handler()).unwrap()
+    const BOTH_MODES: [bool; 2] = [false, true];
+
+    fn start_plain(park: bool) -> HttpServer {
+        HttpServer::bind("127.0.0.1:0", test_config(park), echo_handler()).unwrap()
     }
 
     fn raw_roundtrip(addr: SocketAddr, request: &str) -> (u16, Vec<u8>) {
@@ -518,147 +914,173 @@ mod tests {
 
     #[test]
     fn serves_get() {
-        let server = start_plain();
-        let (status, body) =
-            raw_roundtrip(server.local_addr(), "GET /x HTTP/1.1\r\nHost: h\r\n\r\n");
-        assert_eq!(status, 200);
-        assert_eq!(body, b"GET /x anonymous 0");
-        server.shutdown();
+        for park in BOTH_MODES {
+            let server = start_plain(park);
+            let (status, body) =
+                raw_roundtrip(server.local_addr(), "GET /x HTTP/1.1\r\nHost: h\r\n\r\n");
+            assert_eq!(status, 200);
+            assert_eq!(body, b"GET /x anonymous 0");
+            server.shutdown();
+        }
     }
 
     #[test]
     fn keep_alive_multiple_requests() {
-        let server = start_plain();
-        let mut sock = TcpStream::connect(server.local_addr()).unwrap();
-        for i in 0..5 {
-            let req = format!("GET /r{i} HTTP/1.1\r\nHost: h\r\n\r\n");
-            sock.write_all(req.as_bytes()).unwrap();
+        for park in BOTH_MODES {
+            let server = start_plain(park);
+            let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+            for i in 0..5 {
+                let req = format!("GET /r{i} HTTP/1.1\r\nHost: h\r\n\r\n");
+                sock.write_all(req.as_bytes()).unwrap();
+            }
+            let mut reader = BufReader::new(sock);
+            for i in 0..5 {
+                let resp = read_response(&mut reader, usize::MAX).unwrap();
+                assert_eq!(resp.status, 200);
+                assert_eq!(resp.body, format!("GET /r{i} anonymous 0").as_bytes());
+                assert!(resp.keep_alive);
+            }
+            assert_eq!(server.stats().requests.load(Ordering::Relaxed), 5);
+            assert_eq!(server.stats().connections.load(Ordering::Relaxed), 1);
+            server.shutdown();
         }
-        let mut reader = BufReader::new(sock);
-        for i in 0..5 {
-            let resp = read_response(&mut reader, usize::MAX).unwrap();
-            assert_eq!(resp.status, 200);
-            assert_eq!(resp.body, format!("GET /r{i} anonymous 0").as_bytes());
-            assert!(resp.keep_alive);
-        }
-        assert_eq!(server.stats().requests.load(Ordering::Relaxed), 5);
-        assert_eq!(server.stats().connections.load(Ordering::Relaxed), 1);
-        server.shutdown();
     }
 
     #[test]
     fn post_body_delivered() {
-        let server = start_plain();
-        let (status, body) = raw_roundtrip(
-            server.local_addr(),
-            "POST /rpc HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd",
-        );
-        assert_eq!(status, 200);
-        assert_eq!(body, b"POST /rpc anonymous 4");
-        server.shutdown();
+        for park in BOTH_MODES {
+            let server = start_plain(park);
+            let (status, body) = raw_roundtrip(
+                server.local_addr(),
+                "POST /rpc HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd",
+            );
+            assert_eq!(status, 200);
+            assert_eq!(body, b"POST /rpc anonymous 4");
+            server.shutdown();
+        }
     }
 
     #[test]
     fn bad_request_answered_not_dropped() {
-        let server = start_plain();
-        let (status, _) = raw_roundtrip(server.local_addr(), "NONSENSE\r\n\r\n");
-        assert_eq!(status, 400);
-        let (status, _) = raw_roundtrip(server.local_addr(), "BREW / HTTP/1.1\r\nHost: h\r\n\r\n");
-        assert_eq!(status, 501);
-        server.shutdown();
+        for park in BOTH_MODES {
+            let server = start_plain(park);
+            let (status, _) = raw_roundtrip(server.local_addr(), "NONSENSE\r\n\r\n");
+            assert_eq!(status, 400);
+            let (status, _) =
+                raw_roundtrip(server.local_addr(), "BREW / HTTP/1.1\r\nHost: h\r\n\r\n");
+            assert_eq!(status, 501);
+            server.shutdown();
+        }
     }
 
     #[test]
     fn connection_close_honored() {
-        let server = start_plain();
-        let mut sock = TcpStream::connect(server.local_addr()).unwrap();
-        sock.write_all(b"GET / HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n")
-            .unwrap();
-        let mut reader = BufReader::new(sock);
-        let resp = read_response(&mut reader, usize::MAX).unwrap();
-        assert!(!resp.keep_alive);
-        // Server must actually close: next read returns EOF.
-        let mut probe = [0u8; 1];
-        assert_eq!(reader.read(&mut probe).unwrap(), 0);
-        server.shutdown();
+        for park in BOTH_MODES {
+            let server = start_plain(park);
+            let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+            sock.write_all(b"GET / HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n")
+                .unwrap();
+            let mut reader = BufReader::new(sock);
+            let resp = read_response(&mut reader, usize::MAX).unwrap();
+            assert!(!resp.keep_alive);
+            // Server must actually close: next read returns EOF.
+            let mut probe = [0u8; 1];
+            assert_eq!(reader.read(&mut probe).unwrap(), 0);
+            server.shutdown();
+        }
     }
 
     #[test]
     fn concurrent_clients() {
-        let server = start_plain();
-        let addr = server.local_addr();
-        let mut handles = Vec::new();
-        for t in 0..8 {
-            handles.push(std::thread::spawn(move || {
-                for i in 0..20 {
-                    let (status, body) = raw_roundtrip(
-                        addr,
-                        &format!("GET /t{t}-{i} HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n"),
-                    );
-                    assert_eq!(status, 200);
-                    assert_eq!(body, format!("GET /t{t}-{i} anonymous 0").as_bytes());
-                }
-            }));
+        for park in BOTH_MODES {
+            let server = start_plain(park);
+            let addr = server.local_addr();
+            let mut handles = Vec::new();
+            for t in 0..8 {
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..20 {
+                        let (status, body) = raw_roundtrip(
+                            addr,
+                            &format!(
+                                "GET /t{t}-{i} HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n"
+                            ),
+                        );
+                        assert_eq!(status, 200);
+                        assert_eq!(body, format!("GET /t{t}-{i} anonymous 0").as_bytes());
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(server.stats().requests.load(Ordering::Relaxed), 160);
+            server.shutdown();
         }
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(server.stats().requests.load(Ordering::Relaxed), 160);
-        server.shutdown();
     }
 
     #[test]
     fn oversized_body_rejected() {
-        let config = ServerConfig {
-            max_body: 10,
-            ..test_config()
-        };
-        let server = HttpServer::bind("127.0.0.1:0", config, echo_handler()).unwrap();
-        let (status, _) = raw_roundtrip(
-            server.local_addr(),
-            "POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 1000\r\n\r\n",
-        );
-        assert_eq!(status, 413);
-        server.shutdown();
+        for park in BOTH_MODES {
+            let config = ServerConfig {
+                max_body: 10,
+                ..test_config(park)
+            };
+            let server = HttpServer::bind("127.0.0.1:0", config, echo_handler()).unwrap();
+            let (status, _) = raw_roundtrip(
+                server.local_addr(),
+                "POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 1000\r\n\r\n",
+            );
+            assert_eq!(status, 413);
+            server.shutdown();
+        }
     }
 
     #[test]
     fn io_errors_classified_idle_vs_reset() {
-        let telemetry = Telemetry::enabled();
-        let config = ServerConfig {
-            telemetry: Some(Arc::clone(&telemetry)),
-            ..test_config()
-        };
-        let server = HttpServer::bind("127.0.0.1:0", config, echo_handler()).unwrap();
+        for park in BOTH_MODES {
+            let telemetry = Telemetry::enabled();
+            let config = ServerConfig {
+                telemetry: Some(Arc::clone(&telemetry)),
+                ..test_config(park)
+            };
+            let server = HttpServer::bind("127.0.0.1:0", config, echo_handler()).unwrap();
 
-        // Idle past the read timeout: counted as an idle timeout.
-        let idle_sock = TcpStream::connect(server.local_addr()).unwrap();
-        std::thread::sleep(Duration::from_millis(400));
-        drop(idle_sock);
+            // Idle past the read timeout: counted as an idle timeout (in
+            // park mode the deadline wheel expires it; in blocking mode
+            // the worker's socket timeout fires).
+            let idle_sock = TcpStream::connect(server.local_addr()).unwrap();
+            std::thread::sleep(Duration::from_millis(400));
+            drop(idle_sock);
 
-        // Close mid-request (truncated body → UnexpectedEof): counted as
-        // a peer reset, not a clean close.
-        let mut reset_sock = TcpStream::connect(server.local_addr()).unwrap();
-        reset_sock
-            .write_all(b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 100\r\n\r\npartial")
-            .unwrap();
-        drop(reset_sock);
-        std::thread::sleep(Duration::from_millis(100));
+            // Close mid-request (truncated body → UnexpectedEof): counted
+            // as a peer reset, not a clean close.
+            let mut reset_sock = TcpStream::connect(server.local_addr()).unwrap();
+            reset_sock
+                .write_all(b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 100\r\n\r\npartial")
+                .unwrap();
+            drop(reset_sock);
+            std::thread::sleep(Duration::from_millis(100));
 
-        assert_eq!(telemetry.http.idle_timeouts.get(), 1);
-        assert_eq!(telemetry.http.peer_resets.get(), 1);
-        // Neither path counts as a completed request.
-        assert_eq!(telemetry.http.requests.get(), 0);
-        assert_eq!(telemetry.http.connections.get(), 2);
-        server.shutdown();
+            assert_eq!(telemetry.http.idle_timeouts.get(), 1, "park={park}");
+            assert_eq!(telemetry.http.peer_resets.get(), 1, "park={park}");
+            // Neither path counts as a completed request.
+            assert_eq!(telemetry.http.requests.get(), 0, "park={park}");
+            assert_eq!(telemetry.http.connections.get(), 2, "park={park}");
+            server.shutdown();
+        }
     }
 
     #[test]
     fn telemetry_counts_requests_and_keepalive_reuse() {
+        // Runs on the blocking path: the phase-histogram assertions need
+        // the parse span to include read-wait time (the event path parses
+        // from memory in sub-microsecond time, which rounds to a zero
+        // sample). Event-path counter coverage lives in
+        // tests/event_mode.rs.
         let telemetry = Telemetry::enabled();
         let config = ServerConfig {
             telemetry: Some(Arc::clone(&telemetry)),
-            ..test_config()
+            ..test_config(false)
         };
         let server = HttpServer::bind("127.0.0.1:0", config, echo_handler()).unwrap();
         let mut sock = TcpStream::connect(server.local_addr()).unwrap();
@@ -683,14 +1105,16 @@ mod tests {
 
     #[test]
     fn head_omits_body() {
-        let server = start_plain();
-        let mut sock = TcpStream::connect(server.local_addr()).unwrap();
-        sock.write_all(b"HEAD /h HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n")
-            .unwrap();
-        let mut text = String::new();
-        BufReader::new(sock).read_to_string(&mut text).unwrap();
-        assert!(text.contains("content-length: 19")); // "HEAD /h anonymous 0"
-        assert!(!text.contains("anonymous"));
-        server.shutdown();
+        for park in BOTH_MODES {
+            let server = start_plain(park);
+            let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+            sock.write_all(b"HEAD /h HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n")
+                .unwrap();
+            let mut text = String::new();
+            BufReader::new(sock).read_to_string(&mut text).unwrap();
+            assert!(text.contains("content-length: 19")); // "HEAD /h anonymous 0"
+            assert!(!text.contains("anonymous"));
+            server.shutdown();
+        }
     }
 }

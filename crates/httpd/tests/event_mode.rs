@@ -1,0 +1,348 @@
+//! Behavioral tests for the event-driven (parked) connection path.
+//!
+//! These pin the properties that motivated the scheduler: a slow client
+//! cannot pin a worker, hundreds of idle keep-alive connections cost no
+//! threads and corrupt no buffers, the connection budget sheds gracefully,
+//! shutdown is deterministic with zero traffic, and — crucially — the
+//! event path is byte-identical on the wire to the classic
+//! thread-per-connection path it replaces.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use clarens_httpd::parse::read_response;
+use clarens_httpd::{Handler, HttpServer, PeerInfo, Request, Response, ServerConfig};
+use clarens_telemetry::Telemetry;
+
+fn echo_handler() -> Arc<impl Handler> {
+    Arc::new(|req: Request, _peer: Option<&PeerInfo>| {
+        Response::ok(
+            "text/plain",
+            format!("{} {} {}", req.method.as_str(), req.target, req.body.len()),
+        )
+    })
+}
+
+/// Echoes the request body back, so corruption across connections is
+/// observable.
+fn body_echo_handler() -> Arc<impl Handler> {
+    Arc::new(|req: Request, _peer: Option<&PeerInfo>| {
+        Response::ok("application/octet-stream", req.body)
+    })
+}
+
+fn config(park: bool) -> ServerConfig {
+    ServerConfig {
+        read_timeout: Duration::from_millis(500),
+        park_idle: park,
+        ..Default::default()
+    }
+}
+
+fn roundtrip_on(sock: &mut TcpStream, request: &str) -> (u16, Vec<u8>, bool) {
+    sock.write_all(request.as_bytes()).unwrap();
+    let mut reader = BufReader::new(sock.try_clone().unwrap());
+    let resp = read_response(&mut reader, usize::MAX).unwrap();
+    (resp.status, resp.body, resp.keep_alive)
+}
+
+/// A client stuck mid-header must not occupy the only worker: with
+/// `workers = 1` and parking on, other clients keep getting served while
+/// the slow client dribbles its request in, and the slow client still gets
+/// its answer in the end.
+#[test]
+fn slowloris_does_not_pin_the_single_worker() {
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            read_timeout: Duration::from_secs(10),
+            ..config(true)
+        },
+        echo_handler(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Half a request line, then silence: the connection must end up parked,
+    // not holding the worker in read().
+    let mut slow = TcpStream::connect(addr).unwrap();
+    slow.write_all(b"GET /slow HTTP/1.1\r\nHo").unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The single worker must still serve everyone else promptly.
+    for i in 0..5 {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let (status, body, _) = roundtrip_on(
+            &mut sock,
+            &format!("GET /fast{i} HTTP/1.1\r\nHost: h\r\n\r\n"),
+        );
+        assert_eq!(status, 200, "fast client {i} starved behind a slowloris");
+        assert_eq!(body, format!("GET /fast{i} 0").as_bytes());
+    }
+
+    // The slow client finishes its header and gets served too.
+    slow.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    let (status, body, _) = roundtrip_on(&mut slow, "st: h\r\n\r\n");
+    assert_eq!(status, 200);
+    assert_eq!(body, b"GET /slow 0");
+    server.shutdown();
+}
+
+/// 512 keep-alive connections churning through park/resume cycles on 4
+/// workers: every response must carry exactly its own connection's body —
+/// scratch-buffer recycling and connection state must stay isolated while
+/// connections migrate between workers.
+#[test]
+fn keepalive_churn_512_connections_buffer_isolation() {
+    const CONNS: usize = 512;
+    const ROUNDS: usize = 3;
+    let telemetry = Telemetry::enabled();
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            telemetry: Some(Arc::clone(&telemetry)),
+            read_timeout: Duration::from_secs(30),
+            ..config(true)
+        },
+        body_echo_handler(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut socks: Vec<TcpStream> = (0..CONNS)
+        .map(|_| {
+            let s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            s
+        })
+        .collect();
+
+    for round in 0..ROUNDS {
+        for (i, sock) in socks.iter_mut().enumerate() {
+            // Distinct body per (connection, round); padding makes buffer
+            // reuse across connections visible if isolation ever breaks.
+            let body = format!("conn-{i:04}-round-{round}-{}", "x".repeat(64 + (i % 64)));
+            let request = format!(
+                "POST /echo HTTP/1.1\r\nHost: h\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            );
+            let (status, got, keep_alive) = roundtrip_on(sock, &request);
+            assert_eq!(status, 200);
+            assert_eq!(
+                got,
+                body.as_bytes(),
+                "cross-connection buffer bleed on conn {i} round {round}"
+            );
+            assert!(keep_alive);
+        }
+    }
+
+    assert_eq!(
+        server.stats().connections.load(Ordering::Relaxed),
+        CONNS as u64
+    );
+    assert_eq!(
+        server.stats().requests.load(Ordering::Relaxed),
+        (CONNS * ROUNDS) as u64
+    );
+    // Rounds 2 and 3 arrive on parked connections, so the poller must have
+    // re-dispatched (at minimum) most of them at least once per round.
+    assert!(
+        telemetry.http.poll_wakeups.get() >= (CONNS * (ROUNDS - 1) / 2) as u64,
+        "expected parked re-dispatches, saw {}",
+        telemetry.http.poll_wakeups.get()
+    );
+    assert_eq!(
+        telemetry.http.keepalive_reuse.get(),
+        (CONNS * (ROUNDS - 1)) as u64
+    );
+    server.shutdown();
+}
+
+/// A parked connection shows up in the `parked` gauge, and expires as an
+/// `idle_timeout` (not a peer reset) when it overstays `read_timeout`.
+#[test]
+fn parked_connection_gauge_and_idle_expiry() {
+    let telemetry = Telemetry::enabled();
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            telemetry: Some(Arc::clone(&telemetry)),
+            read_timeout: Duration::from_millis(300),
+            ..config(true)
+        },
+        echo_handler(),
+    )
+    .unwrap();
+
+    let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+    let (status, _, _) = roundtrip_on(&mut sock, "GET / HTTP/1.1\r\nHost: h\r\n\r\n");
+    assert_eq!(status, 200);
+
+    // After the response the connection parks (idle, off the workers).
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(telemetry.http.parked.get(), 1);
+
+    // Overstay the keep-alive timeout: the wheel expires it as idle churn.
+    std::thread::sleep(Duration::from_millis(500));
+    assert_eq!(telemetry.http.idle_timeouts.get(), 1);
+    assert_eq!(telemetry.http.peer_resets.get(), 0);
+    // The server closed it: our next read sees EOF.
+    let mut probe = [0u8; 1];
+    sock.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    assert_eq!(sock.read(&mut probe).unwrap(), 0);
+    server.shutdown();
+}
+
+/// Once `max_connections` live connections exist, the next one is shed with
+/// `503` + `Connection: close` instead of growing the queue, and the shed
+/// is counted.
+#[test]
+fn connection_budget_sheds_with_503() {
+    let telemetry = Telemetry::enabled();
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            max_connections: 2,
+            telemetry: Some(Arc::clone(&telemetry)),
+            read_timeout: Duration::from_secs(10),
+            ..config(true)
+        },
+        echo_handler(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Fill the budget with two live keep-alive connections.
+    let mut held = Vec::new();
+    for _ in 0..2 {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        let (status, _, _) = roundtrip_on(&mut sock, "GET / HTTP/1.1\r\nHost: h\r\n\r\n");
+        assert_eq!(status, 200);
+        held.push(sock);
+    }
+
+    // The third is answered 503 without the server reading a request.
+    let over = TcpStream::connect(addr).unwrap();
+    over.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    let mut reader = BufReader::new(over);
+    let resp = read_response(&mut reader, usize::MAX).unwrap();
+    assert_eq!(resp.status, 503);
+    assert!(!resp.keep_alive);
+    let mut probe = [0u8; 1];
+    assert_eq!(reader.read(&mut probe).unwrap(), 0, "shed conn must close");
+    assert_eq!(telemetry.http.sheds.get(), 1);
+
+    // Releasing budget re-admits new connections.
+    drop(held);
+    std::thread::sleep(Duration::from_millis(100));
+    let mut sock = TcpStream::connect(addr).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    let (status, _, _) = roundtrip_on(&mut sock, "GET / HTTP/1.1\r\nHost: h\r\n\r\n");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+/// Shutdown with zero traffic must be immediate in both modes: the
+/// acceptor and poller are woken explicitly (no dummy connection, no
+/// timeout race).
+#[test]
+fn shutdown_is_deterministic_under_zero_traffic() {
+    for park in [false, true] {
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                read_timeout: Duration::from_secs(600),
+                ..config(park)
+            },
+            echo_handler(),
+        )
+        .unwrap();
+        let started = Instant::now();
+        server.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "park={park}: shutdown took {:?}",
+            started.elapsed()
+        );
+    }
+}
+
+/// Shutdown is also prompt with connections parked.
+#[test]
+fn shutdown_closes_parked_connections() {
+    let server = HttpServer::bind("127.0.0.1:0", config(true), echo_handler()).unwrap();
+    let mut socks = Vec::new();
+    for _ in 0..8 {
+        let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+        let (status, _, _) = roundtrip_on(&mut sock, "GET / HTTP/1.1\r\nHost: h\r\n\r\n");
+        assert_eq!(status, 200);
+        socks.push(sock);
+    }
+    std::thread::sleep(Duration::from_millis(100)); // let them park
+    let started = Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(1),
+        "shutdown with parked conns took {:?}",
+        started.elapsed()
+    );
+    for mut sock in socks {
+        sock.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut probe = [0u8; 1];
+        // EOF or reset — either way, closed.
+        match sock.read(&mut probe) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("parked conn still live after shutdown ({n} bytes)"),
+        }
+    }
+}
+
+fn collect_wire_bytes(addr: SocketAddr, exchanges: &[&str]) -> Vec<Vec<u8>> {
+    exchanges
+        .iter()
+        .map(|request| {
+            let mut sock = TcpStream::connect(addr).unwrap();
+            sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            sock.write_all(request.as_bytes()).unwrap();
+            let mut bytes = Vec::new();
+            sock.read_to_end(&mut bytes).unwrap();
+            bytes
+        })
+        .collect()
+}
+
+/// The two concurrency models must be indistinguishable on the wire: for a
+/// spread of request shapes (GET, POST, HEAD, pipelined keep-alive, bad
+/// request), the raw response bytes are identical.
+#[test]
+fn event_and_blocking_paths_are_byte_identical() {
+    let exchanges: [&str; 5] = [
+        "GET /plain HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n",
+        "POST /rpc HTTP/1.1\r\nHost: h\r\nContent-Length: 11\r\nConnection: close\r\n\r\nhello world",
+        "HEAD /h HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n",
+        // Two pipelined requests; second closes.
+        "GET /a HTTP/1.1\r\nHost: h\r\n\r\nGET /b HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n",
+        "NONSENSE\r\n\r\n",
+    ];
+    let mut per_mode = Vec::new();
+    for park in [false, true] {
+        let server = HttpServer::bind("127.0.0.1:0", config(park), echo_handler()).unwrap();
+        per_mode.push(collect_wire_bytes(server.local_addr(), &exchanges));
+        server.shutdown();
+    }
+    for (i, (blocking, event)) in per_mode[0].iter().zip(per_mode[1].iter()).enumerate() {
+        assert_eq!(
+            blocking, event,
+            "exchange {i} differs between blocking and event paths"
+        );
+    }
+}

@@ -52,6 +52,18 @@ pub struct HttpCounters {
     /// Scratch-arena buffer takes served from the per-worker pool instead
     /// of allocating (see `clarens-httpd`'s `Scratch`).
     pub buffer_pool_reuse: Counter,
+    /// Keep-alive connections currently parked in the readiness poller
+    /// (idle between requests, holding no worker thread).
+    pub parked: Gauge,
+    /// Work items (fresh or re-dispatched connections) currently queued
+    /// for a worker.
+    pub queue_depth: Gauge,
+    /// Parked connections re-dispatched to the worker queue because the
+    /// poller saw them become readable.
+    pub poll_wakeups: Counter,
+    /// Connections shed with `503` + `Connection: close` because the
+    /// `max_connections` budget was exhausted.
+    pub sheds: Counter,
 }
 
 /// Per-protocol counters.
@@ -279,6 +291,10 @@ impl Telemetry {
             ("clarens_http_responses_5xx_total", h.responses_5xx.get()),
             ("clarens_http_bytes_out_total", h.bytes_out.get()),
             ("clarens_buffer_pool_reuse_total", h.buffer_pool_reuse.get()),
+            ("clarens_http_parked_connections", h.parked.get()),
+            ("clarens_http_queue_depth", h.queue_depth.get()),
+            ("clarens_http_poll_wakeups_total", h.poll_wakeups.get()),
+            ("clarens_http_sheds_total", h.sheds.get()),
         ] {
             let _ = writeln!(out, "{name} {value}");
         }

@@ -58,6 +58,20 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Increment by one (e.g. an item entered a queue).
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement by one. Callers must pair this with [`Gauge::inc`]; an
+    /// unbalanced decrement wraps rather than saturating (wait-free beats
+    /// defensive here — the hot path cannot afford a CAS loop).
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
