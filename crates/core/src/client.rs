@@ -6,10 +6,12 @@
 //! client implementations for physics analysis", §7).
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use clarens_httpd::{ClientTls, HttpClient, Method, Request};
 use clarens_pki::cert::{Certificate, Credential};
 use clarens_wire::{Fault, Protocol, RpcCall, Value};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::services::system::auth_challenge;
 
@@ -45,6 +47,31 @@ impl From<Fault> for ClientError {
     }
 }
 
+/// Base pause before the first retry; doubles per attempt, with jitter.
+const BACKOFF_BASE: Duration = Duration::from_millis(10);
+
+/// Transport-retry whitelist: only methods whose re-execution cannot
+/// duplicate a side effect are retried after an I/O failure, because a
+/// transport error leaves the first attempt's fate unknown (the request
+/// may have been applied before the connection died).
+fn is_idempotent(method: &str) -> bool {
+    if let Some(rest) = method.strip_prefix("file.") {
+        // Read-only file operations; excludes put/mkdir/rm.
+        return matches!(rest, "read" | "ls" | "stat" | "find" | "size" | "md5");
+    }
+    if let Some(rest) = method.strip_prefix("system.") {
+        // auth mints a session and logout destroys one — both side effects.
+        return !matches!(rest, "auth" | "logout");
+    }
+    // Pure echoes; discovery queries; publish overwrites the same
+    // descriptor, so replaying it is harmless.
+    method.starts_with("echo.")
+        || matches!(
+            method,
+            "discovery.find" | "discovery.find_remote" | "discovery.status" | "discovery.publish"
+        )
+}
+
 /// A Clarens client bound to one server.
 pub struct ClarensClient {
     http: HttpClient,
@@ -53,6 +80,14 @@ pub struct ClarensClient {
     session: Option<String>,
     credential: Option<Credential>,
     now_fn: Arc<dyn Fn() -> i64 + Send + Sync>,
+    /// Transport-error retries per call (idempotent methods only).
+    retries: u32,
+    /// Overall per-call budget covering every attempt and backoff pause.
+    call_deadline: Option<Duration>,
+    /// Jitter source; seedable so tests get a deterministic schedule.
+    rng: StdRng,
+    /// Total retry attempts performed over the client's lifetime.
+    retries_performed: u64,
 }
 
 fn system_now() -> i64 {
@@ -72,6 +107,10 @@ impl ClarensClient {
             session: None,
             credential: None,
             now_fn: Arc::new(system_now),
+            retries: 2,
+            call_deadline: None,
+            rng: StdRng::seed_from_u64(rand::rng().next_u64()),
+            retries_performed: 0,
         }
     }
 
@@ -92,11 +131,8 @@ impl ClarensClient {
                     now_fn: Box::new(system_now),
                 },
             ),
-            protocol: Protocol::XmlRpc,
-            endpoint: "/clarens".into(),
-            session: None,
             credential: Some(cred_clone),
-            now_fn: Arc::new(system_now),
+            ..ClarensClient::new(String::new())
         }
     }
 
@@ -118,6 +154,32 @@ impl ClarensClient {
         self
     }
 
+    /// Number of transport-error retries per call (idempotent methods
+    /// only; default 2, matching the `client_retries` config knob).
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Overall per-call deadline covering all attempts and backoff
+    /// pauses. Also bounds how long a single read may stall, so a hung
+    /// server cannot block the caller indefinitely.
+    pub fn with_call_deadline(mut self, deadline: Duration) -> Self {
+        self.call_deadline = Some(deadline);
+        self
+    }
+
+    /// Seed the backoff-jitter RNG for a deterministic retry schedule.
+    pub fn with_retry_seed(mut self, seed: u64) -> Self {
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Total retry attempts this client has performed.
+    pub fn retries_performed(&self) -> u64 {
+        self.retries_performed
+    }
+
     /// The current session id, if logged in.
     pub fn session_id(&self) -> Option<&str> {
         self.session.as_deref()
@@ -130,6 +192,10 @@ impl ClarensClient {
     }
 
     /// Invoke `method` with `params`.
+    ///
+    /// Transport failures on idempotent methods are retried up to the
+    /// configured count with jittered exponential backoff; the per-call
+    /// deadline (if set) caps the total time across all attempts.
     pub fn call(&mut self, method: &str, params: Vec<Value>) -> Result<Value, ClientError> {
         let call = RpcCall {
             method: method.to_owned(),
@@ -146,10 +212,7 @@ impl ClarensClient {
         }
         request.body = body;
 
-        let response = self
-            .http
-            .request(&request)
-            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        let response = self.transport_with_retries(&request, is_idempotent(method))?;
         if response.status != 200 {
             return Err(ClientError::Http(
                 response.status,
@@ -163,6 +226,61 @@ impl ClarensClient {
                 clarens_wire::WireError::Fault(f) => ClientError::Fault(f),
                 other => ClientError::Protocol(other.to_string()),
             })
+    }
+
+    /// Issue one HTTP exchange, retrying transport failures when the
+    /// operation is safe to replay, under the per-call deadline.
+    fn transport_with_retries(
+        &mut self,
+        request: &Request,
+        retryable: bool,
+    ) -> Result<clarens_httpd::ClientResponse, ClientError> {
+        let deadline = self.call_deadline.map(|budget| Instant::now() + budget);
+        let mut attempt = 0u32;
+        loop {
+            if let Some(d) = deadline {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(ClientError::Transport("call deadline exceeded".into()));
+                }
+                // Bound each socket read by the remaining budget so a
+                // stalled server surfaces as a timeout, not a hang.
+                self.http.set_read_timeout(remaining);
+            }
+            match self.http.request(request) {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    if !retryable || attempt >= self.retries {
+                        return Err(ClientError::Transport(e.to_string()));
+                    }
+                    attempt += 1;
+                    self.retries_performed += 1;
+                    self.http.close();
+                    let pause = self.backoff(attempt);
+                    match deadline {
+                        Some(d) => {
+                            let remaining = d.saturating_duration_since(Instant::now());
+                            if remaining.is_zero() {
+                                return Err(ClientError::Transport(e.to_string()));
+                            }
+                            std::thread::sleep(pause.min(remaining));
+                        }
+                        None => std::thread::sleep(pause),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exponential backoff with full jitter: attempt `n` waits a random
+    /// duration in `[base·2ⁿ⁻¹ / 2, base·2ⁿ⁻¹]`, decorrelating clients
+    /// that fail simultaneously (a retry-storm guard).
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let ceiling = BACKOFF_BASE
+            .saturating_mul(1 << (attempt - 1).min(10))
+            .as_millis() as u64;
+        let jitter = self.rng.next_u64() % (ceiling / 2 + 1);
+        Duration::from_millis(ceiling - jitter)
     }
 
     /// Authenticate with the attached credential via `system.auth`,
@@ -269,10 +387,8 @@ impl ClarensClient {
         }
         let mut request = Request::new(Method::Get, target);
         request.headers.set("host", "clarens");
-        let response = self
-            .http
-            .request(&request)
-            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        // GET of an immutable file is always safe to replay.
+        let response = self.transport_with_retries(&request, true)?;
         if response.status != 200 {
             return Err(ClientError::Http(
                 response.status,
@@ -289,10 +405,9 @@ impl ClarensClient {
             let sep = if target.contains('?') { '&' } else { '?' };
             target.push_str(&format!("{sep}session={session}"));
         }
-        let response = self
-            .http
-            .get(&target)
-            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        let mut request = Request::new(Method::Get, target);
+        request.headers.set("host", "clarens");
+        let response = self.transport_with_retries(&request, true)?;
         Ok((
             response.status,
             String::from_utf8_lossy(&response.body).into_owned(),
@@ -302,5 +417,84 @@ impl ClarensClient {
     /// Drop the underlying connection (next call reconnects).
     pub fn close_connection(&mut self) {
         self.http.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitelist_admits_reads_and_rejects_mutations() {
+        for safe in [
+            "echo.echo",
+            "echo.payload",
+            "system.ping",
+            "system.list_methods",
+            "system.stats",
+            "file.read",
+            "file.ls",
+            "file.stat",
+            "discovery.find",
+            "discovery.publish",
+        ] {
+            assert!(is_idempotent(safe), "{safe} should be retryable");
+        }
+        for unsafe_method in [
+            "file.put",
+            "file.rm",
+            "file.mkdir",
+            "system.auth",
+            "system.logout",
+            "proxy.store",
+            "proxy.login",
+            "im.send",
+            "shell.run",
+        ] {
+            assert!(
+                !is_idempotent(unsafe_method),
+                "{unsafe_method} must not be retried"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_for_a_seed_and_exponentially_bounded() {
+        let mut a = ClarensClient::new("127.0.0.1:1").with_retry_seed(7);
+        let mut b = ClarensClient::new("127.0.0.1:1").with_retry_seed(7);
+        for attempt in 1..=6 {
+            let pa = a.backoff(attempt);
+            let pb = b.backoff(attempt);
+            assert_eq!(pa, pb, "same seed must give the same schedule");
+            let ceiling = BACKOFF_BASE * (1 << (attempt - 1));
+            assert!(pa <= ceiling, "attempt {attempt}: {pa:?} > {ceiling:?}");
+            assert!(
+                pa >= ceiling / 2,
+                "attempt {attempt}: {pa:?} below half-ceiling floor"
+            );
+        }
+        // Different seeds should decorrelate (not a hard guarantee per
+        // draw, but across six draws a collision on all is ~impossible).
+        let mut c = ClarensClient::new("127.0.0.1:1").with_retry_seed(8);
+        let diverged = (1..=6).any(|n| a.backoff(n) != c.backoff(n));
+        assert!(diverged, "different seeds produced identical schedules");
+    }
+
+    #[test]
+    fn retries_recover_from_transient_connect_failures() {
+        // No listener on this port: every attempt fails, and the retry
+        // counter should reflect the configured budget for an idempotent
+        // method, and stay at zero for a mutating one.
+        let mut client = ClarensClient::new("127.0.0.1:9")
+            .with_retries(2)
+            .with_retry_seed(1)
+            .with_call_deadline(Duration::from_secs(5));
+        let err = client.call("echo.echo", vec![Value::from("x")]);
+        assert!(matches!(err, Err(ClientError::Transport(_))));
+        assert_eq!(client.retries_performed(), 2);
+
+        let err = client.call("file.put", vec![]);
+        assert!(matches!(err, Err(ClientError::Transport(_))));
+        assert_eq!(client.retries_performed(), 2, "mutation must not retry");
     }
 }

@@ -59,6 +59,19 @@ pub struct ClarensConfig {
     /// pinning a worker thread per connection. On by default; disable to
     /// select the classic thread-per-connection path for A/B measurement.
     pub park_idle: bool,
+    /// Per-request deadline in milliseconds: the budget covers reading the
+    /// request, dispatching the handler, and starting the response. On
+    /// expiry the caller gets a `DEADLINE` (504-style) RPC fault instead
+    /// of an indefinite wait. `0` disables deadlines.
+    pub request_deadline_ms: u64,
+    /// Retry attempts the bundled client makes for idempotent calls that
+    /// fail with transport errors (jittered exponential backoff between
+    /// attempts). `0` disables retries.
+    pub client_retries: u32,
+    /// Discovery descriptors older than this many seconds are evicted as
+    /// stale (the publisher re-announces every heartbeat, so the default
+    /// tolerates ~3 missed heartbeats). `0` disables eviction.
+    pub discovery_ttl_s: u64,
 }
 
 impl Default for ClarensConfig {
@@ -80,6 +93,9 @@ impl Default for ClarensConfig {
             buffer_pool: true,
             max_connections: 4096,
             park_idle: true,
+            request_deadline_ms: 5_000,
+            client_retries: 2,
+            discovery_ttl_s: 90,
         }
     }
 }
@@ -158,6 +174,21 @@ impl ClarensConfig {
                     config.park_idle = value
                         .parse()
                         .map_err(|_| format!("line {}: bad park_idle", lineno + 1))?
+                }
+                "request_deadline_ms" => {
+                    config.request_deadline_ms = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad request_deadline_ms", lineno + 1))?
+                }
+                "client_retries" => {
+                    config.client_retries = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad client_retries", lineno + 1))?
+                }
+                "discovery_ttl_s" => {
+                    config.discovery_ttl_s = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad discovery_ttl_s", lineno + 1))?
                 }
                 other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
             }
@@ -248,6 +279,24 @@ db_path: /var/clarens/clarens.db
         assert!(!config.park_idle);
         assert!(ClarensConfig::parse("max_connections: lots").is_err());
         assert!(ClarensConfig::parse("park_idle: maybe").is_err());
+    }
+
+    #[test]
+    fn resilience_knobs() {
+        let config = ClarensConfig::parse("").unwrap();
+        assert_eq!(config.request_deadline_ms, 5_000);
+        assert_eq!(config.client_retries, 2);
+        assert_eq!(config.discovery_ttl_s, 90);
+        let config = ClarensConfig::parse(
+            "request_deadline_ms: 250\nclient_retries: 5\ndiscovery_ttl_s: 30",
+        )
+        .unwrap();
+        assert_eq!(config.request_deadline_ms, 250);
+        assert_eq!(config.client_retries, 5);
+        assert_eq!(config.discovery_ttl_s, 30);
+        assert!(ClarensConfig::parse("request_deadline_ms: forever").is_err());
+        assert!(ClarensConfig::parse("client_retries: no").is_err());
+        assert!(ClarensConfig::parse("discovery_ttl_s: never").is_err());
     }
 
     #[test]

@@ -101,6 +101,11 @@ impl ClarensCore {
         let store = Arc::clone(&self.store);
         self.telemetry
             .register_gauge("db.wal_syncs", move || store.stats().syncs);
+        let store = Arc::clone(&self.store);
+        self.telemetry
+            .register_gauge("db.degraded", move || store.is_degraded() as u64);
+        self.telemetry
+            .register_gauge("faults.injected", clarens_faults::injected_total);
         // Cache gauges capture a weak handle: the telemetry plane lives
         // inside the core, so a strong Arc here would leak it.
         type CacheReader = fn(&ClarensCore) -> (u64, u64);

@@ -45,3 +45,15 @@ pub use crate::core::ClarensCore;
 pub use client::{ClarensClient, ClientError};
 pub use config::ClarensConfig;
 pub use server::{install_permissive_acls, register_builtin_services, ClarensServer};
+
+/// Map a store I/O error onto the right RPC fault: a degraded-mode
+/// refusal (the store went read-only after a WAL failure) gets the
+/// dedicated `DEGRADED` code so clients can tell "retry elsewhere" from
+/// an ordinary service error.
+pub fn store_fault(context: &str, e: &std::io::Error) -> clarens_wire::Fault {
+    if clarens_db::is_degraded_error(e) {
+        clarens_wire::Fault::degraded(format!("{context}: {e}"))
+    } else {
+        clarens_wire::Fault::service(format!("{context}: {e}"))
+    }
+}

@@ -60,6 +60,11 @@ pub struct CallContext<'a> {
     pub peer_chain: Vec<Certificate>,
     /// Request time (Unix seconds).
     pub now: i64,
+    /// When the request's budget expires (`None` = no deadline). Long
+    /// handlers check it cooperatively via [`CallContext::check_deadline`]
+    /// so a stuck disk or an oversized scan turns into a clean 504-style
+    /// fault instead of an unbounded stall.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl<'a> CallContext<'a> {
@@ -68,6 +73,22 @@ impl<'a> CallContext<'a> {
         self.identity
             .as_deref()
             .ok_or_else(|| Fault::not_authenticated("this method requires authentication"))
+    }
+
+    /// Budget left before the request deadline (`None` = unlimited).
+    pub fn remaining_budget(&self) -> Option<std::time::Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(std::time::Instant::now()))
+    }
+
+    /// `Ok` while budget remains; a [`Fault::deadline`] once it expired.
+    pub fn check_deadline(&self) -> Result<(), Fault> {
+        match self.deadline {
+            Some(d) if std::time::Instant::now() >= d => {
+                Err(Fault::deadline("request deadline exceeded"))
+            }
+            _ => Ok(()),
+        }
     }
 }
 

@@ -44,11 +44,18 @@ impl ClarensServer {
         let handler = Arc::new(ClarensHandler {
             core: Arc::clone(&core),
         });
+        // The read timeout tracks the configured request deadline (it used
+        // to be a lone hard-coded 5 s): a client that stalls mid-request is
+        // cut off on the same budget a stalled handler is.
+        let read_timeout = match core.config.request_deadline_ms {
+            0 => std::time::Duration::from_secs(3600),
+            ms => std::time::Duration::from_millis(ms),
+        };
         let config = ServerConfig {
             workers: core.config.workers,
             tls,
             now_fn: Arc::clone(&core.now_fn),
-            read_timeout: std::time::Duration::from_secs(5),
+            read_timeout,
             telemetry: Some(Arc::clone(&core.telemetry)),
             buffer_pool: core.config.buffer_pool,
             max_connections: core.config.max_connections,
@@ -318,16 +325,39 @@ impl ClarensHandler {
                 ))
             }
         };
+        let deadline_ms = self.core.config.request_deadline_ms;
+        let deadline = (deadline_ms > 0)
+            .then(|| std::time::Instant::now() + std::time::Duration::from_millis(deadline_ms));
         let ctx = CallContext {
             core: &self.core,
             identity: resolved.identity,
             session: resolved.session,
             peer_chain: peer.map(|p| p.chain.clone()).unwrap_or_default(),
             now,
+            deadline,
         };
-        match trace.span(Phase::Dispatch, || service.call(&ctx, &method, &params)) {
+        let result = trace.span(Phase::Dispatch, || service.call(&ctx, &method, &params));
+        // A handler that overran its budget gets the 504-style fault even
+        // if it eventually produced a value: the caller's own deadline has
+        // long passed, and reporting success would hide the stall.
+        if let Some(d) = deadline {
+            if std::time::Instant::now() >= d {
+                self.core.telemetry.resilience.deadline_exceeded.inc();
+                return RpcResponse::Fault(Fault::deadline(format!(
+                    "{method} exceeded the {deadline_ms} ms request deadline"
+                )));
+            }
+        }
+        match result {
             Ok(value) => RpcResponse::Success(value),
-            Err(fault) => RpcResponse::Fault(fault),
+            Err(fault) => {
+                if fault.code == codes::DEADLINE {
+                    self.core.telemetry.resilience.deadline_exceeded.inc();
+                } else if fault.code == codes::DEGRADED {
+                    self.core.telemetry.resilience.degraded_rejects.inc();
+                }
+                RpcResponse::Fault(fault)
+            }
         }
     }
 

@@ -167,9 +167,29 @@ impl Service for DiscoveryService {
                         attributes: load_attributes.iter().cloned().collect(),
                         timestamp: ctx.now,
                     };
-                    publisher
-                        .publish(&Publication::Service(descriptor))
-                        .map_err(|e| Fault::service(format!("publish failed: {e}")))?;
+                    // UDP publish is idempotent (stations keep the newest
+                    // timestamp per key), so transient send failures are
+                    // retried with a short backoff before giving up.
+                    let publication = Publication::Service(descriptor);
+                    let retries = ctx.core.config.client_retries;
+                    let mut attempt = 0;
+                    loop {
+                        match publisher.publish(&publication) {
+                            Ok(()) => break,
+                            Err(_) if attempt < retries => {
+                                attempt += 1;
+                                ctx.core.telemetry.resilience.retries.inc();
+                                std::thread::sleep(std::time::Duration::from_millis(
+                                    2u64 << attempt.min(6),
+                                ));
+                            }
+                            Err(e) => {
+                                return Err(Fault::service(format!(
+                                    "publish failed after {attempt} retries: {e}"
+                                )))
+                            }
+                        }
+                    }
                     published += 1;
                 }
                 Ok(Value::Int(published))

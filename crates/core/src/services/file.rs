@@ -143,6 +143,8 @@ impl Service for FileService {
                     return Err(Fault::bad_params("offset/nbytes out of range"));
                 }
                 let (_, real) = self.authorize(ctx, &name, FileAccess::Read)?;
+                clarens_faults::check_io(clarens_faults::sites::FILE_OPEN)
+                    .map_err(|e| io_fault(&name, e))?;
                 let mut file = std::fs::File::open(&real).map_err(|e| io_fault(&name, e))?;
                 // Clamp the buffer to what the file can actually yield from
                 // this offset: a short tail read of a 16 MiB-chunked pull
@@ -158,6 +160,11 @@ impl Service for FileService {
                 let mut buf = vec![0u8; want];
                 let mut filled = 0usize;
                 while filled < buf.len() {
+                    // A stalled disk must not hold the worker past the
+                    // request budget: check the deadline between chunks.
+                    ctx.check_deadline()?;
+                    clarens_faults::check_io(clarens_faults::sites::FILE_READ)
+                        .map_err(|e| io_fault(&name, e))?;
                     match file.read(&mut buf[filled..]) {
                         Ok(0) => break,
                         Ok(n) => filled += n,
@@ -237,6 +244,7 @@ impl Service for FileService {
                 let mut hasher = Md5::new();
                 let mut buf = vec![0u8; 64 * 1024];
                 loop {
+                    ctx.check_deadline()?;
                     match file.read(&mut buf) {
                         Ok(0) => break,
                         Ok(n) => hasher.update(&buf[..n]),

@@ -153,7 +153,7 @@ impl Service for ImService {
                         &key,
                         clarens_wire::json::to_string(&value).into_bytes(),
                     )
-                    .map_err(|e| Fault::service(format!("queue failed: {e}")))?;
+                    .map_err(|e| crate::store_fault("im queue", &e))?;
                 Ok(Value::Int(seq as i64))
             }
             "im.poll" | "im.peek" => {

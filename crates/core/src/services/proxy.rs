@@ -151,7 +151,7 @@ impl Service for ProxyService {
                 ctx.core
                     .store
                     .put(PROXIES_BUCKET, &dn, sealed)
-                    .map_err(|e| Fault::service(format!("store failed: {e}")))?;
+                    .map_err(|e| crate::store_fault("proxy store", &e))?;
                 Ok(Value::Bool(true))
             }
             "proxy.retrieve" => {
@@ -206,7 +206,7 @@ impl Service for ProxyService {
                     .core
                     .store
                     .delete(PROXIES_BUCKET, &dn)
-                    .map_err(|e| Fault::service(format!("delete failed: {e}")))?;
+                    .map_err(|e| crate::store_fault("proxy delete", &e))?;
                 Ok(Value::Bool(existed))
             }
             other => Err(Fault::new(

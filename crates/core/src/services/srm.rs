@@ -153,7 +153,7 @@ impl Service for SrmService {
                         &token,
                         clarens_wire::json::to_string(&record).into_bytes(),
                     )
-                    .map_err(|e| Fault::service(e.to_string()))?;
+                    .map_err(|e| crate::store_fault("srm store", &e))?;
                 Ok(Value::structure([
                     ("token", Value::from(token)),
                     ("estimated_seconds", Value::Int(self.stage_delay)),
@@ -217,7 +217,7 @@ impl Service for SrmService {
                         &token,
                         clarens_wire::json::to_string(&Value::Struct(map)).into_bytes(),
                     )
-                    .map_err(|e| Fault::service(e.to_string()))?;
+                    .map_err(|e| crate::store_fault("srm store", &e))?;
                 Ok(Value::Bool(true))
             }
             "srm.pull" => {
@@ -267,10 +267,10 @@ impl Service for SrmService {
                                 .ok_or_else(|| Fault::bad_params("illegal dest path"))?;
                             if let Some(parent) = real.parent() {
                                 std::fs::create_dir_all(parent)
-                                    .map_err(|e| Fault::service(e.to_string()))?;
+                                    .map_err(|e| crate::store_fault("srm store", &e))?;
                             }
                             std::fs::write(&real, &body)
-                                .map_err(|e| Fault::service(e.to_string()))?;
+                                .map_err(|e| crate::store_fault("srm store", &e))?;
                             return Ok(Value::structure([
                                 ("bytes", Value::Int(body.len() as i64)),
                                 ("md5", Value::from(digest)),

@@ -152,11 +152,21 @@ impl SessionManager {
     }
 
     fn persist(&self, session: &Session) {
-        let _ = self.store.put(
-            SESSIONS_BUCKET,
-            &session.id,
-            json::to_string(&session.to_value()).into_bytes(),
-        );
+        let result =
+            clarens_faults::check_io(clarens_faults::sites::SESSION_PERSIST).and_then(|()| {
+                self.store.put(
+                    SESSIONS_BUCKET,
+                    &session.id,
+                    json::to_string(&session.to_value()).into_bytes(),
+                )
+            });
+        if let Err(e) = result {
+            // The session stays valid in memory (the write-through cache
+            // below serves it); it just won't survive a restart. Degrade
+            // loudly instead of silently: the paper sells restart-surviving
+            // sessions, so a lost persist is worth an operator's attention.
+            clarens_telemetry::warn!("session {} not persisted: {e}", session.id);
+        }
     }
 
     /// Load a session from the store, enforcing expiry.

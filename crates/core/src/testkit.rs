@@ -77,6 +77,8 @@ pub struct GridOptions {
     /// Park idle keep-alive connections off the worker pool (disable for
     /// the classic thread-per-connection path).
     pub park_idle: bool,
+    /// Per-request deadline in milliseconds (`0` disables deadlines).
+    pub request_deadline_ms: u64,
 }
 
 impl Default for GridOptions {
@@ -93,6 +95,7 @@ impl Default for GridOptions {
             buffer_pool: true,
             max_connections: 4096,
             park_idle: true,
+            request_deadline_ms: 5_000,
         }
     }
 }
@@ -185,6 +188,7 @@ impl TestGrid {
             buffer_pool: options.buffer_pool,
             max_connections: options.max_connections,
             park_idle: options.park_idle,
+            request_deadline_ms: options.request_deadline_ms,
             ..Default::default()
         };
 

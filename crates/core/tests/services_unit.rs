@@ -93,6 +93,7 @@ fn call(
         session: None,
         peer_chain: vec![],
         now: fixture.core.now(),
+        deadline: None,
     };
     service.call(&ctx, method, &params)
 }

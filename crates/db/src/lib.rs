@@ -17,4 +17,4 @@ pub mod crc32;
 pub mod log;
 pub mod store;
 
-pub use store::{Store, StoreStats};
+pub use store::{is_degraded_error, Store, StoreStats, DEGRADED_MSG};

@@ -144,21 +144,58 @@ impl Wal {
     /// Append one operation.
     pub fn append(&mut self, op: &LogOp) -> io::Result<()> {
         let payload = encode_op(op);
-        self.writer
-            .write_all(&(payload.len() as u32).to_le_bytes())?;
-        self.writer.write_all(&payload)?;
-        self.writer.write_all(&crc32(&payload).to_le_bytes())?;
+        let mut record = Vec::with_capacity(payload.len() + 8);
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&payload);
+        record.extend_from_slice(&crc32(&payload).to_le_bytes());
+        self.write_record(&record)?;
         self.writer.flush()?;
         if self.sync_on_append {
-            self.writer.get_ref().sync_data()?;
+            self.fsync()?;
         }
         Ok(())
+    }
+
+    /// Write one framed record to completion. `write` may consume fewer
+    /// bytes than offered (the `db.wal.append` failpoint simulates exactly
+    /// that); treating a short write as success would frame-shift every
+    /// record that follows, so we loop until the record is fully queued.
+    fn write_record(&mut self, record: &[u8]) -> io::Result<()> {
+        let mut written = 0;
+        while written < record.len() {
+            let rest = &record[written..];
+            let n = match clarens_faults::eval(clarens_faults::sites::DB_WAL_APPEND) {
+                Some(clarens_faults::Injected::Err) => {
+                    return Err(clarens_faults::injected_error(
+                        clarens_faults::sites::DB_WAL_APPEND,
+                    ))
+                }
+                Some(clarens_faults::Injected::ShortWrite(cap)) => {
+                    self.writer.write(&rest[..cap.min(rest.len())])?
+                }
+                _ => match self.writer.write(rest) {
+                    Ok(n) => n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                },
+            };
+            if n == 0 {
+                return Err(io::ErrorKind::WriteZero.into());
+            }
+            written += n;
+        }
+        Ok(())
+    }
+
+    fn fsync(&mut self) -> io::Result<()> {
+        clarens_faults::check_io(clarens_faults::sites::DB_WAL_FSYNC)?;
+        self.writer.get_ref().sync_data()
     }
 
     /// Force everything to disk.
     pub fn sync(&mut self) -> io::Result<()> {
         self.writer.flush()?;
-        self.writer.get_ref().sync_data()
+        self.fsync()
     }
 }
 
@@ -356,6 +393,57 @@ mod tests {
         let recovery = recover(&path).unwrap();
         assert!(recovery.torn_tail);
         assert!(recovery.ops.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn short_writes_loop_to_completion() {
+        // Every underlying write is capped at 3 bytes: the append loop
+        // must keep going until the whole record is framed on disk.
+        let path = temp_path("short-write");
+        {
+            let mut wal = Wal::open(&path, false).unwrap();
+            let _g = clarens_faults::with_thread(clarens_faults::sites::DB_WAL_APPEND, "short:3");
+            wal.append(&put("sessions", "key", b"value-that-needs-many-writes"))
+                .unwrap();
+            wal.append(&put("sessions", "key2", b"second")).unwrap();
+            wal.sync().unwrap();
+        }
+        let recovery = recover(&path).unwrap();
+        assert!(!recovery.torn_tail);
+        assert_eq!(recovery.ops.len(), 2);
+        assert_eq!(
+            recovery.ops[0],
+            put("sessions", "key", b"value-that-needs-many-writes")
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_append_error_surfaces() {
+        let path = temp_path("inject-append");
+        let mut wal = Wal::open(&path, false).unwrap();
+        {
+            let _g =
+                clarens_faults::with_thread(clarens_faults::sites::DB_WAL_APPEND, "err|times=1");
+            let err = wal.append(&put("b", "k", b"v")).unwrap_err();
+            assert!(clarens_faults::is_injected(&err), "{err}");
+        }
+        // After the transient fault clears, the log still works.
+        wal.append(&put("b", "k", b"v")).unwrap();
+        wal.sync().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_fsync_error_surfaces() {
+        let path = temp_path("inject-fsync");
+        let mut wal = Wal::open(&path, true).unwrap();
+        let _g = clarens_faults::with_thread(clarens_faults::sites::DB_WAL_FSYNC, "err");
+        let err = wal.append(&put("b", "k", b"v")).unwrap_err();
+        assert!(clarens_faults::is_injected(&err), "{err}");
+        let err = wal.sync().unwrap_err();
+        assert!(clarens_faults::is_injected(&err), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
 

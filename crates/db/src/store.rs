@@ -18,7 +18,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -58,6 +58,21 @@ pub struct Store {
     /// tag (the bump invalidates it; spurious invalidation is the only
     /// possible race, never staleness).
     generations: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    /// Set once a WAL write or fsync fails. A failed append may have left
+    /// a partial record in the log, and after a failed fsync the kernel
+    /// may have dropped dirty pages — either way further appends could
+    /// frame-shift or silently lose durability, so the store degrades to
+    /// explicit read-only instead (paper's "sessions survive restarts"
+    /// promise requires the log to stay trustworthy).
+    degraded: AtomicBool,
+}
+
+/// Message prefix of errors served by a degraded (read-only) store.
+pub const DEGRADED_MSG: &str = "store degraded (read-only)";
+
+/// Was this error produced by a degraded store refusing a write?
+pub fn is_degraded_error(err: &io::Error) -> bool {
+    err.to_string().starts_with(DEGRADED_MSG)
 }
 
 impl Store {
@@ -72,6 +87,7 @@ impl Store {
             writes: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
             generations: RwLock::new(HashMap::new()),
+            degraded: AtomicBool::new(false),
         }
     }
 
@@ -107,6 +123,7 @@ impl Store {
             writes: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
             generations: RwLock::new(HashMap::new()),
+            degraded: AtomicBool::new(false),
         };
         if recovery.torn_tail {
             store.compact()?;
@@ -114,21 +131,49 @@ impl Store {
         Ok(store)
     }
 
+    /// Is the store poisoned into read-only degraded mode?
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    fn degraded_error() -> io::Error {
+        io::Error::other(format!("{DEGRADED_MSG}: WAL write or fsync failed"))
+    }
+
+    /// Log `op`, poisoning the store on failure. Reads keep working after
+    /// poisoning; writes get [`DEGRADED_MSG`] errors without touching the
+    /// (possibly frame-shifted) log again.
+    fn wal_append(&self, op: LogOp) -> io::Result<()> {
+        if self.is_degraded() {
+            return Err(Self::degraded_error());
+        }
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        let mut wal = wal.lock();
+        match wal.append(&op) {
+            Ok(()) => {
+                if wal.sync_on_append {
+                    self.syncs.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.degraded.store(true, Ordering::SeqCst);
+                Err(e)
+            }
+        }
+    }
+
     /// Insert or overwrite a value.
     pub fn put(&self, bucket: &str, key: &str, value: impl Into<Vec<u8>>) -> io::Result<()> {
         let value = value.into();
         self.writes.fetch_add(1, Ordering::Relaxed);
-        if let Some(wal) = &self.wal {
-            let mut wal = wal.lock();
-            wal.append(&LogOp::Put {
-                bucket: bucket.to_owned(),
-                key: key.to_owned(),
-                value: value.clone(),
-            })?;
-            if wal.sync_on_append {
-                self.syncs.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        self.wal_append(LogOp::Put {
+            bucket: bucket.to_owned(),
+            key: key.to_owned(),
+            value: value.clone(),
+        })?;
         let generation = self.generation_handle(bucket);
         let mut buckets = self.buckets.write();
         buckets
@@ -157,16 +202,10 @@ impl Store {
     /// Delete a key. Returns whether it existed.
     pub fn delete(&self, bucket: &str, key: &str) -> io::Result<bool> {
         self.writes.fetch_add(1, Ordering::Relaxed);
-        if let Some(wal) = &self.wal {
-            let mut wal = wal.lock();
-            wal.append(&LogOp::Delete {
-                bucket: bucket.to_owned(),
-                key: key.to_owned(),
-            })?;
-            if wal.sync_on_append {
-                self.syncs.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        self.wal_append(LogOp::Delete {
+            bucket: bucket.to_owned(),
+            key: key.to_owned(),
+        })?;
         let generation = self.generation_handle(bucket);
         let mut buckets = self.buckets.write();
         let existed = buckets
@@ -258,7 +297,13 @@ impl Store {
     /// Force pending log data to disk.
     pub fn sync(&self) -> io::Result<()> {
         if let Some(wal) = &self.wal {
-            wal.lock().sync()?;
+            if self.is_degraded() {
+                return Err(Self::degraded_error());
+            }
+            if let Err(e) = wal.lock().sync() {
+                self.degraded.store(true, Ordering::SeqCst);
+                return Err(e);
+            }
             self.syncs.fetch_add(1, Ordering::Relaxed);
         }
         Ok(())
@@ -520,6 +565,56 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(store.len("b"), 8 * 200);
+    }
+
+    #[test]
+    fn fsync_failure_degrades_to_read_only() {
+        let path = temp_path("degraded");
+        let store = Store::open_with_sync(&path, true).unwrap();
+        store.put("sessions", "s1", b"alice".to_vec()).unwrap();
+        assert!(!store.is_degraded());
+
+        // One fsync failure poisons the writer...
+        {
+            let _g =
+                clarens_faults::with_thread(clarens_faults::sites::DB_WAL_FSYNC, "err|times=1");
+            let err = store.put("sessions", "s2", b"bob".to_vec()).unwrap_err();
+            assert!(clarens_faults::is_injected(&err), "{err}");
+        }
+        assert!(store.is_degraded());
+
+        // ...writes now fail fast with the documented degraded error,
+        // even though the transient fault itself has cleared...
+        let err = store.put("sessions", "s3", b"carol".to_vec()).unwrap_err();
+        assert!(is_degraded_error(&err), "{err}");
+        let err = store.delete("sessions", "s1").unwrap_err();
+        assert!(is_degraded_error(&err), "{err}");
+        assert!(store.sync().is_err());
+
+        // ...and reads keep serving the pre-fault state.
+        assert_eq!(store.get("sessions", "s1").unwrap(), b"alice");
+        assert_eq!(store.get("sessions", "s2"), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_failure_degrades_without_mutating_memory() {
+        let path = temp_path("degraded-append");
+        let store = Store::open(&path).unwrap();
+        let _g = clarens_faults::with_thread(clarens_faults::sites::DB_WAL_APPEND, "err|times=1");
+        assert!(store.put("b", "k", b"v".to_vec()).is_err());
+        assert!(store.is_degraded());
+        // WAL-first ordering: the failed write never reached memory.
+        assert_eq!(store.get("b", "k"), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn in_memory_store_never_degrades() {
+        let store = Store::in_memory();
+        let _g = clarens_faults::with_thread(clarens_faults::sites::DB_WAL_FSYNC, "err");
+        store.put("b", "k", b"v".to_vec()).unwrap();
+        assert!(!store.is_degraded());
     }
 
     #[test]

@@ -63,15 +63,28 @@ impl StationServer {
                 let mut buf = vec![0u8; 64 * 1024];
                 while !thread_stop.load(Ordering::SeqCst) {
                     match socket.recv_from(&mut buf) {
-                        Ok((len, _peer)) => match Publication::from_datagram(&buf[..len]) {
-                            Ok(publication) => {
-                                thread_state.received.fetch_add(1, Ordering::Relaxed);
-                                ingest(&thread_state, publication);
+                        Ok((len, _peer)) => {
+                            // Fault injection: simulate datagram loss on the
+                            // receive side (real UDP loss is silent, so a
+                            // dropped datagram is neither received nor
+                            // rejected — it just never happened).
+                            if matches!(
+                                clarens_faults::eval(clarens_faults::sites::DISCOVERY_UDP_RECV),
+                                Some(clarens_faults::Injected::Err)
+                                    | Some(clarens_faults::Injected::ShortWrite(_))
+                            ) {
+                                continue;
                             }
-                            Err(_) => {
-                                thread_state.rejected.fetch_add(1, Ordering::Relaxed);
+                            match Publication::from_datagram(&buf[..len]) {
+                                Ok(publication) => {
+                                    thread_state.received.fetch_add(1, Ordering::Relaxed);
+                                    ingest(&thread_state, publication);
+                                }
+                                Err(_) => {
+                                    thread_state.rejected.fetch_add(1, Ordering::Relaxed);
+                                }
                             }
-                        },
+                        }
                         Err(e)
                             if e.kind() == std::io::ErrorKind::WouldBlock
                                 || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -329,6 +342,7 @@ impl UdpPublisher {
     pub fn publish(&self, publication: &Publication) -> std::io::Result<()> {
         let datagram = publication.to_datagram();
         for station in &self.stations {
+            clarens_faults::check_io(clarens_faults::sites::DISCOVERY_UDP_SEND)?;
             self.socket.send_to(&datagram, station)?;
         }
         Ok(())
@@ -475,6 +489,30 @@ mod tests {
         let q = ServiceQuery::by_method("file.read").with_attribute("site", "caltech");
         let v = q.to_value();
         assert_eq!(ServiceQuery::from_value(&v).unwrap(), q);
+    }
+
+    #[test]
+    fn injected_send_error_surfaces_and_clears() {
+        let station = StationServer::spawn("s1", "127.0.0.1:0").unwrap();
+        let publisher = UdpPublisher::new(vec![station.local_addr()]).unwrap();
+        {
+            let _guard = clarens_faults::with_thread(
+                clarens_faults::sites::DISCOVERY_UDP_SEND,
+                "err|times=1",
+            );
+            let err = publisher
+                .publish(&Publication::Service(descriptor("file", 1)))
+                .unwrap_err();
+            assert!(clarens_faults::is_injected(&err));
+            // Budget exhausted: the next attempt goes through.
+            publisher
+                .publish(&Publication::Service(descriptor("file", 2)))
+                .unwrap();
+        }
+        assert!(wait_until(Duration::from_secs(2), || station
+            .service_count()
+            == 1));
+        station.shutdown();
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Receive-side fault injection for the station UDP ingest path.
+//!
+//! The `discovery.udp.recv` failpoint fires on the station's ingest
+//! thread, so it must be armed globally (not thread-scoped). This test
+//! lives in its own integration-test binary — and therefore its own
+//! process — so the global arming cannot interfere with the crate's
+//! parallel unit tests.
+
+use monalisa_sim::station::wait_until;
+use monalisa_sim::{Publication, ServiceDescriptor, ServiceQuery, StationServer, UdpPublisher};
+use std::time::Duration;
+
+fn descriptor(service: &str, ts: i64) -> ServiceDescriptor {
+    ServiceDescriptor {
+        url: "http://h:1/clarens".into(),
+        server_dn: "/O=g/CN=h".into(),
+        service: service.into(),
+        methods: vec![format!("{service}.run")],
+        attributes: Default::default(),
+        timestamp: ts,
+    }
+}
+
+#[test]
+fn injected_recv_loss_drops_datagram_silently() {
+    let station = StationServer::spawn("s1", "127.0.0.1:0").unwrap();
+    let publisher = UdpPublisher::new(vec![station.local_addr()]).unwrap();
+    {
+        let _guard = clarens_faults::with(clarens_faults::sites::DISCOVERY_UDP_RECV, "err|times=1");
+        publisher
+            .publish(&Publication::Service(descriptor("lost", 1)))
+            .unwrap();
+        // The first datagram is consumed by the failpoint before parsing.
+        assert!(wait_until(Duration::from_secs(2), || {
+            clarens_faults::hits(clarens_faults::sites::DISCOVERY_UDP_RECV) == 1
+        }));
+        // Budget exhausted: the follow-up datagram lands.
+        publisher
+            .publish(&Publication::Service(descriptor("kept", 2)))
+            .unwrap();
+        assert!(wait_until(Duration::from_secs(2), || station
+            .service_count()
+            == 1));
+    }
+    assert_eq!(station.query(&ServiceQuery::by_service("kept")).len(), 1);
+    let (received, rejected) = station.stats();
+    assert_eq!(
+        (received, rejected),
+        (1, 0),
+        "a dropped datagram is neither received nor rejected"
+    );
+    station.shutdown();
+}

@@ -105,6 +105,27 @@ impl HttpClient {
         self.server_identity.as_ref()
     }
 
+    /// Change the read timeout, applying it to the live connection (if
+    /// any) as well as future ones. Callers with a per-call deadline set
+    /// this to the remaining budget before each request so a stalled
+    /// server cannot hang them past the deadline.
+    pub fn set_read_timeout(&mut self, timeout: Duration) {
+        // A zero timeout is rejected by the socket API; clamp up.
+        self.read_timeout = timeout.max(Duration::from_millis(1));
+        if let Some(conn) = &self.connection {
+            let sock = match conn {
+                Connection::Plain(reader) => reader.get_ref(),
+                Connection::Secure(reader) => reader.get_ref().get_ref(),
+            };
+            sock.set_read_timeout(Some(self.read_timeout)).ok();
+        }
+    }
+
+    /// The currently configured read timeout.
+    pub fn read_timeout(&self) -> Duration {
+        self.read_timeout
+    }
+
     fn connect(&mut self) -> Result<(), ClientError> {
         let sock = TcpStream::connect(&self.addr)?;
         sock.set_read_timeout(Some(self.read_timeout)).ok();

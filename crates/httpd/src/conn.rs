@@ -143,6 +143,9 @@ pub(crate) fn drive<H: Handler>(
             }
             Parsed::Complete(request, consumed) => {
                 conn.inbuf.drain(..consumed);
+                // Parsed and about to be handled: in flight until the
+                // response write finishes (shutdown drains these).
+                let _in_flight = crate::server::InFlightGuard::enter(&shared.in_flight);
                 let keep_alive = request.wants_keep_alive() && !shared.stop.load(Ordering::SeqCst);
                 let head_only = request.method == Method::Head;
                 shared.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -161,8 +164,10 @@ pub(crate) fn drive<H: Handler>(
                 }
                 trace.status = response.status;
                 let written = trace.span(Phase::Write, || {
-                    let mut writer = NonblockingWriter::new(&conn.sock, shared.read_timeout);
-                    write_response_pooled(&mut writer, response, keep_alive, head_only, scratch)
+                    clarens_faults::check_io(clarens_faults::sites::HTTPD_WRITE).and_then(|()| {
+                        let mut writer = NonblockingWriter::new(&conn.sock, shared.read_timeout);
+                        write_response_pooled(&mut writer, response, keep_alive, head_only, scratch)
+                    })
                 });
                 if let Some(t) = &shared.telemetry {
                     if let Ok(total) = written {
@@ -206,6 +211,9 @@ fn try_parse(inbuf: &[u8], max_body: usize, scratch: &mut Scratch) -> Parsed {
 
 /// Pull whatever the socket has without blocking.
 fn fill(conn: &mut Conn, scratch: &mut Scratch) -> Fill {
+    if let Err(e) = clarens_faults::check_io(clarens_faults::sites::HTTPD_READ) {
+        return Fill::Err(e);
+    }
     let mut chunk = scratch.take();
     chunk.resize(READ_CHUNK, 0);
     let mut appended = 0usize;

@@ -140,6 +140,10 @@ pub struct ServerConfig {
     /// classic thread-per-connection path (the A/B baseline; also what TLS
     /// connections always use).
     pub park_idle: bool,
+    /// How long `shutdown()` waits for in-flight requests to complete
+    /// before force-closing their connections. Idle (parked or between-
+    /// request) connections are closed immediately either way.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -159,6 +163,7 @@ impl Default for ServerConfig {
             buffer_pool: true,
             max_connections: 4096,
             park_idle: true,
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -223,6 +228,32 @@ pub struct HttpServer {
     live: Arc<LiveConnections>,
     accept_wake: AcceptWake,
     conn_poller: Option<Arc<Poller>>,
+    /// Requests currently between parse-complete and write-complete;
+    /// shutdown drains this to zero (bounded) before force-closing.
+    in_flight: Arc<AtomicUsize>,
+    drain_timeout: Duration,
+}
+
+/// RAII marker for a request being actively processed (parsed, handled,
+/// written). Shutdown waits for these to finish before it starts tearing
+/// sockets out from under workers.
+pub(crate) struct InFlightGuard {
+    count: Arc<AtomicUsize>,
+}
+
+impl InFlightGuard {
+    pub(crate) fn enter(count: &Arc<AtomicUsize>) -> InFlightGuard {
+        count.fetch_add(1, Ordering::AcqRel);
+        InFlightGuard {
+            count: Arc::clone(count),
+        }
+    }
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.count.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// Registry of raw socket handles for live connections. Entries are
@@ -291,6 +322,7 @@ impl HttpServer {
         let event_mode = conn_poller.is_some();
         let (park_tx, park_rx): (Sender<Conn>, Receiver<Conn>) = unbounded();
 
+        let in_flight = Arc::new(AtomicUsize::new(0));
         let shared = Arc::new(WorkerShared {
             handler,
             tls: config.tls,
@@ -302,6 +334,7 @@ impl HttpServer {
             stop: Arc::clone(&stop),
             stats: Arc::clone(&stats),
             live: Arc::clone(&live),
+            in_flight: Arc::clone(&in_flight),
             parker: conn_poller.as_ref().map(|p| Parker {
                 tx: park_tx,
                 poller: Arc::clone(p),
@@ -376,6 +409,8 @@ impl HttpServer {
             live,
             accept_wake,
             conn_poller,
+            in_flight,
+            drain_timeout: config.drain_timeout,
         })
     }
 
@@ -408,8 +443,17 @@ impl HttpServer {
         if let Some(p) = &self.conn_poller {
             p.wake();
         }
-        // Force-close live connections (blocking-path keep-alive reads and
-        // in-flight writes return immediately; parked sockets see HUP).
+        // Graceful drain: requests already past the parser get a bounded
+        // window to finish handling and write their response. Connections
+        // that are merely idle hold no in-flight marker, so a quiet server
+        // still shuts down instantly.
+        let drain_deadline = Instant::now() + self.drain_timeout;
+        while self.in_flight.load(Ordering::Acquire) > 0 && Instant::now() < drain_deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Force-close remaining live connections (blocking-path keep-alive
+        // reads and overrunning writes return immediately; parked sockets
+        // see HUP).
         self.live.close_all();
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
@@ -440,6 +484,7 @@ pub(crate) struct WorkerShared<H: Handler> {
     pub(crate) stop: Arc<AtomicBool>,
     pub(crate) stats: Arc<ServerStats>,
     pub(crate) live: Arc<LiveConnections>,
+    pub(crate) in_flight: Arc<AtomicUsize>,
     pub(crate) parker: Option<Parker>,
 }
 
@@ -460,6 +505,15 @@ fn accept_loop(ctx: AcceptLoop) {
     // The acceptor is the sole allocator of connection ids (poller tokens).
     let mut next_id: u64 = 0;
     let mut admit = |sock: TcpStream| -> bool {
+        // Fault injection: a failed accept behaves like ECONNABORTED —
+        // the connection is dropped before any accounting sees it.
+        if matches!(
+            clarens_faults::eval(clarens_faults::sites::HTTPD_ACCEPT),
+            Some(clarens_faults::Injected::Err) | Some(clarens_faults::Injected::ShortWrite(_))
+        ) {
+            drop(sock);
+            return true;
+        }
         ctx.stats.connections.fetch_add(1, Ordering::Relaxed);
         if let Some(t) = &ctx.telemetry {
             t.http.connections.inc();
@@ -802,7 +856,9 @@ fn serve_stream<S: Transport, H: Handler>(
         };
         let reuses_before = scratch.reuses();
         let request = match trace.span(Phase::Parse, || {
-            read_request_pooled(&mut reader, shared.max_body, scratch)
+            clarens_faults::check_io(clarens_faults::sites::HTTPD_READ)
+                .map_err(ParseError::Io)
+                .and_then(|()| read_request_pooled(&mut reader, shared.max_body, scratch))
         }) {
             Ok(req) => req,
             Err(ParseError::Eof) => return Ok(()), // clean close between requests
@@ -821,6 +877,9 @@ fn serve_stream<S: Transport, H: Handler>(
                 return Ok(());
             }
         };
+        // From here to write-completion this request is in flight:
+        // shutdown will wait (bounded) for the guard to drop.
+        let _in_flight = InFlightGuard::enter(&shared.in_flight);
         let keep_alive = request.wants_keep_alive() && !shared.stop.load(Ordering::SeqCst);
         let head_only = request.method == Method::Head;
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -839,7 +898,9 @@ fn serve_stream<S: Transport, H: Handler>(
         }
         trace.status = response.status;
         let written = trace.span(Phase::Write, || {
-            write_response_pooled(reader.get_mut(), response, keep_alive, head_only, scratch)
+            clarens_faults::check_io(clarens_faults::sites::HTTPD_WRITE).and_then(|()| {
+                write_response_pooled(reader.get_mut(), response, keep_alive, head_only, scratch)
+            })
         });
         if let Some(t) = &shared.telemetry {
             if let Ok(total) = written {
@@ -1101,6 +1162,38 @@ mod tests {
         assert_eq!(phases[Phase::Parse as usize].1.count, 3);
         assert_eq!(phases[Phase::Write as usize].1.count, 3);
         assert_eq!(phases.last().unwrap().1.count, 3);
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_in_flight_requests() {
+        for park in BOTH_MODES {
+            let handler = Arc::new(|_req: Request, _peer: Option<&PeerInfo>| {
+                std::thread::sleep(Duration::from_millis(300));
+                Response::ok("text/plain", "slow done")
+            });
+            let server = HttpServer::bind("127.0.0.1:0", test_config(park), handler).unwrap();
+            let addr = server.local_addr();
+            let client = std::thread::spawn(move || {
+                let mut sock = TcpStream::connect(addr).unwrap();
+                sock.write_all(b"GET /slow HTTP/1.1\r\nHost: h\r\n\r\n")
+                    .unwrap();
+                let mut reader = BufReader::new(sock);
+                read_response(&mut reader, usize::MAX)
+                    .map(|r| (r.status, r.body))
+                    .ok()
+            });
+            // Let the request reach the handler, then shut down mid-flight:
+            // the drain must let the response complete rather than severing
+            // the socket.
+            std::thread::sleep(Duration::from_millis(100));
+            server.shutdown();
+            let result = client.join().unwrap();
+            assert_eq!(
+                result,
+                Some((200, b"slow done".to_vec())),
+                "park={park}: in-flight request lost on shutdown"
+            );
+        }
     }
 
     #[test]

@@ -66,6 +66,21 @@ pub struct HttpCounters {
     pub sheds: Counter,
 }
 
+/// Resilience counters: the unhappy paths the fault-injection harness
+/// exercises. Always live, like [`HttpCounters`].
+#[derive(Debug, Default)]
+pub struct ResilienceCounters {
+    /// Requests answered with the 504-style DEADLINE fault because the
+    /// per-request budget expired.
+    pub deadline_exceeded: Counter,
+    /// Server-side retry attempts (e.g. discovery re-publish after a lost
+    /// UDP send).
+    pub retries: Counter,
+    /// Mutating calls refused because a subsystem is running degraded
+    /// (e.g. the store went read-only after a WAL failure).
+    pub degraded_rejects: Counter,
+}
+
 /// Per-protocol counters.
 #[derive(Debug, Default)]
 pub struct ProtocolCounters {
@@ -94,6 +109,8 @@ pub struct Telemetry {
     timing: bool,
     /// Transport counters.
     pub http: HttpCounters,
+    /// Resilience counters (deadlines, retries, degraded-mode rejects).
+    pub resilience: ResilienceCounters,
     /// Per-phase latency histograms (microseconds), indexed by
     /// [`Phase`]` as usize`.
     phases: [Histogram; PHASE_COUNT],
@@ -119,6 +136,7 @@ impl Telemetry {
         Arc::new(Telemetry {
             timing,
             http: HttpCounters::default(),
+            resilience: ResilienceCounters::default(),
             phases: std::array::from_fn(|_| Histogram::new()),
             total: Histogram::new(),
             methods: MethodTable::new(),
@@ -295,6 +313,15 @@ impl Telemetry {
             ("clarens_http_queue_depth", h.queue_depth.get()),
             ("clarens_http_poll_wakeups_total", h.poll_wakeups.get()),
             ("clarens_http_sheds_total", h.sheds.get()),
+            (
+                "clarens_deadline_exceeded_total",
+                self.resilience.deadline_exceeded.get(),
+            ),
+            ("clarens_retries_total", self.resilience.retries.get()),
+            (
+                "clarens_degraded_rejects_total",
+                self.resilience.degraded_rejects.get(),
+            ),
         ] {
             let _ = writeln!(out, "{name} {value}");
         }
@@ -460,8 +487,13 @@ mod tests {
         assert_eq!(t.gauge("missing"), None);
         traced_request(&t, "echo.echo", [1, 1, 1, 1, 1, 1]);
 
+        t.resilience.deadline_exceeded.inc();
+        t.resilience.retries.inc();
         let text = t.render_prometheus();
         assert!(text.contains("clarens_requests_total 1"));
+        assert!(text.contains("clarens_deadline_exceeded_total 1"));
+        assert!(text.contains("clarens_retries_total 1"));
+        assert!(text.contains("clarens_degraded_rejects_total 0"));
         assert!(text.contains("clarens_db_lookups 41"));
         assert!(text.contains("clarens_cache_sessions_hits 7"));
         assert!(text.contains("clarens_method_calls_total{method=\"echo.echo\"} 1"));

@@ -26,6 +26,12 @@ pub mod codes {
     pub const BAD_PARAMS: i64 = 6;
     /// Internal server error.
     pub const INTERNAL: i64 = 7;
+    /// The per-request deadline expired before the call completed (the
+    /// RPC analogue of HTTP 504 Gateway Timeout).
+    pub const DEADLINE: i64 = 8;
+    /// The server is running degraded (e.g. the store went read-only
+    /// after a WAL failure) and refused a mutating call.
+    pub const DEGRADED: i64 = 9;
 }
 
 /// A protocol-independent RPC fault.
@@ -64,6 +70,16 @@ impl Fault {
     /// Shorthand for a [`codes::NOT_AUTHENTICATED`] fault.
     pub fn not_authenticated(message: impl Into<String>) -> Self {
         Fault::new(codes::NOT_AUTHENTICATED, message)
+    }
+
+    /// Shorthand for a [`codes::DEADLINE`] fault.
+    pub fn deadline(message: impl Into<String>) -> Self {
+        Fault::new(codes::DEADLINE, message)
+    }
+
+    /// Shorthand for a [`codes::DEGRADED`] fault.
+    pub fn degraded(message: impl Into<String>) -> Self {
+        Fault::new(codes::DEGRADED, message)
     }
 }
 
@@ -136,5 +152,7 @@ mod tests {
         assert_eq!(Fault::service("s").code, codes::SERVICE);
         assert_eq!(Fault::access_denied("a").code, codes::ACCESS_DENIED);
         assert_eq!(Fault::not_authenticated("n").code, codes::NOT_AUTHENTICATED);
+        assert_eq!(Fault::deadline("d").code, codes::DEADLINE);
+        assert_eq!(Fault::degraded("g").code, codes::DEGRADED);
     }
 }
