@@ -351,6 +351,121 @@ impl IdleConnections {
     }
 }
 
+/// A swarm of deliberately slow HTTP readers: every connection requests
+/// `target` once, then drains its response at roughly `bytes_per_sec`
+/// from a single background thread. The server-side counterpart of a WAN
+/// full of modem-grade consumers — each half-written response must park
+/// in the poller (Ablation G) instead of pinning a worker.
+pub struct SlowReaderSwarm {
+    stop: Arc<AtomicBool>,
+    drained: Arc<AtomicU64>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    count: usize,
+}
+
+impl SlowReaderSwarm {
+    /// Open `n` connections to `addr`, send each a `GET target`, and start
+    /// the drain thread.
+    pub fn open(addr: &str, target: &str, n: usize, bytes_per_sec: usize) -> SlowReaderSwarm {
+        let request = format!(
+            "GET {target} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n"
+        );
+        let mut socks = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut sock = connect_patiently(addr).expect("swarm connect");
+            sock.set_nodelay(true).ok();
+            sock.write_all(request.as_bytes()).expect("swarm request");
+            sock.set_nonblocking(true).expect("swarm nonblocking");
+            socks.push(sock);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let drained = Arc::new(AtomicU64::new(0));
+        let thread_stop = Arc::clone(&stop);
+        let thread_drained = Arc::clone(&drained);
+        // One pass over every socket per tick, a small read each: ~10
+        // ticks/second gives each connection bytes_per_sec of drain.
+        let per_tick = (bytes_per_sec / 10).max(1);
+        let handle = std::thread::spawn(move || {
+            use std::io::Read;
+            let mut buf = vec![0u8; per_tick];
+            while !thread_stop.load(Ordering::Relaxed) {
+                for sock in &mut socks {
+                    match sock.read(&mut buf) {
+                        Ok(got) => {
+                            thread_drained.fetch_add(got as u64, Ordering::Relaxed);
+                        }
+                        // Nothing buffered yet, or the server gave up on
+                        // us — either way the swarm keeps crawling.
+                        Err(_) => {}
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+        SlowReaderSwarm {
+            stop,
+            drained,
+            handle: Some(handle),
+            count: n,
+        }
+    }
+
+    /// Connections opened.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the swarm is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Response bytes drained so far across the whole swarm.
+    pub fn drained_bytes(&self) -> u64 {
+        self.drained.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for SlowReaderSwarm {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Single-stream GET throughput: fetch `path` over a warm keep-alive
+/// connection until `duration` elapses; returns (bytes moved, MiB/s).
+pub fn measure_get_throughput(
+    addr: &str,
+    session: &str,
+    path: &str,
+    duration: Duration,
+) -> (u64, f64) {
+    let mut client = ClarensClient::new(addr.to_owned());
+    client.set_session(session.to_owned());
+    let t0 = Instant::now();
+    let mut bytes = 0u64;
+    loop {
+        bytes += client.http_get_file(path).expect("bench GET").len() as u64;
+        if t0.elapsed() >= duration {
+            break;
+        }
+    }
+    (bytes, bytes as f64 / t0.elapsed().as_secs_f64() / (1024.0 * 1024.0))
+}
+
+/// Start the Ablation-G grid: a small worker pool with the zero-copy
+/// file path on (`sendfile(2)`) or off (portable buffered copy).
+pub fn bench_grid_bulk(workers: usize, zero_copy: bool) -> TestGrid {
+    TestGrid::start_with(GridOptions {
+        workers,
+        zero_copy,
+        ..Default::default()
+    })
+}
+
 /// Start the Ablation-F grid: a deliberately small worker pool with the
 /// connection scheduler on (`park_idle`) or off (thread-per-connection).
 /// The small pool is the point — parked mode serves hundreds of keep-alive

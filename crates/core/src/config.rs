@@ -59,6 +59,11 @@ pub struct ClarensConfig {
     /// pinning a worker thread per connection. On by default; disable to
     /// select the classic thread-per-connection path for A/B measurement.
     pub park_idle: bool,
+    /// Hand plaintext file-body writes to `sendfile(2)` where the platform
+    /// supports it (Linux), skipping the userspace copy. Disable to force
+    /// the portable fixed-buffer loop for A/B measurement; TLS connections
+    /// always use the buffered path.
+    pub zero_copy: bool,
     /// Per-request deadline in milliseconds: the budget covers reading the
     /// request, dispatching the handler, and starting the response. On
     /// expiry the caller gets a `DEADLINE` (504-style) RPC fault instead
@@ -93,6 +98,7 @@ impl Default for ClarensConfig {
             buffer_pool: true,
             max_connections: 4096,
             park_idle: true,
+            zero_copy: true,
             request_deadline_ms: 5_000,
             client_retries: 2,
             discovery_ttl_s: 90,
@@ -174,6 +180,11 @@ impl ClarensConfig {
                     config.park_idle = value
                         .parse()
                         .map_err(|_| format!("line {}: bad park_idle", lineno + 1))?
+                }
+                "zero_copy" => {
+                    config.zero_copy = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad zero_copy", lineno + 1))?
                 }
                 "request_deadline_ms" => {
                     config.request_deadline_ms = value
@@ -274,11 +285,16 @@ db_path: /var/clarens/clarens.db
         let config = ClarensConfig::parse("").unwrap();
         assert_eq!(config.max_connections, 4096);
         assert!(config.park_idle);
-        let config = ClarensConfig::parse("max_connections: 128\npark_idle: false").unwrap();
+        assert!(config.zero_copy);
+        let config =
+            ClarensConfig::parse("max_connections: 128\npark_idle: false\nzero_copy: false")
+                .unwrap();
         assert_eq!(config.max_connections, 128);
         assert!(!config.park_idle);
+        assert!(!config.zero_copy);
         assert!(ClarensConfig::parse("max_connections: lots").is_err());
         assert!(ClarensConfig::parse("park_idle: maybe").is_err());
+        assert!(ClarensConfig::parse("zero_copy: maybe").is_err());
     }
 
     #[test]

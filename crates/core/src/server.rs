@@ -12,7 +12,8 @@ use std::io;
 use std::sync::Arc;
 
 use clarens_httpd::{
-    Handler, HttpServer, Method, PeerInfo, Request, Response, Scratch, ServerConfig, TlsConfig,
+    http_date, resolve_range, Body, Handler, HttpServer, Method, PeerInfo, RangeOutcome, Request,
+    Response, Scratch, ServerConfig, TlsConfig,
 };
 use clarens_pki::dn::DistinguishedName;
 use clarens_telemetry::{Phase, RequestTrace};
@@ -60,6 +61,7 @@ impl ClarensServer {
             buffer_pool: core.config.buffer_pool,
             max_connections: core.config.max_connections,
             park_idle: core.config.park_idle,
+            zero_copy: core.config.zero_copy,
             ..Default::default()
         };
         let http = HttpServer::bind(addr, config, handler)?;
@@ -378,7 +380,7 @@ impl ClarensHandler {
             return portal::index(&self.core, resolved.identity.as_deref());
         }
         if let Some(rest) = path.strip_prefix("/file/") {
-            return self.serve_file(rest, resolved.identity.as_deref());
+            return self.serve_file(&request, rest, resolved.identity.as_deref());
         }
         if path.starts_with("/portal") {
             return portal::route(&self.core, &request, resolved.identity.as_deref());
@@ -401,9 +403,16 @@ impl ClarensHandler {
         )
     }
 
-    /// HTTP GET file downloads (paper §2.3): streamed with the
-    /// fixed-buffer `sendfile()`-style path, gated by the read ACL.
-    fn serve_file(&self, raw_path: &str, identity: Option<&DistinguishedName>) -> Response {
+    /// HTTP GET/HEAD file downloads (paper §2.3): whole files and single
+    /// `Range: bytes=` slices served straight from the open file handle, so
+    /// the transport can hand the copy to `sendfile(2)` on plaintext
+    /// connections. Gated by the read ACL; HEAD answers from `stat` alone.
+    fn serve_file(
+        &self,
+        request: &Request,
+        raw_path: &str,
+        identity: Option<&DistinguishedName>,
+    ) -> Response {
         let Some(root) = self.core.config.file_root.as_deref() else {
             return xml_error(404, "file service not configured");
         };
@@ -424,21 +433,84 @@ impl ClarensHandler {
         let Some(real) = paths::resolve(root, &decoded) else {
             return xml_error(400, "illegal path");
         };
+
+        if request.method == Method::Head {
+            // Metadata is all a HEAD needs: no read stream is ever opened.
+            return match std::fs::metadata(&real) {
+                Ok(meta) if meta.is_dir() => xml_error(400, "is a directory; use file.ls"),
+                Ok(meta) => {
+                    let mut response = Response {
+                        status: 200,
+                        headers: clarens_httpd::Headers::new(),
+                        body: Body::Sized(meta.len()),
+                    };
+                    response
+                        .headers
+                        .set("content-type", "application/octet-stream");
+                    Self::decorate_file_headers(&mut response, &meta);
+                    response
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    xml_error(404, &format!("not found: {canonical}"))
+                }
+                Err(e) => xml_error(500, &e.to_string()),
+            };
+        }
+
         match std::fs::File::open(&real) {
             Ok(file) => {
-                let len = match file.metadata() {
+                let meta = match file.metadata() {
                     Ok(meta) if meta.is_dir() => {
                         return xml_error(400, "is a directory; use file.ls")
                     }
-                    Ok(meta) => meta.len(),
+                    Ok(meta) => meta,
                     Err(e) => return xml_error(500, &e.to_string()),
                 };
-                Response::stream("application/octet-stream", Box::new(file), len)
+                let len = meta.len();
+                let mut response = match resolve_range(request.headers.get("range"), len) {
+                    RangeOutcome::Whole => {
+                        Response::file(200, "application/octet-stream", file, 0, len)
+                    }
+                    RangeOutcome::Partial { start, end } => {
+                        let mut r = Response::file(
+                            206,
+                            "application/octet-stream",
+                            file,
+                            start,
+                            end - start + 1,
+                        );
+                        r.headers
+                            .set("content-range", format!("bytes {start}-{end}/{len}"));
+                        r
+                    }
+                    RangeOutcome::Unsatisfiable => {
+                        let mut r =
+                            xml_error(416, &format!("range addresses no byte of {canonical}"));
+                        r.headers.set("content-range", format!("bytes */{len}"));
+                        r.headers.set("accept-ranges", "bytes");
+                        return r;
+                    }
+                };
+                Self::decorate_file_headers(&mut response, &meta);
+                response
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 xml_error(404, &format!("not found: {canonical}"))
             }
             Err(e) => xml_error(500, &e.to_string()),
+        }
+    }
+
+    /// Headers every file entity response carries: range-capability
+    /// advertisement and the cache-validation timestamp.
+    fn decorate_file_headers(response: &mut Response, meta: &std::fs::Metadata) {
+        response.headers.set("accept-ranges", "bytes");
+        if let Ok(modified) = meta.modified() {
+            if let Ok(unix) = modified.duration_since(std::time::UNIX_EPOCH) {
+                response
+                    .headers
+                    .set("last-modified", http_date(unix.as_secs()));
+            }
         }
     }
 }

@@ -77,6 +77,9 @@ pub struct GridOptions {
     /// Park idle keep-alive connections off the worker pool (disable for
     /// the classic thread-per-connection path).
     pub park_idle: bool,
+    /// Hand plaintext file-body writes to `sendfile(2)` (disable to force
+    /// the portable fixed-buffer copy loop).
+    pub zero_copy: bool,
     /// Per-request deadline in milliseconds (`0` disables deadlines).
     pub request_deadline_ms: u64,
 }
@@ -95,6 +98,7 @@ impl Default for GridOptions {
             buffer_pool: true,
             max_connections: 4096,
             park_idle: true,
+            zero_copy: true,
             request_deadline_ms: 5_000,
         }
     }
@@ -188,6 +192,7 @@ impl TestGrid {
             buffer_pool: options.buffer_pool,
             max_connections: options.max_connections,
             park_idle: options.park_idle,
+            zero_copy: options.zero_copy,
             request_deadline_ms: options.request_deadline_ms,
             ..Default::default()
         };

@@ -526,3 +526,38 @@ fn im_service_edges() {
     assert!(empty.as_array().unwrap().is_empty());
     let _ = std::fs::remove_dir_all(&f.data_dir);
 }
+
+#[test]
+fn md5_streams_large_files_and_honors_deadlines() {
+    let f = fixture("md5stream");
+    let user = f.user_dn.clone();
+    // Five 64-KiB hash chunks plus a ragged tail: the digest loop must
+    // stream, not slurp, and still agree with a one-shot reference hash.
+    let payload: Vec<u8> = (0..5 * 64 * 1024 + 4321u32).map(|i| (i % 233) as u8).collect();
+    std::fs::write(f.data_dir.join("files/big.dat"), &payload).unwrap();
+    let mut reference = clarens_pki::md5::Md5::new();
+    reference.update(&payload);
+    let expected = clarens_pki::sha256::to_hex(&reference.finalize());
+
+    let got = call(&f, Some(&user), "file.md5", vec![Value::from("/big.dat")]).unwrap();
+    assert_eq!(got.as_str(), Some(expected.as_str()));
+
+    // An already-expired budget fails between chunks with the DEADLINE
+    // fault — the hash loop never runs to completion on borrowed time.
+    // A different file, so the digest cached above cannot short-circuit.
+    std::fs::write(f.data_dir.join("files/big2.dat"), &payload[1..]).unwrap();
+    let service = f.core.registry.read().resolve("file.md5").unwrap();
+    let ctx = CallContext {
+        core: &f.core,
+        identity: Some(std::sync::Arc::new(user)),
+        session: None,
+        peer_chain: vec![],
+        now: f.core.now(),
+        deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+    };
+    let err = service
+        .call(&ctx, "file.md5", &[Value::from("/big2.dat")])
+        .unwrap_err();
+    assert_eq!(err.code, codes::DEADLINE);
+    let _ = std::fs::remove_dir_all(&f.data_dir);
+}

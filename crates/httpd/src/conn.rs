@@ -21,11 +21,16 @@ use std::time::Duration;
 
 use clarens_telemetry::{Phase, RequestTrace};
 
-use crate::parse::{read_request_pooled, write_response_pooled, ParseError};
+use crate::parse::{
+    encode_head, read_file_at, read_request_pooled, truncated, write_response_pooled, ParseError,
+    COPY_BUFFER,
+};
 use crate::poller;
 use crate::scratch::Scratch;
-use crate::server::{classify_io_error, BudgetGuard, Handler, LiveGuard, WorkerShared};
-use crate::types::{Method, Response};
+use crate::server::{
+    classify_io_error, BudgetGuard, Handler, InFlightGuard, LiveGuard, WorkerShared,
+};
+use crate::types::{Body, Method, Response};
 
 /// Bytes pulled off the socket per `read` call while filling.
 const READ_CHUNK: usize = 16 * 1024;
@@ -49,6 +54,10 @@ pub(crate) struct Conn {
     /// Whether the socket has ever been registered with the poller (first
     /// park registers, later parks re-arm).
     pub(crate) registered: bool,
+    /// A response that hit `EWOULDBLOCK` mid-write: the connection parks
+    /// with write interest and resumes from the saved cursor (and in-flight
+    /// sendfile offset) when the socket drains, instead of pinning a worker.
+    pub(crate) pending_write: Option<WriteState>,
     /// Connection-budget slot, released when the connection drops.
     pub(crate) _budget: Option<BudgetGuard>,
     /// Shutdown registration: force-closed by `HttpServer::shutdown` so
@@ -86,6 +95,319 @@ enum Fill {
     Err(io::Error),
 }
 
+/// A response mid-flight on a nonblocking socket: everything needed to
+/// resume after the socket's send buffer drains. Holds the in-flight guard
+/// so graceful shutdown waits (bounded by `drain_timeout`) for parked
+/// writers just as it does for running handlers.
+pub(crate) struct WriteState {
+    /// Encoded status line + headers (scratch-pooled; recycled at completion).
+    head: Vec<u8>,
+    /// Bytes of `head` already on the socket.
+    head_pos: usize,
+    /// The body and its cursor.
+    body: PendingBody,
+    /// Whether the connection survives this response.
+    pub(crate) keep_alive: bool,
+    /// Total bytes written so far (head + body), for `bytes_out`.
+    written: u64,
+    /// Subset of `written` that went through `sendfile(2)`.
+    sendfile: u64,
+    /// Keeps the response inside the shutdown drain window.
+    _in_flight: Option<InFlightGuard>,
+}
+
+enum PendingBody {
+    /// Nothing (left) to send beyond the head: HEAD, empty, or metadata-only.
+    None,
+    /// In-memory body with a cursor.
+    Bytes { buf: Vec<u8>, pos: usize },
+    /// File segment `[pos, end)`. `zero_copy` selects `sendfile(2)`; the
+    /// chunk fields stage buffered-fallback bytes that were read from the
+    /// file but not yet accepted by the socket.
+    File {
+        file: std::fs::File,
+        pos: u64,
+        end: u64,
+        zero_copy: bool,
+        chunk: Vec<u8>,
+        chunk_pos: usize,
+        chunk_len: usize,
+    },
+    /// Opaque reader with `remaining` bytes promised; `chunk` stages the
+    /// bytes between reader and socket across parks.
+    Stream {
+        reader: Box<dyn Read + Send>,
+        remaining: u64,
+        chunk: Vec<u8>,
+        chunk_pos: usize,
+        chunk_len: usize,
+    },
+}
+
+impl WriteState {
+    /// Encode the response head and capture the body with a zeroed cursor.
+    /// Buffers come from `scratch` so the steady state allocates nothing.
+    fn new(
+        response: Response,
+        keep_alive: bool,
+        head_only: bool,
+        zero_copy: bool,
+        in_flight: Option<InFlightGuard>,
+        scratch: &mut Scratch,
+    ) -> io::Result<WriteState> {
+        let mut head = scratch.take();
+        encode_head(&response, keep_alive, &mut head)?;
+        let body = if head_only || response.body.is_empty() {
+            if let Body::Bytes(buf) = response.body {
+                scratch.recycle(buf);
+            }
+            PendingBody::None
+        } else {
+            match response.body {
+                Body::Bytes(buf) => PendingBody::Bytes { buf, pos: 0 },
+                Body::Sized(_) => {
+                    scratch.recycle(head);
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "Body::Sized has no bytes to send",
+                    ));
+                }
+                Body::File { file, offset, len } => PendingBody::File {
+                    file,
+                    pos: offset,
+                    end: offset + len,
+                    zero_copy,
+                    chunk: Vec::new(),
+                    chunk_pos: 0,
+                    chunk_len: 0,
+                },
+                Body::Stream { reader, len } => PendingBody::Stream {
+                    reader,
+                    remaining: len,
+                    chunk: scratch.take(),
+                    chunk_pos: 0,
+                    chunk_len: 0,
+                },
+            }
+        };
+        Ok(WriteState {
+            head,
+            head_pos: 0,
+            body,
+            keep_alive,
+            written: 0,
+            sendfile: 0,
+            _in_flight: in_flight,
+        })
+    }
+
+    /// Push bytes at the socket until the response completes (`Ok(true)`),
+    /// the socket pushes back (`Ok(false)` — park with write interest), or
+    /// the transfer fails. Never blocks the calling thread.
+    fn advance(&mut self, sock: &TcpStream) -> io::Result<bool> {
+        loop {
+            // Head first — vectored with an in-memory body so small
+            // responses still leave in one syscall.
+            if self.head_pos < self.head.len() {
+                let head_rest = &self.head[self.head_pos..];
+                let wrote = match &self.body {
+                    PendingBody::Bytes { buf, pos } => (&mut &*sock)
+                        .write_vectored(&[IoSlice::new(head_rest), IoSlice::new(&buf[*pos..])]),
+                    _ => (&mut &*sock).write(head_rest),
+                };
+                match wrote {
+                    Ok(0) => return Err(write_zero()),
+                    Ok(n) => {
+                        let from_head = n.min(head_rest.len());
+                        self.head_pos += from_head;
+                        self.written += n as u64;
+                        if n > from_head {
+                            if let PendingBody::Bytes { pos, .. } = &mut self.body {
+                                *pos += n - from_head;
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+                continue;
+            }
+            match &mut self.body {
+                PendingBody::None => return Ok(true),
+                PendingBody::Bytes { buf, pos } => {
+                    if *pos >= buf.len() {
+                        return Ok(true);
+                    }
+                    match (&mut &*sock).write(&buf[*pos..]) {
+                        Ok(0) => return Err(write_zero()),
+                        Ok(n) => {
+                            *pos += n;
+                            self.written += n as u64;
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                PendingBody::File {
+                    file,
+                    pos,
+                    end,
+                    zero_copy,
+                    chunk,
+                    chunk_pos,
+                    chunk_len,
+                } => {
+                    // Staged fallback bytes drain before anything else (they
+                    // are already consumed from the file).
+                    if *chunk_pos < *chunk_len {
+                        match (&mut &*sock).write(&chunk[*chunk_pos..*chunk_len]) {
+                            Ok(0) => return Err(write_zero()),
+                            Ok(n) => {
+                                *chunk_pos += n;
+                                self.written += n as u64;
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(e) => return Err(e),
+                        }
+                        continue;
+                    }
+                    if *pos >= *end {
+                        return Ok(true);
+                    }
+                    #[cfg(unix)]
+                    if *zero_copy && crate::zerocopy::available() {
+                        use std::os::unix::io::AsRawFd;
+                        let want = (*end - *pos) as usize;
+                        match crate::zerocopy::send_file(
+                            raw_fd(sock),
+                            file.as_raw_fd(),
+                            pos,
+                            want,
+                        ) {
+                            Ok(0) => return Err(truncated(*end - *pos)),
+                            Ok(n) => {
+                                self.written += n as u64;
+                                self.sendfile += n as u64;
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(e) if e.kind() == io::ErrorKind::Unsupported => {
+                                // Kernel refused this fd pair: finish the
+                                // segment through the buffered loop below.
+                                *zero_copy = false;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                        continue;
+                    }
+                    // Buffered fallback: stage the next chunk via a
+                    // positioned read (the cursor stays parked-safe).
+                    if chunk.len() < COPY_BUFFER {
+                        chunk.resize(COPY_BUFFER, 0);
+                    }
+                    let want = ((*end - *pos) as usize).min(chunk.len());
+                    match read_file_at(file, &mut chunk[..want], *pos) {
+                        Ok(0) => return Err(truncated(*end - *pos)),
+                        Ok(n) => {
+                            *pos += n as u64;
+                            *chunk_pos = 0;
+                            *chunk_len = n;
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                PendingBody::Stream {
+                    reader,
+                    remaining,
+                    chunk,
+                    chunk_pos,
+                    chunk_len,
+                } => {
+                    if *chunk_pos < *chunk_len {
+                        match (&mut &*sock).write(&chunk[*chunk_pos..*chunk_len]) {
+                            Ok(0) => return Err(write_zero()),
+                            Ok(n) => {
+                                *chunk_pos += n;
+                                self.written += n as u64;
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(e) => return Err(e),
+                        }
+                        continue;
+                    }
+                    if *remaining == 0 {
+                        return Ok(true);
+                    }
+                    if chunk.len() < COPY_BUFFER {
+                        chunk.resize(COPY_BUFFER, 0);
+                    }
+                    let want = (*remaining as usize).min(chunk.len());
+                    match reader.read(&mut chunk[..want]) {
+                        Ok(0) => return Err(truncated(*remaining)),
+                        Ok(n) => {
+                            *remaining -= n as u64;
+                            *chunk_pos = 0;
+                            *chunk_len = n;
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Byte accounting for telemetry: `(total written, via sendfile)`.
+    fn accounted(&self) -> (u64, u64) {
+        (self.written, self.sendfile)
+    }
+
+    /// Return pooled buffers to the worker's arena once the response is
+    /// done (possibly a different worker than the one that started it).
+    fn recycle_into(self, scratch: &mut Scratch) {
+        scratch.recycle(self.head);
+        match self.body {
+            PendingBody::Bytes { buf, .. } => scratch.recycle(buf),
+            PendingBody::File { chunk, .. } | PendingBody::Stream { chunk, .. } => {
+                scratch.recycle(chunk)
+            }
+            PendingBody::None => {}
+        }
+    }
+}
+
+fn write_zero() -> io::Error {
+    io::Error::new(io::ErrorKind::WriteZero, "failed to write whole response")
+}
+
+/// How one call to [`WriteState::advance`] left the response.
+enum WriteProgress {
+    /// Fully written; connection continues (or closes per keep-alive).
+    Done(WriteState),
+    /// Socket full; park with write interest and resume later.
+    Parked,
+    /// Transport or framing failure; close.
+    Failed(io::Error),
+}
+
+/// Drive `conn`'s pending response forward. On `Parked` the state is back
+/// inside `conn` with its cursors saved.
+fn advance_pending(conn: &mut Conn, mut state: WriteState) -> WriteProgress {
+    match state.advance(&conn.sock) {
+        Ok(true) => WriteProgress::Done(state),
+        Ok(false) => {
+            conn.pending_write = Some(state);
+            WriteProgress::Parked
+        }
+        Err(error) => WriteProgress::Failed(error),
+    }
+}
+
 /// Drive `conn` until it parks, closes, or fails. This is the event-path
 /// sibling of `serve_stream`: identical request accounting, identical
 /// response bytes (both funnel through `write_response_pooled`), but reads
@@ -96,6 +418,29 @@ pub(crate) fn drive<H: Handler>(
     shared: &WorkerShared<H>,
     scratch: &mut Scratch,
 ) -> Disposition {
+    // A response parked mid-write resumes before anything else — even
+    // during shutdown, so graceful drain can finish it.
+    if let Some(state) = conn.pending_write.take() {
+        match advance_pending(&mut conn, state) {
+            WriteProgress::Done(state) => {
+                let (total, via_sendfile) = state.accounted();
+                if let Some(t) = &shared.telemetry {
+                    t.http.bytes_out.add(total);
+                    t.http.bytes_sendfile.add(via_sendfile);
+                }
+                let keep_alive = state.keep_alive;
+                state.recycle_into(scratch);
+                if !keep_alive {
+                    return Disposition::Closed;
+                }
+            }
+            WriteProgress::Parked => return Disposition::Park(conn),
+            WriteProgress::Failed(error) => {
+                classify_io_error(&error, shared);
+                return Disposition::Closed;
+            }
+        }
+    }
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return Disposition::Closed;
@@ -144,8 +489,9 @@ pub(crate) fn drive<H: Handler>(
             Parsed::Complete(request, consumed) => {
                 conn.inbuf.drain(..consumed);
                 // Parsed and about to be handled: in flight until the
-                // response write finishes (shutdown drains these).
-                let _in_flight = crate::server::InFlightGuard::enter(&shared.in_flight);
+                // response write finishes (shutdown drains these) — the
+                // guard rides inside the write state across parks.
+                let in_flight = InFlightGuard::enter(&shared.in_flight);
                 let keep_alive = request.wants_keep_alive() && !shared.stop.load(Ordering::SeqCst);
                 let head_only = request.method == Method::Head;
                 shared.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -163,24 +509,48 @@ pub(crate) fn drive<H: Handler>(
                     shared.stats.errors.fetch_add(1, Ordering::Relaxed);
                 }
                 trace.status = response.status;
-                let written = trace.span(Phase::Write, || {
-                    clarens_faults::check_io(clarens_faults::sites::HTTPD_WRITE).and_then(|()| {
-                        let mut writer = NonblockingWriter::new(&conn.sock, shared.read_timeout);
-                        write_response_pooled(&mut writer, response, keep_alive, head_only, scratch)
-                    })
+                let progress = trace.span(Phase::Write, || {
+                    match clarens_faults::check_io(clarens_faults::sites::HTTPD_WRITE).and_then(
+                        |()| {
+                            WriteState::new(
+                                response,
+                                keep_alive,
+                                head_only,
+                                shared.zero_copy,
+                                Some(in_flight),
+                                scratch,
+                            )
+                        },
+                    ) {
+                        Ok(state) => advance_pending(&mut conn, state),
+                        Err(error) => WriteProgress::Failed(error),
+                    }
                 });
                 if let Some(t) = &shared.telemetry {
-                    if let Ok(total) = written {
+                    if let WriteProgress::Done(state) = &progress {
+                        let (total, via_sendfile) = state.accounted();
                         t.http.bytes_out.add(total);
+                        t.http.bytes_sendfile.add(via_sendfile);
                     }
                     t.http
                         .buffer_pool_reuse
                         .add(scratch.reuses().wrapping_sub(reuses_before));
                     t.finish_request(&trace, (shared.now_fn)());
                 }
-                if let Err(error) = written {
-                    classify_io_error(&error, shared);
-                    return Disposition::Closed;
+                match progress {
+                    WriteProgress::Done(state) => {
+                        state.recycle_into(scratch);
+                    }
+                    WriteProgress::Parked => {
+                        // Socket full mid-response: the state (cursor and
+                        // sendfile offset included) is saved on the
+                        // connection; the poller waits for EPOLLOUT.
+                        return Disposition::Park(conn);
+                    }
+                    WriteProgress::Failed(error) => {
+                        classify_io_error(&error, shared);
+                        return Disposition::Closed;
+                    }
                 }
                 if !shared.buffer_pool {
                     scratch.purge();

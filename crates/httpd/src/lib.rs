@@ -25,9 +25,13 @@ pub mod poller;
 pub mod scratch;
 pub mod server;
 pub mod types;
+pub mod zerocopy;
 
 pub use client::{ClientError, ClientTls, HttpClient};
-pub use parse::{ClientResponse, ParseError};
+pub use parse::{
+    is_truncation, resolve_range, ClientResponse, ParseError, RangeOutcome, WriteOpts,
+    WriteOutcome,
+};
 pub use scratch::Scratch;
 pub use server::{Handler, HttpServer, PeerInfo, ServerConfig, ServerStats, TlsConfig};
-pub use types::{Body, Headers, Method, Request, Response};
+pub use types::{http_date, Body, Headers, Method, Request, Response};

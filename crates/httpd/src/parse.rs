@@ -313,22 +313,47 @@ pub fn write_response<W: Write>(
     Ok(body_len)
 }
 
-/// Serialize and send a response using scratch buffers for the head and the
-/// stream-copy loop, and a single vectored write for head + body.
-///
-/// On success the status line, headers, and an in-memory body leave in one
-/// `writev` syscall instead of two `write`s; the body buffer is recycled
-/// into `scratch` afterwards so the next response on this worker encodes
-/// into it. Returns the **total** bytes written (head + body) for the
-/// `bytes_out` telemetry counter.
-pub fn write_response_pooled<W: Write>(
-    writer: &mut W,
-    response: Response,
+/// Marker payload inside an `io::Error` for a body that ended before its
+/// advertised `Content-Length`. The framing on the connection is
+/// unrecoverable at that point — the next response would land mid-body —
+/// so detectors force `Connection: close` and telemetry counts the event
+/// separately from peer resets.
+#[derive(Debug)]
+pub struct BodyTruncated {
+    /// Bytes promised by `content-length` but never produced.
+    pub missing: u64,
+}
+
+impl std::fmt::Display for BodyTruncated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "body truncated {} bytes short of content-length", self.missing)
+    }
+}
+
+impl std::error::Error for BodyTruncated {}
+
+/// Build the truncation error for a body that came up `missing` bytes short.
+pub(crate) fn truncated(missing: u64) -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, BodyTruncated { missing })
+}
+
+/// Was this write failure a [`BodyTruncated`] short body (as opposed to a
+/// transport error)?
+pub fn is_truncation(error: &io::Error) -> bool {
+    error
+        .get_ref()
+        .is_some_and(|inner| inner.is::<BodyTruncated>())
+}
+
+/// Encode the status line + headers (including `content-length`,
+/// `connection` and `server`) into `head`. Shared by the blocking writer
+/// and the event-mode parking writer so both paths emit byte-identical
+/// responses.
+pub(crate) fn encode_head(
+    response: &Response,
     keep_alive: bool,
-    head_only: bool,
-    scratch: &mut Scratch,
-) -> io::Result<u64> {
-    let mut head = scratch.take();
+    head: &mut Vec<u8>,
+) -> io::Result<()> {
     write!(
         head,
         "HTTP/1.1 {} {}\r\n",
@@ -348,8 +373,91 @@ pub fn write_response_pooled<W: Write>(
         b"connection: close\r\n".as_slice()
     });
     head.extend_from_slice(b"server: clarens-rs/0.1\r\n\r\n");
+    Ok(())
+}
+
+/// Positioned read that leaves the file cursor untouched (the parked-writer
+/// machinery resumes from a saved offset, never from the cursor).
+pub(crate) fn read_file_at(file: &std::fs::File, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_at(buf, offset)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Seek, SeekFrom};
+        let mut f = file;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read(buf)
+    }
+}
+
+/// Options for [`write_response_opts`]: the raw socket fd when the writer
+/// is a plaintext socket (enables `sendfile(2)` for [`Body::File`]) and
+/// the `zero_copy` config knob.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WriteOpts {
+    /// Raw fd of the destination socket, if the writer IS that socket with
+    /// no encryption or buffering layered in between.
+    pub out_fd: Option<i32>,
+    /// Whether zero-copy transfer is enabled (config `zero_copy`).
+    pub zero_copy: bool,
+}
+
+/// Byte accounting from one response write.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WriteOutcome {
+    /// Total bytes written (head + body) for the `bytes_out` counter.
+    pub total: u64,
+    /// Subset of the body that went through `sendfile(2)`.
+    pub sendfile: u64,
+}
+
+/// Serialize and send a response using scratch buffers for the head and the
+/// copy loop, and a single vectored write for head + body.
+///
+/// On success the status line, headers, and an in-memory body leave in one
+/// `writev` syscall instead of two `write`s; the body buffer is recycled
+/// into `scratch` afterwards so the next response on this worker encodes
+/// into it. Returns the **total** bytes written (head + body) for the
+/// `bytes_out` telemetry counter.
+pub fn write_response_pooled<W: Write>(
+    writer: &mut W,
+    response: Response,
+    keep_alive: bool,
+    head_only: bool,
+    scratch: &mut Scratch,
+) -> io::Result<u64> {
+    write_response_opts(
+        writer,
+        response,
+        keep_alive,
+        head_only,
+        scratch,
+        WriteOpts::default(),
+    )
+    .map(|outcome| outcome.total)
+}
+
+/// [`write_response_pooled`] with a zero-copy escape hatch: when `opts`
+/// names the destination socket fd and zero-copy is on, a [`Body::File`]
+/// goes through `sendfile(2)` on Linux instead of a userspace copy loop.
+/// Blocking sockets only — the event path drives its own resumable state
+/// machine in `conn.rs`.
+pub fn write_response_opts<W: Write>(
+    writer: &mut W,
+    response: Response,
+    keep_alive: bool,
+    head_only: bool,
+    scratch: &mut Scratch,
+    opts: WriteOpts,
+) -> io::Result<WriteOutcome> {
+    let mut head = scratch.take();
+    encode_head(&response, keep_alive, &mut head)?;
 
     let head_len = head.len() as u64;
+    let mut sendfile_bytes = 0u64;
     let body_written: io::Result<u64> = match response.body {
         Body::Bytes(bytes) => {
             let body_slice: &[u8] = if head_only { &[] } else { &bytes };
@@ -358,10 +466,38 @@ pub fn write_response_pooled<W: Write>(
             scratch.recycle(bytes);
             result
         }
+        Body::Sized(len) => {
+            // Metadata-only body: legal for HEAD (and trivially for a zero
+            // length); anything else would under-deliver the framing.
+            if head_only || len == 0 {
+                writer.write_all(&head).map(|()| 0)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "Body::Sized has no bytes to send",
+                ))
+            }
+        }
+        Body::File { file, offset, len } => {
+            let mut result = writer.write_all(&head);
+            let mut written = 0u64;
+            if result.is_ok() && !head_only {
+                result = write_file_segment(
+                    writer,
+                    &file,
+                    offset,
+                    len,
+                    scratch,
+                    opts,
+                    &mut written,
+                    &mut sendfile_bytes,
+                );
+            }
+            result.map(|()| written)
+        }
         Body::Stream { mut reader, len } => {
-            // The zero-copy-style path: fixed buffer (recycled across
-            // responses), no intermediate allocation proportional to the
-            // file size.
+            // Fixed buffer (recycled across responses), no intermediate
+            // allocation proportional to the file size.
             let mut result = writer.write_all(&head);
             let mut written = 0u64;
             let mut buf = scratch.take();
@@ -372,10 +508,7 @@ pub fn write_response_pooled<W: Write>(
                     let want = (remaining as usize).min(buf.len());
                     match reader.read(&mut buf[..want]) {
                         Ok(0) => {
-                            result = Err(io::Error::new(
-                                io::ErrorKind::UnexpectedEof,
-                                "stream body ended early",
-                            ));
+                            result = Err(truncated(remaining));
                             break;
                         }
                         Ok(n) => {
@@ -401,7 +534,172 @@ pub fn write_response_pooled<W: Write>(
     scratch.recycle(head);
     let body_written = body_written?;
     writer.flush()?;
-    Ok(head_len + body_written)
+    Ok(WriteOutcome {
+        total: head_len + body_written,
+        sendfile: sendfile_bytes,
+    })
+}
+
+/// Send `[offset, offset + len)` of `file`: `sendfile(2)` when the caller
+/// handed us the socket fd and zero-copy is on, positioned-read copies
+/// otherwise (and as the fallback when the kernel refuses sendfile for
+/// this fd pair).
+#[allow(clippy::too_many_arguments)]
+fn write_file_segment<W: Write>(
+    writer: &mut W,
+    file: &std::fs::File,
+    offset: u64,
+    len: u64,
+    scratch: &mut Scratch,
+    opts: WriteOpts,
+    written: &mut u64,
+    sendfile_bytes: &mut u64,
+) -> io::Result<()> {
+    let mut pos = offset;
+    let end = offset + len;
+    #[cfg(unix)]
+    if opts.zero_copy && crate::zerocopy::available() {
+        if let Some(sock_fd) = opts.out_fd {
+            use std::os::unix::io::AsRawFd;
+            // The head is still in the writer's path; everything queued so
+            // far must hit the socket before bytes bypass the writer.
+            writer.flush()?;
+            let file_fd = file.as_raw_fd();
+            while pos < end {
+                let want = ((end - pos) as usize).min(usize::MAX / 2);
+                match crate::zerocopy::send_file(sock_fd, file_fd, &mut pos, want) {
+                    Ok(0) => return Err(truncated(end - pos)),
+                    Ok(n) => {
+                        *written += n as u64;
+                        *sendfile_bytes += n as u64;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) if e.kind() == io::ErrorKind::Unsupported && pos == offset => {
+                        // Kernel refused this fd pair before any byte moved:
+                        // fall through to the buffered loop below.
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if pos == end {
+                return Ok(());
+            }
+        }
+    }
+    let mut buf = scratch.take();
+    buf.resize(COPY_BUFFER, 0);
+    let mut result = Ok(());
+    while pos < end {
+        let want = ((end - pos) as usize).min(buf.len());
+        match read_file_at(file, &mut buf[..want], pos) {
+            Ok(0) => {
+                result = Err(truncated(end - pos));
+                break;
+            }
+            Ok(n) => {
+                if let Err(e) = writer.write_all(&buf[..n]) {
+                    result = Err(e);
+                    break;
+                }
+                pos += n as u64;
+                *written += n as u64;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                result = Err(e);
+                break;
+            }
+        }
+    }
+    scratch.recycle(buf);
+    result
+}
+
+/// Outcome of resolving a `Range` request header against an entity of
+/// `len` bytes (RFC 7233; single `bytes=` range only — multi-range and
+/// malformed headers are ignored, which RFC 7233 §3.1 permits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeOutcome {
+    /// No usable range — serve the whole entity with 200.
+    Whole,
+    /// Serve bytes `start..=end` with 206 and a `Content-Range`.
+    Partial {
+        /// First byte (inclusive).
+        start: u64,
+        /// Last byte (inclusive); always `< len`.
+        end: u64,
+    },
+    /// The range addresses no byte of the entity — answer 416 with
+    /// `Content-Range: bytes */len`.
+    Unsatisfiable,
+}
+
+/// Resolve an optional `Range` header value against an entity length.
+pub fn resolve_range(header: Option<&str>, len: u64) -> RangeOutcome {
+    let Some(value) = header else {
+        return RangeOutcome::Whole;
+    };
+    // Only the bytes unit is defined for us; other units are ignored.
+    let Some(spec) = value.trim().strip_prefix("bytes=") else {
+        return RangeOutcome::Whole;
+    };
+    let spec = spec.trim();
+    if spec.contains(',') {
+        // Multi-range: a server MAY ignore Range; serving the whole entity
+        // with 200 is always correct and avoids multipart framing.
+        return RangeOutcome::Whole;
+    }
+    let Some((first, last)) = spec.split_once('-') else {
+        return RangeOutcome::Whole;
+    };
+    let (first, last) = (first.trim(), last.trim());
+    match (first.is_empty(), last.is_empty()) {
+        (true, true) => RangeOutcome::Whole,
+        // Suffix form `-N`: the final N bytes.
+        (true, false) => {
+            let Ok(n) = last.parse::<u64>() else {
+                return RangeOutcome::Whole;
+            };
+            if n == 0 || len == 0 {
+                return RangeOutcome::Unsatisfiable;
+            }
+            RangeOutcome::Partial {
+                start: len.saturating_sub(n),
+                end: len - 1,
+            }
+        }
+        // Open-ended `N-`: from N to the end.
+        (false, true) => {
+            let Ok(start) = first.parse::<u64>() else {
+                return RangeOutcome::Whole;
+            };
+            if start >= len {
+                return RangeOutcome::Unsatisfiable;
+            }
+            RangeOutcome::Partial {
+                start,
+                end: len - 1,
+            }
+        }
+        // Closed `A-B`.
+        (false, false) => {
+            let (Ok(start), Ok(end)) = (first.parse::<u64>(), last.parse::<u64>()) else {
+                return RangeOutcome::Whole;
+            };
+            if start > end {
+                // Syntactically invalid byte-range-spec: ignore the header.
+                return RangeOutcome::Whole;
+            }
+            if start >= len {
+                return RangeOutcome::Unsatisfiable;
+            }
+            RangeOutcome::Partial {
+                start,
+                end: end.min(len - 1),
+            }
+        }
+    }
 }
 
 /// Write `head` then `body` completely, preferring a vectored write that
@@ -675,7 +973,116 @@ mod tests {
             100,
         );
         let mut wire = Vec::new();
-        assert!(write_response(&mut wire, resp, true, false).is_err());
+        let err = write_response(&mut wire, resp, true, false).unwrap_err();
+        assert!(is_truncation(&err), "{err:?}");
+        assert!(err.to_string().contains("90 bytes short"), "{err}");
+    }
+
+    fn temp_file(bytes: &[u8]) -> std::fs::File {
+        let dir = std::env::temp_dir().join(format!(
+            "clarens-parse-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("body.bin");
+        std::fs::write(&path, bytes).unwrap();
+        std::fs::File::open(&path).unwrap()
+    }
+
+    #[test]
+    fn file_body_buffered_roundtrip() {
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        let file = temp_file(&data);
+        let resp = Response::file(200, "application/octet-stream", file, 0, data.len() as u64);
+        let mut wire = Vec::new();
+        let outcome = write_response_opts(
+            &mut wire,
+            resp,
+            true,
+            false,
+            &mut Scratch::new(),
+            WriteOpts::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.sendfile, 0); // no socket fd: buffered path
+        let parsed = read_response(&mut BufReader::new(&wire[..]), usize::MAX).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.body, data);
+    }
+
+    #[test]
+    fn file_body_segment_respects_offset_and_len() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let file = temp_file(&data);
+        let resp = Response::file(206, "application/octet-stream", file, 100, 50);
+        let mut wire = Vec::new();
+        write_response(&mut wire, resp, true, false).unwrap();
+        let parsed = read_response(&mut BufReader::new(&wire[..]), usize::MAX).unwrap();
+        assert_eq!(parsed.status, 206);
+        assert_eq!(parsed.body, &data[100..150]);
+    }
+
+    #[test]
+    fn truncated_file_body_is_truncation_error() {
+        // Advertise more bytes than the file holds: the writer must fail
+        // with the truncation marker, not silently under-deliver.
+        let file = temp_file(&[9u8; 100]);
+        let resp = Response::file(200, "application/octet-stream", file, 0, 500);
+        let mut wire = Vec::new();
+        let err = write_response(&mut wire, resp, true, false).unwrap_err();
+        assert!(is_truncation(&err), "{err:?}");
+    }
+
+    #[test]
+    fn sized_body_is_head_only() {
+        let mut resp = Response {
+            status: 200,
+            headers: Headers::new(),
+            body: Body::Sized(12345),
+        };
+        resp.headers.set("content-type", "application/octet-stream");
+        let mut wire = Vec::new();
+        write_response(&mut wire, resp, true, true).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("content-length: 12345"));
+        assert!(text.ends_with("\r\n\r\n"));
+        // A GET with a Sized body is a framing bug and must fail loudly.
+        let resp = Response {
+            status: 200,
+            headers: Headers::new(),
+            body: Body::Sized(10),
+        };
+        assert!(write_response(&mut Vec::new(), resp, true, false).is_err());
+    }
+
+    #[test]
+    fn range_resolution() {
+        use RangeOutcome::*;
+        let r = |h: &str, len| resolve_range(Some(h), len);
+        // No header / foreign unit / malformed: serve whole.
+        assert_eq!(resolve_range(None, 100), Whole);
+        assert_eq!(r("items=0-5", 100), Whole);
+        assert_eq!(r("bytes=abc", 100), Whole);
+        assert_eq!(r("bytes=-", 100), Whole);
+        assert_eq!(r("bytes=5-2", 100), Whole); // inverted: ignore header
+        assert_eq!(r("bytes=0-10,20-30", 100), Whole); // multi-range: ignored
+        assert_eq!(r("bytes=1e2-", 100), Whole);
+        // Closed and clamped forms.
+        assert_eq!(r("bytes=0-99", 100), Partial { start: 0, end: 99 });
+        assert_eq!(r("bytes=10-19", 100), Partial { start: 10, end: 19 });
+        assert_eq!(r("bytes=90-1000", 100), Partial { start: 90, end: 99 });
+        assert_eq!(r("bytes= 10 - 19 ", 100), Partial { start: 10, end: 19 });
+        // Open-ended and suffix forms.
+        assert_eq!(r("bytes=95-", 100), Partial { start: 95, end: 99 });
+        assert_eq!(r("bytes=-5", 100), Partial { start: 95, end: 99 });
+        assert_eq!(r("bytes=-500", 100), Partial { start: 0, end: 99 });
+        // Unsatisfiable.
+        assert_eq!(r("bytes=100-", 100), Unsatisfiable);
+        assert_eq!(r("bytes=100-200", 100), Unsatisfiable);
+        assert_eq!(r("bytes=-0", 100), Unsatisfiable);
+        assert_eq!(r("bytes=0-", 0), Unsatisfiable);
+        assert_eq!(r("bytes=-5", 0), Unsatisfiable);
     }
 
     #[test]

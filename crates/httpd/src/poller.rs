@@ -204,16 +204,18 @@ mod sys {
     }
 
     /// `poll(2)` over a token-tagged interest set (non-Linux backend).
+    /// The third tuple field selects write interest (a parked writer)
+    /// instead of the default read interest.
     pub(super) fn poll_set(
-        interest: &[(RawFd, u64)],
+        interest: &[(RawFd, u64, bool)],
         timeout: Option<Duration>,
         out: &mut Vec<super::Event>,
     ) -> io::Result<()> {
         let mut fds: Vec<PollFd> = interest
             .iter()
-            .map(|&(fd, _)| PollFd {
+            .map(|&(fd, _, writable)| PollFd {
                 fd,
-                events: POLLIN,
+                events: if writable { POLLOUT } else { POLLIN },
                 revents: 0,
             })
             .collect();
@@ -225,7 +227,7 @@ mod sys {
             }
             return Err(err);
         }
-        for (pfd, &(_, token)) in fds.iter().zip(interest.iter()) {
+        for (pfd, &(_, token, _)) in fds.iter().zip(interest.iter()) {
             if pfd.revents != 0 {
                 out.push(super::Event {
                     token,
@@ -273,6 +275,7 @@ mod backend {
     const EPOLL_CTL_DEL: c_int = 2;
     const EPOLL_CTL_MOD: c_int = 3;
     const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
     const EPOLLERR: u32 = 0x008;
     const EPOLLHUP: u32 = 0x010;
     const EPOLLRDHUP: u32 = 0x2000;
@@ -368,6 +371,28 @@ mod backend {
             )
         }
 
+        /// Register `fd` for writability (one-shot): a connection parked
+        /// mid-response after `EWOULDBLOCK`, waiting for the socket's send
+        /// buffer to drain.
+        pub fn add_writable(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_ADD,
+                fd,
+                EPOLLOUT | EPOLLRDHUP | EPOLLONESHOT,
+                token,
+            )
+        }
+
+        /// Flip an existing registration to one-shot write interest.
+        pub fn rearm_writable(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_MOD,
+                fd,
+                EPOLLOUT | EPOLLRDHUP | EPOLLONESHOT,
+                token,
+            )
+        }
+
         /// Drop a registration (closing the fd also does this implicitly).
         pub fn delete(&self, fd: RawFd) -> io::Result<()> {
             self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
@@ -454,6 +479,7 @@ mod backend {
         token: u64,
         armed: bool,
         oneshot: bool,
+        writable: bool,
     }
 
     pub struct Poller {
@@ -478,16 +504,37 @@ mod backend {
                 token,
                 armed: true,
                 oneshot,
+                writable: false,
             });
             Ok(())
         }
 
         pub fn rearm(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            self.rearm_with(fd, token, false)
+        }
+
+        pub fn add_writable(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            self.interest.lock().unwrap().push(Registration {
+                fd,
+                token,
+                armed: true,
+                oneshot: true,
+                writable: true,
+            });
+            Ok(())
+        }
+
+        pub fn rearm_writable(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            self.rearm_with(fd, token, true)
+        }
+
+        fn rearm_with(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
             let mut interest = self.interest.lock().unwrap();
             match interest.iter_mut().find(|r| r.fd == fd) {
                 Some(r) => {
                     r.token = token;
                     r.armed = true;
+                    r.writable = writable;
                     Ok(())
                 }
                 None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
@@ -508,14 +555,14 @@ mod backend {
             timeout: Option<Duration>,
             out: &mut Vec<super::Event>,
         ) -> io::Result<()> {
-            let mut set: Vec<(RawFd, u64)> = vec![(self.wake_read, super::WAKE_TOKEN)];
+            let mut set: Vec<(RawFd, u64, bool)> = vec![(self.wake_read, super::WAKE_TOKEN, false)];
             set.extend(
                 self.interest
                     .lock()
                     .unwrap()
                     .iter()
                     .filter(|r| r.armed)
-                    .map(|r| (r.fd, r.token)),
+                    .map(|r| (r.fd, r.token, r.writable)),
             );
             let mut raw = Vec::new();
             sys::poll_set(&set, timeout, &mut raw)?;
@@ -571,6 +618,14 @@ mod backend {
         }
 
         pub fn rearm(&self, _fd: RawFd, _token: u64) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        pub fn add_writable(&self, _fd: RawFd, _token: u64) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        pub fn rearm_writable(&self, _fd: RawFd, _token: u64) -> io::Result<()> {
             unreachable!("stub poller cannot be constructed")
         }
 
@@ -764,5 +819,46 @@ mod tests {
             .wait(Some(Duration::from_secs(2)), &mut events)
             .expect("wait");
         assert_eq!(events.len(), 1, "re-armed fd must fire again");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn write_interest_fires_only_when_buffer_drains() {
+        use std::io::{Read as _, Write as _};
+        use std::os::unix::io::AsRawFd;
+
+        let poller = Poller::new().expect("poller");
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        // Stuff the send buffer until the kernel pushes back.
+        let chunk = [0u8; 64 * 1024];
+        let mut queued = 0usize;
+        loop {
+            match (&server_side).write(&chunk) {
+                Ok(n) => queued += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) => panic!("fill: {e}"),
+            }
+        }
+        poller
+            .add_writable(server_side.as_raw_fd(), 7)
+            .expect("add_writable");
+        let mut events = Vec::new();
+        poller
+            .wait(Some(Duration::from_millis(100)), &mut events)
+            .expect("wait");
+        assert!(events.is_empty(), "writable fired on a full buffer: {events:?}");
+
+        // Drain from the client side; write readiness must now surface.
+        let mut rest = vec![0u8; queued];
+        client.read_exact(&mut rest).unwrap();
+        poller
+            .wait(Some(Duration::from_secs(5)), &mut events)
+            .expect("wait");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
     }
 }

@@ -40,7 +40,9 @@ use clarens_pki::dn::DistinguishedName;
 use clarens_pki::SecureStream;
 
 use crate::conn::{self, Conn, Disposition};
-use crate::parse::{read_request_pooled, write_response_pooled, ParseError};
+use crate::parse::{
+    read_request_pooled, write_response_opts, write_response_pooled, ParseError, WriteOpts,
+};
 use crate::poller::{DeadlineWheel, Event, Poller};
 use crate::scratch::Scratch;
 use crate::types::{Method, Request, Response};
@@ -144,6 +146,11 @@ pub struct ServerConfig {
     /// before force-closing their connections. Idle (parked or between-
     /// request) connections are closed immediately either way.
     pub drain_timeout: Duration,
+    /// Send file-backed bodies with `sendfile(2)` on plaintext Linux
+    /// sockets instead of copying through a userspace buffer. Off (or on
+    /// unsupported targets/TLS) every path uses the buffered copy loop;
+    /// the wire bytes are identical either way.
+    pub zero_copy: bool,
 }
 
 impl Default for ServerConfig {
@@ -164,6 +171,7 @@ impl Default for ServerConfig {
             max_connections: 4096,
             park_idle: true,
             drain_timeout: Duration::from_secs(5),
+            zero_copy: true,
         }
     }
 }
@@ -331,6 +339,7 @@ impl HttpServer {
             now_fn: config.now_fn,
             telemetry: config.telemetry,
             buffer_pool: config.buffer_pool,
+            zero_copy: config.zero_copy,
             stop: Arc::clone(&stop),
             stats: Arc::clone(&stats),
             live: Arc::clone(&live),
@@ -481,6 +490,7 @@ pub(crate) struct WorkerShared<H: Handler> {
     pub(crate) now_fn: Arc<dyn Fn() -> i64 + Send + Sync>,
     pub(crate) telemetry: Option<Arc<Telemetry>>,
     pub(crate) buffer_pool: bool,
+    pub(crate) zero_copy: bool,
     pub(crate) stop: Arc<AtomicBool>,
     pub(crate) stats: Arc<ServerStats>,
     pub(crate) live: Arc<LiveConnections>,
@@ -540,6 +550,7 @@ fn accept_loop(ctx: AcceptLoop) {
                 served: 0,
                 id,
                 registered: false,
+                pending_write: None,
                 _budget: Some(budget),
             })
         } else {
@@ -647,6 +658,9 @@ fn poller_loop(
         conn: Conn,
         deadline: Instant,
         seq: u64,
+        /// Waiting for the socket to become writable (response parked
+        /// mid-write) rather than readable (idle keep-alive).
+        writer: bool,
     }
 
     let mut parked: HashMap<u64, Parked> = HashMap::new();
@@ -656,14 +670,26 @@ fn poller_loop(
     // Park sequence numbers distinguish a connection's current park from
     // stale wheel candidates left by its earlier parks.
     let mut seq: u64 = 0;
+    // Writers among `parked` (for the parked_writers gauge and the
+    // write_stall expiry class).
+    let mut writers: usize = 0;
 
     loop {
         while let Some(mut conn) = park_rx.try_recv() {
             let fd = conn::raw_fd(&conn.sock);
+            let writer = conn.pending_write.is_some();
             let armed = if conn.registered {
-                poller.rearm(fd, conn.id)
+                if writer {
+                    poller.rearm_writable(fd, conn.id)
+                } else {
+                    poller.rearm(fd, conn.id)
+                }
             } else {
-                let added = poller.add(fd, conn.id, true);
+                let added = if writer {
+                    poller.add_writable(fd, conn.id)
+                } else {
+                    poller.add(fd, conn.id, true)
+                };
                 if added.is_ok() {
                     conn.registered = true;
                 }
@@ -676,12 +702,16 @@ fn poller_loop(
             seq += 1;
             let deadline = Instant::now() + read_timeout;
             wheel.insert(conn.id, seq, deadline);
+            if writer {
+                writers += 1;
+            }
             parked.insert(
                 conn.id,
                 Parked {
                     conn,
                     deadline,
                     seq,
+                    writer,
                 },
             );
         }
@@ -690,6 +720,7 @@ fn poller_loop(
         }
         if let Some(t) = &telemetry {
             t.http.parked.set(parked.len() as u64);
+            t.http.parked_writers.set(writers as u64);
         }
 
         // With nothing parked there is no deadline to honor: sleep until a
@@ -708,6 +739,9 @@ fn poller_loop(
 
         for event in events.drain(..) {
             if let Some(p) = parked.remove(&event.token) {
+                if p.writer {
+                    writers -= 1;
+                }
                 if let Some(t) = &telemetry {
                     t.http.poll_wakeups.inc();
                     t.http.queue_depth.inc();
@@ -728,10 +762,22 @@ fn poller_loop(
             };
             match verdict {
                 Some(true) => {
-                    parked.remove(&token);
-                    if let Some(t) = &telemetry {
-                        // The server's own idle timeout, not a peer reset.
-                        t.http.idle_timeouts.inc();
+                    if let Some(p) = parked.remove(&token) {
+                        if p.writer {
+                            writers -= 1;
+                        }
+                        if let Some(t) = &telemetry {
+                            if p.writer {
+                                // A consumer too slow to drain its response
+                                // within the deadline: a stalled writer, not
+                                // keep-alive churn.
+                                t.http.write_stalls.inc();
+                            } else {
+                                // The server's own idle timeout, not a peer
+                                // reset.
+                                t.http.idle_timeouts.inc();
+                            }
+                        }
                     }
                 }
                 Some(false) => {
@@ -793,7 +839,12 @@ fn serve_connection<H: Handler>(
     let _live_guard = shared.live.register(&sock);
 
     match &shared.tls {
-        None => serve_stream(sock, None, shared, scratch),
+        None => {
+            // Plaintext: the socket fd is visible through the BufReader, so
+            // the write path may hand file bodies straight to sendfile(2).
+            let out_fd = Some(conn::raw_fd(&sock));
+            serve_stream(sock, None, shared, scratch, out_fd)
+        }
         Some(tls) => {
             let now = (shared.now_fn)();
             let mut rng = rand::rng();
@@ -804,7 +855,8 @@ fn serve_connection<H: Handler>(
                         certificate: stream.peer_certificate().clone(),
                         chain,
                     };
-                    serve_stream(stream, Some(peer), shared, scratch)
+                    // TLS frames every byte, so zero-copy is off the table.
+                    serve_stream(stream, Some(peer), shared, scratch, None)
                 }
                 Err(error) => {
                     if let Some(t) = &shared.telemetry {
@@ -822,6 +874,15 @@ fn serve_connection<H: Handler>(
 /// timeout firing is normal churn, while everything else means the peer
 /// tore the connection down under us.
 pub(crate) fn classify_io_error<H: Handler>(error: &io::Error, shared: &WorkerShared<H>) {
+    if crate::parse::is_truncation(error) {
+        // The body source under-delivered against its declared
+        // Content-Length — a server-side framing hazard, not peer churn.
+        if let Some(t) = &shared.telemetry {
+            t.http.stream_truncations.inc();
+        }
+        clarens_telemetry::debug!("response body truncated: {error}");
+        return;
+    }
     let idle = matches!(
         error.kind(),
         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
@@ -843,6 +904,7 @@ fn serve_stream<S: Transport, H: Handler>(
     peer: Option<PeerInfo>,
     shared: &WorkerShared<H>,
     scratch: &mut Scratch,
+    out_fd: Option<i32>,
 ) -> Result<(), ParseError> {
     let mut reader = BufReader::new(stream);
     let mut served = 0u64;
@@ -899,12 +961,23 @@ fn serve_stream<S: Transport, H: Handler>(
         trace.status = response.status;
         let written = trace.span(Phase::Write, || {
             clarens_faults::check_io(clarens_faults::sites::HTTPD_WRITE).and_then(|()| {
-                write_response_pooled(reader.get_mut(), response, keep_alive, head_only, scratch)
+                write_response_opts(
+                    reader.get_mut(),
+                    response,
+                    keep_alive,
+                    head_only,
+                    scratch,
+                    WriteOpts {
+                        out_fd,
+                        zero_copy: shared.zero_copy,
+                    },
+                )
             })
         });
         if let Some(t) = &shared.telemetry {
-            if let Ok(total) = written {
-                t.http.bytes_out.add(total);
+            if let Ok(outcome) = &written {
+                t.http.bytes_out.add(outcome.total);
+                t.http.bytes_sendfile.add(outcome.sendfile);
             }
             t.http
                 .buffer_pool_reuse

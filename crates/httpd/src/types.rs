@@ -155,20 +155,37 @@ impl Request {
     }
 }
 
-/// Response body: in-memory bytes or a streaming reader (the file service
-/// hands the network "I/O off to the web server" — §2.3 — which we model
-/// by streaming straight from the file handle).
+/// Response body: in-memory bytes, a streaming reader, or a file segment
+/// (the file service hands the network "I/O off to the web server" — §2.3 —
+/// which we model by streaming straight from the file handle, or on Linux
+/// by `sendfile(2)` without touching userspace at all).
 pub enum Body {
     /// Fully buffered body.
     Bytes(Vec<u8>),
     /// Streaming body with a known length (sent with Content-Length, copied
-    /// through a fixed buffer — the `sendfile()`-style path).
+    /// through a fixed buffer).
     Stream {
         /// Byte source.
         reader: Box<dyn Read + Send>,
         /// Exact number of bytes the reader will yield.
         len: u64,
     },
+    /// A segment of an open file. Eligible for the zero-copy `sendfile(2)`
+    /// path on plaintext Linux sockets; elsewhere it is copied through a
+    /// fixed buffer with positioned reads (the file cursor is never moved,
+    /// so a parked writer can resume from its saved offset).
+    File {
+        /// The open file; only `[offset, offset + len)` is sent.
+        file: std::fs::File,
+        /// First byte of the segment (absolute file position).
+        offset: u64,
+        /// Segment length in bytes.
+        len: u64,
+    },
+    /// A declared length with no byte source — for `HEAD` responses built
+    /// from `stat()` metadata alone. Writing one with a body is a framing
+    /// bug and fails rather than under-delivering.
+    Sized(u64),
 }
 
 impl std::fmt::Debug for Body {
@@ -176,6 +193,10 @@ impl std::fmt::Debug for Body {
         match self {
             Body::Bytes(b) => write!(f, "Body::Bytes({} bytes)", b.len()),
             Body::Stream { len, .. } => write!(f, "Body::Stream({len} bytes)"),
+            Body::File { offset, len, .. } => {
+                write!(f, "Body::File({len} bytes @ {offset})")
+            }
+            Body::Sized(len) => write!(f, "Body::Sized({len} bytes)"),
         }
     }
 }
@@ -186,6 +207,8 @@ impl Body {
         match self {
             Body::Bytes(b) => b.len() as u64,
             Body::Stream { len, .. } => *len,
+            Body::File { len, .. } => *len,
+            Body::Sized(len) => *len,
         }
     }
 
@@ -242,6 +265,53 @@ impl Response {
             body: Body::Stream { reader, len },
         }
     }
+
+    /// A response serving `[offset, offset + len)` of an open file —
+    /// `status` is 200 for whole-file GETs and 206 for ranges (the caller
+    /// sets `content-range`).
+    pub fn file(status: u16, content_type: &str, file: std::fs::File, offset: u64, len: u64) -> Self {
+        let mut headers = Headers::new();
+        headers.set("content-type", content_type);
+        Response {
+            status,
+            headers,
+            body: Body::File { file, offset, len },
+        }
+    }
+}
+
+/// Format a Unix timestamp (seconds) as an IMF-fixdate (RFC 7231 §7.1.1.1),
+/// e.g. `Sun, 06 Nov 1994 08:49:37 GMT` — the only date form `Last-Modified`
+/// may use. Hand-rolled from the civil-from-days algorithm; no date crate.
+pub fn http_date(unix_secs: u64) -> String {
+    let days = unix_secs / 86_400;
+    let secs_of_day = unix_secs % 86_400;
+    // Howard Hinnant's civil_from_days, shifted so the era starts 0000-03-01.
+    let z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // day of era [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // March-based month [0, 11]
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    // 1970-01-01 was a Thursday.
+    const WEEKDAYS: [&str; 7] = ["Thu", "Fri", "Sat", "Sun", "Mon", "Tue", "Wed"];
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    format!(
+        "{}, {:02} {} {:04} {:02}:{:02}:{:02} GMT",
+        WEEKDAYS[(days % 7) as usize],
+        day,
+        MONTHS[(month - 1) as usize],
+        year,
+        secs_of_day / 3600,
+        (secs_of_day / 60) % 60,
+        secs_of_day % 60,
+    )
 }
 
 /// Canonical reason phrase for a status code.
@@ -250,6 +320,7 @@ pub fn reason(status: u16) -> &'static str {
         200 => "OK",
         201 => "Created",
         204 => "No Content",
+        206 => "Partial Content",
         301 => "Moved Permanently",
         302 => "Found",
         304 => "Not Modified",
@@ -262,6 +333,7 @@ pub fn reason(status: u16) -> &'static str {
         411 => "Length Required",
         413 => "Payload Too Large",
         414 => "URI Too Long",
+        416 => "Range Not Satisfiable",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
@@ -347,7 +419,37 @@ mod tests {
     #[test]
     fn reasons() {
         assert_eq!(reason(200), "OK");
+        assert_eq!(reason(206), "Partial Content");
         assert_eq!(reason(404), "Not Found");
+        assert_eq!(reason(416), "Range Not Satisfiable");
         assert_eq!(reason(999), "Unknown");
+    }
+
+    #[test]
+    fn http_date_formatting() {
+        // The RFC 7231 example date.
+        assert_eq!(http_date(784_111_777), "Sun, 06 Nov 1994 08:49:37 GMT");
+        assert_eq!(http_date(0), "Thu, 01 Jan 1970 00:00:00 GMT");
+        // Leap-day handling across a century boundary divisible by 400.
+        assert_eq!(http_date(951_782_400), "Tue, 29 Feb 2000 00:00:00 GMT");
+        assert_eq!(http_date(1_754_352_000), "Tue, 05 Aug 2025 00:00:00 GMT");
+    }
+
+    #[test]
+    fn file_and_sized_bodies() {
+        let f = std::fs::File::open("/dev/null").or_else(|_| {
+            std::fs::File::open(std::env::current_exe().unwrap())
+        });
+        if let Ok(file) = f {
+            let body = Body::File {
+                file,
+                offset: 10,
+                len: 90,
+            };
+            assert_eq!(body.len(), 90);
+            assert!(format!("{body:?}").contains("90 bytes @ 10"));
+        }
+        assert_eq!(Body::Sized(123).len(), 123);
+        assert!(!Body::Sized(123).is_empty());
     }
 }

@@ -1,0 +1,397 @@
+//! Behavioral tests for the zero-copy bulk-data path: sendfile-backed
+//! file bodies, Range slicing, truncation detection, and event-mode
+//! partial-write parking.
+//!
+//! The byte-identity matrix is the contract that lets the copy engine be
+//! swapped freely: {blocking, event} × {zero_copy on, off} must produce
+//! identical wire bytes for every request shape, including 206 partial
+//! content. The parking tests pin the tentpole property — a slow reader
+//! parks its half-written response in the poller instead of pinning a
+//! worker.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use clarens_httpd::parse::read_response;
+use clarens_httpd::{
+    resolve_range, Handler, HttpServer, PeerInfo, RangeOutcome, Request, Response, ServerConfig,
+};
+use clarens_telemetry::Telemetry;
+
+use proptest::prelude::*;
+
+/// A deterministic payload file shared by the tests (per-test file name,
+/// so parallel tests never collide).
+fn payload_file(tag: &str, len: usize) -> (PathBuf, Vec<u8>) {
+    let dir = std::env::temp_dir().join(format!("clarens-bulk-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.bin"));
+    let data: Vec<u8> = (0..len as u32).map(|i| (i % 239) as u8).collect();
+    std::fs::write(&path, &data).unwrap();
+    (path, data)
+}
+
+/// A miniature file server: `GET /data` serves the payload file with
+/// Range support, exactly the shape `clarens-core`'s `serve_file` builds.
+fn file_handler(path: PathBuf) -> Arc<impl Handler> {
+    Arc::new(move |req: Request, _peer: Option<&PeerInfo>| {
+        let file = std::fs::File::open(&path).unwrap();
+        let len = file.metadata().unwrap().len();
+        match resolve_range(req.headers.get("range"), len) {
+            RangeOutcome::Whole => Response::file(200, "application/octet-stream", file, 0, len),
+            RangeOutcome::Partial { start, end } => {
+                let mut r = Response::file(
+                    206,
+                    "application/octet-stream",
+                    file,
+                    start,
+                    end - start + 1,
+                );
+                r.headers
+                    .set("content-range", format!("bytes {start}-{end}/{len}"));
+                r
+            }
+            RangeOutcome::Unsatisfiable => {
+                let mut r = Response::error(416, "range addresses no byte");
+                r.headers.set("content-range", format!("bytes */{len}"));
+                r
+            }
+        }
+    })
+}
+
+fn config(park: bool, zero_copy: bool) -> ServerConfig {
+    ServerConfig {
+        read_timeout: Duration::from_millis(500),
+        park_idle: park,
+        zero_copy,
+        ..Default::default()
+    }
+}
+
+fn collect_wire_bytes(addr: SocketAddr, exchanges: &[String]) -> Vec<Vec<u8>> {
+    exchanges
+        .iter()
+        .map(|request| {
+            let mut sock = TcpStream::connect(addr).unwrap();
+            sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            sock.write_all(request.as_bytes()).unwrap();
+            let mut bytes = Vec::new();
+            sock.read_to_end(&mut bytes).unwrap();
+            bytes
+        })
+        .collect()
+}
+
+/// {blocking, event} × {zero_copy on, off}: the raw response bytes must be
+/// identical for whole-file GETs, 206 slices (closed, suffix, open-ended),
+/// 416s, HEAD, and pipelined keep-alive — the copy engine must be
+/// invisible on the wire.
+#[test]
+fn copy_engines_are_byte_identical_on_the_wire() {
+    let (path, data) = payload_file("identity", 300_000);
+    let exchanges: Vec<String> = [
+        "GET /data HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n".to_string(),
+        "GET /data HTTP/1.1\r\nHost: h\r\nRange: bytes=1000-4999\r\nConnection: close\r\n\r\n"
+            .to_string(),
+        "GET /data HTTP/1.1\r\nHost: h\r\nRange: bytes=-777\r\nConnection: close\r\n\r\n"
+            .to_string(),
+        "GET /data HTTP/1.1\r\nHost: h\r\nRange: bytes=299999-\r\nConnection: close\r\n\r\n"
+            .to_string(),
+        "GET /data HTTP/1.1\r\nHost: h\r\nRange: bytes=999999-\r\nConnection: close\r\n\r\n"
+            .to_string(),
+        "HEAD /data HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n".to_string(),
+        // Pipelined: a range then a whole file on one keep-alive connection.
+        "GET /data HTTP/1.1\r\nHost: h\r\nRange: bytes=0-9\r\n\r\n\
+         GET /data HTTP/1.1\r\nHost: h\r\nRange: bytes=10-19\r\nConnection: close\r\n\r\n"
+            .to_string(),
+    ]
+    .to_vec();
+
+    let mut runs = Vec::new();
+    for park in [false, true] {
+        for zero_copy in [false, true] {
+            let server = HttpServer::bind(
+                "127.0.0.1:0",
+                config(park, zero_copy),
+                file_handler(path.clone()),
+            )
+            .unwrap();
+            runs.push((park, zero_copy, collect_wire_bytes(server.local_addr(), &exchanges)));
+            server.shutdown();
+        }
+    }
+    let (_, _, baseline) = &runs[0];
+    // Sanity: the whole-file exchange really carries the payload.
+    assert!(baseline[0].windows(data.len()).any(|w| w == data));
+    for (park, zero_copy, wires) in &runs[1..] {
+        for (i, (a, b)) in baseline.iter().zip(wires.iter()).enumerate() {
+            assert_eq!(
+                a, b,
+                "exchange {i} differs from baseline under park={park} zero_copy={zero_copy}"
+            );
+        }
+    }
+}
+
+/// With zero-copy enabled on Linux, file bytes are attributed to the
+/// `bytes_sendfile` counter; with it disabled, none are.
+#[cfg(target_os = "linux")]
+#[test]
+fn sendfile_bytes_are_counted() {
+    let (path, data) = payload_file("counted", 200_000);
+    for (zero_copy, park) in [(true, false), (true, true), (false, true)] {
+        let telemetry = Telemetry::enabled();
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                telemetry: Some(Arc::clone(&telemetry)),
+                ..config(park, zero_copy)
+            },
+            file_handler(path.clone()),
+        )
+        .unwrap();
+        let wire = collect_wire_bytes(
+            server.local_addr(),
+            &["GET /data HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n".to_string()],
+        );
+        assert!(wire[0].windows(data.len()).any(|w| w == data));
+        if zero_copy {
+            assert_eq!(
+                telemetry.http.bytes_sendfile.get(),
+                data.len() as u64,
+                "park={park}: whole body should ride sendfile"
+            );
+        } else {
+            assert_eq!(telemetry.http.bytes_sendfile.get(), 0, "park={park}");
+        }
+        server.shutdown();
+    }
+}
+
+/// A stream body that under-delivers against its declared Content-Length
+/// must close the connection (never desync keep-alive framing) and count
+/// as a stream truncation, in both concurrency modes.
+#[test]
+fn truncated_stream_closes_connection_and_is_counted() {
+    for park in [false, true] {
+        let telemetry = Telemetry::enabled();
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                telemetry: Some(Arc::clone(&telemetry)),
+                ..config(park, true)
+            },
+            // Claims 100 KiB, delivers 10 KiB: a lying Content-Length.
+            Arc::new(|_req: Request, _peer: Option<&PeerInfo>| {
+                let reader = Box::new(std::io::Cursor::new(vec![0x41u8; 10_240]));
+                Response::stream("application/octet-stream", reader, 102_400)
+            }),
+        )
+        .unwrap();
+
+        let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Ask for keep-alive: the truncation must force a close anyway.
+        sock.write_all(b"GET /data HTTP/1.1\r\nHost: h\r\n\r\n")
+            .unwrap();
+        let mut wire = Vec::new();
+        sock.read_to_end(&mut wire).unwrap();
+        let head_end = wire
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("park={park}: header terminator");
+        let head = std::str::from_utf8(&wire[..head_end]).unwrap();
+        assert!(head.contains("content-length: 102400"), "park={park}: {head}");
+        assert!(
+            wire.len() - head_end - 4 < 102_400,
+            "park={park}: under-delivery expected"
+        );
+        assert_eq!(
+            telemetry.http.stream_truncations.get(),
+            1,
+            "park={park}: truncation must be counted"
+        );
+        assert_eq!(
+            telemetry.http.peer_resets.get(),
+            0,
+            "park={park}: a server-side truncation is not peer churn"
+        );
+        server.shutdown();
+    }
+}
+
+/// The tentpole property: a reader too slow to drain a multi-megabyte
+/// response parks the half-written response in the poller instead of
+/// pinning the only worker; a second client is served meanwhile, and the
+/// slow reader still receives every byte.
+#[test]
+fn slow_reader_parks_write_and_frees_the_worker() {
+    let (path, data) = payload_file("parked", 8 << 20);
+    let telemetry = Telemetry::enabled();
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            telemetry: Some(Arc::clone(&telemetry)),
+            read_timeout: Duration::from_secs(30),
+            ..config(true, true)
+        },
+        file_handler(path),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // The slow reader requests 8 MiB and then... reads nothing. The kernel
+    // buffers fill, the write hits EWOULDBLOCK, and the connection must
+    // park with its cursor instead of holding the worker.
+    let mut slow = TcpStream::connect(addr).unwrap();
+    slow.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    slow.write_all(b"GET /data HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n")
+        .unwrap();
+
+    // Wait until the writer is actually parked (bounded).
+    let started = Instant::now();
+    while telemetry.http.parked_writers.get() == 0 {
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "writer never parked; parked_writers stayed 0"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The single worker is free: a fast client gets its answer promptly.
+    let mut fast = TcpStream::connect(addr).unwrap();
+    fast.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    fast.write_all(b"GET /data HTTP/1.1\r\nHost: h\r\nRange: bytes=0-9\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut reader = BufReader::new(fast);
+    let resp = read_response(&mut reader, usize::MAX).unwrap();
+    assert_eq!(resp.status, 206, "fast client starved behind a slow reader");
+    assert_eq!(resp.body, &data[..10]);
+
+    // The slow reader finally drains: every byte arrives, in order.
+    let mut wire = Vec::new();
+    slow.read_to_end(&mut wire).unwrap();
+    let head_end = wire.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+    assert_eq!(wire.len() - head_end, data.len());
+    assert_eq!(&wire[head_end..], data, "slow reader got corrupted bytes");
+    assert_eq!(telemetry.http.write_stalls.get(), 0);
+    server.shutdown();
+}
+
+/// A parked writer whose peer never drains expires from the deadline wheel
+/// as a `write_stall` — a distinct failure class from keep-alive idle
+/// churn.
+#[test]
+fn stalled_writer_expires_as_write_stall() {
+    let (path, _) = payload_file("stalled", 8 << 20);
+    let telemetry = Telemetry::enabled();
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            telemetry: Some(Arc::clone(&telemetry)),
+            read_timeout: Duration::from_millis(300),
+            ..config(true, true)
+        },
+        file_handler(path),
+    )
+    .unwrap();
+
+    let mut slow = TcpStream::connect(server.local_addr()).unwrap();
+    slow.write_all(b"GET /data HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    // Never read. The write parks, overstays the deadline, and is evicted.
+    let started = Instant::now();
+    while telemetry.http.write_stalls.get() == 0 {
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "stalled writer was never expired (parked_writers={}, idle_timeouts={})",
+            telemetry.http.parked_writers.get(),
+            telemetry.http.idle_timeouts.get(),
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert_eq!(telemetry.http.write_stalls.get(), 1);
+    assert_eq!(
+        telemetry.http.idle_timeouts.get(),
+        0,
+        "a write stall must not masquerade as idle churn"
+    );
+    server.shutdown();
+}
+
+proptest! {
+    /// The Range parser never panics, and every Partial it produces is a
+    /// well-formed, in-bounds, non-empty slice.
+    #[test]
+    fn range_parser_is_total_and_in_bounds(header in ".{0,40}", len in 0u64..1 << 40) {
+        match resolve_range(Some(&header), len) {
+            RangeOutcome::Partial { start, end } => {
+                prop_assert!(start <= end);
+                prop_assert!(end < len);
+            }
+            RangeOutcome::Whole | RangeOutcome::Unsatisfiable => {}
+        }
+    }
+
+    /// Well-formed closed ranges resolve exactly; inverted ones are
+    /// ignored (200), and starts beyond the entity are unsatisfiable.
+    #[test]
+    fn closed_ranges_resolve_exactly(a in 0u64..10_000, b in 0u64..10_000, len in 1u64..20_000) {
+        let header = format!("bytes={a}-{b}");
+        let got = resolve_range(Some(&header), len);
+        if a > b {
+            prop_assert_eq!(got, RangeOutcome::Whole);
+        } else if a >= len {
+            prop_assert_eq!(got, RangeOutcome::Unsatisfiable);
+        } else {
+            prop_assert_eq!(got, RangeOutcome::Partial { start: a, end: b.min(len - 1) });
+        }
+    }
+
+    /// Suffix ranges take the final N bytes (clamped), and `-0` addresses
+    /// nothing.
+    #[test]
+    fn suffix_ranges_take_the_tail(n in 0u64..20_000, len in 1u64..10_000) {
+        let got = resolve_range(Some(&format!("bytes=-{n}")), len);
+        if n == 0 {
+            prop_assert_eq!(got, RangeOutcome::Unsatisfiable);
+        } else {
+            prop_assert_eq!(
+                got,
+                RangeOutcome::Partial { start: len.saturating_sub(n), end: len - 1 }
+            );
+        }
+    }
+
+}
+
+/// Multi-range and other unparseable specs fall back to serving the whole
+/// entity — never an error, never a panic.
+#[test]
+fn junk_and_multi_ranges_serve_whole() {
+    for spec in [
+        "bytes=0-1,5-9",
+        "bytes=",
+        "bytes=a-b",
+        "octets=0-5",
+        "0-5",
+        "bytes=--3",
+        "bytes=5--",
+        "bytes=9 9-",
+        "bytes",
+    ] {
+        for len in [1u64, 100, 10_000] {
+            assert_eq!(
+                resolve_range(Some(spec), len),
+                RangeOutcome::Whole,
+                "{spec:?} against {len}"
+            );
+        }
+    }
+}

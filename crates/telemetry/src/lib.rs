@@ -49,6 +49,20 @@ pub struct HttpCounters {
     pub responses_5xx: Counter,
     /// Total response bytes written (head + body, all statuses).
     pub bytes_out: Counter,
+    /// Subset of `bytes_out` moved by `sendfile(2)` (zero-copy file→socket;
+    /// never touches a userspace buffer).
+    pub bytes_sendfile: Counter,
+    /// Connections parked mid-response because the socket send buffer
+    /// filled: the write cursor is saved and the poller re-arms for
+    /// writability instead of a worker spinning on the socket.
+    pub parked_writers: Gauge,
+    /// Parked writers expired by the deadline wheel because the peer never
+    /// drained its receive window in time (slow-consumer eviction).
+    pub write_stalls: Counter,
+    /// Streamed response bodies that under-delivered against their declared
+    /// Content-Length; the connection is force-closed to avoid desyncing
+    /// keep-alive framing.
+    pub stream_truncations: Counter,
     /// Scratch-arena buffer takes served from the per-worker pool instead
     /// of allocating (see `clarens-httpd`'s `Scratch`).
     pub buffer_pool_reuse: Counter,
@@ -308,8 +322,15 @@ impl Telemetry {
             ),
             ("clarens_http_responses_5xx_total", h.responses_5xx.get()),
             ("clarens_http_bytes_out_total", h.bytes_out.get()),
+            ("clarens_http_bytes_sendfile_total", h.bytes_sendfile.get()),
             ("clarens_buffer_pool_reuse_total", h.buffer_pool_reuse.get()),
             ("clarens_http_parked_connections", h.parked.get()),
+            ("clarens_http_parked_writers", h.parked_writers.get()),
+            ("clarens_http_write_stalls_total", h.write_stalls.get()),
+            (
+                "clarens_http_stream_truncations_total",
+                h.stream_truncations.get(),
+            ),
             ("clarens_http_queue_depth", h.queue_depth.get()),
             ("clarens_http_poll_wakeups_total", h.poll_wakeups.get()),
             ("clarens_http_sheds_total", h.sheds.get()),
