@@ -367,9 +367,7 @@ impl SlowReaderSwarm {
     /// Open `n` connections to `addr`, send each a `GET target`, and start
     /// the drain thread.
     pub fn open(addr: &str, target: &str, n: usize, bytes_per_sec: usize) -> SlowReaderSwarm {
-        let request = format!(
-            "GET {target} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n"
-        );
+        let request = format!("GET {target} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n");
         let mut socks = Vec::with_capacity(n);
         for _ in 0..n {
             let mut sock = connect_patiently(addr).expect("swarm connect");
@@ -390,13 +388,11 @@ impl SlowReaderSwarm {
             let mut buf = vec![0u8; per_tick];
             while !thread_stop.load(Ordering::Relaxed) {
                 for sock in &mut socks {
-                    match sock.read(&mut buf) {
-                        Ok(got) => {
-                            thread_drained.fetch_add(got as u64, Ordering::Relaxed);
-                        }
-                        // Nothing buffered yet, or the server gave up on
-                        // us — either way the swarm keeps crawling.
-                        Err(_) => {}
+                    // A read error means nothing buffered yet, or the
+                    // server gave up on us — either way the swarm keeps
+                    // crawling.
+                    if let Ok(got) = sock.read(&mut buf) {
+                        thread_drained.fetch_add(got as u64, Ordering::Relaxed);
                     }
                 }
                 std::thread::sleep(Duration::from_millis(100));
@@ -453,7 +449,10 @@ pub fn measure_get_throughput(
             break;
         }
     }
-    (bytes, bytes as f64 / t0.elapsed().as_secs_f64() / (1024.0 * 1024.0))
+    (
+        bytes,
+        bytes as f64 / t0.elapsed().as_secs_f64() / (1024.0 * 1024.0),
+    )
 }
 
 /// Start the Ablation-G grid: a small worker pool with the zero-copy

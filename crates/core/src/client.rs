@@ -64,11 +64,18 @@ fn is_idempotent(method: &str) -> bool {
         return !matches!(rest, "auth" | "logout");
     }
     // Pure echoes; discovery queries; publish overwrites the same
-    // descriptor, so replaying it is harmless.
+    // descriptor, so replaying it is harmless. Replication fetches are
+    // cursor-addressed reads of an append-only log — replaying one
+    // re-serves the same bytes.
     method.starts_with("echo.")
         || matches!(
             method,
-            "discovery.find" | "discovery.find_remote" | "discovery.status" | "discovery.publish"
+            "discovery.find"
+                | "discovery.find_remote"
+                | "discovery.status"
+                | "discovery.publish"
+                | "replication.fetch"
+                | "replication.status"
         )
 }
 
@@ -88,6 +95,9 @@ pub struct ClarensClient {
     rng: StdRng,
     /// Total retry attempts performed over the client's lifetime.
     retries_performed: u64,
+    /// Extra headers attached to every RPC POST (e.g. `x-clarens-hops`
+    /// when a proxy node forwards a call on a caller's behalf).
+    extra_headers: Vec<(String, String)>,
 }
 
 fn system_now() -> i64 {
@@ -111,6 +121,7 @@ impl ClarensClient {
             call_deadline: None,
             rng: StdRng::seed_from_u64(rand::rng().next_u64()),
             retries_performed: 0,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -175,6 +186,14 @@ impl ClarensClient {
         self
     }
 
+    /// Attach an extra header to every RPC POST this client sends. The
+    /// proxy service uses this to carry the `x-clarens-hops` forwarding
+    /// depth across node boundaries.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name.into(), value.into()));
+        self
+    }
+
     /// Total retry attempts this client has performed.
     pub fn retries_performed(&self) -> u64 {
         self.retries_performed
@@ -209,6 +228,9 @@ impl ClarensClient {
             .set("content-type", self.protocol.content_type());
         if let Some(session) = &self.session {
             request.headers.set("x-clarens-session", session.clone());
+        }
+        for (name, value) in &self.extra_headers {
+            request.headers.set(name, value.clone());
         }
         request.body = body;
 

@@ -10,6 +10,32 @@
 
 use std::path::PathBuf;
 
+/// Role a server plays in a multi-node federation (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FederationRole {
+    /// Not federated: no replication in either direction (default).
+    Standalone,
+    /// Serves its WAL to followers via `replication.fetch`.
+    Leader,
+    /// Ships the leader's WAL into its own store continuously.
+    Follower,
+}
+
+impl std::str::FromStr for FederationRole {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "standalone" => Ok(FederationRole::Standalone),
+            "leader" => Ok(FederationRole::Leader),
+            "follower" => Ok(FederationRole::Follower),
+            other => Err(format!(
+                "bad federation_role {other:?} (standalone|leader|follower)"
+            )),
+        }
+    }
+}
+
 /// Configuration for a Clarens server instance.
 #[derive(Clone)]
 pub struct ClarensConfig {
@@ -77,6 +103,20 @@ pub struct ClarensConfig {
     /// stale (the publisher re-announces every heartbeat, so the default
     /// tolerates ~3 missed heartbeats). `0` disables eviction.
     pub discovery_ttl_s: u64,
+    /// This server's federation role (DESIGN.md §11). Standalone by
+    /// default; `leader` serves its WAL to followers, `follower` ships the
+    /// leader's WAL into its own store.
+    pub federation_role: FederationRole,
+    /// Address (`host:port`) of the leader a follower replicates from.
+    /// Required when `federation_role` is `follower`, ignored otherwise.
+    pub federation_leader: Option<String>,
+    /// How often a follower polls the leader for new WAL records, in
+    /// milliseconds. Bounds replication lag on a quiet log.
+    pub replication_poll_ms: u64,
+    /// Maximum `proxy.call` forwarding depth. Each hop increments the
+    /// `x-clarens-hops` header; a request arriving at the limit is refused
+    /// instead of looping between misconfigured nodes.
+    pub proxy_max_hops: u32,
 }
 
 impl Default for ClarensConfig {
@@ -102,6 +142,10 @@ impl Default for ClarensConfig {
             request_deadline_ms: 5_000,
             client_retries: 2,
             discovery_ttl_s: 90,
+            federation_role: FederationRole::Standalone,
+            federation_leader: None,
+            replication_poll_ms: 50,
+            proxy_max_hops: 2,
         }
     }
 }
@@ -200,6 +244,22 @@ impl ClarensConfig {
                     config.discovery_ttl_s = value
                         .parse()
                         .map_err(|_| format!("line {}: bad discovery_ttl_s", lineno + 1))?
+                }
+                "federation_role" => {
+                    config.federation_role = value
+                        .parse()
+                        .map_err(|e| format!("line {}: {e}", lineno + 1))?
+                }
+                "federation_leader" => config.federation_leader = Some(value.to_owned()),
+                "replication_poll_ms" => {
+                    config.replication_poll_ms = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad replication_poll_ms", lineno + 1))?
+                }
+                "proxy_max_hops" => {
+                    config.proxy_max_hops = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad proxy_max_hops", lineno + 1))?
                 }
                 other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
             }
@@ -313,6 +373,36 @@ db_path: /var/clarens/clarens.db
         assert!(ClarensConfig::parse("request_deadline_ms: forever").is_err());
         assert!(ClarensConfig::parse("client_retries: no").is_err());
         assert!(ClarensConfig::parse("discovery_ttl_s: never").is_err());
+    }
+
+    #[test]
+    fn federation_knobs() {
+        let config = ClarensConfig::parse("").unwrap();
+        assert_eq!(config.federation_role, FederationRole::Standalone);
+        assert!(config.federation_leader.is_none());
+        assert_eq!(config.replication_poll_ms, 50);
+        assert_eq!(config.proxy_max_hops, 2);
+        let config = ClarensConfig::parse(
+            "federation_role: follower\nfederation_leader: leader.example.edu:8080\n\
+             replication_poll_ms: 25\nproxy_max_hops: 4",
+        )
+        .unwrap();
+        assert_eq!(config.federation_role, FederationRole::Follower);
+        assert_eq!(
+            config.federation_leader.as_deref(),
+            Some("leader.example.edu:8080")
+        );
+        assert_eq!(config.replication_poll_ms, 25);
+        assert_eq!(config.proxy_max_hops, 4);
+        assert_eq!(
+            ClarensConfig::parse("federation_role: leader")
+                .unwrap()
+                .federation_role,
+            FederationRole::Leader
+        );
+        assert!(ClarensConfig::parse("federation_role: primary").is_err());
+        assert!(ClarensConfig::parse("replication_poll_ms: often").is_err());
+        assert!(ClarensConfig::parse("proxy_max_hops: none").is_err());
     }
 
     #[test]

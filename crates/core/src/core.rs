@@ -1,5 +1,6 @@
 //! The composed server core: everything a service needs at call time.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -40,6 +41,11 @@ pub struct ClarensCore {
     pub telemetry: Arc<Telemetry>,
     /// Clock (overridable for deterministic tests).
     pub now_fn: Arc<dyn Fn() -> i64 + Send + Sync>,
+    /// Replication lag in WAL bytes (leader committed length minus this
+    /// node's applied cursor), maintained by the federation follower loop;
+    /// stays 0 on non-followers. Shared so the `db.replication_lag` gauge
+    /// and the replicator read/write the same cell.
+    pub replication_lag: Arc<AtomicU64>,
 }
 
 impl ClarensCore {
@@ -80,6 +86,7 @@ impl ClarensCore {
                     .map(|d| d.as_secs() as i64)
                     .unwrap_or(0)
             }),
+            replication_lag: Arc::new(AtomicU64::new(0)),
         });
         core.register_gauges();
         Ok(core)
@@ -104,6 +111,12 @@ impl ClarensCore {
         let store = Arc::clone(&self.store);
         self.telemetry
             .register_gauge("db.degraded", move || store.is_degraded() as u64);
+        let store = Arc::clone(&self.store);
+        self.telemetry
+            .register_gauge("db.wal_offset", move || store.wal_offset());
+        let lag = Arc::clone(&self.replication_lag);
+        self.telemetry
+            .register_gauge("db.replication_lag", move || lag.load(Ordering::Relaxed));
         self.telemetry
             .register_gauge("faults.injected", clarens_faults::injected_total);
         // Cache gauges capture a weak handle: the telemetry plane lives

@@ -43,7 +43,7 @@ pub mod vo;
 
 pub use crate::core::ClarensCore;
 pub use client::{ClarensClient, ClientError};
-pub use config::ClarensConfig;
+pub use config::{ClarensConfig, FederationRole};
 pub use server::{install_permissive_acls, register_builtin_services, ClarensServer};
 
 /// Map a store I/O error onto the right RPC fault: a degraded-mode

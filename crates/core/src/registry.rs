@@ -65,6 +65,13 @@ pub struct CallContext<'a> {
     /// so a stuck disk or an oversized scan turns into a clean 504-style
     /// fault instead of an unbounded stall.
     pub deadline: Option<std::time::Instant>,
+    /// How many `proxy.call` forwards this request has already taken,
+    /// parsed from the `x-clarens-hops` header (0 for a direct call). The
+    /// proxy service refuses to forward once it reaches the configured
+    /// `proxy_max_hops`, so two nodes that each believe the other owns a
+    /// module bounce a request a bounded number of times instead of
+    /// forever.
+    pub hops: u32,
 }
 
 impl<'a> CallContext<'a> {

@@ -102,6 +102,7 @@ pub fn install_permissive_acls(core: &ClarensCore) {
         "im",
         "srm",
         "job",
+        "replication",
     ] {
         core.acl.set_method_acl(module, &Acl::allow_dn("*"));
     }
@@ -124,7 +125,15 @@ pub fn register_builtin_services(
     core.register(Arc::new(services::EchoService));
     core.register(Arc::new(services::VoAdminService));
     core.register(Arc::new(services::AclAdminService));
-    core.register(Arc::new(services::ProxyService));
+    // The proxy router shares the discovery aggregator, so `proxy.call`
+    // resolves module owners from the same view `discovery.find` serves.
+    core.register(Arc::new(match &discovery {
+        Some(d) => services::ProxyService::with_router(d.aggregator()),
+        None => services::ProxyService::new(),
+    }));
+    if core.config.federation_role == crate::config::FederationRole::Leader {
+        core.register(Arc::new(services::ReplicationService));
+    }
     core.register(Arc::new(services::ImService::new()));
     if let Some(root) = core.config.file_root.clone() {
         core.register(Arc::new(services::FileService::new(root.clone())));
@@ -330,6 +339,14 @@ impl ClarensHandler {
         let deadline_ms = self.core.config.request_deadline_ms;
         let deadline = (deadline_ms > 0)
             .then(|| std::time::Instant::now() + std::time::Duration::from_millis(deadline_ms));
+        // Forwarding depth travels as a header so the hop budget survives
+        // node boundaries; an absent or unparsable header means a direct
+        // call.
+        let hops = request
+            .headers
+            .get("x-clarens-hops")
+            .and_then(|h| h.trim().parse().ok())
+            .unwrap_or(0);
         let ctx = CallContext {
             core: &self.core,
             identity: resolved.identity,
@@ -337,6 +354,7 @@ impl ClarensHandler {
             peer_chain: peer.map(|p| p.chain.clone()).unwrap_or_default(),
             now,
             deadline,
+            hops,
         };
         let result = trace.span(Phase::Dispatch, || service.call(&ctx, &method, &params));
         // A handler that overran its budget gets the 504-style fault even

@@ -34,6 +34,13 @@ impl DiscoveryService {
         }
     }
 
+    /// The aggregated discovery view, shared with the proxy router so
+    /// `proxy.call` resolves module owners from the same database
+    /// `discovery.find` answers from.
+    pub fn aggregator(&self) -> Arc<DiscoveryAggregator> {
+        Arc::clone(&self.aggregator)
+    }
+
     fn descriptor_value(d: &ServiceDescriptor) -> Value {
         d.to_value()
     }

@@ -13,6 +13,7 @@ pub mod file;
 pub mod im;
 pub mod job;
 pub mod proxy;
+pub mod replication;
 pub mod shell;
 pub mod srm;
 pub mod system;
@@ -25,6 +26,7 @@ pub use file::FileService;
 pub use im::ImService;
 pub use job::JobService;
 pub use proxy::ProxyService;
+pub use replication::ReplicationService;
 pub use shell::ShellService;
 pub use srm::SrmService;
 pub use system::SystemService;

@@ -11,7 +11,16 @@
 //! the client) are sealed with a password-derived ChaCha20 key and an
 //! HMAC-SHA256 tag, so the server operator cannot read them and tampering
 //! is detected.
+//!
+//! The service also hosts `proxy.call`, the federation routing hop: a
+//! request for a module this node does not export is forwarded to the
+//! discovery-resolved node that does, with a hop-limit header bounding
+//! pathological bouncing between misconfigured nodes.
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use monalisa_sim::{DiscoveryAggregator, ServiceQuery};
 use rand::RngExt;
 
 use clarens_pki::cert::{verify_chain, Certificate};
@@ -21,13 +30,45 @@ use clarens_pki::hmac::{derive_key, hmac_sha256, verify_mac};
 use clarens_wire::fault::codes;
 use clarens_wire::{Fault, Value};
 
+use crate::client::{ClarensClient, ClientError};
 use crate::registry::{params, CallContext, MethodInfo, Service};
 
 /// DB bucket for stored proxies (key: owner DN string).
 pub const PROXIES_BUCKET: &str = "proxies";
 
 /// The `proxy` service.
-pub struct ProxyService;
+#[derive(Default)]
+pub struct ProxyService {
+    /// Discovery view used by `proxy.call` to locate the node owning a
+    /// module this node does not export. `None` on servers without a
+    /// discovery plane: local dispatch still works, forwarding faults.
+    aggregator: Option<Arc<DiscoveryAggregator>>,
+}
+
+impl ProxyService {
+    /// A proxy service without a router (standalone servers).
+    pub fn new() -> Self {
+        ProxyService::default()
+    }
+
+    /// A proxy service that can forward `proxy.call` requests through the
+    /// given discovery view.
+    pub fn with_router(aggregator: Arc<DiscoveryAggregator>) -> Self {
+        ProxyService {
+            aggregator: Some(aggregator),
+        }
+    }
+}
+
+/// Extract `host:port` from a descriptor URL like
+/// `http://tier2.example.edu:8080/clarens`.
+fn host_port(url: &str) -> Option<&str> {
+    let rest = url
+        .strip_prefix("http://")
+        .or_else(|| url.strip_prefix("https://"))?;
+    let hp = &rest[..rest.find('/').unwrap_or(rest.len())];
+    (!hp.is_empty()).then_some(hp)
+}
 
 /// Seal `payload` under `password`, bound to `dn`.
 /// Layout: `nonce(12) || ciphertext || mac(32)`.
@@ -130,6 +171,11 @@ impl Service for ProxyService {
                 "proxy.remove()",
                 "Delete the caller's stored proxy",
             ),
+            MethodInfo::new(
+                "proxy.call",
+                "proxy.call(method, params)",
+                "Invoke a method on whichever federation node exports it",
+            ),
         ]
     }
 
@@ -209,6 +255,7 @@ impl Service for ProxyService {
                     .map_err(|e| crate::store_fault("proxy delete", &e))?;
                 Ok(Value::Bool(existed))
             }
+            "proxy.call" => self.route_call(ctx, params_in),
             other => Err(Fault::new(
                 codes::NO_SUCH_METHOD,
                 format!("no method {other}"),
@@ -218,6 +265,113 @@ impl Service for ProxyService {
 }
 
 impl ProxyService {
+    /// `proxy.call(method, params)`: dispatch locally when this node
+    /// exports the target module, otherwise forward one hop to the
+    /// lowest-latency node discovery says does.
+    ///
+    /// The dispatch layer only ACL-checked `proxy.call` itself, so the
+    /// target method is re-checked here before any dispatch — routing must
+    /// not become an ACL bypass. The caller's session id rides along on
+    /// the forwarded request; once session records replicate across the
+    /// federation, the remote node resolves it like its own.
+    fn route_call(&self, ctx: &CallContext<'_>, params_in: &[Value]) -> Result<Value, Fault> {
+        params::expect_range(params_in, 1, 2, "proxy.call")?;
+        let target = params::string(params_in, 0, "method")?;
+        let args: Vec<Value> = match params_in.get(1) {
+            None => Vec::new(),
+            Some(Value::Array(items)) => items.clone(),
+            Some(other) => {
+                return Err(Fault::bad_params(format!(
+                    "parameter 1 (params) must be an array, got {}",
+                    other.type_name()
+                )))
+            }
+        };
+        let dn = ctx.require_identity()?;
+        if target.starts_with("proxy.call") || target.is_empty() {
+            return Err(Fault::bad_params("proxy.call cannot route itself"));
+        }
+        if !ctx.core.acl.check_method(&target, dn, &ctx.core.vo) {
+            return Err(Fault::access_denied(format!(
+                "access denied to {target} for {dn}"
+            )));
+        }
+
+        // Local fast path: this node owns the module. The registry guard
+        // drops at the end of the statement, so the nested dispatch cannot
+        // deadlock against it.
+        let local = ctx.core.registry.read().resolve(&target);
+        if let Some(service) = local {
+            return service.call(ctx, &target, &args);
+        }
+
+        let federation = &ctx.core.telemetry.federation;
+        if ctx.hops >= ctx.core.config.proxy_max_hops {
+            federation.hop_limit_rejects.inc();
+            return Err(Fault::service(format!(
+                "hop limit reached ({}) routing {target}: no node on the path exports it",
+                ctx.core.config.proxy_max_hops
+            )));
+        }
+        let aggregator = self
+            .aggregator
+            .as_ref()
+            .ok_or_else(|| Fault::service(format!("{target} is not served here (no router)")))?;
+
+        // Resolve the owner via discovery; never bounce back to ourselves.
+        // Among candidates, prefer the lowest published p95 latency — the
+        // same load attribute balanced clients steer by.
+        let mut hits = aggregator.query_local(&ServiceQuery::by_method(&target));
+        hits.retain(|d| d.url != ctx.core.config.server_url);
+        let best = hits
+            .into_iter()
+            .min_by_key(|d| {
+                d.attributes
+                    .get("p95_us")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(u64::MAX)
+            })
+            .ok_or_else(|| Fault::service(format!("no federation node exports {target}")))?;
+        let addr = host_port(&best.url)
+            .ok_or_else(|| Fault::service(format!("unroutable descriptor url {}", best.url)))?;
+
+        let mut client =
+            ClarensClient::new(addr).with_header("x-clarens-hops", (ctx.hops + 1).to_string());
+        if let Some(budget) = ctx.remaining_budget() {
+            client = client.with_call_deadline(budget);
+        }
+        if let Some(session) = &ctx.session {
+            client.set_session(session.id.clone());
+        }
+        let started = Instant::now();
+        match client.call(&target, args) {
+            Ok(value) => {
+                federation.forwarded.inc();
+                federation
+                    .forward_us
+                    .record(started.elapsed().as_micros() as u64);
+                Ok(value)
+            }
+            // A remote fault is a completed exchange — the answer is the
+            // fault, passed through verbatim so the caller sees exactly
+            // what a direct call would have.
+            Err(ClientError::Fault(fault)) => {
+                federation.forwarded.inc();
+                federation
+                    .forward_us
+                    .record(started.elapsed().as_micros() as u64);
+                Err(fault)
+            }
+            Err(other) => {
+                federation.forward_failures.inc();
+                Err(Fault::service(format!(
+                    "forward of {target} to {} failed: {other}",
+                    best.url
+                )))
+            }
+        }
+    }
+
     fn open_stored(
         &self,
         ctx: &CallContext<'_>,

@@ -1,0 +1,115 @@
+//! The replication service: WAL shipping over the ordinary RPC plane.
+//!
+//! A federation leader exports its write-ahead log as a cursor-addressed
+//! byte stream. Followers poll `replication.fetch(epoch, offset, max)` and
+//! apply the decoded operations to their own store, so VO membership,
+//! ACLs, sessions, and stored proxies converge across the grid — any node
+//! can then authenticate any user (paper §2.1's "session state" made
+//! location independent).
+//!
+//! Protocol invariants (enforced by `Store::wal_read`):
+//! - only whole, CRC-valid frames are ever shipped;
+//! - the epoch bumps when compaction rewrites the log, and a stale cursor
+//!   restarts from offset 0 (the compacted log doubles as a full-state
+//!   snapshot, so replay converges);
+//! - `len` in every response is the leader's committed high-water mark,
+//!   letting the follower compute its lag without a second round trip.
+//!
+//! The WAL carries session secrets and sealed proxies, so both methods are
+//! gated on site admin — the follower authenticates with the federation's
+//! shared admin credential.
+
+use clarens_wire::fault::codes;
+use clarens_wire::{Fault, Value};
+
+use crate::registry::{params, CallContext, MethodInfo, Service};
+
+/// Largest chunk a single fetch may return (1 MiB) — bounds response
+/// allocation regardless of what the follower asks for.
+pub const MAX_FETCH_BYTES: i64 = 1 << 20;
+
+/// The `replication` service (registered on federation leaders).
+pub struct ReplicationService;
+
+fn require_site_admin(ctx: &CallContext<'_>) -> Result<(), Fault> {
+    let dn = ctx.require_identity()?;
+    if !ctx.core.vo.is_site_admin(dn) {
+        return Err(Fault::access_denied(
+            "replication streams the raw WAL (session secrets); site admin required",
+        ));
+    }
+    Ok(())
+}
+
+impl Service for ReplicationService {
+    fn module(&self) -> &str {
+        "replication"
+    }
+
+    fn methods(&self) -> Vec<MethodInfo> {
+        vec![
+            MethodInfo::new(
+                "replication.fetch",
+                "replication.fetch(epoch, offset, max_bytes)",
+                "Read framed WAL bytes from the given cursor (site admin)",
+            ),
+            MethodInfo::new(
+                "replication.status",
+                "replication.status()",
+                "Leader WAL epoch and committed length (site admin)",
+            ),
+        ]
+    }
+
+    fn call(
+        &self,
+        ctx: &CallContext<'_>,
+        method: &str,
+        params_in: &[Value],
+    ) -> Result<Value, Fault> {
+        match method {
+            "replication.fetch" => {
+                params::expect_len(params_in, 3, method)?;
+                require_site_admin(ctx)?;
+                let epoch = params::int(params_in, 0, "epoch")?;
+                let offset = params::int(params_in, 1, "offset")?;
+                let max_bytes = params::int(params_in, 2, "max_bytes")?;
+                if epoch < 0 || offset < 0 || max_bytes < 0 {
+                    return Err(Fault::bad_params("cursor fields must be non-negative"));
+                }
+                let chunk = ctx
+                    .core
+                    .store
+                    .wal_read(
+                        epoch as u64,
+                        offset as u64,
+                        max_bytes.min(MAX_FETCH_BYTES) as usize,
+                    )
+                    .map_err(|e| Fault::service(format!("wal read: {e}")))?;
+                ctx.core.telemetry.federation.replication_chunks.inc();
+                Ok(Value::structure([
+                    ("epoch", Value::Int(chunk.epoch as i64)),
+                    ("offset", Value::Int(chunk.offset as i64)),
+                    ("data", Value::Bytes(chunk.data)),
+                    ("len", Value::Int(chunk.len as i64)),
+                ]))
+            }
+            "replication.status" => {
+                params::expect_len(params_in, 0, method)?;
+                require_site_admin(ctx)?;
+                Ok(Value::structure([
+                    ("epoch", Value::Int(ctx.core.store.wal_epoch() as i64)),
+                    ("len", Value::Int(ctx.core.store.wal_offset() as i64)),
+                    (
+                        "role",
+                        Value::from(format!("{:?}", ctx.core.config.federation_role)),
+                    ),
+                ]))
+            }
+            other => Err(Fault::new(
+                codes::NO_SUCH_METHOD,
+                format!("no method {other}"),
+            )),
+        }
+    }
+}

@@ -156,6 +156,8 @@ impl Service for SystemService {
                             ("scans", gauge("db.scans")),
                             ("writes", gauge("db.writes")),
                             ("wal_syncs", gauge("db.wal_syncs")),
+                            ("wal_offset", gauge("db.wal_offset")),
+                            ("replication_lag", gauge("db.replication_lag")),
                         ]),
                     ),
                     (

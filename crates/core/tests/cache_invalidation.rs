@@ -144,6 +144,67 @@ fn sessions_survive_restart_with_cache_layer() {
     let _ = std::fs::remove_file(&db);
 }
 
+/// A session record that arrives via WAL replication is applied as a raw
+/// store write (`store.put` into the `sessions` bucket by the follower's
+/// applier) — it never passes through `SessionManager::create`. The epoch
+/// invalidation must still work end to end: the foreign session
+/// authenticates, a replicated overwrite of a *cached* session is visible
+/// on the very next request, and a replicated delete revokes it.
+#[test]
+fn replicated_session_record_invalidates_cache_epoch() {
+    use clarens::session::SESSIONS_BUCKET;
+
+    let grid = TestGrid::start();
+    let core = grid.core();
+    let now = core.now();
+    let record = |dn: &str, expires: i64| {
+        clarens_wire::json::to_string(&Value::structure([
+            ("dn", Value::from(dn)),
+            ("created", Value::Int(now)),
+            ("expires", Value::Int(expires)),
+            ("proxy", Value::Nil),
+        ]))
+        .into_bytes()
+    };
+    let user_dn = grid.user.certificate.subject.to_string();
+    let admin_dn = grid.admin.certificate.subject.to_string();
+
+    // A session minted on another federation node lands in the bucket.
+    let id = "ab".repeat(32);
+    core.store
+        .put(SESSIONS_BUCKET, &id, record(&user_dn, now + 600))
+        .unwrap();
+    let mut client = grid.client(&grid.user);
+    client.set_session(id.clone());
+    assert_eq!(
+        client.call("system.whoami", vec![]).unwrap().as_str(),
+        Some(user_dn.as_str()),
+        "replicated session should authenticate without a local create"
+    );
+    // Warm the resolved-session cache with a repeat call.
+    client.call("system.whoami", vec![]).unwrap();
+
+    // A replicated overwrite of the cached record (here: the leader
+    // re-bound the session to a different identity) must be served on the
+    // next request — the bucket-generation bump is the only signal.
+    core.store
+        .put(SESSIONS_BUCKET, &id, record(&admin_dn, now + 600))
+        .unwrap();
+    assert_eq!(
+        client.call("system.whoami", vec![]).unwrap().as_str(),
+        Some(admin_dn.as_str()),
+        "cached session must not survive a replicated overwrite"
+    );
+
+    // A replicated delete (leader-side logout) revokes the session.
+    core.store.delete(SESSIONS_BUCKET, &id).unwrap();
+    match client.call("system.whoami", vec![]) {
+        Err(ClientError::Fault(f)) => assert_eq!(f.code, codes::NOT_AUTHENTICATED, "{f:?}"),
+        other => panic!("expected not-authenticated fault, got {other:?}"),
+    }
+    grid.cleanup();
+}
+
 #[test]
 fn stats_rpc_reports_db_and_cache_counters() {
     let grid = TestGrid::start();

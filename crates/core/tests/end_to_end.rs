@@ -1060,7 +1060,10 @@ fn http_file_downloads_support_head_and_ranges() {
         assert_eq!(status, 200, "zero_copy={zero_copy}");
         assert_eq!(headers.get("content-length"), Some("10000"));
         assert_eq!(headers.get("accept-ranges"), Some("bytes"));
-        let lm = headers.get("last-modified").expect("last-modified").to_owned();
+        let lm = headers
+            .get("last-modified")
+            .expect("last-modified")
+            .to_owned();
         assert!(lm.ends_with(" GMT"), "{lm:?}");
         assert_eq!(body_bytes, 0);
 
@@ -1074,7 +1077,10 @@ fn http_file_downloads_support_head_and_ranges() {
         // Closed range.
         let mid = get("range: bytes=100-199\r\n");
         assert_eq!(mid.status, 206);
-        assert_eq!(mid.headers.get("content-range"), Some("bytes 100-199/10000"));
+        assert_eq!(
+            mid.headers.get("content-range"),
+            Some("bytes 100-199/10000")
+        );
         assert_eq!(mid.body, &payload[100..200]);
 
         // Suffix range: the final 100 bytes.

@@ -94,6 +94,7 @@ fn call(
         peer_chain: vec![],
         now: fixture.core.now(),
         deadline: None,
+        hops: 0,
     };
     service.call(&ctx, method, &params)
 }
@@ -533,7 +534,9 @@ fn md5_streams_large_files_and_honors_deadlines() {
     let user = f.user_dn.clone();
     // Five 64-KiB hash chunks plus a ragged tail: the digest loop must
     // stream, not slurp, and still agree with a one-shot reference hash.
-    let payload: Vec<u8> = (0..5 * 64 * 1024 + 4321u32).map(|i| (i % 233) as u8).collect();
+    let payload: Vec<u8> = (0..5 * 64 * 1024 + 4321u32)
+        .map(|i| (i % 233) as u8)
+        .collect();
     std::fs::write(f.data_dir.join("files/big.dat"), &payload).unwrap();
     let mut reference = clarens_pki::md5::Md5::new();
     reference.update(&payload);
@@ -554,6 +557,7 @@ fn md5_streams_large_files_and_honors_deadlines() {
         peer_chain: vec![],
         now: f.core.now(),
         deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+        hops: 0,
     };
     let err = service
         .call(&ctx, "file.md5", &[Value::from("/big2.dat")])

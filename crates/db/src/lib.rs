@@ -17,4 +17,5 @@ pub mod crc32;
 pub mod log;
 pub mod store;
 
-pub use store::{is_degraded_error, Store, StoreStats, DEGRADED_MSG};
+pub use log::{decode_stream, frame_prefix, LogOp};
+pub use store::{is_degraded_error, Store, StoreStats, WalChunk, DEGRADED_MSG};

@@ -125,6 +125,10 @@ fn read_name(payload: &[u8], pos: &mut usize) -> Option<String> {
 /// An open write-ahead log.
 pub struct Wal {
     writer: BufWriter<File>,
+    /// Bytes of fully-framed, flushed records on disk. This is the
+    /// replication high-water mark: a WAL shipper may serve any prefix of
+    /// `[0, len)` and never observe a torn frame.
+    len: u64,
     /// Whether to fsync after every append (durable but slow; tests and
     /// benches usually leave this off, mirroring a DB with default
     /// `innodb_flush_log_at_trx_commit`-style relaxation).
@@ -135,10 +139,23 @@ impl Wal {
     /// Open (creating if needed) a log at `path` in append mode.
     pub fn open(path: &Path, sync_on_append: bool) -> io::Result<Self> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let len = file.metadata()?.len();
         Ok(Wal {
             writer: BufWriter::new(file),
+            len,
             sync_on_append,
         })
+    }
+
+    /// Bytes of complete records appended so far (including anything the
+    /// file held when it was opened).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 
     /// Append one operation.
@@ -150,6 +167,7 @@ impl Wal {
         record.extend_from_slice(&crc32(&payload).to_le_bytes());
         self.write_record(&record)?;
         self.writer.flush()?;
+        self.len += record.len() as u64;
         if self.sync_on_append {
             self.fsync()?;
         }
@@ -197,6 +215,47 @@ impl Wal {
         self.writer.flush()?;
         self.fsync()
     }
+}
+
+/// Length of the longest prefix of `data` that consists of whole,
+/// CRC-valid records. WAL shippers trim replication chunks with this so a
+/// read that raced an in-flight append never ships a partial frame, and
+/// followers use it to reject a corrupted chunk wholesale.
+pub fn frame_prefix(data: &[u8]) -> usize {
+    let mut pos = 0usize;
+    loop {
+        if data.len() < pos + 4 {
+            return pos;
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        if len > MAX_VALUE + 2 * MAX_NAME + 16 || data.len() < pos + 4 + len + 4 {
+            return pos;
+        }
+        let payload = &data[pos + 4..pos + 4 + len];
+        let crc = u32::from_le_bytes(data[pos + 4 + len..pos + 8 + len].try_into().unwrap());
+        if crc32(payload) != crc {
+            return pos;
+        }
+        pos += 4 + len + 4;
+    }
+}
+
+/// Decode a byte run of framed records into operations. Returns `None` if
+/// the run is anything other than a whole number of CRC-valid, structurally
+/// sound records — a replication follower must apply a chunk entirely or
+/// not at all.
+pub fn decode_stream(data: &[u8]) -> Option<Vec<LogOp>> {
+    if frame_prefix(data) != data.len() {
+        return None;
+    }
+    let mut ops = Vec::new();
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        ops.push(decode_op(&data[pos + 4..pos + 4 + len])?);
+        pos += 4 + len + 4;
+    }
+    Some(ops)
 }
 
 /// The outcome of a recovery scan.
@@ -444,6 +503,57 @@ mod tests {
         assert!(clarens_faults::is_injected(&err), "{err}");
         let err = wal.sync().unwrap_err();
         assert!(clarens_faults::is_injected(&err), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wal_len_tracks_framed_bytes() {
+        let path = temp_path("len");
+        let first;
+        {
+            let mut wal = Wal::open(&path, false).unwrap();
+            assert!(wal.is_empty());
+            wal.append(&put("s", "k1", b"v1")).unwrap();
+            first = wal.len();
+            assert_eq!(first, std::fs::metadata(&path).unwrap().len());
+            wal.append(&put("s", "k2", b"v2")).unwrap();
+            assert!(wal.len() > first);
+        }
+        // Reopen picks up where the file left off.
+        let wal = Wal::open(&path, false).unwrap();
+        assert_eq!(wal.len(), std::fs::metadata(&path).unwrap().len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn frame_prefix_and_decode_stream() {
+        let path = temp_path("frames");
+        {
+            let mut wal = Wal::open(&path, false).unwrap();
+            wal.append(&put("s", "k1", b"v1")).unwrap();
+            wal.append(&put("s", "k2", b"v2")).unwrap();
+            wal.sync().unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        // The whole file is complete frames and decodes in order.
+        assert_eq!(frame_prefix(&bytes), bytes.len());
+        let ops = decode_stream(&bytes).unwrap();
+        assert_eq!(ops, vec![put("s", "k1", b"v1"), put("s", "k2", b"v2")]);
+        // A truncated run keeps only the whole-frame prefix...
+        let cut = &bytes[..bytes.len() - 3];
+        let prefix = frame_prefix(cut);
+        assert!(prefix < cut.len());
+        assert_eq!(decode_stream(&cut[..prefix]).unwrap().len(), 1);
+        // ...and decode_stream refuses the torn run outright.
+        assert!(decode_stream(cut).is_none());
+        // A CRC flip in the first record rejects everything from there on.
+        let mut flipped = bytes.clone();
+        flipped[8] ^= 0xFF;
+        assert_eq!(frame_prefix(&flipped), 0);
+        assert!(decode_stream(&flipped).is_none());
+        // Empty input is a valid empty stream.
+        assert_eq!(frame_prefix(&[]), 0);
+        assert_eq!(decode_stream(&[]).unwrap(), vec![]);
         std::fs::remove_file(&path).unwrap();
     }
 

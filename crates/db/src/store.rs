@@ -16,14 +16,15 @@
 //!   lookup plus deserialization.
 
 use std::collections::{BTreeMap, HashMap};
-use std::io;
+use std::fs::File;
+use std::io::{self, Read as _, Seek, SeekFrom};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use crate::log::{recover, LogOp, Wal};
+use crate::log::{frame_prefix, recover, LogOp, Wal};
 
 /// Inner map type: bucket name → ordered key/value map.
 type Buckets = BTreeMap<String, BTreeMap<String, Vec<u8>>>;
@@ -65,6 +66,36 @@ pub struct Store {
     /// explicit read-only instead (paper's "sessions survive restarts"
     /// promise requires the log to stay trustworthy).
     degraded: AtomicBool,
+    /// Incarnation of the WAL *file*. Compaction rewrites the log, so every
+    /// byte offset handed out before it is meaningless afterwards; bumping
+    /// this tells replication followers their cursor died and they must
+    /// resync from offset 0 (the compacted log is a full-state snapshot, so
+    /// replaying it from the top converges).
+    wal_epoch: AtomicU64,
+}
+
+/// One cursor-addressed slice of the write-ahead log, served to
+/// replication followers. `data` is always a whole number of CRC-framed
+/// records starting at `offset` within WAL incarnation `epoch`; `len` is
+/// the leader's committed WAL length at read time, so a follower can
+/// compute its replication lag as `len - (offset + data.len())`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalChunk {
+    /// WAL incarnation the chunk was read from.
+    pub epoch: u64,
+    /// Byte offset of the first record in `data`.
+    pub offset: u64,
+    /// Framed records (`[len][payload][crc]`, repeated).
+    pub data: Vec<u8>,
+    /// Committed WAL length when the chunk was cut.
+    pub len: u64,
+}
+
+impl WalChunk {
+    /// Cursor for the next fetch.
+    pub fn next_offset(&self) -> u64 {
+        self.offset + self.data.len() as u64
+    }
 }
 
 /// Message prefix of errors served by a degraded (read-only) store.
@@ -88,6 +119,7 @@ impl Store {
             syncs: AtomicU64::new(0),
             generations: RwLock::new(HashMap::new()),
             degraded: AtomicBool::new(false),
+            wal_epoch: AtomicU64::new(0),
         }
     }
 
@@ -124,6 +156,7 @@ impl Store {
             syncs: AtomicU64::new(0),
             generations: RwLock::new(HashMap::new()),
             degraded: AtomicBool::new(false),
+            wal_epoch: AtomicU64::new(0),
         };
         if recovery.torn_tail {
             store.compact()?;
@@ -291,7 +324,85 @@ impl Store {
         std::fs::rename(&tmp, path)?;
         // Reopen the handle on the new file.
         *wal_guard = Wal::open(path, wal_guard.sync_on_append)?;
+        // Old byte offsets now point into a file that no longer exists:
+        // invalidate every replication cursor.
+        self.wal_epoch.fetch_add(1, Ordering::SeqCst);
         Ok(())
+    }
+
+    /// Committed WAL length in bytes (0 for in-memory stores). Exported as
+    /// the `db.wal_offset` gauge; replication followers compare it against
+    /// their applied cursor to compute lag.
+    pub fn wal_offset(&self) -> u64 {
+        match &self.wal {
+            Some(wal) => wal.lock().len(),
+            None => 0,
+        }
+    }
+
+    /// Current WAL incarnation. Starts at 0 and bumps on every compaction
+    /// (each compaction rewrites the file, so prior offsets die with it).
+    pub fn wal_epoch(&self) -> u64 {
+        self.wal_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Read a replication chunk: up to `max_bytes` of whole WAL records
+    /// starting at `offset` within WAL incarnation `epoch`.
+    ///
+    /// If the caller's cursor is stale — the epoch no longer matches, or
+    /// the offset runs past the committed length — the read restarts from
+    /// offset 0 of the current incarnation; the follower detects the jump
+    /// by comparing the returned `offset`/`epoch` against what it asked
+    /// for. Only fully-framed, CRC-valid records are ever returned, so a
+    /// read racing an in-flight append or compaction yields a shorter (or
+    /// empty) chunk, never a torn one. Errors for in-memory stores.
+    pub fn wal_read(&self, epoch: u64, offset: u64, max_bytes: usize) -> io::Result<WalChunk> {
+        let (Some(path), Some(wal)) = (&self.path, &self.wal) else {
+            return Err(io::Error::other(
+                "wal_read requires a persistent store (no WAL to ship)",
+            ));
+        };
+        let cur_epoch = self.wal_epoch();
+        let committed = wal.lock().len();
+        let start = if epoch != cur_epoch || offset > committed {
+            0
+        } else {
+            offset
+        };
+        let budget = (committed - start).min(max_bytes as u64) as usize;
+        let mut data = vec![0u8; budget];
+        if budget > 0 {
+            let mut file = File::open(path)?;
+            file.seek(SeekFrom::Start(start))?;
+            let mut filled = 0;
+            while filled < budget {
+                match file.read(&mut data[filled..]) {
+                    Ok(0) => break,
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            data.truncate(filled);
+            let whole = frame_prefix(&data);
+            data.truncate(whole);
+        }
+        if self.wal_epoch() != cur_epoch {
+            // Compaction swapped the file mid-read; hand back an empty
+            // chunk at the new incarnation so the follower resyncs.
+            return Ok(WalChunk {
+                epoch: self.wal_epoch(),
+                offset: 0,
+                data: Vec::new(),
+                len: self.wal_offset(),
+            });
+        }
+        Ok(WalChunk {
+            epoch: cur_epoch,
+            offset: start,
+            data,
+            len: committed,
+        })
     }
 
     /// Force pending log data to disk.
@@ -615,6 +726,98 @@ mod tests {
         let _g = clarens_faults::with_thread(clarens_faults::sites::DB_WAL_FSYNC, "err");
         store.put("b", "k", b"v".to_vec()).unwrap();
         assert!(!store.is_degraded());
+    }
+
+    #[test]
+    fn wal_cursor_streams_and_resumes() {
+        use crate::log::decode_stream;
+        let path = temp_path("cursor");
+        let store = Store::open(&path).unwrap();
+        assert_eq!(store.wal_offset(), 0);
+        assert_eq!(store.wal_epoch(), 0);
+        store.put("sessions", "s1", b"alice".to_vec()).unwrap();
+        store.put("sessions", "s2", b"bob".to_vec()).unwrap();
+
+        // A fresh cursor drains the whole log in CRC-framed records.
+        let chunk = store.wal_read(0, 0, 1 << 20).unwrap();
+        assert_eq!(chunk.epoch, 0);
+        assert_eq!(chunk.offset, 0);
+        assert_eq!(chunk.len, store.wal_offset());
+        assert_eq!(chunk.next_offset(), chunk.len);
+        let ops = decode_stream(&chunk.data).unwrap();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(
+            ops[0],
+            LogOp::Put {
+                bucket: "sessions".into(),
+                key: "s1".into(),
+                value: b"alice".to_vec()
+            }
+        );
+
+        // Caught up: the next read is empty until new writes land.
+        let cursor = chunk.next_offset();
+        let empty = store.wal_read(0, cursor, 1 << 20).unwrap();
+        assert!(empty.data.is_empty());
+        assert_eq!(empty.offset, cursor);
+        store.delete("sessions", "s1").unwrap();
+        let tail = store.wal_read(0, cursor, 1 << 20).unwrap();
+        let ops = decode_stream(&tail.data).unwrap();
+        assert_eq!(
+            ops,
+            vec![LogOp::Delete {
+                bucket: "sessions".into(),
+                key: "s1".into()
+            }]
+        );
+
+        // A byte budget smaller than one record yields an empty chunk (no
+        // torn frames), and a larger one yields whole records only.
+        let partial = store.wal_read(0, 0, 3).unwrap();
+        assert!(partial.data.is_empty());
+        let one = store.wal_read(0, 0, chunk.data.len() - 1).unwrap();
+        assert_eq!(decode_stream(&one.data).unwrap().len(), 1);
+        assert!(one.next_offset() < chunk.len);
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_bumps_epoch_and_forces_resync() {
+        let path = temp_path("cursor-epoch");
+        let store = Store::open(&path).unwrap();
+        for i in 0..50 {
+            store.put("b", "hot", format!("v{i}").into_bytes()).unwrap();
+        }
+        let pre = store.wal_read(0, 0, 1 << 20).unwrap();
+        let cursor = pre.next_offset();
+        store.compact().unwrap();
+        assert_eq!(store.wal_epoch(), 1);
+        assert!(store.wal_offset() < cursor);
+
+        // The stale cursor (old epoch, now-out-of-range offset) restarts
+        // from 0 of the new incarnation, which replays the full snapshot.
+        let resync = store.wal_read(0, cursor, 1 << 20).unwrap();
+        assert_eq!(resync.epoch, 1);
+        assert_eq!(resync.offset, 0);
+        let ops = crate::log::decode_stream(&resync.data).unwrap();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(
+            ops[0],
+            LogOp::Put {
+                bucket: "b".into(),
+                key: "hot".into(),
+                value: b"v49".to_vec()
+            }
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wal_read_refused_for_in_memory_store() {
+        let store = Store::in_memory();
+        assert_eq!(store.wal_offset(), 0);
+        assert!(store.wal_read(0, 0, 1024).is_err());
     }
 
     #[test]

@@ -40,6 +40,45 @@ pub struct DiscoveryAggregator {
     now_fn: Arc<dyn Fn() -> i64 + Send + Sync>,
 }
 
+/// Mirror one service descriptor into the local database.
+///
+/// Two refresh rules keep the mirror duplicate-free across re-publishes:
+/// the `put` under the descriptor's own key overwrites in place (so a
+/// heartbeat carrying changed load/latency attributes updates the entry
+/// rather than growing the bucket), and any entry for the same
+/// (server_dn, service) under a *different* url with an older-or-equal
+/// timestamp is dropped — a server that restarted on a new port
+/// supersedes its previous address instead of being advertised twice
+/// until the stale entry ages out. The comparison is strictly older:
+/// equal-timestamp descriptors under one DN are kept side by side (a
+/// deployment sharing one host certificate across servers looks like
+/// this, and there is no evidence which address is the newer one).
+fn mirror_service(store: &Store, d: &ServiceDescriptor) {
+    for (key, bytes) in store.scan_prefix(SERVICES_BUCKET, "") {
+        if key == d.key() {
+            continue;
+        }
+        let superseded = String::from_utf8(bytes)
+            .ok()
+            .and_then(|text| json::parse(&text).ok())
+            .and_then(|value| ServiceDescriptor::from_value(&value).ok())
+            .is_some_and(|old| {
+                old.server_dn == d.server_dn
+                    && old.service == d.service
+                    && old.url != d.url
+                    && old.timestamp < d.timestamp
+            });
+        if superseded {
+            let _ = store.delete(SERVICES_BUCKET, &key);
+        }
+    }
+    let _ = store.put(
+        SERVICES_BUCKET,
+        &d.key(),
+        json::to_string(&d.to_value()).into_bytes(),
+    );
+}
+
 /// Remove mirrored entries whose timestamp is older than `now - ttl_secs`.
 /// Returns the number of entries dropped. A station that stops heart-
 /// beating (crashed, partitioned) stops refreshing its descriptors'
@@ -91,11 +130,7 @@ impl DiscoveryAggregator {
                         while !stop.load(Ordering::SeqCst) {
                             match rx.recv_timeout(std::time::Duration::from_millis(50)) {
                                 Ok(Publication::Service(d)) => {
-                                    let _ = store.put(
-                                        SERVICES_BUCKET,
-                                        &d.key(),
-                                        json::to_string(&d.to_value()).into_bytes(),
-                                    );
+                                    mirror_service(&store, &d);
                                     updates.fetch_add(1, Ordering::Relaxed);
                                 }
                                 Ok(Publication::Sample(s)) => {
@@ -194,7 +229,11 @@ impl DiscoveryAggregator {
                 crate::station::query_station(station.query_addr(), query).unwrap_or_default();
             for descriptor in hits {
                 match merged.get(&descriptor.key()) {
-                    Some(existing) if existing.timestamp >= descriptor.timestamp => {}
+                    // Strictly-newer wins; on a timestamp tie the later
+                    // arrival replaces the earlier one, so a re-publish
+                    // within the same second still refreshes the
+                    // attributes instead of serving the stale copy.
+                    Some(existing) if existing.timestamp > descriptor.timestamp => {}
                     _ => {
                         merged.insert(descriptor.key(), descriptor);
                     }
@@ -238,10 +277,13 @@ mod tests {
     use crate::station::wait_until;
     use std::time::Duration;
 
+    // Host certificates are per-host, so distinct urls get distinct DNs
+    // (two entries sharing a DN means the same server, possibly re-bound
+    // to a new port — the supersede case tested explicitly below).
     fn descriptor(url: &str, service: &str, ts: i64) -> ServiceDescriptor {
         ServiceDescriptor {
             url: url.into(),
-            server_dn: "/O=g/CN=h".into(),
+            server_dn: format!("/O=g/CN={url}"),
             service: service.into(),
             methods: vec![format!("{service}.run")],
             attributes: [("site".to_string(), "caltech".to_string())].into(),
@@ -363,6 +405,86 @@ mod tests {
             .is_empty());
         assert_eq!(agg.evict_expired(), 1);
         assert_eq!(agg.local_service_count(), 0);
+        agg.shutdown();
+    }
+
+    #[test]
+    fn republish_refreshes_attributes_in_place() {
+        let station = Arc::new(StationServer::spawn("s1", "127.0.0.1:0").unwrap());
+        let store = Arc::new(Store::in_memory());
+        let agg = DiscoveryAggregator::new(vec![Arc::clone(&station)], Arc::clone(&store));
+
+        let mut d = descriptor("http://a", "file", 5);
+        d.attributes.insert("p95_us".into(), "100".into());
+        station.publish_local(Publication::Service(d.clone()));
+        assert!(wait_until(Duration::from_secs(2), || agg
+            .local_service_count()
+            == 1));
+
+        // Same key, same second, fresher load attributes (a heartbeat can
+        // land twice within timestamp resolution): the entry must be
+        // updated in place, not duplicated and not left stale.
+        d.attributes.insert("p95_us".into(), "50".into());
+        station.publish_local(Publication::Service(d.clone()));
+        assert!(wait_until(Duration::from_secs(2), || {
+            agg.query_local(&ServiceQuery::by_service("file"))
+                .first()
+                .and_then(|hit| hit.attributes.get("p95_us").cloned())
+                == Some("50".into())
+        }));
+        assert_eq!(agg.local_service_count(), 1, "refresh must not duplicate");
+
+        let remote = agg.query_remote(&ServiceQuery::by_service("file"));
+        assert_eq!(remote.len(), 1);
+        assert_eq!(remote[0].attributes.get("p95_us").unwrap(), "50");
+        agg.shutdown();
+    }
+
+    #[test]
+    fn remote_merge_takes_later_arrival_on_timestamp_tie() {
+        let s1 = Arc::new(StationServer::spawn("s1", "127.0.0.1:0").unwrap());
+        let s2 = Arc::new(StationServer::spawn("s2", "127.0.0.1:0").unwrap());
+        // s1 still holds the original publication; s2 received the
+        // re-publish with updated attributes in the same second. The merge
+        // must prefer the refreshed copy, not skip it on `>=`.
+        let mut d = descriptor("http://a", "file", 7);
+        d.attributes.insert("p95_us".into(), "900".into());
+        s1.publish_local(Publication::Service(d.clone()));
+        d.attributes.insert("p95_us".into(), "40".into());
+        s2.publish_local(Publication::Service(d));
+
+        let store = Arc::new(Store::in_memory());
+        let agg = DiscoveryAggregator::new(vec![s1, s2], store);
+        let hits = agg.query_remote(&ServiceQuery::by_service("file"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].attributes.get("p95_us").unwrap(), "40");
+        agg.shutdown();
+    }
+
+    #[test]
+    fn restart_on_new_port_supersedes_stale_descriptor() {
+        let station = Arc::new(StationServer::spawn("s1", "127.0.0.1:0").unwrap());
+        let store = Arc::new(Store::in_memory());
+        let agg = DiscoveryAggregator::new(vec![Arc::clone(&station)], Arc::clone(&store));
+
+        let mut old = descriptor("http://host:1", "file", 5);
+        old.server_dn = "/O=g/CN=host".into();
+        station.publish_local(Publication::Service(old));
+        assert!(wait_until(Duration::from_secs(2), || agg
+            .local_service_count()
+            == 1));
+
+        // Same server identity re-publishes from a new port (crash +
+        // restart): the old address must drop out instead of lingering as
+        // a dead endpoint until TTL expiry.
+        let mut new = descriptor("http://host:2", "file", 6);
+        new.server_dn = "/O=g/CN=host".into();
+        station.publish_local(Publication::Service(new));
+        assert!(wait_until(Duration::from_secs(2), || {
+            let hits = agg.query_local(&ServiceQuery::by_service("file"));
+            hits.len() == 1 && hits[0].url == "http://host:2"
+        }));
+        assert_eq!(agg.local_service_count(), 1);
         agg.shutdown();
     }
 

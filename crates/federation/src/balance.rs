@@ -1,0 +1,236 @@
+//! Discovery-aware client-side load balancing.
+//!
+//! A [`BalancedClient`] never holds a fixed server address. It resolves
+//! the method it is about to call through the station network (the same
+//! TCP query path `discovery.find_remote` uses — deliberately independent
+//! of any single Clarens node, so resolution survives node death), steers
+//! by the live load attributes servers publish with their heartbeats, and
+//! fails over by blacklisting a dead endpoint and re-resolving.
+//!
+//! Selection is power-of-two-choices on the published `p95_us` latency
+//! attribute: pick two random candidates, use the less-loaded one. That
+//! spreads a fleet of clients across the federation without the herding
+//! a strict pick-the-minimum rule causes when attributes refresh only on
+//! heartbeat.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use clarens::client::{ClarensClient, ClientError};
+use clarens_wire::Value;
+use monalisa_sim::station::query_station;
+use monalisa_sim::{ServiceDescriptor, ServiceQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How long a failed endpoint stays blacklisted before it may be retried.
+const BLACKLIST_COOLDOWN: Duration = Duration::from_secs(2);
+
+/// Per-call transport attempts before giving up (each against a freshly
+/// re-resolved endpoint).
+const MAX_ATTEMPTS: usize = 4;
+
+/// A federation client that routes every call via discovery.
+pub struct BalancedClient {
+    stations: Vec<SocketAddr>,
+    session: String,
+    call_deadline: Duration,
+    rng: StdRng,
+    /// The endpoint currently in use: url plus its connected client.
+    current: Option<(String, ClarensClient)>,
+    /// Endpoints that recently failed, with the time of the failure.
+    blacklist: HashMap<String, Instant>,
+    /// Drop the pin and re-resolve after this many successful calls, so a
+    /// fleet of long-lived clients keeps tracking the published load
+    /// attributes instead of freezing its initial placement.
+    repin_every: Option<u64>,
+    calls_since_pin: u64,
+    resolutions: u64,
+    failovers: u64,
+}
+
+impl BalancedClient {
+    /// A client resolving through `stations`, calling with the given
+    /// (already minted, replication-propagated) session. `seed` makes the
+    /// candidate-choice jitter deterministic for reproducible runs.
+    pub fn new(stations: Vec<SocketAddr>, session: impl Into<String>, seed: u64) -> Self {
+        BalancedClient {
+            stations,
+            session: session.into(),
+            call_deadline: Duration::from_secs(2),
+            rng: StdRng::seed_from_u64(seed),
+            current: None,
+            blacklist: HashMap::new(),
+            repin_every: None,
+            calls_since_pin: 0,
+            resolutions: 0,
+            failovers: 0,
+        }
+    }
+
+    /// Override the per-attempt call deadline (default 2 s).
+    pub fn with_call_deadline(mut self, deadline: Duration) -> Self {
+        self.call_deadline = deadline;
+        self
+    }
+
+    /// Re-resolve (and possibly move) after every `calls` successful
+    /// calls. Off by default: a lone client gains nothing from moving,
+    /// but a fleet re-pinning periodically converges on an even spread as
+    /// the servers' published latency attributes catch up with the load.
+    pub fn with_repin_every(mut self, calls: u64) -> Self {
+        self.repin_every = Some(calls.max(1));
+        self
+    }
+
+    /// Times this client resolved an endpoint via discovery.
+    pub fn resolutions(&self) -> u64 {
+        self.resolutions
+    }
+
+    /// Times a failed endpoint was abandoned for a re-resolved one.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// The url currently pinned, if any (tests/bench introspection).
+    pub fn current_url(&self) -> Option<&str> {
+        self.current.as_ref().map(|(url, _)| url.as_str())
+    }
+
+    /// Invoke `method`, resolving (and re-resolving on transport failure)
+    /// through discovery. A server-side fault is a completed exchange and
+    /// is returned as-is; only transport-level failures trigger failover.
+    pub fn call(&mut self, method: &str, params: Vec<Value>) -> Result<Value, ClientError> {
+        let mut voluntary = false;
+        if let Some(limit) = self.repin_every {
+            if self.calls_since_pin >= limit && self.current.is_some() {
+                self.current = None;
+                voluntary = true;
+            }
+        }
+        let mut last_err = None;
+        for attempt in 0..MAX_ATTEMPTS {
+            if self.current.is_none() {
+                match self.resolve(method, voluntary) {
+                    Ok(endpoint) => self.current = Some(endpoint),
+                    Err(e) => {
+                        last_err = Some(e);
+                        // Candidates may reappear as blacklist cooldowns
+                        // lapse; a short pause before the next attempt.
+                        std::thread::sleep(Duration::from_millis(25 << attempt.min(3)));
+                        continue;
+                    }
+                }
+            }
+            let (url, client) = self.current.as_mut().expect("endpoint pinned");
+            match client.call(method, params.clone()) {
+                Ok(value) => {
+                    self.calls_since_pin += 1;
+                    return Ok(value);
+                }
+                Err(ClientError::Fault(fault)) => return Err(ClientError::Fault(fault)),
+                Err(transport) => {
+                    // Endpoint is suspect: blacklist it and re-resolve.
+                    self.blacklist.insert(url.clone(), Instant::now());
+                    self.current = None;
+                    voluntary = false;
+                    self.failovers += 1;
+                    last_err = Some(transport);
+                }
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| ClientError::Transport(format!("no endpoint serves {method}"))))
+    }
+
+    /// Resolve `method` to a connected client via the station network.
+    ///
+    /// A `voluntary` re-pin (periodic rotation, nothing failed) picks
+    /// uniformly at random: the published latency attributes are
+    /// cumulative and therefore stale under shifting load, and steering a
+    /// whole fleet by a stale signal herds it onto whichever node looked
+    /// best at the last heartbeat. Random rotation keeps the time-averaged
+    /// spread even no matter how stale the attributes are, while the p2c
+    /// steering below still handles initial placement and failover, where
+    /// a persistently slow or dying node is exactly what the attributes
+    /// do capture.
+    fn resolve(
+        &mut self,
+        method: &str,
+        voluntary: bool,
+    ) -> Result<(String, ClarensClient), ClientError> {
+        let query = ServiceQuery::by_method(method);
+        let mut candidates: Vec<ServiceDescriptor> = Vec::new();
+        for station in &self.stations {
+            if let Ok(hits) = query_station(*station, &query) {
+                for hit in hits {
+                    if !candidates.iter().any(|d| d.url == hit.url) {
+                        candidates.push(hit);
+                    }
+                }
+            }
+        }
+        let now = Instant::now();
+        self.blacklist
+            .retain(|_, failed_at| now.duration_since(*failed_at) < BLACKLIST_COOLDOWN);
+        candidates.retain(|d| !self.blacklist.contains_key(&d.url));
+        if candidates.is_empty() {
+            return Err(ClientError::Transport(format!(
+                "discovery found no live endpoint for {method}"
+            )));
+        }
+        // Power-of-two-choices on published p95 latency.
+        let p95 = |d: &ServiceDescriptor| {
+            d.attributes
+                .get("p95_us")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(u64::MAX)
+        };
+        let first = (self.rng.next_u64() % candidates.len() as u64) as usize;
+        let second = (self.rng.next_u64() % candidates.len() as u64) as usize;
+        let pick = if voluntary || p95(&candidates[first]) <= p95(&candidates[second]) {
+            first
+        } else {
+            second
+        };
+        let descriptor = candidates.swap_remove(pick);
+        let addr = host_port(&descriptor.url).ok_or_else(|| {
+            ClientError::Protocol(format!("unroutable descriptor url {}", descriptor.url))
+        })?;
+        let mut client = ClarensClient::new(addr)
+            .with_retries(0)
+            .with_call_deadline(self.call_deadline);
+        client.set_session(self.session.clone());
+        self.resolutions += 1;
+        self.calls_since_pin = 0;
+        Ok((descriptor.url, client))
+    }
+}
+
+/// Extract `host:port` from a descriptor url.
+fn host_port(url: &str) -> Option<&str> {
+    let rest = url
+        .strip_prefix("http://")
+        .or_else(|| url.strip_prefix("https://"))?;
+    let hp = &rest[..rest.find('/').unwrap_or(rest.len())];
+    (!hp.is_empty()).then_some(hp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_port_parses_descriptor_urls() {
+        assert_eq!(
+            host_port("http://127.0.0.1:8080/clarens"),
+            Some("127.0.0.1:8080")
+        );
+        assert_eq!(host_port("https://host:1/x"), Some("host:1"));
+        assert_eq!(host_port("http://bare-host"), Some("bare-host"));
+        assert_eq!(host_port("ftp://x"), None);
+        assert_eq!(host_port("http:///path"), None);
+    }
+}

@@ -1,0 +1,195 @@
+//! The follower side of WAL-shipping replication.
+//!
+//! A [`Replicator`] thread polls the leader's `replication.fetch` RPC with
+//! an `(epoch, offset)` cursor and applies the decoded operations to the
+//! local store through the ordinary `put`/`delete` path — so every applied
+//! record bumps the target bucket's generation and the epoch-invalidated
+//! caches (sessions, VO, ACL) see replicated state exactly as they see
+//! local writes.
+//!
+//! Resync rules mirror the leader's `Store::wal_read` contract:
+//! * the leader answers a stale or unknown cursor by restarting the
+//!   stream at `(current_epoch, 0)` — the follower adopts whatever cursor
+//!   the chunk actually carries;
+//! * a chunk that fails `decode_stream` (torn frame, CRC mismatch —
+//!   should be impossible given the leader trims to whole frames, but the
+//!   network is the network) forces a restart from offset 0;
+//! * `len` in every response is the leader's committed high-water mark;
+//!   the published `db.replication_lag` gauge is `len - applied_offset`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use clarens::client::{ClarensClient, ClientError};
+use clarens::core::ClarensCore;
+use clarens_db::{decode_stream, LogOp};
+use clarens_pki::cert::Credential;
+use clarens_wire::Value;
+
+/// Fetch budget per poll (matches the leader-side `MAX_FETCH_BYTES` cap).
+const FETCH_BYTES: i64 = 1 << 20;
+
+/// A running replication follower loop.
+pub struct Replicator {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    applied: Arc<AtomicU64>,
+    chunks: Arc<AtomicU64>,
+}
+
+impl Replicator {
+    /// Start replicating `leader` (a `host:port` address) into `core`'s
+    /// store, authenticating as `admin` (replication is site-admin gated:
+    /// the WAL carries session secrets). Polls every `poll_ms` when idle.
+    pub fn start(
+        core: Arc<ClarensCore>,
+        leader: String,
+        admin: Credential,
+        poll_ms: u64,
+    ) -> Replicator {
+        let stop = Arc::new(AtomicBool::new(false));
+        let applied = Arc::new(AtomicU64::new(0));
+        let chunks = Arc::new(AtomicU64::new(0));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let applied = Arc::clone(&applied);
+            let chunks = Arc::clone(&chunks);
+            std::thread::Builder::new()
+                .name(format!("replicator-{leader}"))
+                .spawn(move || run(&core, &leader, admin, poll_ms, &stop, &applied, &chunks))
+                .expect("spawn replicator thread")
+        };
+        Replicator {
+            stop,
+            thread: Some(thread),
+            applied,
+            chunks,
+        }
+    }
+
+    /// Operations applied so far.
+    pub fn applied(&self) -> u64 {
+        self.applied.load(Ordering::Relaxed)
+    }
+
+    /// Non-empty chunks received so far.
+    pub fn chunks(&self) -> u64 {
+        self.chunks.load(Ordering::Relaxed)
+    }
+
+    /// Stop the loop and join the thread.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Replicator {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run(
+    core: &Arc<ClarensCore>,
+    leader: &str,
+    admin: Credential,
+    poll_ms: u64,
+    stop: &AtomicBool,
+    applied: &AtomicU64,
+    chunks: &AtomicU64,
+) {
+    let pause = Duration::from_millis(poll_ms.max(1));
+    let mut client = ClarensClient::new(leader)
+        .with_credential(admin)
+        .with_retries(1)
+        .with_call_deadline(Duration::from_secs(5));
+    let mut logged_in = false;
+    let mut epoch = 0u64;
+    let mut offset = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        if !logged_in {
+            logged_in = client.login().is_ok();
+            if !logged_in {
+                // Leader not up yet (or mid-restart): keep trying.
+                std::thread::sleep(pause);
+                continue;
+            }
+        }
+        let chunk = client.call(
+            "replication.fetch",
+            vec![
+                Value::Int(epoch as i64),
+                Value::Int(offset as i64),
+                Value::Int(FETCH_BYTES),
+            ],
+        );
+        let chunk = match chunk {
+            Ok(value) => value,
+            Err(ClientError::Fault(_)) => {
+                // Session expired, ACL change, degraded leader — re-login
+                // and retry; a persistent fault just keeps the loop warm.
+                logged_in = false;
+                std::thread::sleep(pause);
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(pause);
+                continue;
+            }
+        };
+        let served_epoch = chunk.get("epoch").and_then(Value::as_int).unwrap_or(0) as u64;
+        let served_offset = chunk.get("offset").and_then(Value::as_int).unwrap_or(0) as u64;
+        let committed = chunk.get("len").and_then(Value::as_int).unwrap_or(0) as u64;
+        let data = chunk
+            .get("data")
+            .and_then(Value::coerce_bytes)
+            .unwrap_or_default();
+        if served_epoch != epoch || served_offset != offset {
+            // The leader restarted the stream (compaction bumped the
+            // epoch, or our cursor outran a rewritten log). The compacted
+            // log is a full-state snapshot, so replaying it from 0
+            // converges — adopt the served cursor.
+            epoch = served_epoch;
+            offset = served_offset;
+        }
+        if data.is_empty() {
+            core.replication_lag
+                .store(committed.saturating_sub(offset), Ordering::Relaxed);
+            std::thread::sleep(pause);
+            continue;
+        }
+        let Some(ops) = decode_stream(&data) else {
+            // Torn or corrupt run: restart the stream from the top.
+            offset = 0;
+            continue;
+        };
+        chunks.fetch_add(1, Ordering::Relaxed);
+        for op in &ops {
+            let result = match op {
+                LogOp::Put { bucket, key, value } => {
+                    core.store.put(bucket, key, value.clone()).map(|_| ())
+                }
+                LogOp::Delete { bucket, key } => core.store.delete(bucket, key).map(|_| ()),
+            };
+            if result.is_ok() {
+                applied.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        offset = served_offset + data.len() as u64;
+        core.replication_lag
+            .store(committed.saturating_sub(offset), Ordering::Relaxed);
+        // More may be waiting: loop immediately while we are behind.
+        if committed <= offset {
+            std::thread::sleep(pause);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Federation integration tests: WAL-shipping replication convergence,
+//! proxy routing to the module owner, and discovery-driven failover.
+
+use std::time::Duration;
+
+use clarens::client::ClientError;
+use clarens_federation::FederationCluster;
+use clarens_wire::Value;
+use monalisa_sim::station::wait_until;
+
+#[test]
+fn two_node_replication_converges() {
+    let cluster = FederationCluster::start(2);
+    // `user_session` already proves the session record crossed the wire:
+    // it waits until the follower authenticates a session minted on the
+    // leader.
+    let session = cluster.user_session();
+    assert_eq!(session.len(), 64);
+
+    // An arbitrary leader-side write lands on the follower via the WAL
+    // stream, not via any shared storage.
+    let leader_store = std::sync::Arc::clone(&cluster.leader().core().store);
+    leader_store
+        .put("fedtest", "k1", b"replicate-me".to_vec())
+        .expect("leader write");
+    let follower_store = std::sync::Arc::clone(&cluster.nodes[1].core().store);
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            follower_store.get("fedtest", "k1").as_deref() == Some(b"replicate-me".as_ref())
+        }),
+        "leader write never reached the follower"
+    );
+    assert!(cluster.nodes[1].replication_applied() > 0);
+
+    // The follower's lag gauge drains to zero once it has caught up, and
+    // the leader's WAL offset gauge reflects a non-empty log.
+    let follower_telemetry = std::sync::Arc::clone(&cluster.nodes[1].core().telemetry);
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            follower_telemetry.gauge("db.replication_lag") == Some(0)
+        }),
+        "replication lag never drained"
+    );
+    assert!(cluster.leader().core().telemetry.gauge("db.wal_offset") > Some(0));
+    cluster.cleanup();
+}
+
+#[test]
+fn proxy_call_routes_to_module_owner() {
+    let cluster = FederationCluster::start(2);
+    let session = cluster.user_session();
+
+    // Only the leader exports the file module; the follower must forward.
+    let mut client = cluster.nodes[1].client();
+    client.set_session(session.clone());
+    let listing = client
+        .call(
+            "proxy.call",
+            vec![
+                Value::Str("file.ls".into()),
+                Value::Array(vec![Value::Str("/".into())]),
+            ],
+        )
+        .expect("proxied file.ls");
+    assert!(matches!(listing, Value::Array(_)));
+    let follower_core = cluster.nodes[1].core();
+    assert!(follower_core.telemetry.federation.forwarded.get() >= 1);
+    assert_eq!(follower_core.telemetry.federation.forward_failures.get(), 0);
+
+    // A method no node in the federation exports is a fault, not a hang.
+    let err = client
+        .call("proxy.call", vec![Value::Str("nosuch.method".into())])
+        .expect_err("unroutable method");
+    assert!(matches!(err, ClientError::Fault(_)));
+    cluster.cleanup();
+}
+
+#[test]
+fn balanced_client_fails_over_when_its_node_dies() {
+    let mut cluster = FederationCluster::start(3);
+    let session = cluster.user_session();
+    let mut client = cluster
+        .balanced_client(&session, 0x5EED)
+        .with_call_deadline(Duration::from_secs(2));
+
+    let mut wrong = 0u64;
+    let echo = |client: &mut clarens_federation::BalancedClient, i: u64, wrong: &mut u64| {
+        let payload = format!("fed-{i}");
+        match client.call("echo.echo", vec![Value::Str(payload.clone())]) {
+            Ok(Value::Str(s)) if s == payload => {}
+            _ => *wrong += 1,
+        }
+    };
+    for i in 0..10 {
+        echo(&mut client, i, &mut wrong);
+    }
+    assert_eq!(wrong, 0, "healthy cluster returned wrong answers");
+
+    // Kill the node the client is pinned to: the next calls must fail
+    // over to a surviving node via discovery re-resolution.
+    let pinned = client
+        .current_url()
+        .expect("pinned after calls")
+        .to_string();
+    let index = cluster
+        .nodes
+        .iter()
+        .position(|n| n.url == pinned)
+        .expect("pinned node in cluster");
+    let killed = cluster.kill(index);
+    for i in 10..30 {
+        echo(&mut client, i, &mut wrong);
+    }
+    assert_eq!(wrong, 0, "failover produced wrong answers");
+    assert!(client.failovers() >= 1, "client never failed over");
+    assert!(client.resolutions() >= 2, "client never re-resolved");
+    assert_ne!(client.current_url(), Some(killed.as_str()));
+    cluster.cleanup();
+}

@@ -67,6 +67,12 @@ pub(crate) struct Conn {
 
 /// What a worker does with a connection after driving it as far as the
 /// buffered bytes and the socket allow.
+///
+/// `Park` carries the whole `Conn` by value on purpose: parking happens
+/// once per idle cycle on the hot path, and boxing the variant would buy
+/// lint silence with an allocation per park (the allocations-per-request
+/// gate in `repro quick` exists to keep exactly this kind of cost out).
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum Disposition {
     /// Waiting for more bytes: hand the connection to the poller.
     Park(Conn),
@@ -281,12 +287,8 @@ impl WriteState {
                     if *zero_copy && crate::zerocopy::available() {
                         use std::os::unix::io::AsRawFd;
                         let want = (*end - *pos) as usize;
-                        match crate::zerocopy::send_file(
-                            raw_fd(sock),
-                            file.as_raw_fd(),
-                            pos,
-                            want,
-                        ) {
+                        match crate::zerocopy::send_file(raw_fd(sock), file.as_raw_fd(), pos, want)
+                        {
                             Ok(0) => return Err(truncated(*end - *pos)),
                             Ok(n) => {
                                 self.written += n as u64;

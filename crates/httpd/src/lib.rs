@@ -29,8 +29,7 @@ pub mod zerocopy;
 
 pub use client::{ClientError, ClientTls, HttpClient};
 pub use parse::{
-    is_truncation, resolve_range, ClientResponse, ParseError, RangeOutcome, WriteOpts,
-    WriteOutcome,
+    is_truncation, resolve_range, ClientResponse, ParseError, RangeOutcome, WriteOpts, WriteOutcome,
 };
 pub use scratch::Scratch;
 pub use server::{Handler, HttpServer, PeerInfo, ServerConfig, ServerStats, TlsConfig};

@@ -326,7 +326,11 @@ pub struct BodyTruncated {
 
 impl std::fmt::Display for BodyTruncated {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "body truncated {} bytes short of content-length", self.missing)
+        write!(
+            f,
+            "body truncated {} bytes short of content-length",
+            self.missing
+        )
     }
 }
 

@@ -850,7 +850,10 @@ mod tests {
         poller
             .wait(Some(Duration::from_millis(100)), &mut events)
             .expect("wait");
-        assert!(events.is_empty(), "writable fired on a full buffer: {events:?}");
+        assert!(
+            events.is_empty(),
+            "writable fired on a full buffer: {events:?}"
+        );
 
         // Drain from the client side; write readiness must now surface.
         let mut rest = vec![0u8; queued];

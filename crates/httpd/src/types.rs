@@ -269,7 +269,13 @@ impl Response {
     /// A response serving `[offset, offset + len)` of an open file —
     /// `status` is 200 for whole-file GETs and 206 for ranges (the caller
     /// sets `content-range`).
-    pub fn file(status: u16, content_type: &str, file: std::fs::File, offset: u64, len: u64) -> Self {
+    pub fn file(
+        status: u16,
+        content_type: &str,
+        file: std::fs::File,
+        offset: u64,
+        len: u64,
+    ) -> Self {
         let mut headers = Headers::new();
         headers.set("content-type", content_type);
         Response {
@@ -437,9 +443,8 @@ mod tests {
 
     #[test]
     fn file_and_sized_bodies() {
-        let f = std::fs::File::open("/dev/null").or_else(|_| {
-            std::fs::File::open(std::env::current_exe().unwrap())
-        });
+        let f = std::fs::File::open("/dev/null")
+            .or_else(|_| std::fs::File::open(std::env::current_exe().unwrap()));
         if let Ok(file) = f {
             let body = Body::File {
                 file,

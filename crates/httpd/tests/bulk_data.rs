@@ -120,7 +120,11 @@ fn copy_engines_are_byte_identical_on_the_wire() {
                 file_handler(path.clone()),
             )
             .unwrap();
-            runs.push((park, zero_copy, collect_wire_bytes(server.local_addr(), &exchanges)));
+            runs.push((
+                park,
+                zero_copy,
+                collect_wire_bytes(server.local_addr(), &exchanges),
+            ));
             server.shutdown();
         }
     }
@@ -205,7 +209,10 @@ fn truncated_stream_closes_connection_and_is_counted() {
             .position(|w| w == b"\r\n\r\n")
             .expect("park={park}: header terminator");
         let head = std::str::from_utf8(&wire[..head_end]).unwrap();
-        assert!(head.contains("content-length: 102400"), "park={park}: {head}");
+        assert!(
+            head.contains("content-length: 102400"),
+            "park={park}: {head}"
+        );
         assert!(
             wire.len() - head_end - 4 < 102_400,
             "park={park}: under-delivery expected"
@@ -249,7 +256,8 @@ fn slow_reader_parks_write_and_frees_the_worker() {
     // buffers fill, the write hits EWOULDBLOCK, and the connection must
     // park with its cursor instead of holding the worker.
     let mut slow = TcpStream::connect(addr).unwrap();
-    slow.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    slow.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
     slow.write_all(b"GET /data HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n")
         .unwrap();
 
@@ -266,8 +274,10 @@ fn slow_reader_parks_write_and_frees_the_worker() {
     // The single worker is free: a fast client gets its answer promptly.
     let mut fast = TcpStream::connect(addr).unwrap();
     fast.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
-    fast.write_all(b"GET /data HTTP/1.1\r\nHost: h\r\nRange: bytes=0-9\r\nConnection: close\r\n\r\n")
-        .unwrap();
+    fast.write_all(
+        b"GET /data HTTP/1.1\r\nHost: h\r\nRange: bytes=0-9\r\nConnection: close\r\n\r\n",
+    )
+    .unwrap();
     let mut reader = BufReader::new(fast);
     let resp = read_response(&mut reader, usize::MAX).unwrap();
     assert_eq!(resp.status, 206, "fast client starved behind a slow reader");

@@ -95,6 +95,25 @@ pub struct ResilienceCounters {
     pub degraded_rejects: Counter,
 }
 
+/// Federation counters: cross-node request routing (`proxy.call`) and
+/// WAL-shipping replication. Always live, like [`HttpCounters`].
+#[derive(Default)]
+pub struct FederationCounters {
+    /// `proxy.call` requests this node forwarded to the owning peer.
+    pub forwarded: Counter,
+    /// Forwards that failed at the transport (peer unreachable/reset).
+    pub forward_failures: Counter,
+    /// `proxy.call` requests refused because the hop budget was spent
+    /// (loop protection between misconfigured nodes).
+    pub hop_limit_rejects: Counter,
+    /// WAL replication chunks this node served to followers.
+    pub replication_chunks: Counter,
+    /// Time a forwarding node spent waiting on the remote peer
+    /// (microseconds) — the cross-node share of a proxied request, as
+    /// distinct from the local dispatch span that contains it.
+    pub forward_us: Histogram,
+}
+
 /// Per-protocol counters.
 #[derive(Debug, Default)]
 pub struct ProtocolCounters {
@@ -125,6 +144,8 @@ pub struct Telemetry {
     pub http: HttpCounters,
     /// Resilience counters (deadlines, retries, degraded-mode rejects).
     pub resilience: ResilienceCounters,
+    /// Federation counters (forwarded calls, replication chunks).
+    pub federation: FederationCounters,
     /// Per-phase latency histograms (microseconds), indexed by
     /// [`Phase`]` as usize`.
     phases: [Histogram; PHASE_COUNT],
@@ -151,6 +172,7 @@ impl Telemetry {
             timing,
             http: HttpCounters::default(),
             resilience: ResilienceCounters::default(),
+            federation: FederationCounters::default(),
             phases: std::array::from_fn(|_| Histogram::new()),
             total: Histogram::new(),
             methods: MethodTable::new(),
@@ -343,8 +365,34 @@ impl Telemetry {
                 "clarens_degraded_rejects_total",
                 self.resilience.degraded_rejects.get(),
             ),
+            (
+                "clarens_forwarded_calls_total",
+                self.federation.forwarded.get(),
+            ),
+            (
+                "clarens_forward_failures_total",
+                self.federation.forward_failures.get(),
+            ),
+            (
+                "clarens_hop_limit_rejects_total",
+                self.federation.hop_limit_rejects.get(),
+            ),
+            (
+                "clarens_replication_chunks_total",
+                self.federation.replication_chunks.get(),
+            ),
         ] {
             let _ = writeln!(out, "{name} {value}");
+        }
+        let forward = self.federation.forward_us.snapshot();
+        if forward.count > 0 {
+            render_histogram(
+                &mut out,
+                "clarens_forward_latency_us",
+                "span",
+                "forward",
+                &forward,
+            );
         }
         for (name, requests, faults) in self.protocols_snapshot() {
             let _ = writeln!(
@@ -520,6 +568,22 @@ mod tests {
         assert!(text.contains("clarens_method_calls_total{method=\"echo.echo\"} 1"));
         assert!(text.contains("clarens_phase_latency_us{phase=\"parse\",quantile=\"0.5\"}"));
         assert!(text.contains("clarens_protocol_requests_total{protocol=\"xmlrpc\"} 1"));
+    }
+
+    #[test]
+    fn federation_counters_render() {
+        let t = Telemetry::enabled();
+        let text = t.render_prometheus();
+        assert!(text.contains("clarens_forwarded_calls_total 0"));
+        // The forward histogram only renders once something was forwarded.
+        assert!(!text.contains("clarens_forward_latency_us"));
+        t.federation.forwarded.inc();
+        t.federation.forward_us.record(1234);
+        t.federation.replication_chunks.inc();
+        let text = t.render_prometheus();
+        assert!(text.contains("clarens_forwarded_calls_total 1"));
+        assert!(text.contains("clarens_replication_chunks_total 1"));
+        assert!(text.contains("clarens_forward_latency_us_count{span=\"forward\"} 1"));
     }
 
     #[test]
