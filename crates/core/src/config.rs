@@ -59,6 +59,22 @@ pub struct ClarensConfig {
     pub workers: usize,
     /// Path for the persistent store; `None` = in-memory.
     pub db_path: Option<PathBuf>,
+    /// Storage engine backing the persistent store (DESIGN.md §12):
+    /// `wal` (default) is the group-commit write-ahead log, the only
+    /// backend that can serve replication followers; `mmap` is the
+    /// checkpointing snapshot engine for follower/read-mostly nodes.
+    pub storage_backend: clarens_db::StorageBackend,
+    /// Make every store write durable (fsync) before acknowledging it.
+    /// Off by default: the store then persists at sync/checkpoint
+    /// granularity and on clean shutdown, like the paper's server.
+    pub db_sync: bool,
+    /// With `db_sync`, batch concurrent durable writes behind one fsync
+    /// (group commit). Disable to fall back to one fsync per write for
+    /// A/B measurement.
+    pub group_commit: bool,
+    /// Background-compact the store once the fraction of dead bytes in
+    /// the log exceeds this ratio (0 disables the compaction janitor).
+    pub compact_ratio: f64,
     /// Enable the epoch-invalidated authorization caches (sessions, VO
     /// groups, compiled ACLs, decisions). On by default; disable only to
     /// measure the uncached request path.
@@ -131,6 +147,10 @@ impl Default for ClarensConfig {
             auth_skew: 300,
             workers: 16,
             db_path: None,
+            storage_backend: clarens_db::StorageBackend::Wal,
+            db_sync: false,
+            group_commit: true,
+            compact_ratio: 0.5,
             auth_cache: true,
             telemetry: true,
             slow_trace_us: 10_000,
@@ -190,6 +210,33 @@ impl ClarensConfig {
                         .map_err(|_| format!("line {}: bad workers", lineno + 1))?
                 }
                 "db_path" => config.db_path = Some(PathBuf::from(value)),
+                "storage_backend" => {
+                    config.storage_backend = value
+                        .parse()
+                        .map_err(|e| format!("line {}: {e}", lineno + 1))?
+                }
+                "db_sync" => {
+                    config.db_sync = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad db_sync", lineno + 1))?
+                }
+                "group_commit" => {
+                    config.group_commit = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad group_commit", lineno + 1))?
+                }
+                "compact_ratio" => {
+                    let ratio: f64 = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad compact_ratio", lineno + 1))?;
+                    if !(0.0..=1.0).contains(&ratio) {
+                        return Err(format!(
+                            "line {}: compact_ratio must be within 0..=1",
+                            lineno + 1
+                        ));
+                    }
+                    config.compact_ratio = ratio;
+                }
                 "auth_cache" => {
                     config.auth_cache = value
                         .parse()
@@ -403,6 +450,34 @@ db_path: /var/clarens/clarens.db
         assert!(ClarensConfig::parse("federation_role: primary").is_err());
         assert!(ClarensConfig::parse("replication_poll_ms: often").is_err());
         assert!(ClarensConfig::parse("proxy_max_hops: none").is_err());
+    }
+
+    #[test]
+    fn storage_knobs() {
+        let config = ClarensConfig::parse("").unwrap();
+        assert_eq!(config.storage_backend, clarens_db::StorageBackend::Wal);
+        assert!(!config.db_sync);
+        assert!(config.group_commit);
+        assert_eq!(config.compact_ratio, 0.5);
+        let config = ClarensConfig::parse(
+            "storage_backend: mmap\ndb_sync: true\ngroup_commit: false\ncompact_ratio: 0.8",
+        )
+        .unwrap();
+        assert_eq!(config.storage_backend, clarens_db::StorageBackend::Mmap);
+        assert!(config.db_sync);
+        assert!(!config.group_commit);
+        assert_eq!(config.compact_ratio, 0.8);
+        assert_eq!(
+            ClarensConfig::parse("compact_ratio: 0")
+                .unwrap()
+                .compact_ratio,
+            0.0
+        );
+        assert!(ClarensConfig::parse("storage_backend: rocksdb").is_err());
+        assert!(ClarensConfig::parse("db_sync: maybe").is_err());
+        assert!(ClarensConfig::parse("group_commit: maybe").is_err());
+        assert!(ClarensConfig::parse("compact_ratio: 1.5").is_err());
+        assert!(ClarensConfig::parse("compact_ratio: heavy").is_err());
     }
 
     #[test]

@@ -58,7 +58,16 @@ impl ClarensCore {
         credential: Credential,
     ) -> std::io::Result<Arc<ClarensCore>> {
         let store = Arc::new(match &config.db_path {
-            Some(path) => Store::open(path)?,
+            Some(path) => Store::open_with(
+                path,
+                clarens_db::StorageOptions {
+                    backend: config.storage_backend,
+                    sync: config.db_sync,
+                    group_commit: config.group_commit,
+                    compact_ratio: config.compact_ratio,
+                    ..clarens_db::StorageOptions::default()
+                },
+            )?,
             None => Store::in_memory(),
         });
         let sessions =
@@ -108,6 +117,15 @@ impl ClarensCore {
         let store = Arc::clone(&self.store);
         self.telemetry
             .register_gauge("db.wal_syncs", move || store.stats().syncs);
+        let store = Arc::clone(&self.store);
+        self.telemetry
+            .register_gauge("db.group_commits", move || store.stats().group_commits);
+        let store = Arc::clone(&self.store);
+        self.telemetry
+            .register_gauge("db.compactions", move || store.stats().compactions);
+        let store = Arc::clone(&self.store);
+        self.telemetry
+            .register_gauge("db.live_bytes", move || store.live_bytes());
         let store = Arc::clone(&self.store);
         self.telemetry
             .register_gauge("db.degraded", move || store.is_degraded() as u64);

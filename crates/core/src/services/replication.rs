@@ -87,6 +87,12 @@ impl Service for ReplicationService {
                     )
                     .map_err(|e| Fault::service(format!("wal read: {e}")))?;
                 ctx.core.telemetry.federation.replication_chunks.inc();
+                if chunk.epoch != epoch as u64 || chunk.offset != offset as u64 {
+                    // The served cursor differs from the requested one:
+                    // the log was rewritten and the follower is being
+                    // restarted from the current snapshot.
+                    ctx.core.telemetry.federation.replication_resyncs.inc();
+                }
                 Ok(Value::structure([
                     ("epoch", Value::Int(chunk.epoch as i64)),
                     ("offset", Value::Int(chunk.offset as i64)),

@@ -156,6 +156,9 @@ impl Service for SystemService {
                             ("scans", gauge("db.scans")),
                             ("writes", gauge("db.writes")),
                             ("wal_syncs", gauge("db.wal_syncs")),
+                            ("group_commits", gauge("db.group_commits")),
+                            ("compactions", gauge("db.compactions")),
+                            ("live_bytes", gauge("db.live_bytes")),
                             ("wal_offset", gauge("db.wal_offset")),
                             ("replication_lag", gauge("db.replication_lag")),
                         ]),

@@ -205,6 +205,133 @@ fn replicated_session_record_invalidates_cache_epoch() {
     grid.cleanup();
 }
 
+/// A follower replicating mid-stream when the leader background-compacts:
+/// the epoch bump forces the follower's cursor back to `(new_epoch, 0)`,
+/// the compacted log doubles as a full-state snapshot, and the follower's
+/// epoch-invalidated session cache must converge on post-compaction
+/// leader state — a re-bound session is visible, a revoked one is gone.
+#[test]
+fn follower_session_cache_converges_across_leader_compaction() {
+    use std::time::Duration;
+
+    use clarens::session::SESSIONS_BUCKET;
+    use clarens_federation::Replicator;
+    use monalisa_sim::station::wait_until;
+
+    let db = std::env::temp_dir().join(format!(
+        "clarens-compact-replica-{}.wal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&db);
+
+    // Leader persists (only the WAL backend ships a log); the follower
+    // applies into its own in-memory store via the ordinary write path.
+    let leader = TestGrid::start_with(GridOptions {
+        db_path: Some(db.clone()),
+        seed: 0xC0317AC7,
+        ..Default::default()
+    });
+    // TestGrid runs standalone; export the leader-side WAL stream the way
+    // a `federation_role: leader` server would.
+    leader
+        .core()
+        .register(std::sync::Arc::new(clarens::services::ReplicationService));
+    let follower = TestGrid::start_with(GridOptions {
+        seed: 0xF0110 + 1,
+        ..Default::default()
+    });
+    let replicator = Replicator::start(
+        std::sync::Arc::clone(follower.core()),
+        leader.addr(),
+        leader.admin.clone(),
+        5,
+    );
+
+    // A session minted on the leader authenticates on the follower once
+    // the record ships.
+    let leader_client = leader.logged_in_client(&leader.user);
+    let session = leader_client.session_id().unwrap().to_owned();
+    let user_dn = leader.user.certificate.subject.to_string();
+    let mut follower_client = follower.client(&follower.user);
+    follower_client.set_session(session.clone());
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            follower_client
+                .call("system.whoami", vec![])
+                .is_ok_and(|who| who.as_str() == Some(user_dn.as_str()))
+        }),
+        "leader session never authenticated on the follower"
+    );
+    // Warm the follower's resolved-session cache.
+    follower_client.call("system.whoami", vec![]).unwrap();
+
+    // Churn the leader's log, then compact mid-stream. The epoch bump
+    // invalidates the follower's cursor; the leader serves the compacted
+    // snapshot from offset 0 and the follower resyncs.
+    for i in 0..500 {
+        leader
+            .core()
+            .store
+            .put("churn", "hot", format!("v{i}").into_bytes())
+            .unwrap();
+    }
+    leader.core().store.compact().unwrap();
+    assert_eq!(leader.core().store.wal_epoch(), 1);
+
+    // Post-compaction: re-bind the session to a different identity on the
+    // leader (a raw replicated overwrite, as another node would see it).
+    let admin_dn = leader.admin.certificate.subject.to_string();
+    let now = leader.core().now();
+    let rebound = clarens_wire::json::to_string(&Value::structure([
+        ("dn", Value::from(admin_dn.as_str())),
+        ("created", Value::Int(now)),
+        ("expires", Value::Int(now + 600)),
+        ("proxy", Value::Nil),
+    ]));
+    leader
+        .core()
+        .store
+        .put(SESSIONS_BUCKET, &session, rebound.into_bytes())
+        .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            follower_client
+                .call("system.whoami", vec![])
+                .is_ok_and(|who| who.as_str() == Some(admin_dn.as_str()))
+        }),
+        "follower session cache never converged on the post-compaction re-bind"
+    );
+
+    // And a leader-side revocation shipped through the same resynced
+    // stream kills the cached session.
+    leader
+        .core()
+        .store
+        .delete(SESSIONS_BUCKET, &session)
+        .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            matches!(
+                follower_client.call("system.whoami", vec![]),
+                Err(ClientError::Fault(f)) if f.code == codes::NOT_AUTHENTICATED
+            )
+        }),
+        "follower never saw the replicated revocation"
+    );
+
+    // The resync actually happened: the leader answered at least one
+    // stale cursor by restarting the stream.
+    assert!(
+        leader.core().telemetry.federation.replication_resyncs.get() >= 1,
+        "leader never restarted a follower cursor after compacting"
+    );
+    assert!(replicator.applied() > 0);
+    replicator.stop();
+    follower.cleanup();
+    leader.cleanup();
+    let _ = std::fs::remove_file(&db);
+}
+
 #[test]
 fn stats_rpc_reports_db_and_cache_counters() {
     let grid = TestGrid::start();

@@ -15,7 +15,11 @@
 
 pub mod crc32;
 pub mod log;
+pub mod mmap_engine;
+pub mod storage;
 pub mod store;
+pub mod wal_engine;
 
 pub use log::{decode_stream, frame_prefix, LogOp};
+pub use storage::{SnapshotSource, StorageBackend, StorageCounters, StorageEngine, StorageOptions};
 pub use store::{is_degraded_error, Store, StoreStats, WalChunk, DEGRADED_MSG};

@@ -23,6 +23,10 @@ use crate::crc32::crc32;
 const MAX_NAME: usize = u16::MAX as usize;
 const MAX_VALUE: usize = 256 * 1024 * 1024;
 
+/// Largest structurally possible frame payload; length fields beyond this
+/// are corruption, not data.
+pub(crate) const MAX_FRAME_PAYLOAD: usize = MAX_VALUE + 2 * MAX_NAME + 16;
+
 /// A logged operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LogOp {
@@ -160,47 +164,12 @@ impl Wal {
 
     /// Append one operation.
     pub fn append(&mut self, op: &LogOp) -> io::Result<()> {
-        let payload = encode_op(op);
-        let mut record = Vec::with_capacity(payload.len() + 8);
-        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        record.extend_from_slice(&payload);
-        record.extend_from_slice(&crc32(&payload).to_le_bytes());
-        self.write_record(&record)?;
+        let record = encode_record(op);
+        write_framed(&mut self.writer, &record)?;
         self.writer.flush()?;
         self.len += record.len() as u64;
         if self.sync_on_append {
             self.fsync()?;
-        }
-        Ok(())
-    }
-
-    /// Write one framed record to completion. `write` may consume fewer
-    /// bytes than offered (the `db.wal.append` failpoint simulates exactly
-    /// that); treating a short write as success would frame-shift every
-    /// record that follows, so we loop until the record is fully queued.
-    fn write_record(&mut self, record: &[u8]) -> io::Result<()> {
-        let mut written = 0;
-        while written < record.len() {
-            let rest = &record[written..];
-            let n = match clarens_faults::eval(clarens_faults::sites::DB_WAL_APPEND) {
-                Some(clarens_faults::Injected::Err) => {
-                    return Err(clarens_faults::injected_error(
-                        clarens_faults::sites::DB_WAL_APPEND,
-                    ))
-                }
-                Some(clarens_faults::Injected::ShortWrite(cap)) => {
-                    self.writer.write(&rest[..cap.min(rest.len())])?
-                }
-                _ => match self.writer.write(rest) {
-                    Ok(n) => n,
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                    Err(e) => return Err(e),
-                },
-            };
-            if n == 0 {
-                return Err(io::ErrorKind::WriteZero.into());
-            }
-            written += n;
         }
         Ok(())
     }
@@ -217,6 +186,57 @@ impl Wal {
     }
 }
 
+/// Frame one operation as it appears on disk:
+/// `[u32 payload_len][payload][u32 crc32(payload)]`.
+pub fn encode_record(op: &LogOp) -> Vec<u8> {
+    let payload = encode_op(op);
+    let mut record = Vec::with_capacity(payload.len() + 8);
+    record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    record.extend_from_slice(&payload);
+    record.extend_from_slice(&crc32(&payload).to_le_bytes());
+    record
+}
+
+/// On-disk frame size of a `Put` record, without encoding it — the store
+/// uses this to track live bytes (and thus the WAL garbage ratio) from the
+/// key/value lengths alone.
+pub fn put_record_size(bucket: &str, key: &str, value_len: usize) -> u64 {
+    // frame len + op byte + 2 name-length prefixes + value-length prefix
+    // + CRC, plus the names and the value themselves.
+    (4 + 1 + 2 + 2 + 4 + 4 + bucket.len() + key.len() + value_len) as u64
+}
+
+/// Write one framed record to completion. `write` may consume fewer bytes
+/// than offered (the `db.wal.append` failpoint simulates exactly that);
+/// treating a short write as success would frame-shift every record that
+/// follows, so we loop until the record is fully queued.
+pub fn write_framed(writer: &mut dyn Write, record: &[u8]) -> io::Result<()> {
+    let mut written = 0;
+    while written < record.len() {
+        let rest = &record[written..];
+        let n = match clarens_faults::eval(clarens_faults::sites::DB_WAL_APPEND) {
+            Some(clarens_faults::Injected::Err) => {
+                return Err(clarens_faults::injected_error(
+                    clarens_faults::sites::DB_WAL_APPEND,
+                ))
+            }
+            Some(clarens_faults::Injected::ShortWrite(cap)) => {
+                writer.write(&rest[..cap.min(rest.len())])?
+            }
+            _ => match writer.write(rest) {
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            },
+        };
+        if n == 0 {
+            return Err(io::ErrorKind::WriteZero.into());
+        }
+        written += n;
+    }
+    Ok(())
+}
+
 /// Length of the longest prefix of `data` that consists of whole,
 /// CRC-valid records. WAL shippers trim replication chunks with this so a
 /// read that raced an in-flight append never ships a partial frame, and
@@ -228,7 +248,7 @@ pub fn frame_prefix(data: &[u8]) -> usize {
             return pos;
         }
         let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
-        if len > MAX_VALUE + 2 * MAX_NAME + 16 || data.len() < pos + 4 + len + 4 {
+        if len > MAX_FRAME_PAYLOAD || data.len() < pos + 4 + len + 4 {
             return pos;
         }
         let payload = &data[pos + 4..pos + 4 + len];
@@ -263,9 +283,12 @@ pub struct Recovery {
     /// Operations recovered, in append order.
     pub ops: Vec<LogOp>,
     /// True if the scan stopped early at a corrupt/torn record (the caller
-    /// should truncate and rewrite, which [`crate::Store::open`] does by
-    /// compacting).
+    /// should truncate the file to `valid_len` so the next append starts
+    /// on a frame boundary).
     pub torn_tail: bool,
+    /// Byte length of the valid record prefix — the offset the torn tail
+    /// starts at, or the whole file when the log is clean.
+    pub valid_len: u64,
 }
 
 /// Replay a log file. Missing file ⇒ empty recovery.
@@ -276,6 +299,7 @@ pub fn recover(path: &Path) -> io::Result<Recovery> {
             return Ok(Recovery {
                 ops: Vec::new(),
                 torn_tail: false,
+                valid_len: 0,
             })
         }
         Err(e) => return Err(e),
@@ -296,15 +320,17 @@ pub fn recover(path: &Path) -> io::Result<Recovery> {
                 return Ok(Recovery {
                     ops,
                     torn_tail: torn,
+                    valid_len: offset,
                 });
             }
             Err(e) => return Err(e),
         }
         let len = u32::from_le_bytes(len_buf) as usize;
-        if len > MAX_VALUE + 2 * MAX_NAME + 16 {
+        if len > MAX_FRAME_PAYLOAD {
             return Ok(Recovery {
                 ops,
                 torn_tail: true,
+                valid_len: offset,
             });
         }
         let mut payload = vec![0u8; len];
@@ -313,12 +339,14 @@ pub fn recover(path: &Path) -> io::Result<Recovery> {
             return Ok(Recovery {
                 ops,
                 torn_tail: true,
+                valid_len: offset,
             });
         }
         if crc32(&payload) != u32::from_le_bytes(crc_buf) {
             return Ok(Recovery {
                 ops,
                 torn_tail: true,
+                valid_len: offset,
             });
         }
         match decode_op(&payload) {
@@ -327,6 +355,7 @@ pub fn recover(path: &Path) -> io::Result<Recovery> {
                 return Ok(Recovery {
                     ops,
                     torn_tail: true,
+                    valid_len: offset,
                 })
             }
         }

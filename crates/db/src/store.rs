@@ -5,9 +5,13 @@
 //! and each Figure-4 request "incurs a database lookup for all registered
 //! methods in the server" (§4). It offers:
 //!
-//! * named buckets, each an ordered map of `String → Vec<u8>`,
-//! * optional durability through the write-ahead log ([`crate::log`]),
-//! * crash recovery with torn-tail truncation and log compaction,
+//! * named buckets, each an ordered map of `String → Vec<u8>`, lock-striped
+//!   across [`StorageOptions::shards`] shards by bucket hash so writes to
+//!   different buckets (sessions vs. VO vs. ACL) never contend,
+//! * optional durability through a pluggable [`StorageEngine`] (group-commit
+//!   WAL by default, checkpointing mmap snapshot as the alternative),
+//! * crash recovery with torn-tail truncation and background log compaction
+//!   (a janitor thread triggered by the WAL garbage ratio),
 //! * prefix scans (hierarchical ACL/VO keys are path-like),
 //! * lookup counters, so the benchmark harness can report DB activity per
 //!   request like the paper describes,
@@ -16,18 +20,33 @@
 //!   lookup plus deserialization.
 
 use std::collections::{BTreeMap, HashMap};
-use std::fs::File;
-use std::io::{self, Read as _, Seek, SeekFrom};
+use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 
-use crate::log::{frame_prefix, recover, LogOp, Wal};
+use crate::log::LogOp;
+use crate::mmap_engine::MmapEngine;
+use crate::storage::{
+    SnapshotSource, StorageBackend, StorageCounters, StorageEngine, StorageOptions,
+};
+use crate::wal_engine::WalEngine;
 
 /// Inner map type: bucket name → ordered key/value map.
 type Buckets = BTreeMap<String, BTreeMap<String, Vec<u8>>>;
+
+/// How often the janitor re-evaluates the garbage ratio.
+const JANITOR_TICK: Duration = Duration::from_millis(200);
+
+/// On-disk frame size of a `Put` record, from component lengths (see
+/// [`crate::log::put_record_size`]); the store tracks the summed size of
+/// all live records to estimate the log's garbage ratio without I/O.
+fn frame_size(bucket_len: usize, key_len: usize, value_len: usize) -> u64 {
+    (4 + 1 + 2 + 2 + 4 + 4 + bucket_len + key_len + value_len) as u64
+}
 
 /// Store statistics (monotonic counters).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -38,22 +57,69 @@ pub struct StoreStats {
     pub scans: u64,
     /// Number of writes (put + delete).
     pub writes: u64,
-    /// Number of WAL fsyncs issued (per-append syncs, explicit syncs,
-    /// and compaction rewrites).
+    /// Number of WAL fsyncs issued (per-append syncs, group commits,
+    /// explicit syncs, compaction rewrites, recovery repairs).
     pub syncs: u64,
+    /// Group-commit batches (each one fsync covering ≥ 1 append).
+    pub group_commits: u64,
+    /// Compactions / checkpoints completed.
+    pub compactions: u64,
+}
+
+/// The lock-striped bucket maps. Shared with the janitor thread, which
+/// needs a consistent snapshot source that outlives any one borrow of the
+/// store.
+struct ShardSet {
+    shards: Box<[RwLock<Buckets>]>,
+}
+
+impl ShardSet {
+    fn new(n: usize) -> ShardSet {
+        ShardSet {
+            shards: (0..n.max(1))
+                .map(|_| RwLock::new(BTreeMap::new()))
+                .collect(),
+        }
+    }
+
+    /// FNV-1a over the bucket name selects the shard; every key of one
+    /// bucket lives in one shard, so single-bucket operations take one
+    /// lock and cross-bucket writes stripe.
+    fn shard(&self, bucket: &str) -> &RwLock<Buckets> {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in bucket.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+}
+
+impl SnapshotSource for ShardSet {
+    fn emit_ops(&self, emit: &mut crate::storage::EmitOp<'_>) -> io::Result<()> {
+        // Hold every shard's read lock for the whole emit: the cut must
+        // be a single consistent point in time.
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        for guard in &guards {
+            for (bucket, map) in guard.iter() {
+                for (key, value) in map {
+                    emit(bucket, key, value)?;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A concurrent, optionally-persistent KV store.
 pub struct Store {
-    buckets: RwLock<Buckets>,
+    shards: Arc<ShardSet>,
     /// `None` for purely in-memory stores.
-    wal: Option<Mutex<Wal>>,
-    path: Option<PathBuf>,
+    engine: Option<Arc<dyn StorageEngine>>,
     lookups: AtomicU64,
     scans: AtomicU64,
     writes: AtomicU64,
-    syncs: AtomicU64,
-    /// Per-bucket generation counters. Bumped inside the buckets write-lock
+    /// Per-bucket generation counters. Bumped inside the shard write-lock
     /// scope after every mutation, so a reader that loads a generation
     /// *before* reading data can never cache stale data under a current
     /// tag (the bump invalidates it; spurious invalidation is the only
@@ -65,13 +131,13 @@ pub struct Store {
     /// frame-shift or silently lose durability, so the store degrades to
     /// explicit read-only instead (paper's "sessions survive restarts"
     /// promise requires the log to stay trustworthy).
-    degraded: AtomicBool,
-    /// Incarnation of the WAL *file*. Compaction rewrites the log, so every
-    /// byte offset handed out before it is meaningless afterwards; bumping
-    /// this tells replication followers their cursor died and they must
-    /// resync from offset 0 (the compacted log is a full-state snapshot, so
-    /// replaying it from the top converges).
-    wal_epoch: AtomicU64,
+    degraded: Arc<AtomicBool>,
+    /// Estimated on-disk bytes of a minimal snapshot of current state.
+    /// `committed_len - live_bytes` is the log's garbage, which is what
+    /// triggers the janitor.
+    live_bytes: Arc<AtomicU64>,
+    janitor_stop: Option<Arc<AtomicBool>>,
+    janitor: Option<std::thread::JoinHandle<()>>,
 }
 
 /// One cursor-addressed slice of the write-ahead log, served to
@@ -109,59 +175,116 @@ pub fn is_degraded_error(err: &io::Error) -> bool {
 impl Store {
     /// A purely in-memory store (no durability).
     pub fn in_memory() -> Self {
-        Store {
-            buckets: RwLock::new(BTreeMap::new()),
-            wal: None,
-            path: None,
-            lookups: AtomicU64::new(0),
-            scans: AtomicU64::new(0),
-            writes: AtomicU64::new(0),
-            syncs: AtomicU64::new(0),
-            generations: RwLock::new(HashMap::new()),
-            degraded: AtomicBool::new(false),
-            wal_epoch: AtomicU64::new(0),
-        }
+        Self::assemble(None, Vec::new(), &StorageOptions::default())
     }
 
-    /// Open a persistent store backed by a WAL file at `path`, replaying
-    /// any existing log. A torn tail (crash) is repaired by compacting.
+    /// An in-memory store with an explicit shard count (used by the
+    /// lock-striping ablation; the default is [`StorageOptions::shards`]).
+    pub fn in_memory_with_shards(shards: usize) -> Self {
+        Self::assemble(
+            None,
+            Vec::new(),
+            &StorageOptions {
+                shards,
+                ..StorageOptions::default()
+            },
+        )
+    }
+
+    /// Open a persistent store at `path` with default options (WAL
+    /// backend, no per-append fsync, janitor compaction at 50% garbage).
     pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
-        Self::open_with_sync(path, false)
+        Self::open_with(path, StorageOptions::default())
     }
 
     /// Like [`Store::open`] but fsyncing every append when `sync` is true.
     pub fn open_with_sync(path: impl Into<PathBuf>, sync: bool) -> io::Result<Self> {
+        Self::open_with(
+            path,
+            StorageOptions {
+                sync,
+                ..StorageOptions::default()
+            },
+        )
+    }
+
+    /// Open a persistent store with explicit [`StorageOptions`]: backend
+    /// choice, durability mode, group commit, shard count, and the
+    /// background-compaction trigger.
+    pub fn open_with(path: impl Into<PathBuf>, options: StorageOptions) -> io::Result<Self> {
         let path = path.into();
-        let recovery = recover(&path)?;
-        let mut buckets: Buckets = BTreeMap::new();
-        for op in recovery.ops {
+        let (engine, ops): (Arc<dyn StorageEngine>, Vec<LogOp>) = match options.backend {
+            StorageBackend::Wal => {
+                let (engine, ops) = WalEngine::open(path, &options)?;
+                (Arc::new(engine), ops)
+            }
+            StorageBackend::Mmap => {
+                let (engine, ops) = MmapEngine::open(path, &options)?;
+                (Arc::new(engine), ops)
+            }
+        };
+        Ok(Self::assemble(Some(engine), ops, &options))
+    }
+
+    fn assemble(
+        engine: Option<Arc<dyn StorageEngine>>,
+        ops: Vec<LogOp>,
+        options: &StorageOptions,
+    ) -> Store {
+        let shards = Arc::new(ShardSet::new(options.shards));
+        let mut live = 0u64;
+        for op in ops {
             match op {
                 LogOp::Put { bucket, key, value } => {
-                    buckets.entry(bucket).or_default().insert(key, value);
+                    let shard = shards.shard(&bucket);
+                    live += frame_size(bucket.len(), key.len(), value.len());
+                    let removed = frame_size(bucket.len(), key.len(), 0);
+                    if let Some(old) = shard.write().entry(bucket).or_default().insert(key, value) {
+                        live -= removed + old.len() as u64;
+                    }
                 }
                 LogOp::Delete { bucket, key } => {
-                    if let Some(b) = buckets.get_mut(&bucket) {
-                        b.remove(&key);
+                    let removed = frame_size(bucket.len(), key.len(), 0);
+                    if let Some(old) = shards
+                        .shard(&bucket)
+                        .write()
+                        .get_mut(&bucket)
+                        .and_then(|b| b.remove(&key))
+                    {
+                        live -= removed + old.len() as u64;
                     }
                 }
             }
         }
-        let store = Store {
-            buckets: RwLock::new(buckets),
-            wal: Some(Mutex::new(Wal::open(&path, sync)?)),
-            path: Some(path),
+        let degraded = Arc::new(AtomicBool::new(false));
+        let live_bytes = Arc::new(AtomicU64::new(live));
+        let (janitor_stop, janitor) = match &engine {
+            Some(engine) if options.compact_ratio > 0.0 => {
+                let stop = Arc::new(AtomicBool::new(false));
+                let thread = spawn_janitor(
+                    Arc::clone(engine),
+                    Arc::clone(&shards),
+                    Arc::clone(&degraded),
+                    Arc::clone(&live_bytes),
+                    Arc::clone(&stop),
+                    options.compact_ratio,
+                );
+                (Some(stop), Some(thread))
+            }
+            _ => (None, None),
+        };
+        Store {
+            shards,
+            engine,
             lookups: AtomicU64::new(0),
             scans: AtomicU64::new(0),
             writes: AtomicU64::new(0),
-            syncs: AtomicU64::new(0),
             generations: RwLock::new(HashMap::new()),
-            degraded: AtomicBool::new(false),
-            wal_epoch: AtomicU64::new(0),
-        };
-        if recovery.torn_tail {
-            store.compact()?;
+            degraded,
+            live_bytes,
+            janitor_stop,
+            janitor,
         }
-        Ok(store)
     }
 
     /// Is the store poisoned into read-only degraded mode?
@@ -176,21 +299,15 @@ impl Store {
     /// Log `op`, poisoning the store on failure. Reads keep working after
     /// poisoning; writes get [`DEGRADED_MSG`] errors without touching the
     /// (possibly frame-shifted) log again.
-    fn wal_append(&self, op: LogOp) -> io::Result<()> {
+    fn wal_append(&self, op: &LogOp) -> io::Result<()> {
         if self.is_degraded() {
             return Err(Self::degraded_error());
         }
-        let Some(wal) = &self.wal else {
+        let Some(engine) = &self.engine else {
             return Ok(());
         };
-        let mut wal = wal.lock();
-        match wal.append(&op) {
-            Ok(()) => {
-                if wal.sync_on_append {
-                    self.syncs.fetch_add(1, Ordering::Relaxed);
-                }
-                Ok(())
-            }
+        match engine.append(op) {
+            Ok(()) => Ok(()),
             Err(e) => {
                 self.degraded.store(true, Ordering::SeqCst);
                 Err(e)
@@ -198,35 +315,70 @@ impl Store {
         }
     }
 
+    fn live_add(&self, n: u64) {
+        self.live_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn live_sub(&self, n: u64) {
+        let _ = self
+            .live_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
     /// Insert or overwrite a value.
     pub fn put(&self, bucket: &str, key: &str, value: impl Into<Vec<u8>>) -> io::Result<()> {
         let value = value.into();
         self.writes.fetch_add(1, Ordering::Relaxed);
-        self.wal_append(LogOp::Put {
+        let op = LogOp::Put {
             bucket: bucket.to_owned(),
             key: key.to_owned(),
-            value: value.clone(),
-        })?;
+            value,
+        };
+        self.wal_append(&op)?;
+        let LogOp::Put {
+            bucket: owned_bucket,
+            key: owned_key,
+            value,
+        } = op
+        else {
+            unreachable!()
+        };
+        let added = frame_size(bucket.len(), key.len(), value.len());
         let generation = self.generation_handle(bucket);
-        let mut buckets = self.buckets.write();
-        buckets
-            .entry(bucket.to_owned())
-            .or_default()
-            .insert(key.to_owned(), value);
-        generation.fetch_add(1, Ordering::SeqCst);
+        let old_len = {
+            let mut shard = self.shards.shard(bucket).write();
+            let old = shard
+                .entry(owned_bucket)
+                .or_default()
+                .insert(owned_key, value);
+            generation.fetch_add(1, Ordering::SeqCst);
+            old.map(|o| o.len())
+        };
+        self.live_add(added);
+        if let Some(old_len) = old_len {
+            self.live_sub(frame_size(bucket.len(), key.len(), old_len));
+        }
         Ok(())
     }
 
     /// Point lookup.
     pub fn get(&self, bucket: &str, key: &str) -> Option<Vec<u8>> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        self.buckets.read().get(bucket)?.get(key).cloned()
+        self.shards
+            .shard(bucket)
+            .read()
+            .get(bucket)?
+            .get(key)
+            .cloned()
     }
 
     /// Does the key exist?
     pub fn contains(&self, bucket: &str, key: &str) -> bool {
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        self.buckets
+        self.shards
+            .shard(bucket)
             .read()
             .get(bucket)
             .is_some_and(|b| b.contains_key(key))
@@ -235,25 +387,30 @@ impl Store {
     /// Delete a key. Returns whether it existed.
     pub fn delete(&self, bucket: &str, key: &str) -> io::Result<bool> {
         self.writes.fetch_add(1, Ordering::Relaxed);
-        self.wal_append(LogOp::Delete {
+        let op = LogOp::Delete {
             bucket: bucket.to_owned(),
             key: key.to_owned(),
-        })?;
+        };
+        self.wal_append(&op)?;
         let generation = self.generation_handle(bucket);
-        let mut buckets = self.buckets.write();
-        let existed = buckets
-            .get_mut(bucket)
-            .is_some_and(|b| b.remove(key).is_some());
-        generation.fetch_add(1, Ordering::SeqCst);
-        Ok(existed)
+        let old_len = {
+            let mut shard = self.shards.shard(bucket).write();
+            let old = shard.get_mut(bucket).and_then(|b| b.remove(key));
+            generation.fetch_add(1, Ordering::SeqCst);
+            old.map(|o| o.len())
+        };
+        if let Some(old_len) = old_len {
+            self.live_sub(frame_size(bucket.len(), key.len(), old_len));
+        }
+        Ok(old_len.is_some())
     }
 
     /// All `(key, value)` pairs in a bucket whose keys start with `prefix`
     /// (ordered by key).
     pub fn scan_prefix(&self, bucket: &str, prefix: &str) -> Vec<(String, Vec<u8>)> {
         self.scans.fetch_add(1, Ordering::Relaxed);
-        let buckets = self.buckets.read();
-        match buckets.get(bucket) {
+        let shard = self.shards.shard(bucket).read();
+        match shard.get(bucket) {
             None => Vec::new(),
             Some(map) => map
                 .range(prefix.to_owned()..)
@@ -266,7 +423,8 @@ impl Store {
     /// All keys in a bucket (ordered).
     pub fn keys(&self, bucket: &str) -> Vec<String> {
         self.scans.fetch_add(1, Ordering::Relaxed);
-        self.buckets
+        self.shards
+            .shard(bucket)
             .read()
             .get(bucket)
             .map(|b| b.keys().cloned().collect())
@@ -275,7 +433,11 @@ impl Store {
 
     /// Number of keys in a bucket.
     pub fn len(&self, bucket: &str) -> usize {
-        self.buckets.read().get(bucket).map_or(0, |b| b.len())
+        self.shards
+            .shard(bucket)
+            .read()
+            .get(bucket)
+            .map_or(0, |b| b.len())
     }
 
     /// Is the bucket empty or absent?
@@ -283,9 +445,16 @@ impl Store {
         self.len(bucket) == 0
     }
 
-    /// Names of all buckets.
+    /// Names of all buckets (sorted).
     pub fn bucket_names(&self) -> Vec<String> {
-        self.buckets.read().keys().cloned().collect()
+        let mut names: Vec<String> = self
+            .shards
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        names.sort();
+        names
     }
 
     /// Remove every key in a bucket.
@@ -297,53 +466,28 @@ impl Store {
         Ok(())
     }
 
-    /// Rewrite the WAL as a minimal snapshot of current state (drops
-    /// superseded records). No-op for in-memory stores.
+    /// Rewrite the persistent image as a minimal snapshot of current state
+    /// (drops superseded records). Runs concurrently with appends — only
+    /// the final file swap briefly blocks writers. No-op for in-memory
+    /// stores; concurrent calls (manual + janitor) coalesce.
     pub fn compact(&self) -> io::Result<()> {
-        let (Some(path), Some(wal)) = (&self.path, &self.wal) else {
-            return Ok(());
-        };
-        // Hold the write lock across the rewrite so no update is lost.
-        let buckets = self.buckets.write();
-        let tmp = path.with_extension("compact");
-        {
-            let mut new_wal = Wal::open(&tmp, false)?;
-            for (bucket, map) in buckets.iter() {
-                for (key, value) in map {
-                    new_wal.append(&LogOp::Put {
-                        bucket: bucket.clone(),
-                        key: key.clone(),
-                        value: value.clone(),
-                    })?;
-                }
-            }
-            new_wal.sync()?;
-            self.syncs.fetch_add(1, Ordering::Relaxed);
+        match &self.engine {
+            None => Ok(()),
+            Some(engine) => engine.compact(&*self.shards),
         }
-        let mut wal_guard = wal.lock();
-        std::fs::rename(&tmp, path)?;
-        // Reopen the handle on the new file.
-        *wal_guard = Wal::open(path, wal_guard.sync_on_append)?;
-        // Old byte offsets now point into a file that no longer exists:
-        // invalidate every replication cursor.
-        self.wal_epoch.fetch_add(1, Ordering::SeqCst);
-        Ok(())
     }
 
     /// Committed WAL length in bytes (0 for in-memory stores). Exported as
     /// the `db.wal_offset` gauge; replication followers compare it against
     /// their applied cursor to compute lag.
     pub fn wal_offset(&self) -> u64 {
-        match &self.wal {
-            Some(wal) => wal.lock().len(),
-            None => 0,
-        }
+        self.engine.as_ref().map_or(0, |e| e.committed_len())
     }
 
     /// Current WAL incarnation. Starts at 0 and bumps on every compaction
     /// (each compaction rewrites the file, so prior offsets die with it).
     pub fn wal_epoch(&self) -> u64 {
-        self.wal_epoch.load(Ordering::SeqCst)
+        self.engine.as_ref().map_or(0, |e| e.epoch())
     }
 
     /// Read a replication chunk: up to `max_bytes` of whole WAL records
@@ -353,71 +497,35 @@ impl Store {
     /// the offset runs past the committed length — the read restarts from
     /// offset 0 of the current incarnation; the follower detects the jump
     /// by comparing the returned `offset`/`epoch` against what it asked
-    /// for. Only fully-framed, CRC-valid records are ever returned, so a
-    /// read racing an in-flight append or compaction yields a shorter (or
-    /// empty) chunk, never a torn one. Errors for in-memory stores.
+    /// for. Only fully-framed, CRC-valid records are ever returned, and
+    /// the read is excluded from the compaction file swap, so a chunk's
+    /// bytes always belong to the epoch it reports. Errors for in-memory
+    /// stores and for engines that do not ship a log.
     pub fn wal_read(&self, epoch: u64, offset: u64, max_bytes: usize) -> io::Result<WalChunk> {
-        let (Some(path), Some(wal)) = (&self.path, &self.wal) else {
-            return Err(io::Error::other(
+        match &self.engine {
+            None => Err(io::Error::other(
                 "wal_read requires a persistent store (no WAL to ship)",
-            ));
-        };
-        let cur_epoch = self.wal_epoch();
-        let committed = wal.lock().len();
-        let start = if epoch != cur_epoch || offset > committed {
-            0
-        } else {
-            offset
-        };
-        let budget = (committed - start).min(max_bytes as u64) as usize;
-        let mut data = vec![0u8; budget];
-        if budget > 0 {
-            let mut file = File::open(path)?;
-            file.seek(SeekFrom::Start(start))?;
-            let mut filled = 0;
-            while filled < budget {
-                match file.read(&mut data[filled..]) {
-                    Ok(0) => break,
-                    Ok(n) => filled += n,
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                    Err(e) => return Err(e),
-                }
-            }
-            data.truncate(filled);
-            let whole = frame_prefix(&data);
-            data.truncate(whole);
+            )),
+            Some(engine) => engine.read_log(epoch, offset, max_bytes),
         }
-        if self.wal_epoch() != cur_epoch {
-            // Compaction swapped the file mid-read; hand back an empty
-            // chunk at the new incarnation so the follower resyncs.
-            return Ok(WalChunk {
-                epoch: self.wal_epoch(),
-                offset: 0,
-                data: Vec::new(),
-                len: self.wal_offset(),
-            });
-        }
-        Ok(WalChunk {
-            epoch: cur_epoch,
-            offset: start,
-            data,
-            len: committed,
-        })
     }
 
-    /// Force pending log data to disk.
+    /// Force pending state to disk (an fsync for the WAL engine, a full
+    /// checkpoint for the mmap engine).
     pub fn sync(&self) -> io::Result<()> {
-        if let Some(wal) = &self.wal {
-            if self.is_degraded() {
-                return Err(Self::degraded_error());
-            }
-            if let Err(e) = wal.lock().sync() {
-                self.degraded.store(true, Ordering::SeqCst);
-                return Err(e);
-            }
-            self.syncs.fetch_add(1, Ordering::Relaxed);
+        let Some(engine) = &self.engine else {
+            return Ok(());
+        };
+        if self.is_degraded() {
+            return Err(Self::degraded_error());
         }
-        Ok(())
+        match engine.sync(&*self.shards) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.degraded.store(true, Ordering::SeqCst);
+                Err(e)
+            }
+        }
     }
 
     /// Current generation of a bucket. Starts at 0 and increases on every
@@ -444,15 +552,84 @@ impl Store {
         Arc::clone(generations.entry(bucket.to_owned()).or_default())
     }
 
+    /// Short name of the storage backend ("wal", "mmap", or "memory").
+    pub fn backend(&self) -> &'static str {
+        self.engine.as_ref().map_or("memory", |e| e.name())
+    }
+
+    /// Estimated on-disk bytes of a minimal snapshot of live state (the
+    /// numerator of the garbage-ratio calculation).
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Raw engine counters (all zero for in-memory stores).
+    pub fn storage_counters(&self) -> StorageCounters {
+        self.engine
+            .as_ref()
+            .map(|e| e.counters())
+            .unwrap_or_default()
+    }
+
     /// Snapshot of the counters.
     pub fn stats(&self) -> StoreStats {
+        let engine = self.storage_counters();
         StoreStats {
             lookups: self.lookups.load(Ordering::Relaxed),
-            syncs: self.syncs.load(Ordering::Relaxed),
             scans: self.scans.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            syncs: engine.fsyncs,
+            group_commits: engine.group_commits,
+            compactions: engine.compactions,
         }
     }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        if let Some(stop) = self.janitor_stop.take() {
+            stop.store(true, Ordering::SeqCst);
+        }
+        if let Some(thread) = self.janitor.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// The background compaction loop: wake every [`JANITOR_TICK`], compare
+/// the engine's committed length against the store's live-byte estimate,
+/// and compact when the garbage ratio crosses the configured threshold.
+/// Compaction errors are swallowed (the old file stays intact; the next
+/// tick retries) and a degraded store is left alone entirely.
+fn spawn_janitor(
+    engine: Arc<dyn StorageEngine>,
+    shards: Arc<ShardSet>,
+    degraded: Arc<AtomicBool>,
+    live_bytes: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    ratio: f64,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("clarens-db-janitor".into())
+        .spawn(move || {
+            let slice = Duration::from_millis(25);
+            let slices = (JANITOR_TICK.as_millis() / slice.as_millis()).max(1) as u32;
+            loop {
+                for _ in 0..slices {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(slice);
+                }
+                if degraded.load(Ordering::SeqCst) {
+                    continue;
+                }
+                if engine.wants_compaction(live_bytes.load(Ordering::Relaxed), ratio) {
+                    let _ = engine.compact(&*shards);
+                }
+            }
+        })
+        .expect("spawn janitor thread")
 }
 
 #[cfg(test)]
@@ -530,7 +707,7 @@ mod tests {
     }
 
     #[test]
-    fn torn_tail_recovers_prefix_and_compacts() {
+    fn torn_tail_recovers_prefix_and_truncates() {
         let path = temp_path("torn");
         {
             let store = Store::open(&path).unwrap();
@@ -546,7 +723,7 @@ mod tests {
             let store = Store::open(&path).unwrap();
             assert_eq!(store.get("b", "k1").unwrap(), b"v1");
             assert_eq!(store.get("b", "k2"), None); // lost in the tear
-                                                    // The compaction must leave a clean log.
+                                                    // The repair must leave a clean log.
             store.put("b", "k3", b"v3".to_vec()).unwrap();
             store.sync().unwrap();
         }
@@ -554,6 +731,42 @@ mod tests {
             let store = Store::open(&path).unwrap();
             assert_eq!(store.get("b", "k1").unwrap(), b"v1");
             assert_eq!(store.get("b", "k3").unwrap(), b"v3");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_repair_honors_sync_flag() {
+        let path = temp_path("torn-sync-flag");
+        let tear = |path: &PathBuf| {
+            let len = std::fs::metadata(path).unwrap().len();
+            let f = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+            f.set_len(len - 2).unwrap();
+        };
+        {
+            let store = Store::open(&path).unwrap();
+            store.put("b", "k1", b"v1".to_vec()).unwrap();
+            store.put("b", "k2", b"v2".to_vec()).unwrap();
+            store.sync().unwrap();
+        }
+        tear(&path);
+        {
+            // sync=false: the torn tail is truncated in place with no
+            // fsync on the startup path (the old behavior compacted —
+            // and fsynced — unconditionally).
+            let store = Store::open_with_sync(&path, false).unwrap();
+            assert_eq!(store.stats().syncs, 0, "repair must honor sync=false");
+            assert_eq!(store.get("b", "k1").unwrap(), b"v1");
+            store.put("b", "k2", b"v2".to_vec()).unwrap();
+            store.sync().unwrap();
+        }
+        tear(&path);
+        {
+            // sync=true: the truncation is made durable, and the fsync is
+            // accounted for.
+            let store = Store::open_with_sync(&path, true).unwrap();
+            assert_eq!(store.stats().syncs, 1, "repair fsync must be counted");
+            assert_eq!(store.get("b", "k1").unwrap(), b"v1");
         }
         std::fs::remove_file(&path).unwrap();
     }
@@ -574,10 +787,52 @@ mod tests {
             let after = std::fs::metadata(&path).unwrap().len();
             assert!(after < before / 10, "before={before} after={after}");
             assert_eq!(store.get("b", "hot-key").unwrap(), b"value-99");
+            assert_eq!(store.stats().compactions, 1);
         }
         {
             let store = Store::open(&path).unwrap();
             assert_eq!(store.get("b", "hot-key").unwrap(), b"value-99");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn janitor_compacts_in_background() {
+        let path = temp_path("janitor");
+        {
+            let store = Store::open_with(
+                &path,
+                StorageOptions {
+                    compact_ratio: 0.5,
+                    compact_min_bytes: 4 * 1024,
+                    ..StorageOptions::default()
+                },
+            )
+            .unwrap();
+            // Churn one hot key far past the garbage threshold, then wait
+            // for the janitor to notice.
+            let value = vec![7u8; 512];
+            for _ in 0..200 {
+                store.put("b", "hot", value.clone()).unwrap();
+            }
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while store.stats().compactions == 0 && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            assert!(
+                store.stats().compactions >= 1,
+                "janitor never compacted (wal={}, live={})",
+                store.wal_offset(),
+                store.live_bytes()
+            );
+            assert!(store.wal_epoch() >= 1);
+            assert_eq!(store.get("b", "hot").unwrap(), value);
+            // Writes keep landing after the swap.
+            store.put("b", "post", b"x".to_vec()).unwrap();
+        }
+        {
+            let store = Store::open(&path).unwrap();
+            assert_eq!(store.get("b", "post").unwrap(), b"x");
         }
         std::fs::remove_file(&path).unwrap();
     }
@@ -605,6 +860,24 @@ mod tests {
         assert_eq!(stats.lookups, 2);
         assert_eq!(stats.scans, 1);
         assert_eq!(stats.writes, 2);
+    }
+
+    #[test]
+    fn live_bytes_tracks_overwrites_and_deletes() {
+        let store = Store::in_memory();
+        assert_eq!(store.live_bytes(), 0);
+        store.put("b", "k", vec![0u8; 100]).unwrap();
+        let one = store.live_bytes();
+        assert!(one > 100);
+        // Overwriting replaces, not accumulates.
+        store.put("b", "k", vec![0u8; 100]).unwrap();
+        assert_eq!(store.live_bytes(), one);
+        // "k2" is one byte of key longer than "k".
+        store.put("b", "k2", vec![0u8; 100]).unwrap();
+        assert_eq!(store.live_bytes(), 2 * one + 1);
+        store.delete("b", "k").unwrap();
+        store.delete("b", "k2").unwrap();
+        assert_eq!(store.live_bytes(), 0);
     }
 
     #[test]
@@ -676,6 +949,33 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(store.len("b"), 8 * 200);
+    }
+
+    #[test]
+    fn concurrent_cross_bucket_writes_stripe() {
+        // Eight writers on eight distinct buckets: with lock-striped
+        // shards they interleave freely; the assertion is pure
+        // correctness (each bucket converges to its own writer's state).
+        let store = Arc::new(Store::in_memory());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                let bucket = format!("bucket-{t}");
+                for i in 0..200 {
+                    store.put(&bucket, &format!("k{i}"), vec![t as u8]).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..8 {
+            let bucket = format!("bucket-{t}");
+            assert_eq!(store.len(&bucket), 200);
+            assert_eq!(store.get(&bucket, "k0").unwrap(), vec![t as u8]);
+        }
+        assert_eq!(store.bucket_names().len(), 8);
     }
 
     #[test]

@@ -382,6 +382,8 @@ pub mod sites {
     pub const DB_WAL_APPEND: &str = "db.wal.append";
     /// `Wal` fsync (append-time and explicit).
     pub const DB_WAL_FSYNC: &str = "db.wal.fsync";
+    /// Compaction's stop-the-world file swap (rename + epoch bump).
+    pub const DB_COMPACT_SWAP: &str = "db.compact.swap";
     /// HTTP accept loop, per accepted connection.
     pub const HTTPD_ACCEPT: &str = "httpd.accept";
     /// HTTP request read path.

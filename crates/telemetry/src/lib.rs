@@ -108,6 +108,12 @@ pub struct FederationCounters {
     pub hop_limit_rejects: Counter,
     /// WAL replication chunks this node served to followers.
     pub replication_chunks: Counter,
+    /// Replication fetches whose cursor was stale (epoch rolled by a
+    /// compaction, or offset past the committed length) and restarted
+    /// from the current snapshot. A steady trickle is normal after
+    /// compactions; a flood means followers can't keep up between
+    /// rewrites.
+    pub replication_resyncs: Counter,
     /// Time a forwarding node spent waiting on the remote peer
     /// (microseconds) — the cross-node share of a proxied request, as
     /// distinct from the local dispatch span that contains it.
@@ -380,6 +386,10 @@ impl Telemetry {
             (
                 "clarens_replication_chunks_total",
                 self.federation.replication_chunks.get(),
+            ),
+            (
+                "clarens_replication_resyncs_total",
+                self.federation.replication_resyncs.get(),
             ),
         ] {
             let _ = writeln!(out, "{name} {value}");
