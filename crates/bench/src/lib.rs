@@ -16,6 +16,7 @@ use clarens::ClarensClient;
 use clarens_wire::{Protocol, RpcCall, Value};
 
 pub mod alloc_count;
+pub mod fuzzer;
 
 /// Result of one throughput measurement point.
 #[derive(Debug, Clone, Copy)]
@@ -83,6 +84,185 @@ pub fn measure_throughput(
         calls,
         calls_per_sec: calls as f64 / elapsed,
     }
+}
+
+/// Like [`measure_throughput`], but every call carries a caller-supplied
+/// parameter list (cloned per call). This is how the binproto ablation
+/// drives the struct-heavy `file.ls`-style payload through `echo.echo`
+/// so both request and response carry the structure.
+pub fn measure_throughput_params(
+    addr: &str,
+    session: &str,
+    clients: usize,
+    duration: Duration,
+    method: &'static str,
+    params: Vec<Value>,
+    protocol: Protocol,
+) -> ThroughputPoint {
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::with_capacity(clients);
+    for _ in 0..clients {
+        let addr = addr.to_owned();
+        let session = session.to_owned();
+        let params = params.clone();
+        let stop = Arc::clone(&stop);
+        let total = Arc::clone(&total);
+        handles.push(std::thread::spawn(move || {
+            let mut client = ClarensClient::new(addr).with_protocol(protocol);
+            if !session.is_empty() {
+                client.set_session(session);
+            }
+            let mut local = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                match client.call(method, params.clone()) {
+                    Ok(_) => local += 1,
+                    Err(e) => panic!("bench call failed: {e}"),
+                }
+            }
+            total.fetch_add(local, Ordering::Relaxed);
+        }));
+    }
+    let t0 = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("bench client thread");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let calls = total.load(Ordering::Relaxed);
+    ThroughputPoint {
+        clients,
+        calls,
+        calls_per_sec: calls as f64 / elapsed,
+    }
+}
+
+/// Throughput over one pipelined persistent connection: `depth` requests
+/// are written back-to-back, then `depth` responses are read and decoded,
+/// in lock-step batches for `duration`. Pipelining amortizes the
+/// per-round-trip syscall and scheduler cost that is identical across
+/// protocols, so the per-request codec cost — the thing a wire-protocol
+/// ablation is after — dominates the measurement. The call is encoded and
+/// every response decoded inside the loop (the full per-call codec cost a
+/// real RPC client pays); only driver bookkeeping is hoisted out.
+pub fn measure_throughput_pipelined(
+    addr: &str,
+    session: &str,
+    depth: usize,
+    duration: Duration,
+    method: &str,
+    params: Vec<Value>,
+    protocol: Protocol,
+) -> ThroughputPoint {
+    use std::io::{Read, Write};
+
+    let stream = std::net::TcpStream::connect(addr).expect("pipelined connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let head_prefix = format!(
+        "POST /clarens HTTP/1.1\r\nhost: {addr}\r\ncontent-type: {}\r\n\
+         x-clarens-session: {session}\r\ncontent-length: ",
+        protocol.content_type(),
+    );
+    let call = RpcCall::new(method, params);
+    let expected = call.params.first().cloned();
+    let mut out: Vec<u8> = Vec::with_capacity(64 * 1024);
+    let mut inbuf: Vec<u8> = Vec::with_capacity(64 * 1024);
+    let mut chunk = vec![0u8; 64 * 1024];
+    let mut itoa = [0u8; 20];
+    let t0 = Instant::now();
+    let mut calls = 0u64;
+    while t0.elapsed() < duration {
+        out.clear();
+        for _ in 0..depth {
+            let body = clarens_wire::encode_call(protocol, &call);
+            out.extend_from_slice(head_prefix.as_bytes());
+            // content-length digits without a format! round-trip.
+            let mut n = body.len();
+            let mut at = itoa.len();
+            loop {
+                at -= 1;
+                itoa[at] = b'0' + (n % 10) as u8;
+                n /= 10;
+                if n == 0 {
+                    break;
+                }
+            }
+            out.extend_from_slice(&itoa[at..]);
+            out.extend_from_slice(b"\r\n\r\n");
+            out.extend_from_slice(&body);
+        }
+        (&stream).write_all(&out).expect("pipelined write");
+        // Read until `depth` complete responses are buffered.
+        inbuf.clear();
+        let mut bodies: Vec<(usize, usize)> = Vec::with_capacity(depth);
+        let mut pos = 0usize;
+        while bodies.len() < depth {
+            while bodies.len() < depth {
+                let Some(head_end) = inbuf[pos..]
+                    .windows(4)
+                    .position(|w| w == b"\r\n\r\n")
+                    .map(|i| pos + i + 4)
+                else {
+                    break;
+                };
+                let (status, len) = scan_response_head(&inbuf[pos..head_end]);
+                assert_eq!(status, 200, "pipelined request failed");
+                if inbuf.len() < head_end + len {
+                    break;
+                }
+                bodies.push((head_end, len));
+                pos = head_end + len;
+            }
+            if bodies.len() == depth {
+                break;
+            }
+            let n = (&stream).read(&mut chunk).expect("pipelined read");
+            assert!(n > 0, "server closed mid-batch");
+            inbuf.extend_from_slice(&chunk[..n]);
+        }
+        for (start, len) in &bodies {
+            match clarens_wire::decode_response(protocol, &inbuf[*start..*start + *len])
+                .expect("pipelined decode")
+            {
+                clarens_wire::RpcResponse::Success(v) => {
+                    if let Some(expected) = &expected {
+                        assert_eq!(&v, expected, "echoed value diverged");
+                    }
+                }
+                clarens_wire::RpcResponse::Fault(f) => panic!("pipelined fault: {f:?}"),
+            }
+        }
+        calls += depth as u64;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    ThroughputPoint {
+        clients: 1,
+        calls,
+        calls_per_sec: calls as f64 / elapsed,
+    }
+}
+
+/// Minimal response-head scan for the pipelined driver: status code and
+/// content-length, nothing else.
+fn scan_response_head(head: &[u8]) -> (u16, usize) {
+    let status: u16 = std::str::from_utf8(&head[9..12])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .expect("malformed status line");
+    let mut content_length = 0usize;
+    for line in head.split(|&b| b == b'\n') {
+        if line.len() >= 15 && line[..15].eq_ignore_ascii_case(b"content-length:") {
+            content_length = std::str::from_utf8(&line[15..])
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .expect("malformed content-length");
+        }
+    }
+    (status, content_length)
 }
 
 /// TLS variant of [`measure_throughput`]: each client opens one secure

@@ -95,6 +95,7 @@ pub struct ClarensClient {
     rng: StdRng,
     /// Total retry attempts performed over the client's lifetime.
     retries_performed: u64,
+    protocol_fallbacks: u64,
     /// Extra headers attached to every RPC POST (e.g. `x-clarens-hops`
     /// when a proxy node forwards a call on a caller's behalf).
     extra_headers: Vec<(String, String)>,
@@ -121,6 +122,7 @@ impl ClarensClient {
             call_deadline: None,
             rng: StdRng::seed_from_u64(rand::rng().next_u64()),
             retries_performed: 0,
+            protocol_fallbacks: 0,
             extra_headers: Vec::new(),
         }
     }
@@ -147,7 +149,7 @@ impl ClarensClient {
         }
     }
 
-    /// Select the wire protocol (XML-RPC, SOAP, or JSON-RPC).
+    /// Select the wire protocol (XML-RPC, SOAP, JSON-RPC, or clarens-binary).
     pub fn with_protocol(mut self, protocol: Protocol) -> Self {
         self.protocol = protocol;
         self
@@ -199,6 +201,17 @@ impl ClarensClient {
         self.retries_performed
     }
 
+    /// How many times the client downgraded binary -> XML-RPC after a 415.
+    pub fn protocol_fallbacks(&self) -> u64 {
+        self.protocol_fallbacks
+    }
+
+    /// The protocol currently spoken (may differ from the constructor's
+    /// choice after a 415 downgrade).
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
     /// The current session id, if logged in.
     pub fn session_id(&self) -> Option<&str> {
         self.session.as_deref()
@@ -215,13 +228,30 @@ impl ClarensClient {
     /// Transport failures on idempotent methods are retried up to the
     /// configured count with jittered exponential backoff; the per-call
     /// deadline (if set) caps the total time across all attempts.
+    ///
+    /// A client speaking the binary protocol against a server that has it
+    /// disabled gets `415 Unsupported Media Type` back; the client then
+    /// downgrades itself to XML-RPC and replays the call, so callers never
+    /// see the negotiation (DESIGN.md §13).
     pub fn call(&mut self, method: &str, params: Vec<Value>) -> Result<Value, ClientError> {
         let call = RpcCall {
             method: method.to_owned(),
             params,
             id: Some(Value::Int(1)),
         };
-        let body = clarens_wire::encode_call(self.protocol, &call);
+        match self.call_rpc(&call, is_idempotent(method)) {
+            Err(ClientError::Http(415, _)) if self.protocol == Protocol::Binary => {
+                self.protocol = Protocol::XmlRpc;
+                self.protocol_fallbacks += 1;
+                self.call_rpc(&call, is_idempotent(method))
+            }
+            other => other,
+        }
+    }
+
+    /// One encode → transport → decode exchange in the current protocol.
+    fn call_rpc(&mut self, call: &RpcCall, idempotent: bool) -> Result<Value, ClientError> {
+        let body = clarens_wire::encode_call(self.protocol, call);
         let mut request = Request::new(Method::Post, self.endpoint.clone());
         request
             .headers
@@ -234,7 +264,7 @@ impl ClarensClient {
         }
         request.body = body;
 
-        let response = self.transport_with_retries(&request, is_idempotent(method))?;
+        let response = self.transport_with_retries(&request, idempotent)?;
         if response.status != 200 {
             return Err(ClientError::Http(
                 response.status,

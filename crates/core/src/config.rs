@@ -90,6 +90,11 @@ pub struct ClarensConfig {
     /// (straight into a recycled per-worker buffer). On by default; disable
     /// to fall back to the DOM reference encoders for A/B measurement.
     pub streaming_encode: bool,
+    /// Accept the negotiated `clarens-binary` protocol
+    /// (`application/x-clarens-cbor` length-prefixed CBOR frames). On by
+    /// default; when disabled the server answers 415 and clients fall back
+    /// to XML-RPC (DESIGN.md §13).
+    pub binary_protocol: bool,
     /// Recycle per-worker HTTP buffers across keep-alive requests. On by
     /// default; disable to measure the allocate-per-request baseline.
     pub buffer_pool: bool,
@@ -155,6 +160,7 @@ impl Default for ClarensConfig {
             telemetry: true,
             slow_trace_us: 10_000,
             streaming_encode: true,
+            binary_protocol: true,
             buffer_pool: true,
             max_connections: 4096,
             park_idle: true,
@@ -256,6 +262,11 @@ impl ClarensConfig {
                     config.streaming_encode = value
                         .parse()
                         .map_err(|_| format!("line {}: bad streaming_encode", lineno + 1))?
+                }
+                "binary_protocol" => {
+                    config.binary_protocol = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad binary_protocol", lineno + 1))?
                 }
                 "buffer_pool" => {
                     config.buffer_pool = value
@@ -373,6 +384,15 @@ db_path: /var/clarens/clarens.db
         assert!(!config.telemetry);
         assert_eq!(config.slow_trace_us, 2500);
         assert!(ClarensConfig::parse("slow_trace_us: slow").is_err());
+    }
+
+    #[test]
+    fn binary_protocol_knob() {
+        let config = ClarensConfig::default();
+        assert!(config.binary_protocol);
+        let config = ClarensConfig::parse("binary_protocol: false").unwrap();
+        assert!(!config.binary_protocol);
+        assert!(ClarensConfig::parse("binary_protocol: maybe").is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use clarens_httpd::{
 use clarens_pki::dn::DistinguishedName;
 use clarens_telemetry::{Phase, RequestTrace};
 use clarens_wire::fault::codes;
-use clarens_wire::{Fault, Protocol, RpcResponse, Value};
+use clarens_wire::{Fault, Protocol, RpcCall, RpcResponse, Value};
 
 use crate::acl::{Acl, FileAccess};
 use crate::core::ClarensCore;
@@ -232,37 +232,61 @@ impl ClarensHandler {
             .to_ascii_lowercase();
         let protocol = match content_type.as_str() {
             "application/json" | "application/json-rpc" => Some(Protocol::JsonRpc),
+            clarens_wire::binary::CONTENT_TYPE => Some(Protocol::Binary),
             "text/xml" | "application/xml" => Protocol::sniff(&request.body),
             _ => Protocol::sniff(&request.body),
         };
         let Some(protocol) = protocol else {
             return Response::error(400, "cannot determine RPC protocol");
         };
+        // The binary protocol is negotiated, never assumed: a deployment
+        // that disables it answers 415 and the client falls back to XML-RPC
+        // (see `ClarensClient`; DESIGN.md §13 has the negotiation rules).
+        if protocol == Protocol::Binary && !self.core.config.binary_protocol {
+            return Response::error(415, "binary protocol disabled; use XML-RPC");
+        }
         trace.protocol = Some(match protocol {
             Protocol::XmlRpc => "xmlrpc",
             Protocol::Soap => "soap",
             Protocol::JsonRpc => "jsonrpc",
+            Protocol::Binary => "binary",
         });
 
-        let decoded = trace.span(Phase::Parse, || {
-            if self.core.config.streaming_encode {
-                clarens_wire::decode_call(protocol, &request.body)
-            } else {
-                clarens_wire::decode_call_dom(protocol, &request.body)
+        let (response, id) = if protocol == Protocol::Binary {
+            // Zero-copy hot path: the decoded view borrows the method name
+            // straight out of `request.body` — no owned call, no DOM. The
+            // borrow ends before the body buffer is recycled below.
+            match trace.span(Phase::Parse, || {
+                clarens_wire::binary::decode_call_view(&request.body)
+            }) {
+                Err(e) => (
+                    RpcResponse::Fault(Fault::new(codes::PARSE, e.to_string())),
+                    None,
+                ),
+                Ok(view) => {
+                    let clarens_wire::binary::CallView { method, params, id } = view;
+                    trace.method = Some(method.to_owned());
+                    (self.dispatch(&request, peer, method, params, trace), id)
+                }
             }
-        });
-        let (response, id) = match decoded {
-            Err(e) => (
-                RpcResponse::Fault(Fault::new(codes::PARSE, e.to_string())),
-                None,
-            ),
-            Ok(call) => {
-                let id = call.id.clone();
-                trace.method = Some(call.method.clone());
-                (
-                    self.dispatch(&request, peer, call.method, call.params, trace),
-                    id,
-                )
+        } else {
+            let decoded = trace.span(Phase::Parse, || {
+                if self.core.config.streaming_encode {
+                    clarens_wire::decode_call(protocol, &request.body)
+                } else {
+                    clarens_wire::decode_call_dom(protocol, &request.body)
+                }
+            });
+            match decoded {
+                Err(e) => (
+                    RpcResponse::Fault(Fault::new(codes::PARSE, e.to_string())),
+                    None,
+                ),
+                Ok(call) => {
+                    let RpcCall { method, params, id } = call;
+                    trace.method = Some(method.clone());
+                    (self.dispatch(&request, peer, &method, params, trace), id)
+                }
             }
         };
         trace.fault = matches!(response, RpcResponse::Fault(_));
@@ -295,14 +319,14 @@ impl ClarensHandler {
         &self,
         request: &Request,
         peer: Option<&PeerInfo>,
-        method: String,
+        method: &str,
         params: Vec<Value>,
         trace: &mut RequestTrace,
     ) -> RpcResponse {
         let now = self.core.now();
         let resolved = trace.span(Phase::Auth, || self.resolve_identity(request, peer, now));
 
-        if !services::is_public(&method) {
+        if !services::is_public(method) {
             let Some(identity) = &resolved.identity else {
                 return RpcResponse::Fault(Fault::not_authenticated(format!(
                     "{method} requires an authenticated session"
@@ -316,9 +340,9 @@ impl ClarensHandler {
                 Some(session) => {
                     self.core
                         .acl
-                        .check_method_keyed(&method, identity, &session.dn, &self.core.vo)
+                        .check_method_keyed(method, identity, &session.dn, &self.core.vo)
                 }
-                None => self.core.acl.check_method(&method, identity, &self.core.vo),
+                None => self.core.acl.check_method(method, identity, &self.core.vo),
             });
             if !allowed {
                 return RpcResponse::Fault(Fault::access_denied(format!(
@@ -327,7 +351,7 @@ impl ClarensHandler {
             }
         }
 
-        let service = match self.core.registry.read().resolve(&method) {
+        let service = match self.core.registry.read().resolve(method) {
             Some(service) => service,
             None => {
                 return RpcResponse::Fault(Fault::new(
@@ -356,7 +380,7 @@ impl ClarensHandler {
             deadline,
             hops,
         };
-        let result = trace.span(Phase::Dispatch, || service.call(&ctx, &method, &params));
+        let result = trace.span(Phase::Dispatch, || service.call(&ctx, method, &params));
         // A handler that overran its budget gets the 504-style fault even
         // if it eventually produced a value: the caller's own deadline has
         // long passed, and reporting success would hide the stall.

@@ -70,6 +70,9 @@ pub struct GridOptions {
     /// Encode responses with the streaming serializers (disable for the
     /// DOM reference encoders, e.g. in allocation ablations).
     pub streaming_encode: bool,
+    /// Accept the negotiated clarens-binary protocol (disable to exercise
+    /// the 415 negotiation + client XML-RPC fallback path).
+    pub binary_protocol: bool,
     /// Recycle per-worker HTTP buffers across keep-alive requests.
     pub buffer_pool: bool,
     /// Cap on simultaneously live HTTP connections (beyond it: 503 shed).
@@ -95,6 +98,7 @@ impl Default for GridOptions {
             auth_cache: true,
             telemetry: true,
             streaming_encode: true,
+            binary_protocol: true,
             buffer_pool: true,
             max_connections: 4096,
             park_idle: true,
@@ -189,6 +193,7 @@ impl TestGrid {
             auth_cache: options.auth_cache,
             telemetry: options.telemetry,
             streaming_encode: options.streaming_encode,
+            binary_protocol: options.binary_protocol,
             buffer_pool: options.buffer_pool,
             max_connections: options.max_connections,
             park_idle: options.park_idle,

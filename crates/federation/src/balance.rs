@@ -12,13 +12,29 @@
 //! spreads a fleet of clients across the federation without the herding
 //! a strict pick-the-minimum rule causes when attributes refresh only on
 //! heartbeat.
+//!
+//! [`with_session_affinity`](BalancedClient::with_session_affinity) swaps
+//! the placement policy for rendezvous (highest-random-weight) hashing of
+//! the session id over the live endpoint set: every client carrying the
+//! same session lands on the same node, so its auth/ACL/resolved-session
+//! cache entries stay warm instead of being re-derived on every node the
+//! fleet happens to spray. Replication makes every node *able* to serve
+//! every session (PR 7), so affinity is purely a cache optimization: when
+//! the preferred node dies it is blacklisted and the hash re-ranks over
+//! the survivors — deterministic failover, and only the dead node's
+//! sessions move (the rendezvous property; no global reshuffle).
+//!
+//! The balancer also carries a preferred wire protocol. A fleet speaking
+//! clarens-binary against a mixed federation remembers, per endpoint,
+//! which nodes answered `415 Unsupported Media Type` and speaks XML-RPC
+//! to those from the start on later re-pins.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 use clarens::client::{ClarensClient, ClientError};
-use clarens_wire::Value;
+use clarens_wire::{Protocol, Value};
 use monalisa_sim::station::query_station;
 use monalisa_sim::{ServiceDescriptor, ServiceQuery};
 use rand::rngs::StdRng;
@@ -48,6 +64,16 @@ pub struct BalancedClient {
     calls_since_pin: u64,
     resolutions: u64,
     failovers: u64,
+    /// Preferred wire protocol for new endpoint connections.
+    protocol: Protocol,
+    /// Endpoints that answered 415 to the binary protocol; spoken to in
+    /// XML-RPC directly on later pins.
+    xmlrpc_only: HashSet<String>,
+    /// Binary -> XML-RPC downgrades observed across all endpoints.
+    protocol_fallbacks: u64,
+    /// Route by rendezvous-hashing the session over live endpoints
+    /// instead of p2c (cache-warm session affinity).
+    affinity: bool,
 }
 
 impl BalancedClient {
@@ -66,7 +92,28 @@ impl BalancedClient {
             calls_since_pin: 0,
             resolutions: 0,
             failovers: 0,
+            protocol: Protocol::XmlRpc,
+            xmlrpc_only: HashSet::new(),
+            protocol_fallbacks: 0,
+            affinity: false,
         }
+    }
+
+    /// Prefer `protocol` when connecting to endpoints. Binary-speaking
+    /// clients downgrade per endpoint on 415 (see the module docs).
+    pub fn with_protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Route calls by rendezvous-hashing the session id over the live
+    /// endpoint set, so repeat calls for one session hit the same node's
+    /// warm caches. Falls back to the surviving nodes' hash order (and
+    /// ultimately p2c among equals — there are none with distinct urls)
+    /// when the preferred node is blacklisted.
+    pub fn with_session_affinity(mut self) -> Self {
+        self.affinity = true;
+        self
     }
 
     /// Override the per-attempt call deadline (default 2 s).
@@ -92,6 +139,11 @@ impl BalancedClient {
     /// Times a failed endpoint was abandoned for a re-resolved one.
     pub fn failovers(&self) -> u64 {
         self.failovers
+    }
+
+    /// Binary -> XML-RPC protocol downgrades observed (415 negotiation).
+    pub fn protocol_fallbacks(&self) -> u64 {
+        self.protocol_fallbacks
     }
 
     /// The url currently pinned, if any (tests/bench introspection).
@@ -127,6 +179,11 @@ impl BalancedClient {
             let (url, client) = self.current.as_mut().expect("endpoint pinned");
             match client.call(method, params.clone()) {
                 Ok(value) => {
+                    // The inner client downgrades itself on 415; remember
+                    // the endpoint so later pins skip the failed handshake.
+                    if client.protocol_fallbacks() > 0 && self.xmlrpc_only.insert(url.clone()) {
+                        self.protocol_fallbacks += 1;
+                    }
                     self.calls_since_pin += 1;
                     return Ok(value);
                 }
@@ -181,25 +238,41 @@ impl BalancedClient {
                 "discovery found no live endpoint for {method}"
             )));
         }
-        // Power-of-two-choices on published p95 latency.
-        let p95 = |d: &ServiceDescriptor| {
-            d.attributes
-                .get("p95_us")
-                .and_then(|v| v.parse::<u64>().ok())
-                .unwrap_or(u64::MAX)
-        };
-        let first = (self.rng.next_u64() % candidates.len() as u64) as usize;
-        let second = (self.rng.next_u64() % candidates.len() as u64) as usize;
-        let pick = if voluntary || p95(&candidates[first]) <= p95(&candidates[second]) {
-            first
+        let pick = if self.affinity {
+            // Rendezvous hashing: the candidate with the highest
+            // hash(session, url) wins. Stable while the node lives; when
+            // it is blacklisted the next-ranked survivor takes over, and
+            // only this session's traffic moves.
+            (0..candidates.len())
+                .max_by_key(|&i| rendezvous_score(&self.session, &candidates[i].url))
+                .expect("candidates non-empty")
         } else {
-            second
+            // Power-of-two-choices on published p95 latency.
+            let p95 = |d: &ServiceDescriptor| {
+                d.attributes
+                    .get("p95_us")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(u64::MAX)
+            };
+            let first = (self.rng.next_u64() % candidates.len() as u64) as usize;
+            let second = (self.rng.next_u64() % candidates.len() as u64) as usize;
+            if voluntary || p95(&candidates[first]) <= p95(&candidates[second]) {
+                first
+            } else {
+                second
+            }
         };
         let descriptor = candidates.swap_remove(pick);
         let addr = host_port(&descriptor.url).ok_or_else(|| {
             ClientError::Protocol(format!("unroutable descriptor url {}", descriptor.url))
         })?;
+        let protocol = if self.xmlrpc_only.contains(&descriptor.url) {
+            Protocol::XmlRpc
+        } else {
+            self.protocol
+        };
         let mut client = ClarensClient::new(addr)
+            .with_protocol(protocol)
             .with_retries(0)
             .with_call_deadline(self.call_deadline);
         client.set_session(self.session.clone());
@@ -207,6 +280,22 @@ impl BalancedClient {
         self.calls_since_pin = 0;
         Ok((descriptor.url, client))
     }
+}
+
+/// FNV-1a rendezvous score for (session, endpoint): each session ranks
+/// every endpoint by an independent-looking hash, and the top-ranked live
+/// endpoint is the session's home node.
+fn rendezvous_score(session: &str, url: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in session
+        .bytes()
+        .chain(std::iter::once(0xff))
+        .chain(url.bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Extract `host:port` from a descriptor url.
@@ -221,6 +310,47 @@ fn host_port(url: &str) -> Option<&str> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rendezvous_is_stable_and_minimally_disruptive() {
+        let urls: Vec<String> = (0..6)
+            .map(|i| format!("http://10.0.0.{i}:8080/clarens"))
+            .collect();
+        let sessions: Vec<String> = (0..200).map(|i| format!("session-{i}")).collect();
+        let home = |session: &str, pool: &[String]| -> String {
+            pool.iter()
+                .max_by_key(|u| rendezvous_score(session, u))
+                .unwrap()
+                .clone()
+        };
+        // Stable: same inputs, same placement.
+        for s in &sessions {
+            assert_eq!(home(s, &urls), home(s, &urls));
+        }
+        // Spread: no node owns everything (probabilistic but deterministic
+        // for this fixed session set).
+        let mut per_node: HashMap<String, usize> = HashMap::new();
+        for s in &sessions {
+            *per_node.entry(home(s, &urls)).or_default() += 1;
+        }
+        assert!(
+            per_node.len() >= 4,
+            "placement too concentrated: {per_node:?}"
+        );
+        // Minimal disruption: removing one node only moves the sessions
+        // that lived there.
+        let dead = urls[2].clone();
+        let survivors: Vec<String> = urls.iter().filter(|u| **u != dead).cloned().collect();
+        for s in &sessions {
+            let before = home(s, &urls);
+            let after = home(s, &survivors);
+            if before != dead {
+                assert_eq!(before, after, "unaffected session {s} moved");
+            } else {
+                assert_ne!(after, dead);
+            }
+        }
+    }
 
     #[test]
     fn host_port_parses_descriptor_urls() {

@@ -37,6 +37,10 @@ const READ_CHUNK: usize = 16 * 1024;
 /// Cap on bytes absorbed in one fill burst before re-parsing, so one
 /// fire-hose peer cannot monopolize a worker between parse attempts.
 const MAX_FILL_BURST: usize = 256 * 1024;
+/// Cap on coalesced response bytes staged for pipelined requests before a
+/// flush is forced, so a client that never stops pipelining cannot grow
+/// the staging buffer without bound.
+const MAX_STAGED_BYTES: usize = 64 * 1024;
 
 /// One plaintext keep-alive connection on the event-driven path. Owns the
 /// (non-blocking) socket and every piece of per-connection state that must
@@ -75,7 +79,7 @@ pub(crate) struct Conn {
 #[allow(clippy::large_enum_variant)]
 pub(crate) enum Disposition {
     /// Waiting for more bytes: hand the connection to the poller.
-    Park(Conn),
+    Park(Box<Conn>),
     /// Finished (clean close, error, or shutdown): the socket closes when
     /// the connection drops.
     Closed,
@@ -118,8 +122,9 @@ pub(crate) struct WriteState {
     written: u64,
     /// Subset of `written` that went through `sendfile(2)`.
     sendfile: u64,
-    /// Keeps the response inside the shutdown drain window.
-    _in_flight: Option<InFlightGuard>,
+    /// Keeps the response(s) inside the shutdown drain window — one guard
+    /// per request for a coalesced batch of pipelined responses.
+    _in_flight: Vec<InFlightGuard>,
 }
 
 enum PendingBody {
@@ -203,8 +208,22 @@ impl WriteState {
             keep_alive,
             written: 0,
             sendfile: 0,
-            _in_flight: in_flight,
+            _in_flight: in_flight.into_iter().collect(),
         })
+    }
+
+    /// Wrap a staging buffer of already-encoded pipelined responses as a
+    /// write in flight: all head, no body, connection stays open.
+    fn staged(head: Vec<u8>, in_flight: Vec<InFlightGuard>) -> WriteState {
+        WriteState {
+            head,
+            head_pos: 0,
+            body: PendingBody::None,
+            keep_alive: true,
+            written: 0,
+            sendfile: 0,
+            _in_flight: in_flight,
+        }
     }
 
     /// Push bytes at the socket until the response completes (`Ok(true)`),
@@ -410,13 +429,93 @@ fn advance_pending(conn: &mut Conn, mut state: WriteState) -> WriteProgress {
     }
 }
 
+/// How a staged-response flush left the connection.
+enum FlushProgress {
+    /// Staging buffer fully on the socket (or it was empty).
+    Done,
+    /// Socket full mid-flush; the remainder is parked as a pending write.
+    Parked,
+    /// Transport failure; close.
+    Failed(io::Error),
+}
+
+/// Append one response's head + in-memory body to the staging buffer
+/// instead of writing it to the socket. Only called for keep-alive
+/// responses with `Body::Bytes` bodies (the RPC fast path).
+fn stage_response(response: Response, outq: &mut Vec<u8>, scratch: &mut Scratch) -> io::Result<()> {
+    encode_head(&response, true, outq)?;
+    if let Body::Bytes(buf) = response.body {
+        outq.extend_from_slice(&buf);
+        scratch.recycle(buf);
+    }
+    Ok(())
+}
+
+/// Non-blocking flush of the staging buffer through the parked-write
+/// machinery: on `Parked` the remainder (guards included) rides in
+/// `conn.pending_write` and the poller waits for writability.
+fn flush_staged<H: Handler>(
+    conn: &mut Conn,
+    outq: &mut Vec<u8>,
+    guards: &mut Vec<InFlightGuard>,
+    shared: &WorkerShared<H>,
+    scratch: &mut Scratch,
+) -> FlushProgress {
+    if outq.is_empty() {
+        guards.clear();
+        return FlushProgress::Done;
+    }
+    let state = WriteState::staged(std::mem::take(outq), std::mem::take(guards));
+    match advance_pending(conn, state) {
+        WriteProgress::Done(state) => {
+            let (total, _) = state.accounted();
+            if let Some(t) = &shared.telemetry {
+                t.http.bytes_out.add(total);
+            }
+            state.recycle_into(scratch);
+            FlushProgress::Done
+        }
+        WriteProgress::Parked => FlushProgress::Parked,
+        WriteProgress::Failed(error) => FlushProgress::Failed(error),
+    }
+}
+
+/// Blocking-ish flush for the paths that cannot park (a non-coalescible
+/// response queued behind staged ones, protocol failure, shutdown):
+/// bounded by the read timeout, like any other blocking response write.
+fn flush_staged_blocking<H: Handler>(
+    conn: &Conn,
+    outq: &mut Vec<u8>,
+    guards: &mut Vec<InFlightGuard>,
+    shared: &WorkerShared<H>,
+) -> io::Result<()> {
+    let result = if outq.is_empty() {
+        Ok(())
+    } else {
+        let mut writer = NonblockingWriter::new(&conn.sock, shared.read_timeout);
+        let result = writer.write_all(outq);
+        if result.is_ok() {
+            if let Some(t) = &shared.telemetry {
+                t.http.bytes_out.add(outq.len() as u64);
+            }
+        }
+        result
+    };
+    outq.clear();
+    guards.clear();
+    result
+}
+
 /// Drive `conn` until it parks, closes, or fails. This is the event-path
 /// sibling of `serve_stream`: identical request accounting, identical
 /// response bytes (both funnel through `write_response_pooled`), but reads
 /// never block — they either make progress or return the connection to the
-/// poller.
+/// poller. Pipelined requests get their responses *coalesced*: while the
+/// input buffer still holds more requests, each in-memory response is
+/// staged instead of written, and the whole batch leaves in one syscall
+/// when the buffer runs dry — one peer wakeup per batch, not per response.
 pub(crate) fn drive<H: Handler>(
-    mut conn: Conn,
+    mut conn: Box<Conn>,
     shared: &WorkerShared<H>,
     scratch: &mut Scratch,
 ) -> Disposition {
@@ -443,8 +542,14 @@ pub(crate) fn drive<H: Handler>(
             }
         }
     }
+    // Staging buffer for coalesced pipelined responses. Lazily grown: the
+    // non-pipelined steady state never touches it, and a pipelined batch
+    // amortizes its one allocation over the whole batch.
+    let mut outq: Vec<u8> = Vec::new();
+    let mut guards: Vec<InFlightGuard> = Vec::new();
     loop {
         if shared.stop.load(Ordering::SeqCst) {
+            let _ = flush_staged_blocking(&conn, &mut outq, &mut guards, shared);
             return Disposition::Closed;
         }
         let mut trace = match &shared.telemetry {
@@ -457,8 +562,20 @@ pub(crate) fn drive<H: Handler>(
         });
         match attempt {
             Parsed::Incomplete => {
-                // Not a request yet; the trace never finishes and records
-                // nothing. Pull more bytes or park.
+                // Not a request yet: the pipeline (if any) has run dry, so
+                // the staged responses must leave before this connection
+                // waits on its peer — which is almost certainly blocked on
+                // exactly those responses.
+                match flush_staged(&mut conn, &mut outq, &mut guards, shared, scratch) {
+                    FlushProgress::Done => {}
+                    FlushProgress::Parked => return Disposition::Park(conn),
+                    FlushProgress::Failed(error) => {
+                        classify_io_error(&error, shared);
+                        return Disposition::Closed;
+                    }
+                }
+                // The trace never finishes and records nothing. Pull more
+                // bytes or park.
                 match fill(&mut conn, scratch) {
                     Fill::Progress => continue,
                     Fill::Park => return Disposition::Park(conn),
@@ -478,6 +595,10 @@ pub(crate) fn drive<H: Handler>(
                 }
             }
             Parsed::Fail(status, message) => {
+                // Earlier pipelined responses still go out before the error.
+                if flush_staged_blocking(&conn, &mut outq, &mut guards, shared).is_err() {
+                    return Disposition::Closed;
+                }
                 shared.stats.requests.fetch_add(1, Ordering::Relaxed);
                 let response = Response::error(status, &message);
                 if let Some(t) = &shared.telemetry {
@@ -511,6 +632,44 @@ pub(crate) fn drive<H: Handler>(
                     shared.stats.errors.fetch_add(1, Ordering::Relaxed);
                 }
                 trace.status = response.status;
+                // Coalescing fast path: more requests are already buffered
+                // and this response is plain bytes, so stage it and keep
+                // parsing instead of waking the peer per response.
+                if keep_alive
+                    && !head_only
+                    && !conn.inbuf.is_empty()
+                    && outq.len() < MAX_STAGED_BYTES
+                    && matches!(response.body, Body::Bytes(_))
+                {
+                    let staged = trace.span(Phase::Write, || {
+                        clarens_faults::check_io(clarens_faults::sites::HTTPD_WRITE)
+                            .and_then(|()| stage_response(response, &mut outq, scratch))
+                    });
+                    if let Some(t) = &shared.telemetry {
+                        t.http
+                            .buffer_pool_reuse
+                            .add(scratch.reuses().wrapping_sub(reuses_before));
+                        t.finish_request(&trace, (shared.now_fn)());
+                    }
+                    match staged {
+                        Ok(()) => {
+                            guards.push(in_flight);
+                            if !shared.buffer_pool {
+                                scratch.purge();
+                            }
+                            continue;
+                        }
+                        Err(error) => {
+                            classify_io_error(&error, shared);
+                            return Disposition::Closed;
+                        }
+                    }
+                }
+                // Not coalescible (file/stream body, HEAD, close, or the
+                // staging cap): anything staged leaves first, in order.
+                if flush_staged_blocking(&conn, &mut outq, &mut guards, shared).is_err() {
+                    return Disposition::Closed;
+                }
                 let progress = trace.span(Phase::Write, || {
                     match clarens_faults::check_io(clarens_faults::sites::HTTPD_WRITE).and_then(
                         |()| {

@@ -1,0 +1,45 @@
+//! Shared fuzz entry point for the HTTP request parser.
+//!
+//! Same contract as `clarens_wire::fuzz`: raw attacker bytes in, and the
+//! parser must reject or accept them gracefully — no panic, no unbounded
+//! allocation. Driven by the cargo-fuzz target in `fuzz/fuzz_targets/`,
+//! the in-tree `repro fuzz` harness, and a bounded pass in `cargo test`.
+
+use std::io::BufReader;
+
+use crate::parse::read_request;
+
+/// Body cap used while fuzzing — large enough to exercise the
+/// Content-Length path, small enough that a hostile header cannot make
+/// the harness itself allocate gigabytes.
+const FUZZ_MAX_BODY: usize = 1 << 20;
+
+/// Feed one connection's worth of bytes to the request parser. Anything it
+/// accepts must expose self-consistent accessors (path/query never panic).
+pub fn http_request(data: &[u8]) {
+    let mut reader = BufReader::new(data);
+    if let Ok(request) = read_request(&mut reader, FUZZ_MAX_BODY) {
+        // Exercise the derived accessors on accepted requests.
+        let _ = request.path();
+        let _ = request.query();
+        let _ = request.headers.get("content-type");
+        assert!(
+            request.body.len() <= FUZZ_MAX_BODY,
+            "parser exceeded its body cap"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_accepts_valid_and_garbage_inputs() {
+        http_request(b"GET /clarens?x=1 HTTP/1.1\r\nHost: h\r\n\r\n");
+        http_request(b"POST /clarens HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc");
+        http_request(b"");
+        http_request(&[0xff; 128]);
+        http_request(b"POST / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n");
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod client;
 mod conn;
+pub mod fuzz;
 pub mod parse;
 pub mod poller;
 pub mod scratch;

@@ -194,7 +194,7 @@ pub(crate) enum WorkItem {
     /// it closes (TLS, or `park_idle = false`).
     Blocking(TcpStream, Option<BudgetGuard>),
     /// An event-path connection to drive until it parks or closes.
-    Event(Conn),
+    Event(Box<Conn>),
 }
 
 /// RAII slot in the live-connection budget.
@@ -211,7 +211,7 @@ impl Drop for BudgetGuard {
 /// The worker side of the park channel: where to send a connection that
 /// ran out of bytes, and how to nudge the poller to pick it up.
 pub(crate) struct Parker {
-    tx: Sender<Conn>,
+    tx: Sender<Box<Conn>>,
     poller: Arc<Poller>,
 }
 
@@ -328,7 +328,7 @@ impl HttpServer {
             None
         };
         let event_mode = conn_poller.is_some();
-        let (park_tx, park_rx): (Sender<Conn>, Receiver<Conn>) = unbounded();
+        let (park_tx, park_rx): (Sender<Box<Conn>>, Receiver<Box<Conn>>) = unbounded();
 
         let in_flight = Arc::new(AtomicUsize::new(0));
         let shared = Arc::new(WorkerShared {
@@ -543,7 +543,7 @@ fn accept_loop(ctx: AcceptLoop) {
             sock.set_nodelay(true).ok();
             let id = next_id;
             next_id += 1;
-            WorkItem::Event(Conn {
+            WorkItem::Event(Box::new(Conn {
                 _live: ctx.live.register(&sock),
                 sock,
                 inbuf: Vec::new(),
@@ -552,7 +552,7 @@ fn accept_loop(ctx: AcceptLoop) {
                 registered: false,
                 pending_write: None,
                 _budget: Some(budget),
-            })
+            }))
         } else {
             // Classic path; `serve_connection` expects a blocking socket.
             sock.set_nonblocking(false).ok();
@@ -648,14 +648,14 @@ fn shed(mut sock: TcpStream, telemetry: &Option<Arc<Telemetry>>) {
 /// worker queue, and expire those idle past the keep-alive timeout.
 fn poller_loop(
     poller: Arc<Poller>,
-    park_rx: Receiver<Conn>,
+    park_rx: Receiver<Box<Conn>>,
     work_tx: Sender<WorkItem>,
     stop: Arc<AtomicBool>,
     telemetry: Option<Arc<Telemetry>>,
     read_timeout: Duration,
 ) {
     struct Parked {
-        conn: Conn,
+        conn: Box<Conn>,
         deadline: Instant,
         seq: u64,
         /// Waiting for the socket to become writable (response parked
@@ -1218,15 +1218,17 @@ mod tests {
         };
         let server = HttpServer::bind("127.0.0.1:0", config, echo_handler()).unwrap();
         let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(sock.try_clone().unwrap());
+        // Strictly request-response paced: each parse span then includes a
+        // blocking read-wait, so no sample can round down to the zero
+        // microseconds that the phase histogram (correctly) drops.
         for i in 0..3 {
             let req = format!("GET /r{i} HTTP/1.1\r\nHost: h\r\n\r\n");
             sock.write_all(req.as_bytes()).unwrap();
-        }
-        let mut reader = BufReader::new(sock);
-        for _ in 0..3 {
             assert_eq!(read_response(&mut reader, usize::MAX).unwrap().status, 200);
         }
         drop(reader);
+        drop(sock);
         server.shutdown();
         assert_eq!(telemetry.http.requests.get(), 3);
         assert_eq!(telemetry.http.keepalive_reuse.get(), 2);

@@ -7,7 +7,7 @@
 //! event path is byte-identical on the wire to the classic
 //! thread-per-connection path it replaces.
 
-use std::io::{BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -304,6 +304,90 @@ fn shutdown_closes_parked_connections() {
             Ok(n) => panic!("parked conn still live after shutdown ({n} bytes)"),
         }
     }
+}
+
+/// A deep pipeline on the event path: every response comes back, in
+/// order, with the right body. This is the workload the response
+/// coalescer serves — responses to buffered pipelined requests are staged
+/// and leave the socket in batches, which must change packet boundaries
+/// only, never bytes or ordering.
+#[test]
+fn deep_pipeline_responses_arrive_in_order() {
+    let server = HttpServer::bind("127.0.0.1:0", config(true), body_echo_handler()).unwrap();
+    let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    const DEPTH: usize = 64;
+    let mut batch = Vec::new();
+    for i in 0..DEPTH {
+        let body = format!("payload-{i}");
+        batch.extend_from_slice(
+            format!(
+                "POST /rpc HTTP/1.1\r\nHost: h\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        );
+    }
+    sock.write_all(&batch).unwrap();
+    let mut reader = BufReader::new(sock.try_clone().unwrap());
+    for i in 0..DEPTH {
+        let resp = read_response(&mut reader, usize::MAX).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.body,
+            format!("payload-{i}").into_bytes(),
+            "response {i} out of order or corrupted"
+        );
+        assert!(resp.keep_alive);
+    }
+    server.shutdown();
+}
+
+/// A non-coalescible request (HEAD) in the middle of a pipeline forces the
+/// staged responses out first — ordering across the coalesce/direct-write
+/// boundary must hold, and a trailing `Connection: close` still closes.
+#[test]
+fn mixed_pipeline_flushes_in_order() {
+    let server = HttpServer::bind("127.0.0.1:0", config(true), echo_handler()).unwrap();
+    let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let batch = "GET /a HTTP/1.1\r\nHost: h\r\n\r\n\
+                 GET /b HTTP/1.1\r\nHost: h\r\n\r\n\
+                 HEAD /c HTTP/1.1\r\nHost: h\r\n\r\n\
+                 GET /d HTTP/1.1\r\nHost: h\r\n\r\n\
+                 GET /e HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n";
+    sock.write_all(batch.as_bytes()).unwrap();
+    let mut reader = BufReader::new(sock.try_clone().unwrap());
+    for (target, body_expected) in [
+        ("/a", true),
+        ("/b", true),
+        ("/c", false),
+        ("/d", true),
+        ("/e", true),
+    ] {
+        if body_expected {
+            let resp = read_response(&mut reader, usize::MAX).unwrap();
+            assert_eq!(resp.status, 200, "{target}");
+            let body = String::from_utf8(resp.body).unwrap();
+            assert!(body.contains(target), "{target}: got {body:?}");
+        } else {
+            // A HEAD response advertises Content-Length but carries no
+            // body bytes, so consume just its head.
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("200"), "{target}: got {line:?}");
+            while line != "\r\n" {
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+            }
+        }
+    }
+    let mut probe = [0u8; 1];
+    match reader.read(&mut probe) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("connection still open after Connection: close ({n} bytes)"),
+    }
+    server.shutdown();
 }
 
 fn collect_wire_bytes(addr: SocketAddr, exchanges: &[&str]) -> Vec<Vec<u8>> {

@@ -130,7 +130,7 @@ pub struct ProtocolCounters {
 }
 
 /// Wire protocols tracked per-request.
-pub const PROTOCOL_NAMES: [&str; 3] = ["xmlrpc", "soap", "jsonrpc"];
+pub const PROTOCOL_NAMES: [&str; 4] = ["xmlrpc", "soap", "jsonrpc", "binary"];
 
 type GaugeFn = Box<dyn Fn() -> u64 + Send + Sync>;
 
@@ -160,7 +160,7 @@ pub struct Telemetry {
     /// Per-`module.method` stats.
     methods: MethodTable,
     /// Per-protocol counters, index-aligned with [`PROTOCOL_NAMES`].
-    protocols: [ProtocolCounters; 3],
+    protocols: [ProtocolCounters; 4],
     /// Slow-request ring.
     ring: TraceRing,
     /// Requests at or above this many microseconds enter the ring.

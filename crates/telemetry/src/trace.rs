@@ -46,7 +46,7 @@ pub struct RequestTrace {
     /// Dispatched `module.method` (RPC) or a synthetic name like
     /// `http.get`; `None` when the request never reached routing.
     pub method: Option<String>,
-    /// Negotiated protocol name (`xmlrpc`/`soap`/`jsonrpc`).
+    /// Negotiated protocol name (`xmlrpc`/`soap`/`jsonrpc`/`binary`).
     pub protocol: Option<&'static str>,
     /// HTTP status of the response.
     pub status: u16,

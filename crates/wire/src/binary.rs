@@ -1,0 +1,693 @@
+//! `clarens-binary` — the compact length-prefixed binary RPC protocol.
+//!
+//! The Clarens papers standardize on XML-RPC/SOAP for interoperability, but
+//! XML envelope cost dominates machine-to-machine grid traffic (the JClarens
+//! follow-up measures exactly this). This module adds a fourth wire protocol
+//! for peers that negotiate it: a length-prefixed frame carrying a
+//! CBOR-encoded (RFC 8949 subset) call or response body.
+//!
+//! ## Frame format (DESIGN.md §13)
+//!
+//! ```text
+//! +----------------+------------------+------------------------+
+//! | u32 BE length  | version/kind (1) | CBOR body (length - 1) |
+//! +----------------+------------------+------------------------+
+//! ```
+//!
+//! * `length` counts everything after itself (version byte + body), so a
+//!   reader can frame-delimit without parsing CBOR.
+//! * version/kind byte: high nibble = protocol version (currently
+//!   [`VERSION`] = 1), low nibble = frame kind (0 = call, 1 = response).
+//!   Unknown versions or kinds are rejected, never guessed at.
+//!
+//! ## Body encoding
+//!
+//! The [`Value`] algebra maps onto a deterministic CBOR subset:
+//!
+//! | `Value`       | CBOR                                           |
+//! |---------------|------------------------------------------------|
+//! | `Nil`         | null (`0xf6`)                                  |
+//! | `Bool`        | false/true (`0xf4`/`0xf5`)                     |
+//! | `Int`         | major 0 (unsigned) / major 1 (negative)        |
+//! | `Double`      | float64 (`0xfb`)                               |
+//! | `Str`         | major 3 text string                            |
+//! | `Bytes`       | major 2 byte string                            |
+//! | `DateTime`    | tag 0 + compact ISO 8601 text                  |
+//! | `Array`       | major 4 array                                  |
+//! | `Struct`      | major 5 map with text keys (BTreeMap order)    |
+//! |---------------|------------------------------------------------|
+//!
+//! Call body: `[method: text, params: array, id: value-or-null]`.
+//! Response body: `[0, result]` on success, `[1, code, message]` on fault.
+//! (Binary connections are strictly request-response, so no id echo is
+//! needed; the slot exists for symmetry with JSON-RPC clients.)
+//!
+//! The encoder always emits minimal-length CBOR heads (canonical form); the
+//! decoder additionally accepts non-minimal heads and float32, but rejects
+//! indefinite lengths, unknown tags, and anything that would over-read the
+//! frame — claimed lengths are validated against the bytes actually present
+//! before any allocation, so a hostile 4 GiB length prefix costs nothing.
+//!
+//! ## Zero-copy decode
+//!
+//! [`decode_call_view`] is the server's hot path: it borrows the method name
+//! (and, transitively, every scalar head) straight from the request buffer —
+//! no DOM, no intermediate tree, and no allocation for the method string.
+//! Only composite params allocate, proportional to their size.
+
+use std::collections::BTreeMap;
+
+use crate::datetime::DateTime;
+use crate::fault::{Fault, WireError};
+use crate::value::Value;
+use crate::{RpcCall, RpcResponse};
+
+/// MIME type negotiated for the binary protocol.
+pub const CONTENT_TYPE: &str = "application/x-clarens-cbor";
+
+/// Current frame format version (high nibble of the version/kind byte).
+pub const VERSION: u8 = 1;
+
+/// Frame kind: RPC call.
+const KIND_CALL: u8 = 0;
+/// Frame kind: RPC response.
+const KIND_RESPONSE: u8 = 1;
+
+/// Maximum nesting depth the decoder will follow. Deep enough for any real
+/// payload, shallow enough that hostile nesting cannot overflow the stack.
+const MAX_DEPTH: u32 = 64;
+
+fn frame_byte(kind: u8) -> u8 {
+    (VERSION << 4) | kind
+}
+
+/// Cheap structural test: does `body` look like a clarens-binary frame?
+/// Used by [`crate::Protocol::sniff`]; checks the length prefix and version
+/// nibble only, so it never mis-fires on XML/JSON payloads (which cannot
+/// start with a matching big-endian length).
+pub fn is_frame(body: &[u8]) -> bool {
+    body.len() >= 5
+        && u32::from_be_bytes([body[0], body[1], body[2], body[3]]) as usize == body.len() - 4
+        && body[4] >> 4 == VERSION
+        && (body[4] & 0x0f) <= KIND_RESPONSE
+}
+
+/// Validate the frame envelope and return the CBOR body.
+fn unwrap_frame(body: &[u8], want_kind: u8) -> Result<&[u8], WireError> {
+    if body.len() < 5 {
+        return Err(WireError::parse("binary frame truncated (< 5 bytes)"));
+    }
+    let declared = u32::from_be_bytes([body[0], body[1], body[2], body[3]]) as usize;
+    if declared != body.len() - 4 {
+        return Err(WireError::parse(format!(
+            "binary frame length mismatch: header says {declared}, have {}",
+            body.len() - 4
+        )));
+    }
+    let vk = body[4];
+    if vk >> 4 != VERSION {
+        return Err(WireError::parse(format!(
+            "unsupported binary protocol version {}",
+            vk >> 4
+        )));
+    }
+    let kind = vk & 0x0f;
+    if kind != want_kind {
+        return Err(WireError::parse(format!(
+            "unexpected binary frame kind {kind} (wanted {want_kind})"
+        )));
+    }
+    Ok(&body[5..])
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Append a CBOR head (major type + argument) in minimal-length form.
+fn head_into(major: u8, arg: u64, out: &mut Vec<u8>) {
+    let m = major << 5;
+    if arg < 24 {
+        out.push(m | arg as u8);
+    } else if arg <= u8::MAX as u64 {
+        out.push(m | 24);
+        out.push(arg as u8);
+    } else if arg <= u16::MAX as u64 {
+        out.push(m | 25);
+        out.extend_from_slice(&(arg as u16).to_be_bytes());
+    } else if arg <= u32::MAX as u64 {
+        out.push(m | 26);
+        out.extend_from_slice(&(arg as u32).to_be_bytes());
+    } else {
+        out.push(m | 27);
+        out.extend_from_slice(&arg.to_be_bytes());
+    }
+}
+
+fn text_into(s: &str, out: &mut Vec<u8>) {
+    head_into(3, s.len() as u64, out);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append one [`Value`] in the deterministic CBOR subset.
+pub fn encode_value_into(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Nil => out.push(0xf6),
+        Value::Bool(false) => out.push(0xf4),
+        Value::Bool(true) => out.push(0xf5),
+        Value::Int(i) => {
+            if *i >= 0 {
+                head_into(0, *i as u64, out);
+            } else {
+                // CBOR major 1 encodes -1 - n; i64::MIN maps to u64 cleanly.
+                head_into(1, !(*i) as u64, out);
+            }
+        }
+        Value::Double(d) => {
+            out.push(0xfb);
+            out.extend_from_slice(&d.to_bits().to_be_bytes());
+        }
+        Value::Str(s) => text_into(s, out),
+        Value::Bytes(b) => {
+            head_into(2, b.len() as u64, out);
+            out.extend_from_slice(b);
+        }
+        Value::DateTime(dt) => {
+            out.push(0xc0); // tag 0: standard date-time text
+            text_into(&dt.to_string(), out);
+        }
+        Value::Array(items) => {
+            head_into(4, items.len() as u64, out);
+            for item in items {
+                encode_value_into(item, out);
+            }
+        }
+        Value::Struct(map) => {
+            head_into(5, map.len() as u64, out);
+            for (k, v) in map {
+                text_into(k, out);
+                encode_value_into(v, out);
+            }
+        }
+    }
+}
+
+/// Reserve a frame header at the current end of `out`; returns the patch
+/// position for [`finish_frame`].
+fn start_frame(kind: u8, out: &mut Vec<u8>) -> usize {
+    let at = out.len();
+    out.extend_from_slice(&[0, 0, 0, 0, frame_byte(kind)]);
+    at
+}
+
+/// Back-patch the u32 length once the body is written.
+fn finish_frame(at: usize, out: &mut [u8]) {
+    let len = (out.len() - at - 4) as u32;
+    out[at..at + 4].copy_from_slice(&len.to_be_bytes());
+}
+
+/// Encode a call frame, appending to `out` (streaming twin of
+/// [`encode_call`]; callers pass a recycled buffer to stay allocation-free).
+pub fn encode_call_into(call: &RpcCall, out: &mut Vec<u8>) {
+    let at = start_frame(KIND_CALL, out);
+    head_into(4, 3, out); // [method, params, id]
+    text_into(&call.method, out);
+    head_into(4, call.params.len() as u64, out);
+    for p in &call.params {
+        encode_value_into(p, out);
+    }
+    match &call.id {
+        Some(id) => encode_value_into(id, out),
+        None => out.push(0xf6),
+    }
+    finish_frame(at, out);
+}
+
+/// Encode a call frame into a fresh buffer.
+pub fn encode_call(call: &RpcCall) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    encode_call_into(call, &mut out);
+    out
+}
+
+/// Encode a response frame, appending to `out`.
+pub fn encode_response_into(response: &RpcResponse, out: &mut Vec<u8>) {
+    let at = start_frame(KIND_RESPONSE, out);
+    match response {
+        RpcResponse::Success(value) => {
+            head_into(4, 2, out); // [0, result]
+            head_into(0, 0, out);
+            encode_value_into(value, out);
+        }
+        RpcResponse::Fault(fault) => {
+            head_into(4, 3, out); // [1, code, message]
+            head_into(0, 1, out);
+            encode_value_into(&Value::Int(fault.code), out);
+            text_into(&fault.message, out);
+        }
+    }
+    finish_frame(at, out);
+}
+
+/// Encode a response frame into a fresh buffer.
+pub fn encode_response(response: &RpcResponse) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    encode_response_into(response, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A decoded call that borrows the method name straight from the request
+/// buffer — the server dispatches on `method` without ever owning it.
+#[derive(Debug, PartialEq)]
+pub struct CallView<'a> {
+    /// Dotted method name, borrowed from the frame bytes.
+    pub method: &'a str,
+    /// Positional parameters (owned; scalars are head-copies, composites
+    /// allocate proportional to their size).
+    pub params: Vec<Value>,
+    /// Optional request id (echoed by JSON-RPC-style clients; unused here).
+    pub id: Option<Value>,
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn byte(&mut self) -> Result<u8, WireError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| WireError::parse("CBOR truncated"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if n > self.remaining() {
+            return Err(WireError::parse("CBOR truncated"));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read a CBOR head: `(major, info, argument)`. For major 7 with info
+    /// 25/26/27 the "argument" is the raw float bit pattern — callers must
+    /// dispatch on `info` to tell simple values from floats.
+    fn head(&mut self) -> Result<(u8, u8, u64), WireError> {
+        let initial = self.byte()?;
+        let major = initial >> 5;
+        let info = initial & 0x1f;
+        let arg = match info {
+            0..=23 => info as u64,
+            24 => self.byte()? as u64,
+            25 => u16::from_be_bytes(self.take(2)?.try_into().unwrap()) as u64,
+            26 => u32::from_be_bytes(self.take(4)?.try_into().unwrap()) as u64,
+            27 => u64::from_be_bytes(self.take(8)?.try_into().unwrap()),
+            _ => {
+                return Err(WireError::parse(
+                    "indefinite-length / reserved CBOR head not supported",
+                ))
+            }
+        };
+        Ok((major, info, arg))
+    }
+
+    /// Validate a claimed payload/element length against the bytes left in
+    /// the frame (each element costs at least one byte), so hostile length
+    /// prefixes fail before any allocation happens.
+    fn bounded_len(&self, arg: u64) -> Result<usize, WireError> {
+        if arg > self.remaining() as u64 {
+            return Err(WireError::parse(
+                "CBOR length exceeds remaining frame bytes",
+            ));
+        }
+        Ok(arg as usize)
+    }
+
+    fn text(&mut self, len: u64) -> Result<&'a str, WireError> {
+        let n = self.bounded_len(len)?;
+        std::str::from_utf8(self.take(n)?)
+            .map_err(|_| WireError::parse("CBOR text string is not UTF-8"))
+    }
+
+    /// Decode one value. `depth` counts nesting to bound recursion.
+    fn value(&mut self, depth: u32) -> Result<Value, WireError> {
+        if depth > MAX_DEPTH {
+            return Err(WireError::parse("CBOR nesting too deep"));
+        }
+        let (major, info, arg) = self.head()?;
+        match major {
+            0 => {
+                if arg > i64::MAX as u64 {
+                    return Err(WireError::parse("CBOR integer out of i64 range"));
+                }
+                Ok(Value::Int(arg as i64))
+            }
+            1 => {
+                if arg > i64::MAX as u64 {
+                    return Err(WireError::parse("CBOR integer out of i64 range"));
+                }
+                Ok(Value::Int(-1 - arg as i64))
+            }
+            2 => {
+                let n = self.bounded_len(arg)?;
+                Ok(Value::Bytes(self.take(n)?.to_vec()))
+            }
+            3 => Ok(Value::Str(self.text(arg)?.to_string())),
+            4 => {
+                let n = self.bounded_len(arg)?;
+                let mut items = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(Value::Array(items))
+            }
+            5 => {
+                let n = self.bounded_len(arg)?;
+                let mut map = BTreeMap::new();
+                for _ in 0..n {
+                    let (kmajor, _, karg) = self.head()?;
+                    if kmajor != 3 {
+                        return Err(WireError::parse("CBOR map key must be a text string"));
+                    }
+                    let key = self.text(karg)?.to_string();
+                    let val = self.value(depth + 1)?;
+                    map.insert(key, val);
+                }
+                Ok(Value::Struct(map))
+            }
+            6 => {
+                if arg != 0 {
+                    return Err(WireError::parse(format!("unsupported CBOR tag {arg}")));
+                }
+                let (tmajor, _, targ) = self.head()?;
+                if tmajor != 3 {
+                    return Err(WireError::parse("CBOR tag 0 must wrap a text string"));
+                }
+                let text = self.text(targ)?;
+                let dt = DateTime::parse(text)
+                    .map_err(|e| WireError::parse(format!("CBOR tag 0: {e}")))?;
+                Ok(Value::DateTime(dt))
+            }
+            7 => match info {
+                20 => Ok(Value::Bool(false)),
+                21 => Ok(Value::Bool(true)),
+                22 => Ok(Value::Nil),
+                // For 26/27 `arg` carries the raw float bit pattern.
+                26 => Ok(Value::Double(f32::from_bits(arg as u32) as f64)),
+                27 => Ok(Value::Double(f64::from_bits(arg))),
+                _ => Err(WireError::parse(format!(
+                    "unsupported CBOR simple value (info {info})"
+                ))),
+            },
+            _ => unreachable!("major type is 3 bits"),
+        }
+    }
+}
+
+/// Decode a call frame into a borrowed [`CallView`]. This is the server's
+/// zero-copy hot path; see the module docs.
+pub fn decode_call_view(body: &[u8]) -> Result<CallView<'_>, WireError> {
+    let cbor = unwrap_frame(body, KIND_CALL)?;
+    let mut r = Reader::new(cbor);
+    let (major, _, arg) = r.head()?;
+    if major != 4 || arg != 3 {
+        return Err(WireError::parse(
+            "binary call body must be a 3-element array",
+        ));
+    }
+    let (mmajor, _, marg) = r.head()?;
+    if mmajor != 3 {
+        return Err(WireError::parse("binary call method must be a text string"));
+    }
+    let method = r.text(marg)?;
+    let (pmajor, _, parg) = r.head()?;
+    if pmajor != 4 {
+        return Err(WireError::parse("binary call params must be an array"));
+    }
+    let n = r.bounded_len(parg)?;
+    let mut params = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        params.push(r.value(0)?);
+    }
+    let id = match r.value(0)? {
+        Value::Nil => None,
+        other => Some(other),
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::parse("trailing bytes after binary call body"));
+    }
+    Ok(CallView { method, params, id })
+}
+
+/// Decode a call frame into an owned [`RpcCall`] (client/test convenience;
+/// the server uses [`decode_call_view`]).
+pub fn decode_call(body: &[u8]) -> Result<RpcCall, WireError> {
+    let view = decode_call_view(body)?;
+    Ok(RpcCall {
+        method: view.method.to_string(),
+        params: view.params,
+        id: view.id,
+    })
+}
+
+/// Decode a response frame.
+pub fn decode_response(body: &[u8]) -> Result<RpcResponse, WireError> {
+    let cbor = unwrap_frame(body, KIND_RESPONSE)?;
+    let mut r = Reader::new(cbor);
+    let (major, _, arg) = r.head()?;
+    if major != 4 {
+        return Err(WireError::parse("binary response body must be an array"));
+    }
+    let (smajor, _, status) = r.head()?;
+    if smajor != 0 {
+        return Err(WireError::parse(
+            "binary response status must be an unsigned int",
+        ));
+    }
+    let response = match (status, arg) {
+        (0, 2) => RpcResponse::Success(r.value(0)?),
+        (1, 3) => {
+            let code = match r.value(0)? {
+                Value::Int(code) => code,
+                other => {
+                    return Err(WireError::parse(format!(
+                        "binary fault code must be an int, got {}",
+                        other.type_name()
+                    )))
+                }
+            };
+            let (mmajor, _, marg) = r.head()?;
+            if mmajor != 3 {
+                return Err(WireError::parse("binary fault message must be text"));
+            }
+            let message = r.text(marg)?.to_string();
+            RpcResponse::Fault(Fault::new(code, message))
+        }
+        _ => {
+            return Err(WireError::parse(format!(
+                "binary response status/arity mismatch: status {status}, {arg} elements"
+            )))
+        }
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::parse(
+            "trailing bytes after binary response body",
+        ));
+    }
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_values() -> Vec<Value> {
+        vec![
+            Value::Nil,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(23),
+            Value::Int(24),
+            Value::Int(255),
+            Value::Int(256),
+            Value::Int(65535),
+            Value::Int(65536),
+            Value::Int(i64::MAX),
+            Value::Int(-1),
+            Value::Int(-24),
+            Value::Int(-25),
+            Value::Int(i64::MIN),
+            Value::Double(0.0),
+            Value::Double(-2.5),
+            Value::Double(1.0e-9),
+            Value::Str(String::new()),
+            Value::Str("héllo wörld".into()),
+            Value::Bytes(vec![]),
+            Value::Bytes((0..=255u8).collect()),
+            Value::DateTime(DateTime::new(2005, 6, 15, 14, 8, 55).unwrap()),
+            Value::array([Value::Int(1), Value::from("two"), Value::Nil]),
+            Value::structure([
+                ("name", Value::from("pythia.root")),
+                ("size", Value::Int(1 << 40)),
+                (
+                    "nested",
+                    Value::array([Value::structure([("k", Value::Bool(true))])]),
+                ),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn call_roundtrip() {
+        for value in sample_values() {
+            let call = RpcCall {
+                method: "echo.echo".into(),
+                params: vec![value.clone(), Value::Int(7)],
+                id: Some(Value::Int(42)),
+            };
+            let bytes = encode_call(&call);
+            assert!(is_frame(&bytes));
+            let decoded = decode_call(&bytes).unwrap();
+            assert_eq!(decoded, call, "value {value:?}");
+        }
+    }
+
+    #[test]
+    fn call_view_borrows_method() {
+        let bytes = encode_call(&RpcCall::new("file.ls", vec![Value::from("/data")]));
+        let view = decode_call_view(&bytes).unwrap();
+        assert_eq!(view.method, "file.ls");
+        assert_eq!(view.id, None);
+        // The method str must point inside the frame buffer (zero-copy).
+        let buf_range = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+        assert!(buf_range.contains(&(view.method.as_ptr() as usize)));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for value in sample_values() {
+            let resp = RpcResponse::Success(value);
+            let bytes = encode_response(&resp);
+            assert!(is_frame(&bytes));
+            assert_eq!(decode_response(&bytes).unwrap(), resp);
+        }
+        let fault = RpcResponse::Fault(Fault::new(4, "access denied: file.write"));
+        let bytes = encode_response(&fault);
+        assert_eq!(decode_response(&bytes).unwrap(), fault);
+    }
+
+    #[test]
+    fn encode_into_appends() {
+        let mut out = b"HTTP-HEADERS".to_vec();
+        let at = out.len();
+        encode_response_into(&RpcResponse::Success(Value::Int(1)), &mut out);
+        assert_eq!(&out[..at], b"HTTP-HEADERS");
+        assert!(is_frame(&out[at..]));
+        assert_eq!(
+            decode_response(&out[at..]).unwrap(),
+            RpcResponse::Success(Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_frames() {
+        // Truncated.
+        assert!(decode_call(b"\x00\x00").is_err());
+        // Length mismatch.
+        assert!(decode_call(b"\x00\x00\x00\xff\x10\x83").is_err());
+        // Wrong version nibble.
+        let mut bytes = encode_call(&RpcCall::new("a.b", vec![]));
+        bytes[4] = 0x20;
+        assert!(decode_call(&bytes).is_err());
+        // Response frame fed to the call decoder.
+        let resp = encode_response(&RpcResponse::Success(Value::Nil));
+        assert!(decode_call(&resp).is_err());
+        // Trailing garbage inside the frame (length fixed up to match).
+        let mut call = encode_call(&RpcCall::new("a.b", vec![]));
+        call.push(0x00);
+        let len = (call.len() - 4) as u32;
+        call[0..4].copy_from_slice(&len.to_be_bytes());
+        assert!(decode_call(&call).is_err());
+    }
+
+    #[test]
+    fn rejects_hostile_lengths() {
+        // A text string claiming 4 GiB with 3 bytes present must fail before
+        // allocating anything.
+        let mut body = vec![frame_byte(KIND_CALL)];
+        body.push(0x83); // array(3)
+        body.extend_from_slice(&[0x7a, 0xff, 0xff, 0xff, 0xff]); // text(4294967295)
+        body.extend_from_slice(b"abc");
+        let mut frame = (body.len() as u32).to_be_bytes().to_vec();
+        frame.extend_from_slice(&body);
+        assert!(decode_call(&frame).is_err());
+
+        // An array claiming u64::MAX elements.
+        let mut body = vec![frame_byte(KIND_CALL)];
+        body.push(0x83);
+        body.push(0x63); // text(3) "a.b"
+        body.extend_from_slice(b"a.b");
+        body.push(0x9b); // array, 8-byte length
+        body.extend_from_slice(&u64::MAX.to_be_bytes());
+        let mut frame = (body.len() as u32).to_be_bytes().to_vec();
+        frame.extend_from_slice(&body);
+        assert!(decode_call(&frame).is_err());
+    }
+
+    #[test]
+    fn rejects_deep_nesting() {
+        // 100 nested single-element arrays around a param.
+        let mut body = vec![frame_byte(KIND_CALL), 0x83, 0x63];
+        body.extend_from_slice(b"a.b");
+        body.push(0x81); // params: array(1)
+        body.extend(std::iter::repeat_n(0x81, 100));
+        body.push(0x01);
+        body.push(0xf6); // id: null
+        let mut frame = (body.len() as u32).to_be_bytes().to_vec();
+        frame.extend_from_slice(&body);
+        let err = decode_call(&frame).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn accepts_non_minimal_heads() {
+        // int 1 encoded as a two-byte head (0x18 0x01) still decodes.
+        let mut body = vec![frame_byte(KIND_CALL), 0x83, 0x63];
+        body.extend_from_slice(b"a.b");
+        body.push(0x81);
+        body.extend_from_slice(&[0x18, 0x01]);
+        body.push(0xf6);
+        let mut frame = (body.len() as u32).to_be_bytes().to_vec();
+        frame.extend_from_slice(&body);
+        let call = decode_call(&frame).unwrap();
+        assert_eq!(call.params, vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn frame_wire_shape() {
+        let bytes = encode_call(&RpcCall::new("a.b", vec![]));
+        // u32 length covers version byte + body.
+        let len = u32::from_be_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len, bytes.len() - 4);
+        assert_eq!(bytes[4], 0x10); // version 1, kind call
+        let resp = encode_response(&RpcResponse::Success(Value::Nil));
+        assert_eq!(resp[4], 0x11); // version 1, kind response
+    }
+}

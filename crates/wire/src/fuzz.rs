@@ -1,0 +1,121 @@
+//! Shared fuzz entry points for the wire decoders.
+//!
+//! Each function takes raw attacker-controlled bytes and must never panic,
+//! abort, or allocate unboundedly — any other outcome is a bug. They are the
+//! single source of truth for three harnesses:
+//!
+//! 1. `fuzz/fuzz_targets/*.rs` — cargo-fuzz/libFuzzer targets (coverage
+//!    guided; run where a nightly toolchain and `cargo-fuzz` are available),
+//! 2. `repro fuzz` — the in-tree deterministic seeded mutation harness that
+//!    CI runs (`binproto-smoke`), which needs no extra tooling,
+//! 3. `tests/fuzz_smoke.rs` — a short bounded pass inside `cargo test` so
+//!    the entries can never bit-rot.
+//!
+//! Beyond "don't crash", the entries assert semantic properties:
+//! fast-vs-DOM *divergence* for the streaming XML-RPC decoder (the fast path
+//! must be indistinguishable from the reference DOM decoder), and
+//! re-encode/re-decode idempotence for the binary frame codec.
+
+use crate::{binary, xmlrpc};
+
+/// Fuzz the streaming XML-RPC call decoder against the DOM reference.
+///
+/// `xmlrpc::decode_call` runs a conservative streaming fast path and falls
+/// back to the DOM on anything it cannot mirror, so for every input the two
+/// must agree on success/failure and on the decoded call. A divergence here
+/// means the fast path accepted something the DOM rejects (or decoded it
+/// differently) — exactly the bug class fuzzing is for.
+pub fn xmlrpc_divergence(data: &[u8]) {
+    let Ok(text) = std::str::from_utf8(data) else {
+        return;
+    };
+    let fast = xmlrpc::decode_call(text);
+    let dom = xmlrpc::decode_call_dom(text);
+    match (&fast, &dom) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "fast/DOM decoded calls diverge"),
+        (Ok(call), Err(e)) => panic!("fast path accepted what DOM rejects: {call:?} vs {e}"),
+        (Err(e), Ok(call)) => panic!("fast path rejected what DOM accepts: {e} vs {call:?}"),
+        (Err(_), Err(_)) => {}
+    }
+    // The response decoder has no fast path but must still never panic.
+    let _ = xmlrpc::decode_response(text);
+}
+
+/// Fuzz the binary (CBOR) frame decoders.
+///
+/// Both directions must reject garbage gracefully; anything they *accept*
+/// must re-encode to a canonical form that is a byte-level fixpoint:
+/// decode → encode → decode → encode yields identical bytes even when the
+/// fuzzer found a non-minimal (but legal) encoding. The comparison is on
+/// the canonical bytes, not on `Value` equality — a mutated float64
+/// payload can be NaN, which round-trips bit-exactly but is `!=` itself.
+pub fn binary_frame(data: &[u8]) {
+    if let Ok(call) = binary::decode_call(data) {
+        let bytes = binary::encode_call(&call);
+        let again = binary::decode_call(&bytes).expect("re-encoded call must decode");
+        assert_eq!(
+            bytes,
+            binary::encode_call(&again),
+            "binary call canonical encoding is not a fixpoint"
+        );
+    }
+    if let Ok(resp) = binary::decode_response(data) {
+        let mut bytes = Vec::new();
+        binary::encode_response_into(&resp, &mut bytes);
+        let again = binary::decode_response(&bytes).expect("re-encoded response must decode");
+        let mut bytes2 = Vec::new();
+        binary::encode_response_into(&again, &mut bytes2);
+        assert_eq!(
+            bytes, bytes2,
+            "binary response canonical encoding is not a fixpoint"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Protocol, RpcCall, Value};
+
+    #[test]
+    fn entries_accept_valid_seeds() {
+        let call = RpcCall::new("echo.echo", vec![Value::Int(1), Value::from("x")]);
+        xmlrpc_divergence(&crate::encode_call(Protocol::XmlRpc, &call));
+        binary_frame(&crate::encode_call(Protocol::Binary, &call));
+        binary_frame(&crate::encode_response(
+            Protocol::Binary,
+            &crate::RpcResponse::Success(Value::from("ok")),
+            None,
+        ));
+    }
+
+    /// Fuzz finding, kept as a regression: a mutated float64 payload can
+    /// be NaN, which is bit-exact across the round trip but compares
+    /// unequal to itself — the property must judge canonical bytes, not
+    /// `Value` equality.
+    #[test]
+    fn nan_double_payload_is_a_fixpoint() {
+        binary_frame(&crate::encode_call(
+            Protocol::Binary,
+            &RpcCall::new("echo.echo", vec![Value::Double(f64::NAN)]),
+        ));
+        binary_frame(&crate::encode_response(
+            Protocol::Binary,
+            &crate::RpcResponse::Success(Value::Double(-f64::NAN)),
+            None,
+        ));
+    }
+
+    #[test]
+    fn entries_tolerate_garbage() {
+        for data in [
+            &b""[..],
+            &b"\x00\x00\x00\x01\x10"[..],
+            &b"<methodCall>"[..],
+            &[0xff; 64][..],
+        ] {
+            xmlrpc_divergence(data);
+            binary_frame(data);
+        }
+    }
+}

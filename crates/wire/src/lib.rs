@@ -20,8 +20,10 @@
 //! reproduction flows through here.
 
 pub mod base64;
+pub mod binary;
 pub mod datetime;
 pub mod fault;
+pub mod fuzz;
 pub mod json;
 pub mod jsonrpc;
 pub mod percent;
@@ -44,6 +46,10 @@ pub enum Protocol {
     Soap,
     /// JSON-RPC 1.0/2.0 (`application/json`).
     JsonRpc,
+    /// clarens-binary: length-prefixed CBOR frames
+    /// (`application/x-clarens-cbor`) for machine-to-machine grid traffic
+    /// where XML envelope cost dominates. See [`binary`].
+    Binary,
 }
 
 impl Protocol {
@@ -52,12 +58,16 @@ impl Protocol {
         match self {
             Protocol::XmlRpc | Protocol::Soap => "text/xml",
             Protocol::JsonRpc => "application/json",
+            Protocol::Binary => binary::CONTENT_TYPE,
         }
     }
 
     /// Sniff the protocol from a request body (used when the Content-Type is
     /// ambiguous, e.g. both XML-RPC and SOAP arrive as `text/xml`).
     pub fn sniff(body: &[u8]) -> Option<Protocol> {
+        if binary::is_frame(body) {
+            return Some(Protocol::Binary);
+        }
         let text = std::str::from_utf8(body).ok()?;
         let trimmed = text.trim_start();
         if trimmed.starts_with('{') || trimmed.starts_with('[') {
@@ -147,29 +157,40 @@ pub fn encode_call(protocol: Protocol, call: &RpcCall) -> Vec<u8> {
         Protocol::XmlRpc => xmlrpc::encode_call(call).into_bytes(),
         Protocol::Soap => soap::encode_call(call).into_bytes(),
         Protocol::JsonRpc => jsonrpc::encode_call(call).into_bytes(),
+        Protocol::Binary => binary::encode_call(call),
     }
 }
 
 /// Decode a call in the given protocol.
 pub fn decode_call(protocol: Protocol, body: &[u8]) -> Result<RpcCall, WireError> {
+    if protocol == Protocol::Binary {
+        return binary::decode_call(body);
+    }
     let text = std::str::from_utf8(body).map_err(|_| WireError::parse("body is not UTF-8"))?;
     match protocol {
         Protocol::XmlRpc => xmlrpc::decode_call(text),
         Protocol::Soap => soap::decode_call(text),
         Protocol::JsonRpc => jsonrpc::decode_call(text),
+        Protocol::Binary => unreachable!("handled above"),
     }
 }
 
 /// Decode a call using only the DOM reference decoders, bypassing any
 /// streaming fast path. The pre-optimization baseline for the allocation
 /// ablation; behaviour is identical to [`decode_call`] by construction
-/// (the fast path defers to the DOM on anything it cannot mirror).
+/// (the fast path defers to the DOM on anything it cannot mirror). The
+/// binary protocol has no DOM form — its streaming decoder is the only
+/// decoder — so `Binary` maps to the same path.
 pub fn decode_call_dom(protocol: Protocol, body: &[u8]) -> Result<RpcCall, WireError> {
+    if protocol == Protocol::Binary {
+        return binary::decode_call(body);
+    }
     let text = std::str::from_utf8(body).map_err(|_| WireError::parse("body is not UTF-8"))?;
     match protocol {
         Protocol::XmlRpc => xmlrpc::decode_call_dom(text),
         Protocol::Soap => soap::decode_call(text),
         Protocol::JsonRpc => jsonrpc::decode_call(text),
+        Protocol::Binary => unreachable!("handled above"),
     }
 }
 
@@ -179,6 +200,7 @@ pub fn encode_response(protocol: Protocol, response: &RpcResponse, id: Option<&V
         Protocol::XmlRpc => xmlrpc::encode_response(response).into_bytes(),
         Protocol::Soap => soap::encode_response(response).into_bytes(),
         Protocol::JsonRpc => jsonrpc::encode_response(response, id).into_bytes(),
+        Protocol::Binary => binary::encode_response(response),
     }
 }
 
@@ -199,16 +221,21 @@ pub fn encode_response_into(
         Protocol::XmlRpc => xmlrpc::encode_response_into(response, out),
         Protocol::Soap => soap::encode_response_into(response, out),
         Protocol::JsonRpc => jsonrpc::encode_response_into(response, id, out),
+        Protocol::Binary => binary::encode_response_into(response, out),
     }
 }
 
 /// Decode a response in the given protocol.
 pub fn decode_response(protocol: Protocol, body: &[u8]) -> Result<RpcResponse, WireError> {
+    if protocol == Protocol::Binary {
+        return binary::decode_response(body);
+    }
     let text = std::str::from_utf8(body).map_err(|_| WireError::parse("body is not UTF-8"))?;
     match protocol {
         Protocol::XmlRpc => xmlrpc::decode_response(text),
         Protocol::Soap => soap::decode_response(text),
         Protocol::JsonRpc => jsonrpc::decode_response(text),
+        Protocol::Binary => unreachable!("handled above"),
     }
 }
 
@@ -261,7 +288,12 @@ mod tests {
             params: vec![Value::Int(3), Value::from("abc")],
             id: Some(Value::Int(7)),
         };
-        for proto in [Protocol::XmlRpc, Protocol::Soap, Protocol::JsonRpc] {
+        for proto in [
+            Protocol::XmlRpc,
+            Protocol::Soap,
+            Protocol::JsonRpc,
+            Protocol::Binary,
+        ] {
             let bytes = encode_call(proto, &call);
             assert_eq!(Protocol::sniff(&bytes), Some(proto), "sniff {proto:?}");
             let decoded = decode_call(proto, &bytes).unwrap();

@@ -167,13 +167,75 @@ proptest! {
         // The JSON-compatible subset must round-trip through *every* protocol
         // and be correctly sniffed.
         let call = RpcCall { method, params, id: Some(Value::Int(1)) };
-        for proto in [Protocol::XmlRpc, Protocol::Soap, Protocol::JsonRpc] {
+        for proto in [
+            Protocol::XmlRpc,
+            Protocol::Soap,
+            Protocol::JsonRpc,
+            Protocol::Binary,
+        ] {
             let bytes = clarens_wire::encode_call(proto, &call);
             prop_assert_eq!(Protocol::sniff(&bytes), Some(proto));
             let back = clarens_wire::decode_call(proto, &bytes).unwrap();
             prop_assert_eq!(&back.method, &call.method);
             prop_assert_eq!(&back.params, &call.params);
         }
+    }
+
+    #[test]
+    fn binary_call_roundtrip(
+        method in method_name(),
+        params in proptest::collection::vec(value_strategy(), 0..4),
+    ) {
+        let call = RpcCall::new(method, params);
+        let bytes = clarens_wire::binary::encode_call(&call);
+        prop_assert_eq!(Protocol::sniff(&bytes), Some(Protocol::Binary));
+        prop_assert_eq!(clarens_wire::binary::decode_call(&bytes).unwrap(), call);
+        // The zero-copy view agrees with the owned decode.
+        let view = clarens_wire::binary::decode_call_view(&bytes).unwrap();
+        prop_assert_eq!(view.method, call.method.as_str());
+        prop_assert_eq!(&view.params, &call.params);
+    }
+
+    /// Value-model equivalence against the XML-RPC DOM: the same `Value`
+    /// pushed through the binary codec and through the DOM reference codec
+    /// must come back as the same `Value` — the binary protocol is a
+    /// different wire image of the *same* algebra, not a dialect.
+    #[test]
+    fn binary_response_equivalent_to_xmlrpc_dom(v in value_strategy()) {
+        let resp = RpcResponse::Success(v);
+        let bin = clarens_wire::binary::encode_response(&resp);
+        let via_binary = clarens_wire::binary::decode_response(&bin).unwrap();
+        let xml = clarens_wire::xmlrpc::encode_response(&resp);
+        let via_dom = clarens_wire::xmlrpc::decode_response(&xml).unwrap();
+        prop_assert_eq!(&via_binary, &via_dom);
+        prop_assert_eq!(&via_binary, &resp);
+    }
+
+    #[test]
+    fn binary_call_equivalent_to_xmlrpc_dom(
+        method in method_name(),
+        params in proptest::collection::vec(value_strategy(), 0..4),
+    ) {
+        let call = RpcCall::new(method, params);
+        let via_binary =
+            clarens_wire::binary::decode_call(&clarens_wire::binary::encode_call(&call)).unwrap();
+        let via_dom = clarens_wire::xmlrpc::decode_call_dom(
+            &clarens_wire::xmlrpc::encode_call(&call),
+        ).unwrap();
+        prop_assert_eq!(via_binary, via_dom);
+    }
+
+    #[test]
+    fn binary_fault_roundtrip(code in -1000i64..1000, message in wire_string()) {
+        let resp = RpcResponse::Fault(clarens_wire::Fault::new(code, message));
+        let bytes = clarens_wire::binary::encode_response(&resp);
+        prop_assert_eq!(clarens_wire::binary::decode_response(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn binary_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = clarens_wire::binary::decode_call(&data);
+        let _ = clarens_wire::binary::decode_response(&data);
     }
 
     #[test]

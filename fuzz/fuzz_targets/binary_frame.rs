@@ -1,0 +1,11 @@
+//! libFuzzer wrapper over the clarens-binary frame/CBOR property: the
+//! streaming decoder never panics, the zero-copy call view agrees with
+//! the owned decoder, and accepted frames round-trip byte-identically.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    clarens_wire::fuzz::binary_frame(data);
+});

@@ -1,0 +1,11 @@
+//! libFuzzer wrapper over the HTTP/1.1 request-parser property: no
+//! panic on any byte stream, and accepted requests report a consistent
+//! consumed length.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    clarens_httpd::fuzz::http_request(data);
+});

@@ -1,0 +1,12 @@
+//! libFuzzer wrapper over the shared XML-RPC divergence property: the
+//! streaming fast-path decoder must agree with the DOM reference on every
+//! input, and accepted documents must round-trip. The same entry runs
+//! under the in-tree mutation harness (`repro fuzz`) on stable toolchains.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    clarens_wire::fuzz::xmlrpc_divergence(data);
+});
