@@ -50,6 +50,12 @@ impl From<Fault> for ClientError {
 /// Base pause before the first retry; doubles per attempt, with jitter.
 const BACKOFF_BASE: Duration = Duration::from_millis(10);
 
+/// How many `NOT_LEADER` routing hints a single call will chase before
+/// surfacing the fault. Hints can go stale mid-election (node A says B,
+/// B says C), but a healthy cluster converges in one hop; a cycle longer
+/// than this means the cluster has no settled leader yet.
+const MAX_LEADER_HOPS: u32 = 3;
+
 /// Transport-retry whitelist: only methods whose re-execution cannot
 /// duplicate a side effect are retried after an I/O failure, because a
 /// transport error leaves the first attempt's fate unknown (the request
@@ -99,6 +105,16 @@ pub struct ClarensClient {
     /// Extra headers attached to every RPC POST (e.g. `x-clarens-hops`
     /// when a proxy node forwards a call on a caller's behalf).
     extra_headers: Vec<(String, String)>,
+    /// Trust roots kept from `new_tls`, so a `NOT_LEADER` redirect can
+    /// rebuild an equivalent secure client for the hinted leader. `None`
+    /// on plaintext clients.
+    tls_roots: Option<Vec<Certificate>>,
+    /// Calls re-routed to a hinted leader after a `NOT_LEADER` fault.
+    leader_redirects: u64,
+    /// The last leader hint successfully followed: `(host:port, epoch)`.
+    /// Lets a routing layer (e.g. `BalancedClient`) learn where the
+    /// leader is without a discovery round trip.
+    last_leader: Option<(String, u64)>,
 }
 
 fn system_now() -> i64 {
@@ -124,6 +140,9 @@ impl ClarensClient {
             retries_performed: 0,
             protocol_fallbacks: 0,
             extra_headers: Vec::new(),
+            tls_roots: None,
+            leader_redirects: 0,
+            last_leader: None,
         }
     }
 
@@ -135,6 +154,7 @@ impl ClarensClient {
         roots: Vec<Certificate>,
     ) -> Self {
         let cred_clone = credential.clone();
+        let roots_clone = roots.clone();
         ClarensClient {
             http: HttpClient::new_tls(
                 addr,
@@ -145,6 +165,7 @@ impl ClarensClient {
                 },
             ),
             credential: Some(cred_clone),
+            tls_roots: Some(roots_clone),
             ..ClarensClient::new(String::new())
         }
     }
@@ -206,6 +227,18 @@ impl ClarensClient {
         self.protocol_fallbacks
     }
 
+    /// How many calls were re-routed to a hinted leader after `NOT_LEADER`.
+    pub fn leader_redirects(&self) -> u64 {
+        self.leader_redirects
+    }
+
+    /// The last leader hint successfully followed (`host:port`, epoch).
+    pub fn last_leader(&self) -> Option<(&str, u64)> {
+        self.last_leader
+            .as_ref()
+            .map(|(addr, epoch)| (addr.as_str(), *epoch))
+    }
+
     /// The protocol currently spoken (may differ from the constructor's
     /// choice after a 415 downgrade).
     pub fn protocol(&self) -> Protocol {
@@ -233,20 +266,86 @@ impl ClarensClient {
     /// disabled gets `415 Unsupported Media Type` back; the client then
     /// downgrades itself to XML-RPC and replays the call, so callers never
     /// see the negotiation (DESIGN.md §13).
+    /// A `NOT_LEADER` fault (a replicated write sent to a follower or a
+    /// fenced leader) is chased transparently: the fault carries a
+    /// `leader=HOST:PORT` hint, and the call is replayed against that
+    /// node with the same session, up to [`MAX_LEADER_HOPS`] hops. A
+    /// hint-less fault (mid-election, no leader known yet) is retried in
+    /// place with backoff — the fence fires *before* the handler runs, so
+    /// nothing was executed and the replay is safe even for mutations.
     pub fn call(&mut self, method: &str, params: Vec<Value>) -> Result<Value, ClientError> {
         let call = RpcCall {
             method: method.to_owned(),
             params,
             id: Some(Value::Int(1)),
         };
-        match self.call_rpc(&call, is_idempotent(method)) {
+        let idempotent = is_idempotent(method);
+        let started = Instant::now();
+        let mut result = match self.call_rpc(&call, idempotent) {
             Err(ClientError::Http(415, _)) if self.protocol == Protocol::Binary => {
                 self.protocol = Protocol::XmlRpc;
                 self.protocol_fallbacks += 1;
-                self.call_rpc(&call, is_idempotent(method))
+                self.call_rpc(&call, idempotent)
             }
             other => other,
+        };
+        let mut hops = 0u32;
+        let mut blind_retries = 0u32;
+        loop {
+            let hint = match &result {
+                Err(ClientError::Fault(fault)) => fault.leader_hint(),
+                _ => None,
+            };
+            let Some((leader, _epoch)) = hint else { break };
+            let remaining = self
+                .call_deadline
+                .map(|budget| budget.saturating_sub(started.elapsed()));
+            if remaining.is_some_and(|r| r.is_zero()) {
+                break;
+            }
+            if !leader.is_empty() && hops < MAX_LEADER_HOPS {
+                hops += 1;
+                self.leader_redirects += 1;
+                let mut redirect = self.redirect_client(&leader, remaining);
+                result = redirect.call_rpc(&call, idempotent);
+                if result.is_ok() {
+                    self.last_leader = Some((leader, _epoch));
+                }
+            } else if leader.is_empty() && blind_retries < self.retries {
+                // Nobody claims the lease yet (election in flight): pause
+                // and replay against the same node, on the retry budget.
+                blind_retries += 1;
+                self.retries_performed += 1;
+                let pause = self.backoff(blind_retries);
+                std::thread::sleep(match remaining {
+                    Some(r) => pause.min(r),
+                    None => pause,
+                });
+                result = self.call_rpc(&call, idempotent);
+            } else {
+                break;
+            }
         }
+        result
+    }
+
+    /// Build a client equivalent to this one (protocol, session, headers,
+    /// transport flavour) but bound to `leader`, for one redirect hop.
+    fn redirect_client(&self, leader: &str, remaining: Option<Duration>) -> ClarensClient {
+        let mut client = match (&self.credential, &self.tls_roots) {
+            (Some(credential), Some(roots)) => {
+                ClarensClient::new_tls(leader.to_owned(), credential.clone(), roots.clone())
+            }
+            _ => ClarensClient::new(leader.to_owned()),
+        };
+        client.protocol = self.protocol;
+        client.session = self.session.clone();
+        client.credential = self.credential.clone();
+        client.now_fn = Arc::clone(&self.now_fn);
+        client.retries = self.retries;
+        client.call_deadline = remaining.or(self.call_deadline);
+        client.extra_headers = self.extra_headers.clone();
+        client
     }
 
     /// One encode → transport → decode exchange in the current protocol.

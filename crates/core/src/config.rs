@@ -138,6 +138,17 @@ pub struct ClarensConfig {
     /// `x-clarens-hops` header; a request arriving at the limit is refused
     /// instead of looping between misconfigured nodes.
     pub proxy_max_hops: u32,
+    /// Leader-lease duration in milliseconds (DESIGN.md §14). A leader
+    /// re-publishes its lease on every election tick and self-fences
+    /// writes once it has failed to renew for this long; followers start
+    /// an election once the last observed renewal is older than this.
+    /// `0` disables elections (statically configured leadership, the
+    /// pre-failover behaviour).
+    pub leader_lease_ms: u64,
+    /// Upper bound of the random delay a candidate waits before claiming
+    /// leadership, so near-simultaneous candidates don't stampede. The
+    /// actual delay is seeded per node.
+    pub election_jitter_ms: u64,
 }
 
 impl Default for ClarensConfig {
@@ -172,6 +183,8 @@ impl Default for ClarensConfig {
             federation_leader: None,
             replication_poll_ms: 50,
             proxy_max_hops: 2,
+            leader_lease_ms: 0,
+            election_jitter_ms: 100,
         }
     }
 }
@@ -318,6 +331,16 @@ impl ClarensConfig {
                     config.proxy_max_hops = value
                         .parse()
                         .map_err(|_| format!("line {}: bad proxy_max_hops", lineno + 1))?
+                }
+                "leader_lease_ms" => {
+                    config.leader_lease_ms = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad leader_lease_ms", lineno + 1))?
+                }
+                "election_jitter_ms" => {
+                    config.election_jitter_ms = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad election_jitter_ms", lineno + 1))?
                 }
                 other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
             }
@@ -470,6 +493,18 @@ db_path: /var/clarens/clarens.db
         assert!(ClarensConfig::parse("federation_role: primary").is_err());
         assert!(ClarensConfig::parse("replication_poll_ms: often").is_err());
         assert!(ClarensConfig::parse("proxy_max_hops: none").is_err());
+    }
+
+    #[test]
+    fn election_knobs() {
+        let config = ClarensConfig::parse("").unwrap();
+        assert_eq!(config.leader_lease_ms, 0); // elections off by default
+        assert_eq!(config.election_jitter_ms, 100);
+        let config = ClarensConfig::parse("leader_lease_ms: 750\nelection_jitter_ms: 40").unwrap();
+        assert_eq!(config.leader_lease_ms, 750);
+        assert_eq!(config.election_jitter_ms, 40);
+        assert!(ClarensConfig::parse("leader_lease_ms: forever").is_err());
+        assert!(ClarensConfig::parse("election_jitter_ms: some").is_err());
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub struct ClarensCore {
     /// stays 0 on non-followers. Shared so the `db.replication_lag` gauge
     /// and the replicator read/write the same cell.
     pub replication_lag: Arc<AtomicU64>,
+    /// Leader-failover state: live role, leader epoch, believed leader
+    /// address, lease, and the replicated-ack follower cursor
+    /// (DESIGN.md §14). Initialized from the configured role; mutated by
+    /// the election manager on promotion/demotion.
+    pub federation: crate::federation::FederationState,
 }
 
 impl ClarensCore {
@@ -79,6 +84,10 @@ impl ClarensCore {
             config.slow_trace_us,
             clarens_telemetry::DEFAULT_RING_CAPACITY,
         );
+        let federation = crate::federation::FederationState::new(
+            config.federation_role,
+            config.federation_leader.as_deref(),
+        );
         let core = Arc::new(ClarensCore {
             config,
             store,
@@ -96,6 +105,7 @@ impl ClarensCore {
                     .unwrap_or(0)
             }),
             replication_lag: Arc::new(AtomicU64::new(0)),
+            federation,
         });
         core.register_gauges();
         Ok(core)
@@ -135,6 +145,18 @@ impl ClarensCore {
         let lag = Arc::clone(&self.replication_lag);
         self.telemetry
             .register_gauge("db.replication_lag", move || lag.load(Ordering::Relaxed));
+        let weak = Arc::downgrade(self);
+        self.telemetry
+            .register_gauge("federation.leader_epoch", move || {
+                weak.upgrade().map(|c| c.federation.epoch()).unwrap_or(0)
+            });
+        let weak = Arc::downgrade(self);
+        self.telemetry
+            .register_gauge("federation.is_leader", move || {
+                weak.upgrade()
+                    .map(|c| (c.federation.role() == crate::config::FederationRole::Leader) as u64)
+                    .unwrap_or(0)
+            });
         self.telemetry
             .register_gauge("faults.injected", clarens_faults::injected_total);
         // Cache gauges capture a weak handle: the telemetry plane lives

@@ -1,0 +1,243 @@
+//! Shared leader-failover state (DESIGN.md §14).
+//!
+//! One [`FederationState`] lives inside each [`crate::ClarensCore`]. It is
+//! the single source of truth for the node's current replication role, the
+//! leader epoch it believes in, the address of the node it believes holds
+//! the lease, and — on an election-managed leader — the lease expiry used
+//! for split-brain self-fencing. The dispatcher reads it on every
+//! replicated write (fence check + replicated-ack barrier), the election
+//! manager in `clarens-federation` writes it, and `system.health` /
+//! `GET /healthz` report it.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::config::FederationRole;
+
+/// Sentinel meaning "no managed lease": a statically configured leader
+/// (elections disabled) is always writable.
+const LEASE_STATIC: u64 = u64::MAX;
+
+/// Mutable, atomically-readable failover state.
+pub struct FederationState {
+    /// Current role, stored as `FederationRole as u8`.
+    role: AtomicU8,
+    /// Leader epoch this node currently believes in. 0 until the first
+    /// election anywhere in the cluster.
+    epoch: AtomicU64,
+    /// `host:port` of the believed leader (empty when unknown, e.g. a
+    /// standalone node or a follower mid-election).
+    leader: Mutex<String>,
+    /// Lease expiry for an election-managed leader, as milliseconds since
+    /// `origin`. [`LEASE_STATIC`] when this node's leadership is not
+    /// lease-managed (standalone, static leader, or any follower).
+    lease_until_ms: AtomicU64,
+    /// Millisecond timebase for `lease_until_ms`.
+    origin: Instant,
+    /// Highest replication cursor any follower has confirmed by fetching:
+    /// a fetch at offset X proves the follower applied every record below
+    /// X. The replicated-ack write barrier waits on this.
+    follower_cursor: AtomicU64,
+    /// When the last follower fetch arrived (ms since `origin`); the ack
+    /// barrier only engages while followers are actually polling.
+    follower_seen_ms: AtomicU64,
+    /// On a follower: the offset in the *leader's* log this node has
+    /// fully applied (maintained by the replicator). This — not the local
+    /// `wal_offset`, which counts this node's own re-written log — is the
+    /// cursor elections rank candidates by.
+    applied: AtomicU64,
+}
+
+impl FederationState {
+    /// Build from the configured role and leader address.
+    pub fn new(role: FederationRole, leader: Option<&str>) -> FederationState {
+        FederationState {
+            role: AtomicU8::new(role as u8),
+            epoch: AtomicU64::new(0),
+            leader: Mutex::new(leader.unwrap_or_default().to_owned()),
+            lease_until_ms: AtomicU64::new(LEASE_STATIC),
+            origin: Instant::now(),
+            follower_cursor: AtomicU64::new(0),
+            follower_seen_ms: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+
+    /// The node's current role.
+    pub fn role(&self) -> FederationRole {
+        match self.role.load(Ordering::SeqCst) {
+            x if x == FederationRole::Leader as u8 => FederationRole::Leader,
+            x if x == FederationRole::Follower as u8 => FederationRole::Follower,
+            _ => FederationRole::Standalone,
+        }
+    }
+
+    /// Change role (promotion / demotion).
+    pub fn set_role(&self, role: FederationRole) {
+        self.role.store(role as u8, Ordering::SeqCst);
+    }
+
+    /// The leader epoch this node believes in.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Adopt a (higher) leader epoch; monotonic.
+    pub fn observe_epoch(&self, epoch: u64) {
+        self.epoch.fetch_max(epoch, Ordering::SeqCst);
+    }
+
+    /// `host:port` of the believed leader ("" if unknown).
+    pub fn leader(&self) -> String {
+        self.leader.lock().clone()
+    }
+
+    /// Record the believed leader address.
+    pub fn set_leader(&self, addr: &str) {
+        *self.leader.lock() = addr.to_owned();
+    }
+
+    /// Is this node participating in a replicated cluster at all?
+    pub fn is_federated(&self) -> bool {
+        self.role() != FederationRole::Standalone
+    }
+
+    /// Renew this node's leader lease for `lease_ms` from now. Called by
+    /// the election manager after each successful lease publication.
+    pub fn renew_lease(&self, lease_ms: u64) {
+        self.lease_until_ms
+            .store(self.now_ms() + lease_ms, Ordering::SeqCst);
+    }
+
+    /// Put the lease under election management immediately expired (a
+    /// freshly promoted leader calls `renew_lease` right after claiming).
+    pub fn manage_lease(&self) {
+        self.lease_until_ms.store(self.now_ms(), Ordering::SeqCst);
+    }
+
+    /// Drop lease management (back to static/always-writable semantics).
+    pub fn unmanage_lease(&self) {
+        self.lease_until_ms.store(LEASE_STATIC, Ordering::SeqCst);
+    }
+
+    /// Is this node's leadership lease-managed (elections enabled)?
+    pub fn lease_managed(&self) -> bool {
+        self.lease_until_ms.load(Ordering::SeqCst) != LEASE_STATIC
+    }
+
+    /// May this node acknowledge replicated writes right now? True for a
+    /// static leader always; for an election-managed leader only while
+    /// its lease is unexpired — a partitioned leader that cannot renew
+    /// stops acking before a rival can be elected (split-brain fence).
+    pub fn is_writable(&self) -> bool {
+        if self.role() != FederationRole::Leader {
+            return false;
+        }
+        let until = self.lease_until_ms.load(Ordering::SeqCst);
+        until == LEASE_STATIC || self.now_ms() < until
+    }
+
+    /// Record a follower replication fetch at `cursor` (the offset it has
+    /// fully applied). Feeds the replicated-ack barrier.
+    pub fn observe_follower_fetch(&self, cursor: u64) {
+        self.follower_cursor.fetch_max(cursor, Ordering::SeqCst);
+        // 0 means "never seen" — clamp so a fetch in the process's first
+        // millisecond still registers.
+        self.follower_seen_ms
+            .store(self.now_ms().max(1), Ordering::SeqCst);
+    }
+
+    /// Highest offset any follower has confirmed applied.
+    pub fn follower_cursor(&self) -> u64 {
+        self.follower_cursor.load(Ordering::SeqCst)
+    }
+
+    /// Reset the follower high-water mark (on promotion: the new leader's
+    /// log is a different byte stream, so old cursors are meaningless).
+    pub fn reset_follower_cursor(&self) {
+        self.follower_cursor.store(0, Ordering::SeqCst);
+        self.follower_seen_ms.store(0, Ordering::SeqCst);
+    }
+
+    /// Record the leader-log offset this follower has fully applied.
+    pub fn set_applied(&self, cursor: u64) {
+        self.applied.store(cursor, Ordering::SeqCst);
+    }
+
+    /// The leader-log offset this follower has fully applied (0 on a
+    /// node that has never replicated).
+    pub fn applied(&self) -> u64 {
+        self.applied.load(Ordering::SeqCst)
+    }
+
+    /// Has any follower fetched within `window`? The ack barrier degrades
+    /// to leader-only durability when nobody is replicating (bootstrap,
+    /// single-node rump) rather than stalling every write.
+    pub fn follower_active_within(&self, window: Duration) -> bool {
+        let seen = self.follower_seen_ms.load(Ordering::SeqCst);
+        seen != 0 && self.now_ms().saturating_sub(seen) <= window.as_millis() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_leader_always_writable() {
+        let state = FederationState::new(FederationRole::Leader, None);
+        assert!(state.is_writable());
+        assert!(!state.lease_managed());
+        assert_eq!(state.epoch(), 0);
+    }
+
+    #[test]
+    fn follower_never_writable() {
+        let state = FederationState::new(FederationRole::Follower, Some("127.0.0.1:1"));
+        assert!(!state.is_writable());
+        assert_eq!(state.leader(), "127.0.0.1:1");
+        state.set_role(FederationRole::Leader);
+        assert!(state.is_writable());
+    }
+
+    #[test]
+    fn managed_lease_expires_and_renews() {
+        let state = FederationState::new(FederationRole::Leader, None);
+        state.manage_lease();
+        // Lease starts expired: not writable until the first renewal.
+        assert!(!state.is_writable());
+        state.renew_lease(10_000);
+        assert!(state.is_writable());
+        state.manage_lease();
+        assert!(!state.is_writable());
+        state.unmanage_lease();
+        assert!(state.is_writable());
+    }
+
+    #[test]
+    fn epoch_is_monotonic() {
+        let state = FederationState::new(FederationRole::Follower, None);
+        state.observe_epoch(5);
+        state.observe_epoch(3);
+        assert_eq!(state.epoch(), 5);
+    }
+
+    #[test]
+    fn follower_cursor_tracks_max_and_recency() {
+        let state = FederationState::new(FederationRole::Leader, None);
+        assert!(!state.follower_active_within(Duration::from_secs(60)));
+        state.observe_follower_fetch(100);
+        state.observe_follower_fetch(40);
+        assert_eq!(state.follower_cursor(), 100);
+        assert!(state.follower_active_within(Duration::from_secs(60)));
+        state.reset_follower_cursor();
+        assert_eq!(state.follower_cursor(), 0);
+        assert!(!state.follower_active_within(Duration::from_secs(60)));
+    }
+}

@@ -32,6 +32,7 @@ pub mod cache;
 pub mod client;
 pub mod config;
 pub mod core;
+pub mod federation;
 pub mod paths;
 pub mod portal;
 pub mod registry;
@@ -44,6 +45,7 @@ pub mod vo;
 pub use crate::core::ClarensCore;
 pub use client::{ClarensClient, ClientError};
 pub use config::{ClarensConfig, FederationRole};
+pub use federation::FederationState;
 pub use server::{install_permissive_acls, register_builtin_services, ClarensServer};
 
 /// Map a store I/O error onto the right RPC fault: a degraded-mode

@@ -131,7 +131,10 @@ pub fn register_builtin_services(
         Some(d) => services::ProxyService::with_router(d.aggregator()),
         None => services::ProxyService::new(),
     }));
-    if core.config.federation_role == crate::config::FederationRole::Leader {
+    // Every federated node registers the replication service: only the
+    // current leader *serves* fetches (the role check moved inside the
+    // service), but a promoted follower must already export the method.
+    if core.config.federation_role != crate::config::FederationRole::Standalone {
         core.register(Arc::new(services::ReplicationService));
     }
     core.register(Arc::new(services::ImService::new()));
@@ -351,6 +354,22 @@ impl ClarensHandler {
             }
         }
 
+        // Epoch fence (DESIGN.md §14): replicated writes are only
+        // acknowledged by the current leader. A follower, a deposed
+        // leader, or a leader whose lease lapsed (split-brain partition)
+        // answers NOT_LEADER with a routing hint instead of mutating
+        // state that the rest of the cluster will never see.
+        if services::is_replicated_write(method)
+            && self.core.federation.is_federated()
+            && !self.core.federation.is_writable()
+        {
+            self.core.telemetry.federation.fenced_writes.inc();
+            return RpcResponse::Fault(Fault::not_leader(
+                &self.core.federation.leader(),
+                self.core.federation.epoch(),
+            ));
+        }
+
         let service = match self.core.registry.read().resolve(method) {
             Some(service) => service,
             None => {
@@ -393,7 +412,14 @@ impl ClarensHandler {
             }
         }
         match result {
-            Ok(value) => RpcResponse::Success(value),
+            Ok(value) => {
+                if services::is_replicated_write(method) {
+                    if let Err(fault) = self.replicated_ack_barrier(method, deadline) {
+                        return RpcResponse::Fault(fault);
+                    }
+                }
+                RpcResponse::Success(value)
+            }
             Err(fault) => {
                 if fault.code == codes::DEADLINE {
                     self.core.telemetry.resilience.deadline_exceeded.inc();
@@ -402,6 +428,56 @@ impl ClarensHandler {
                 }
                 RpcResponse::Fault(fault)
             }
+        }
+    }
+
+    /// Replicated-ack write barrier (DESIGN.md §14). On an
+    /// election-managed leader, a replicated write is only acknowledged
+    /// once a follower's fetch cursor has passed this node's committed
+    /// WAL length — a fetch at offset X proves the follower applied every
+    /// record below X, so an acknowledged write survives this node's
+    /// death. Statically-configured leaders (elections off) and clusters
+    /// with no actively polling follower skip the wait: there is nobody
+    /// to hand leadership to, so leader-local durability is the best
+    /// available guarantee.
+    fn replicated_ack_barrier(
+        &self,
+        method: &str,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<(), Fault> {
+        let fed = &self.core.federation;
+        if !fed.lease_managed() || !fed.is_writable() {
+            // The lease-lapse case was already fenced before dispatch;
+            // losing the lease *during* the handler is caught below.
+            if fed.lease_managed() && fed.is_federated() {
+                self.core.telemetry.federation.fenced_writes.inc();
+                return Err(Fault::not_leader(&fed.leader(), fed.epoch()));
+            }
+            return Ok(());
+        }
+        if !fed.follower_active_within(std::time::Duration::from_secs(2)) {
+            return Ok(());
+        }
+        let target = self.core.store.wal_offset();
+        let hard_cap = std::time::Instant::now()
+            + std::time::Duration::from_millis(self.core.config.leader_lease_ms.max(100));
+        loop {
+            if fed.follower_cursor() >= target {
+                return Ok(());
+            }
+            if !fed.is_writable() {
+                // Lease lapsed mid-wait: a rival may already be leader and
+                // this write may not survive — refuse the ack.
+                self.core.telemetry.federation.fenced_writes.inc();
+                return Err(Fault::not_leader(&fed.leader(), fed.epoch()));
+            }
+            let now = std::time::Instant::now();
+            if now >= hard_cap || deadline.is_some_and(|d| now >= d) {
+                return Err(Fault::service(format!(
+                    "{method} applied locally but no follower confirmed replication in time"
+                )));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
         }
     }
 
@@ -415,6 +491,12 @@ impl ClarensHandler {
         let resolved = trace.span(Phase::Auth, || self.resolve_identity(&request, peer, now));
         let path = request.path().to_owned();
 
+        if path == "/healthz" {
+            // Readiness probe: deliberately unauthenticated so load
+            // balancers and the bench harness can poll it without a
+            // session. Mirrors the `system.health` RPC.
+            return self.serve_healthz();
+        }
         if path == "/metrics" {
             return self.serve_metrics(resolved.identity.as_deref());
         }
@@ -428,6 +510,37 @@ impl ClarensHandler {
             return portal::route(&self.core, &request, resolved.identity.as_deref());
         }
         xml_error(404, &format!("no such resource: {path}"))
+    }
+
+    /// `GET /healthz`: the readiness surface (DESIGN.md §14). 200 when
+    /// this node can do its job (a writable leader, a standalone node, or
+    /// a follower that is replicating), 503 when it cannot (degraded
+    /// store, or a fenced/deposed leader mid-election). The body is a
+    /// small JSON object so orchestration can also read role/epoch/lag.
+    fn serve_healthz(&self) -> Response {
+        let fed = &self.core.federation;
+        let role = match fed.role() {
+            crate::config::FederationRole::Leader => "leader",
+            crate::config::FederationRole::Follower => "follower",
+            crate::config::FederationRole::Standalone => "standalone",
+        };
+        let degraded = self.core.store.is_degraded();
+        let lag = self
+            .core
+            .replication_lag
+            .load(std::sync::atomic::Ordering::Relaxed);
+        // A federated leader that cannot currently ack writes (lease
+        // lapsed, or deposed but not yet demoted) is not ready; followers
+        // are ready as long as the store is healthy — reads still work.
+        let ready =
+            !degraded && (fed.role() != crate::config::FederationRole::Leader || fed.is_writable());
+        let body = format!(
+            "{{\"ready\":{ready},\"role\":\"{role}\",\"leader_epoch\":{epoch},\"leader\":\"{leader}\",\"wal_offset\":{offset},\"replication_lag\":{lag},\"degraded\":{degraded}}}\n",
+            epoch = fed.epoch(),
+            leader = fed.leader(),
+            offset = self.core.store.wal_offset(),
+        );
+        Response::new(if ready { 200 } else { 503 }, "application/json", body)
     }
 
     /// `GET /metrics`: the whole telemetry plane in Prometheus-style

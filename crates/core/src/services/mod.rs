@@ -39,10 +39,46 @@ pub const PUBLIC_METHODS: &[&str] = &[
     "system.auth",
     "system.version",
     "system.ping",
+    "system.health",
     "proxy.login",
 ];
 
 /// Is `method` public?
 pub fn is_public(method: &str) -> bool {
     PUBLIC_METHODS.contains(&method)
+}
+
+/// Methods that mutate the *replicated* store (sessions, VO groups, ACLs,
+/// stored proxies, IM mailboxes). On a federated node these may only be
+/// acknowledged by the current leader — a follower or a fenced/deposed
+/// leader answers `NOT_LEADER` with a routing hint instead (DESIGN.md
+/// §14). Node-local services (file, shell, job, srm) mutate the local
+/// filesystem, not the shipped log, and are deliberately absent.
+pub const REPLICATED_WRITE_METHODS: &[&str] = &[
+    "system.auth",
+    "system.logout",
+    "proxy.login",
+    "proxy.store",
+    "proxy.attach",
+    "proxy.remove",
+    "vo.create_group",
+    "vo.delete_group",
+    "vo.add_member",
+    "vo.remove_member",
+    "vo.add_admin",
+    "vo.remove_admin",
+    "acl.set_method",
+    "acl.clear_method",
+    "acl.set_file",
+    "acl.clear_file",
+    "im.send",
+    // `im.poll` consumes (deletes) delivered messages, so the consume
+    // must happen on the leader to take effect cluster-wide.
+    "im.poll",
+];
+
+/// Does `method` mutate replicated state (and therefore require the
+/// leader)?
+pub fn is_replicated_write(method: &str) -> bool {
+    REPLICATED_WRITE_METHODS.contains(&method)
 }

@@ -71,11 +71,28 @@ impl Service for ReplicationService {
             "replication.fetch" => {
                 params::expect_len(params_in, 3, method)?;
                 require_site_admin(ctx)?;
+                // Epoch fence: only the current leader may serve the log.
+                // A deposed leader answering fetches would feed followers
+                // a byte stream that diverges from the new leader's —
+                // refuse with a hint so the replicator re-points itself.
+                if ctx.core.federation.is_federated()
+                    && ctx.core.federation.role() != crate::config::FederationRole::Leader
+                {
+                    return Err(Fault::not_leader(
+                        &ctx.core.federation.leader(),
+                        ctx.core.federation.epoch(),
+                    ));
+                }
                 let epoch = params::int(params_in, 0, "epoch")?;
                 let offset = params::int(params_in, 1, "offset")?;
                 let max_bytes = params::int(params_in, 2, "max_bytes")?;
                 if epoch < 0 || offset < 0 || max_bytes < 0 {
                     return Err(Fault::bad_params("cursor fields must be non-negative"));
+                }
+                // A fetch at `offset` proves the follower applied every
+                // record below it — feed the replicated-ack barrier.
+                if ctx.core.store.wal_epoch() == epoch as u64 {
+                    ctx.core.federation.observe_follower_fetch(offset as u64);
                 }
                 let chunk = ctx
                     .core
@@ -98,6 +115,13 @@ impl Service for ReplicationService {
                     ("offset", Value::Int(chunk.offset as i64)),
                     ("data", Value::Bytes(chunk.data)),
                     ("len", Value::Int(chunk.len as i64)),
+                    // The leader (fence) epoch, distinct from the WAL
+                    // compaction epoch above: followers reject chunks from
+                    // a leader whose epoch is older than one they've seen.
+                    (
+                        "leader_epoch",
+                        Value::Int(ctx.core.federation.epoch() as i64),
+                    ),
                 ]))
             }
             "replication.status" => {
@@ -107,8 +131,16 @@ impl Service for ReplicationService {
                     ("epoch", Value::Int(ctx.core.store.wal_epoch() as i64)),
                     ("len", Value::Int(ctx.core.store.wal_offset() as i64)),
                     (
+                        "leader_epoch",
+                        Value::Int(ctx.core.federation.epoch() as i64),
+                    ),
+                    (
                         "role",
-                        Value::from(format!("{:?}", ctx.core.config.federation_role)),
+                        Value::from(match ctx.core.federation.role() {
+                            crate::config::FederationRole::Leader => "Leader",
+                            crate::config::FederationRole::Follower => "Follower",
+                            crate::config::FederationRole::Standalone => "Standalone",
+                        }),
                     ),
                 ]))
             }

@@ -56,6 +56,11 @@ impl Service for SystemService {
             ),
             MethodInfo::new("system.ping", "system.ping()", "Liveness probe"),
             MethodInfo::new(
+                "system.health",
+                "system.health()",
+                "Readiness: role, leader epoch, replication cursor/lag, degraded flag",
+            ),
+            MethodInfo::new(
                 "system.session_count",
                 "system.session_count()",
                 "Number of live sessions (admin)",
@@ -123,6 +128,42 @@ impl Service for SystemService {
             "system.ping" => {
                 params::expect_len(params_in, 0, method)?;
                 Ok(Value::from("pong"))
+            }
+            "system.health" => {
+                params::expect_len(params_in, 0, method)?;
+                // Public (like ping): the election manager on peer nodes
+                // queries this to rank promotion candidates by exact WAL
+                // cursor, and operators point probes at it. Reports only
+                // coarse cluster-role facts, no user or store data.
+                let fed = &ctx.core.federation;
+                let role = match fed.role() {
+                    crate::config::FederationRole::Leader => "leader",
+                    crate::config::FederationRole::Follower => "follower",
+                    crate::config::FederationRole::Standalone => "standalone",
+                };
+                let degraded = ctx.core.store.is_degraded();
+                let lag = ctx
+                    .core
+                    .replication_lag
+                    .load(std::sync::atomic::Ordering::Relaxed);
+                let ready = !degraded
+                    && (fed.role() != crate::config::FederationRole::Leader || fed.is_writable());
+                Ok(Value::structure([
+                    ("ready", Value::Bool(ready)),
+                    ("role", Value::from(role)),
+                    ("leader_epoch", Value::Int(fed.epoch() as i64)),
+                    ("leader", Value::from(fed.leader())),
+                    ("wal_offset", Value::Int(ctx.core.store.wal_offset() as i64)),
+                    (
+                        "fence_epoch",
+                        Value::Int(ctx.core.store.fence_epoch() as i64),
+                    ),
+                    // Leader-log offset a follower has applied; elections
+                    // rank promotion candidates by this, not wal_offset.
+                    ("applied", Value::Int(fed.applied() as i64)),
+                    ("replication_lag", Value::Int(lag as i64)),
+                    ("degraded", Value::Bool(degraded)),
+                ]))
             }
             "system.session_count" => {
                 params::expect_len(params_in, 0, method)?;

@@ -332,6 +332,162 @@ fn follower_session_cache_converges_across_leader_compaction() {
     let _ = std::fs::remove_file(&db);
 }
 
+/// Failover from the cache's point of view (DESIGN.md §14): followers A
+/// (persistent) and B (in-memory) replicate from a leader; the leader
+/// dies; A is promoted exactly the way the election manager promotes it
+/// (seal the log with an `EpochFence`, flip the role, serve the stream);
+/// B re-points through `FederationState` — which is all the election
+/// manager ever does to a replicator — and must resync from A's log.
+/// The epoch-invalidated session/VO/ACL caches on B must converge on
+/// post-promotion leader state, not hold what the dead leader shipped.
+#[test]
+fn follower_repoints_and_resyncs_across_promotion() {
+    use std::time::Duration;
+
+    use clarens::config::FederationRole;
+    use clarens::session::SESSIONS_BUCKET;
+    use clarens_federation::Replicator;
+    use monalisa_sim::station::wait_until;
+
+    let leader_db =
+        std::env::temp_dir().join(format!("clarens-promo-leader-{}.wal", std::process::id()));
+    let promoted_db =
+        std::env::temp_dir().join(format!("clarens-promo-a-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&leader_db);
+    let _ = std::fs::remove_file(&promoted_db);
+
+    let leader = TestGrid::start_with(GridOptions {
+        db_path: Some(leader_db.clone()),
+        seed: 0xE7EC7,
+        ..Default::default()
+    });
+    leader
+        .core()
+        .register(std::sync::Arc::new(clarens::services::ReplicationService));
+    // A persists: its own WAL is what it serves once promoted.
+    let a = TestGrid::start_with(GridOptions {
+        db_path: Some(promoted_db.clone()),
+        seed: 0xE7EC8,
+        ..Default::default()
+    });
+    a.core()
+        .register(std::sync::Arc::new(clarens::services::ReplicationService));
+    let b = TestGrid::start_with(GridOptions {
+        seed: 0xE7EC9,
+        ..Default::default()
+    });
+    let repl_a = Replicator::start(
+        std::sync::Arc::clone(a.core()),
+        leader.addr(),
+        leader.admin.clone(),
+        5,
+    );
+    let repl_b = Replicator::start(
+        std::sync::Arc::clone(b.core()),
+        leader.addr(),
+        leader.admin.clone(),
+        5,
+    );
+
+    // Leader-side state: a session, and echo gated behind a VO group the
+    // user belongs to (session + VO + ACL caches all in play).
+    let leader_client = leader.logged_in_client(&leader.user);
+    let session = leader_client.session_id().unwrap().to_owned();
+    let user_dn = leader.user.certificate.subject.to_string();
+    let admin = dn(&leader.admin.certificate.subject.to_string());
+    leader.core().vo.create_group(&admin, "fenced").unwrap();
+    leader
+        .core()
+        .vo
+        .add_member(&admin, "fenced", &user_dn)
+        .unwrap();
+    leader
+        .core()
+        .acl
+        .set_method_acl("echo", &Acl::allow_group("fenced"));
+
+    // Both followers converge and warm their caches.
+    for grid in [&a, &b] {
+        let mut probe = grid.client(&grid.user);
+        probe.set_session(session.clone());
+        assert!(
+            wait_until(Duration::from_secs(10), || {
+                probe.call("echo.echo", vec![Value::Int(1)]).is_ok()
+            }),
+            "follower never converged on the leader's session/VO/ACL state"
+        );
+        probe.call("echo.echo", vec![Value::Int(2)]).unwrap();
+    }
+
+    // The leader dies. The followers' fetch loops hit transport errors
+    // and back off (counted) instead of hot-spinning.
+    leader.cleanup();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            b.core().telemetry.federation.replication_fetch_errors.get() >= 1
+        }),
+        "dead-leader fetches were never counted as errors"
+    );
+
+    // Promote A the way `ElectionManager::try_promote` does.
+    let epoch = a.core().store.fence_epoch() + 1;
+    a.core().store.append_fence(epoch).unwrap();
+    a.core().store.sync().unwrap();
+    a.core().federation.observe_epoch(epoch);
+    a.core().federation.set_role(FederationRole::Leader);
+    a.core().federation.set_leader(&a.addr());
+
+    // Re-point B. Its replicator notices on the next cycle, reconnects,
+    // and resyncs A's log from the top — including the fence record,
+    // whose epoch B adopts.
+    let applied_before = repl_b.applied();
+    b.core().federation.set_leader(&a.addr());
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            b.core().federation.epoch() == epoch && repl_b.applied() > applied_before
+        }),
+        "B never resynced through A's fence record"
+    );
+
+    // Post-promotion mutations on A reach B through the new stream, and
+    // B's warm caches flip: a VO revocation denies the cached allow...
+    a.core()
+        .vo
+        .remove_member(&admin, "fenced", &user_dn)
+        .unwrap();
+    let mut b_probe = b.client(&b.user);
+    b_probe.set_session(session.clone());
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            matches!(
+                b_probe.call("echo.echo", vec![Value::Int(3)]),
+                Err(ClientError::Fault(f)) if f.code == codes::ACCESS_DENIED
+            )
+        }),
+        "B's cached VO grant survived the post-promotion revocation"
+    );
+    // ...and a session revocation on the new leader kills the cached
+    // session on B.
+    a.core().store.delete(SESSIONS_BUCKET, &session).unwrap();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            matches!(
+                b_probe.call("system.whoami", vec![]),
+                Err(ClientError::Fault(f)) if f.code == codes::NOT_AUTHENTICATED
+            )
+        }),
+        "B's cached session survived the post-promotion logout"
+    );
+
+    assert!(repl_a.applied() > 0);
+    repl_a.stop();
+    repl_b.stop();
+    b.cleanup();
+    a.cleanup();
+    let _ = std::fs::remove_file(&leader_db);
+    let _ = std::fs::remove_file(&promoted_db);
+}
+
 #[test]
 fn stats_rpc_reports_db_and_cache_counters() {
     let grid = TestGrid::start();

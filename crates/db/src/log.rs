@@ -46,10 +46,19 @@ pub enum LogOp {
         /// Key within the namespace.
         key: String,
     },
+    /// A leader-epoch fence. Written by a node when it claims leadership
+    /// of a replicated cluster; it carries no data but travels through the
+    /// shipped log so every follower learns the new epoch in-band, in
+    /// exact write order relative to the surrounding data records.
+    EpochFence {
+        /// The leader epoch being claimed.
+        epoch: u64,
+    },
 }
 
 const OP_PUT: u8 = 1;
 const OP_DELETE: u8 = 2;
+const OP_EPOCH_FENCE: u8 = 3;
 
 /// Serialize one operation into the payload format.
 pub fn encode_op(op: &LogOp) -> Vec<u8> {
@@ -67,6 +76,10 @@ pub fn encode_op(op: &LogOp) -> Vec<u8> {
             push_name(&mut out, bucket);
             push_name(&mut out, key);
         }
+        LogOp::EpochFence { epoch } => {
+            out.push(OP_EPOCH_FENCE);
+            out.extend_from_slice(&epoch.to_le_bytes());
+        }
     }
     out
 }
@@ -82,6 +95,13 @@ pub fn decode_op(payload: &[u8]) -> Option<LogOp> {
     let mut pos = 0usize;
     let op = *payload.get(pos)?;
     pos += 1;
+    if op == OP_EPOCH_FENCE {
+        if payload.len() != pos + 8 {
+            return None;
+        }
+        let epoch = u64::from_le_bytes(payload[pos..pos + 8].try_into().unwrap());
+        return Some(LogOp::EpochFence { epoch });
+    }
     let bucket = read_name(payload, &mut pos)?;
     let key = read_name(payload, &mut pos)?;
     match op {
@@ -392,10 +412,21 @@ mod tests {
                 bucket: "acl".into(),
                 key: "file.read".into(),
             },
+            LogOp::EpochFence { epoch: 0 },
+            LogOp::EpochFence { epoch: u64::MAX },
         ];
         for op in &ops {
             assert_eq!(decode_op(&encode_op(op)).unwrap(), *op);
         }
+    }
+
+    #[test]
+    fn fence_decode_rejects_bad_length() {
+        let good = encode_op(&LogOp::EpochFence { epoch: 42 });
+        assert!(decode_op(&good[..good.len() - 1]).is_none()); // truncated
+        let mut long = good.clone();
+        long.push(0);
+        assert!(decode_op(&long).is_none()); // trailing junk
     }
 
     #[test]

@@ -212,6 +212,8 @@ impl StorageEngine for MmapEngine {
         let size = match op {
             LogOp::Put { bucket, key, value } => put_record_size(bucket, key, value.len()),
             LogOp::Delete { bucket, key } => put_record_size(bucket, key, 0),
+            // frame len + op byte + u64 epoch + CRC
+            LogOp::EpochFence { .. } => 4 + 1 + 8 + 4,
         };
         self.dirty_bytes.fetch_add(size, Ordering::Relaxed);
         Ok(())

@@ -136,6 +136,10 @@ pub struct Store {
     /// `committed_len - live_bytes` is the log's garbage, which is what
     /// triggers the janitor.
     live_bytes: Arc<AtomicU64>,
+    /// Highest leader-epoch fence seen, either appended locally (a node
+    /// claiming leadership) or replayed from the log at open. Distinct
+    /// from [`Store::wal_epoch`], which counts log-file incarnations.
+    fence_epoch: AtomicU64,
     janitor_stop: Option<Arc<AtomicBool>>,
     janitor: Option<std::thread::JoinHandle<()>>,
 }
@@ -233,6 +237,7 @@ impl Store {
     ) -> Store {
         let shards = Arc::new(ShardSet::new(options.shards));
         let mut live = 0u64;
+        let mut fence = 0u64;
         for op in ops {
             match op {
                 LogOp::Put { bucket, key, value } => {
@@ -254,6 +259,7 @@ impl Store {
                         live -= removed + old.len() as u64;
                     }
                 }
+                LogOp::EpochFence { epoch } => fence = fence.max(epoch),
             }
         }
         let degraded = Arc::new(AtomicBool::new(false));
@@ -282,6 +288,7 @@ impl Store {
             generations: RwLock::new(HashMap::new()),
             degraded,
             live_bytes,
+            fence_epoch: AtomicU64::new(fence),
             janitor_stop,
             janitor,
         }
@@ -490,6 +497,25 @@ impl Store {
         self.engine.as_ref().map_or(0, |e| e.epoch())
     }
 
+    /// Append a leader-epoch fence record to the log. The fence carries no
+    /// data; it seals every record before it under the previous leadership
+    /// and ships through replication so followers observe the epoch change
+    /// in exact log order. Monotonic: a fence at or below the current
+    /// epoch is ignored.
+    pub fn append_fence(&self, epoch: u64) -> io::Result<()> {
+        if epoch <= self.fence_epoch.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        self.wal_append(&LogOp::EpochFence { epoch })?;
+        self.fence_epoch.fetch_max(epoch, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Highest leader-epoch fence in the log (0 before any election).
+    pub fn fence_epoch(&self) -> u64 {
+        self.fence_epoch.load(Ordering::SeqCst)
+    }
+
     /// Read a replication chunk: up to `max_bytes` of whole WAL records
     /// starting at `offset` within WAL incarnation `epoch`.
     ///
@@ -657,6 +683,34 @@ mod tests {
         assert!(store.delete("b", "k").unwrap());
         assert!(!store.delete("b", "k").unwrap());
         assert!(!store.contains("b", "k"));
+    }
+
+    #[test]
+    fn fence_epoch_persists_and_survives_compaction() {
+        let path = temp_path("fence");
+        {
+            let store = Store::open(&path).unwrap();
+            assert_eq!(store.fence_epoch(), 0);
+            store.put("b", "k", b"v".to_vec()).unwrap();
+            store.append_fence(3).unwrap();
+            // Stale/duplicate fences are no-ops.
+            store.append_fence(3).unwrap();
+            store.append_fence(1).unwrap();
+            assert_eq!(store.fence_epoch(), 3);
+            store.put("b", "k2", b"v2".to_vec()).unwrap();
+            store.sync().unwrap();
+        }
+        {
+            let store = Store::open(&path).unwrap();
+            assert_eq!(store.fence_epoch(), 3);
+            // Compaction rewrites the log but keeps the newest fence.
+            store.compact().unwrap();
+            assert_eq!(store.fence_epoch(), 3);
+        }
+        let store = Store::open(&path).unwrap();
+        assert_eq!(store.fence_epoch(), 3);
+        assert_eq!(store.get("b", "k2").unwrap(), b"v2");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

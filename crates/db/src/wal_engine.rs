@@ -217,6 +217,7 @@ impl WalEngine {
         let mut reader = BufReader::new(File::open(path)?).take(mark);
         let mut live: std::collections::BTreeMap<(String, String), Vec<u8>> =
             std::collections::BTreeMap::new();
+        let mut fence: Option<u64> = None;
         let corrupt = || io::Error::other("WAL corrupt inside committed prefix");
         loop {
             let mut len_buf = [0u8; 4];
@@ -243,11 +244,21 @@ impl WalEngine {
                 LogOp::Delete { bucket, key } => {
                     live.remove(&(bucket, key));
                 }
+                LogOp::EpochFence { epoch } => {
+                    fence = Some(fence.map_or(epoch, |f| f.max(epoch)));
+                }
             }
         }
-        Ok(live
+        // The snapshot keeps only the newest leader fence, first, so a
+        // follower replaying a compacted log still learns the epoch
+        // in-band before any data record.
+        Ok(fence
+            .map(|epoch| LogOp::EpochFence { epoch })
             .into_iter()
-            .map(|((bucket, key), value)| LogOp::Put { bucket, key, value })
+            .chain(
+                live.into_iter()
+                    .map(|((bucket, key), value)| LogOp::Put { bucket, key, value }),
+            )
             .collect())
     }
 

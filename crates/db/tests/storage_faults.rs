@@ -146,6 +146,7 @@ fn wal_read_never_straddles_compaction_swap() {
                         LogOp::Delete { bucket, key } => {
                             shadow.remove(&(bucket, key));
                         }
+                        LogOp::EpochFence { .. } => {}
                     }
                 }
                 offset = chunk.next_offset();

@@ -74,6 +74,15 @@ pub struct BalancedClient {
     /// Route by rendezvous-hashing the session over live endpoints
     /// instead of p2c (cache-warm session affinity).
     affinity: bool,
+    /// Believed leader (`host:port`, epoch): replicated writes go here
+    /// directly instead of bouncing off a follower's NOT_LEADER fault.
+    /// Learned from redirect hints; dropped when the leader stops
+    /// answering.
+    leader: Option<(String, u64)>,
+    /// Connected client pinned to the believed leader (writes only).
+    leader_client: Option<ClarensClient>,
+    /// Times a write was re-aimed because of a NOT_LEADER hint.
+    write_reroutes: u64,
 }
 
 impl BalancedClient {
@@ -96,6 +105,9 @@ impl BalancedClient {
             xmlrpc_only: HashSet::new(),
             protocol_fallbacks: 0,
             affinity: false,
+            leader: None,
+            leader_client: None,
+            write_reroutes: 0,
         }
     }
 
@@ -151,10 +163,28 @@ impl BalancedClient {
         self.current.as_ref().map(|(url, _)| url.as_str())
     }
 
+    /// Times a write call was re-aimed at a hinted leader.
+    pub fn write_reroutes(&self) -> u64 {
+        self.write_reroutes
+    }
+
+    /// The leader this client currently believes in, if any.
+    pub fn believed_leader(&self) -> Option<&str> {
+        self.leader.as_ref().map(|(addr, _)| addr.as_str())
+    }
+
     /// Invoke `method`, resolving (and re-resolving on transport failure)
     /// through discovery. A server-side fault is a completed exchange and
     /// is returned as-is; only transport-level failures trigger failover.
+    ///
+    /// Replicated writes (session/VO/ACL/proxy/IM mutations) are
+    /// leader-aware: once a NOT_LEADER hint teaches this client where the
+    /// leader is, writes go straight there; when leadership moves, the
+    /// next hint re-aims them, within the same attempt budget.
     pub fn call(&mut self, method: &str, params: Vec<Value>) -> Result<Value, ClientError> {
+        if clarens::services::is_replicated_write(method) {
+            return self.call_write(method, params);
+        }
         let mut voluntary = false;
         if let Some(limit) = self.repin_every {
             if self.calls_since_pin >= limit && self.current.is_some() {
@@ -184,7 +214,11 @@ impl BalancedClient {
                     if client.protocol_fallbacks() > 0 && self.xmlrpc_only.insert(url.clone()) {
                         self.protocol_fallbacks += 1;
                     }
+                    let hint = client
+                        .last_leader()
+                        .map(|(addr, epoch)| (addr.to_owned(), epoch));
                     self.calls_since_pin += 1;
+                    self.learn_leader(hint);
                     return Ok(value);
                 }
                 Err(ClientError::Fault(fault)) => return Err(ClientError::Fault(fault)),
@@ -200,6 +234,118 @@ impl BalancedClient {
         }
         Err(last_err
             .unwrap_or_else(|| ClientError::Transport(format!("no endpoint serves {method}"))))
+    }
+
+    /// Adopt a freshly observed leader hint (higher epochs win; equal
+    /// epochs refresh the address).
+    fn learn_leader(&mut self, hint: Option<(String, u64)>) {
+        if let Some((addr, epoch)) = hint {
+            let stale = matches!(&self.leader, Some((_, known)) if *known > epoch);
+            if !addr.is_empty() && !stale {
+                if self.leader.as_ref().map(|(a, _)| a.as_str()) != Some(addr.as_str()) {
+                    self.leader_client = None;
+                }
+                self.leader = Some((addr, epoch));
+            }
+        }
+    }
+
+    /// Leader-aware path for replicated writes. Aim at the believed
+    /// leader when one is known (falling back to ordinary discovery
+    /// resolution when not); on a NOT_LEADER fault adopt the carried
+    /// hint and re-aim; on a transport failure drop the belief, blacklist
+    /// the endpoint, and let the next attempt re-learn via any node.
+    fn call_write(&mut self, method: &str, params: Vec<Value>) -> Result<Value, ClientError> {
+        let mut last_err = None;
+        for attempt in 0..MAX_ATTEMPTS {
+            // Ensure a client aimed at the believed leader, if any.
+            if self.leader_client.is_none() {
+                if let Some((addr, _)) = &self.leader {
+                    let mut client = ClarensClient::new(addr.clone())
+                        .with_protocol(self.protocol)
+                        .with_retries(0)
+                        .with_call_deadline(self.call_deadline);
+                    client.set_session(self.session.clone());
+                    self.leader_client = Some(client);
+                }
+            }
+            if let Some(client) = self.leader_client.as_mut() {
+                match client.call(method, params.clone()) {
+                    Ok(value) => {
+                        let hint = client
+                            .last_leader()
+                            .map(|(addr, epoch)| (addr.to_owned(), epoch));
+                        self.learn_leader(hint);
+                        return Ok(value);
+                    }
+                    Err(ClientError::Fault(fault)) => match fault.leader_hint() {
+                        Some((hint, epoch)) => {
+                            // Leadership moved (or is in flight): re-aim
+                            // and retry within the attempt budget.
+                            self.leader_client = None;
+                            self.leader = None;
+                            self.write_reroutes += 1;
+                            self.learn_leader(Some((hint, epoch)));
+                            last_err = Some(ClientError::Fault(fault));
+                            std::thread::sleep(Duration::from_millis(25 << attempt.min(3)));
+                            continue;
+                        }
+                        None => return Err(ClientError::Fault(fault)),
+                    },
+                    Err(transport) => {
+                        // The believed leader is gone: forget it and fall
+                        // through to discovery, which will hint us anew.
+                        if let Some((addr, _)) = self.leader.take() {
+                            self.blacklist
+                                .insert(format!("http://{addr}/clarens"), Instant::now());
+                        }
+                        self.leader_client = None;
+                        last_err = Some(transport);
+                        continue;
+                    }
+                }
+            }
+            // No leader belief: resolve like any call — the inner client
+            // chases NOT_LEADER hints itself, and we learn from it.
+            if self.current.is_none() {
+                match self.resolve(method, false) {
+                    Ok(endpoint) => self.current = Some(endpoint),
+                    Err(e) => {
+                        last_err = Some(e);
+                        std::thread::sleep(Duration::from_millis(25 << attempt.min(3)));
+                        continue;
+                    }
+                }
+            }
+            let (url, client) = self.current.as_mut().expect("endpoint pinned");
+            match client.call(method, params.clone()) {
+                Ok(value) => {
+                    let hint = client
+                        .last_leader()
+                        .map(|(addr, epoch)| (addr.to_owned(), epoch));
+                    self.learn_leader(hint);
+                    return Ok(value);
+                }
+                Err(ClientError::Fault(fault)) => match fault.leader_hint() {
+                    Some((hint, epoch)) => {
+                        self.write_reroutes += 1;
+                        self.learn_leader(Some((hint, epoch)));
+                        last_err = Some(ClientError::Fault(fault));
+                        std::thread::sleep(Duration::from_millis(25 << attempt.min(3)));
+                        continue;
+                    }
+                    None => return Err(ClientError::Fault(fault)),
+                },
+                Err(transport) => {
+                    self.blacklist.insert(url.clone(), Instant::now());
+                    self.current = None;
+                    self.failovers += 1;
+                    last_err = Some(transport);
+                }
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| ClientError::Transport(format!("no leader serves {method}"))))
     }
 
     /// Resolve `method` to a connected client via the station network.

@@ -1,12 +1,12 @@
 //! In-process federation harness: one station network, one leader, N-1
 //! followers — the fixture behind the integration tests and the
-//! `repro federation` benchmark.
+//! `repro federation` / `repro failover` benchmarks.
 
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use clarens::client::ClarensClient;
 use clarens::config::{ClarensConfig, FederationRole};
@@ -17,6 +17,7 @@ use monalisa_sim::station::wait_until;
 use monalisa_sim::{DiscoveryAggregator, ServiceQuery, StationServer, UdpPublisher};
 
 use crate::balance::BalancedClient;
+use crate::election::{ElectionManager, ElectionOptions};
 use crate::pki::federation_pki;
 use crate::replicator::Replicator;
 
@@ -39,7 +40,9 @@ pub struct NodeOptions {
     /// `host:port` of the leader (followers only).
     pub leader: Option<String>,
     /// Persist the store here (the leader must persist: WAL shipping
-    /// reads the log file; followers usually run in-memory).
+    /// reads the log file; followers usually run in-memory — except
+    /// under elections, where any follower may be promoted and must then
+    /// serve its own log).
     pub db_path: Option<PathBuf>,
     /// Serve the file module from this root (only nodes that set it
     /// export `file.*` — which is what makes `proxy.call` forwarding
@@ -49,6 +52,11 @@ pub struct NodeOptions {
     pub workers: usize,
     /// Follower poll interval for `replication.fetch`.
     pub replication_poll_ms: u64,
+    /// Leader-lease duration in ms; 0 keeps the pre-failover static
+    /// roles (no election thread, leader always writable).
+    pub leader_lease_ms: u64,
+    /// Upper bound of the random pre-claim election pause.
+    pub election_jitter_ms: u64,
 }
 
 impl Default for NodeOptions {
@@ -61,12 +69,15 @@ impl Default for NodeOptions {
             file_root: None,
             workers: 4,
             replication_poll_ms: 25,
+            leader_lease_ms: 0,
+            election_jitter_ms: 100,
         }
     }
 }
 
 /// One running federation node: server + discovery plumbing + (on
-/// followers) the replication loop.
+/// followers) the replication loop + (under elections) the election
+/// manager.
 pub struct FederationNode {
     /// The running server (its core is reachable via `server.core`).
     pub server: ClarensServer,
@@ -79,6 +90,7 @@ pub struct FederationNode {
     heartbeat_stop: Arc<AtomicBool>,
     heartbeat: Option<std::thread::JoinHandle<()>>,
     replicator: Option<Replicator>,
+    election: Option<ElectionManager>,
 }
 
 /// Reserve a free localhost port: bind, read, release. The tiny window
@@ -110,6 +122,8 @@ impl FederationNode {
                 federation_role: options.role,
                 federation_leader: options.leader.clone(),
                 replication_poll_ms: options.replication_poll_ms,
+                leader_lease_ms: options.leader_lease_ms,
+                election_jitter_ms: options.election_jitter_ms,
                 ..Default::default()
             };
             let core = ClarensCore::new(
@@ -143,14 +157,38 @@ impl FederationNode {
             let url = server.core.config.server_url.clone();
             let heartbeat_stop = Arc::new(AtomicBool::new(false));
             let heartbeat = Some(spawn_heartbeat(addr.clone(), Arc::clone(&heartbeat_stop)));
-            let replicator = match (options.role, &options.leader) {
-                (FederationRole::Follower, Some(leader)) => Some(Replicator::start(
+            let elections = options.leader_lease_ms > 0;
+            // Static mode: followers replicate from the configured
+            // leader. Election mode: every node runs the loop — it idles
+            // while the node leads and follows `FederationState` when it
+            // does not, so promotion/demotion needs no thread surgery.
+            let replicator = if elections || options.role == FederationRole::Follower {
+                Some(Replicator::start(
                     Arc::clone(&server.core),
-                    leader.clone(),
+                    options.leader.clone().unwrap_or_default(),
                     pki.admin.clone(),
                     options.replication_poll_ms,
-                )),
-                _ => None,
+                ))
+            } else {
+                None
+            };
+            let election = if elections {
+                Some(
+                    ElectionManager::start(
+                        Arc::clone(&server.core),
+                        addr.clone(),
+                        stations.iter().map(|s| s.local_addr()).collect(),
+                        stations.iter().map(|s| s.query_addr()).collect(),
+                        ElectionOptions {
+                            lease_ms: options.leader_lease_ms,
+                            jitter_ms: options.election_jitter_ms,
+                            seed: options.index as u64 + 1,
+                        },
+                    )
+                    .expect("start election manager"),
+                )
+            } else {
+                None
             };
             return Ok(FederationNode {
                 server,
@@ -160,6 +198,7 @@ impl FederationNode {
                 heartbeat_stop,
                 heartbeat,
                 replicator,
+                election,
             });
         }
         Err(last_err.unwrap_or_else(|| {
@@ -185,14 +224,28 @@ impl FederationNode {
             .unwrap_or(0)
     }
 
-    /// Kill the node: stop heartbeats and replication, shut the server
-    /// down. Sockets close immediately — in-flight requests fail like a
-    /// crashed process's would.
+    /// Is this node currently the (writable) leader?
+    pub fn is_leader(&self) -> bool {
+        self.core().federation.role() == FederationRole::Leader
+    }
+
+    /// Cut (or heal) this node's election traffic — the split-brain
+    /// injection. No-op on nodes without an election manager.
+    pub fn set_partitioned(&self, on: bool) {
+        if let Some(election) = &self.election {
+            election.set_partitioned(on);
+        }
+    }
+
+    /// Kill the node: stop heartbeats, elections, and replication, shut
+    /// the server down. Sockets close immediately — in-flight requests
+    /// fail like a crashed process's would.
     pub fn kill(mut self) {
         self.heartbeat_stop.store(true, Ordering::SeqCst);
         if let Some(t) = self.heartbeat.take() {
             let _ = t.join();
         }
+        drop(self.election.take());
         if let Some(r) = self.replicator.take() {
             r.stop();
         }
@@ -215,6 +268,10 @@ fn spawn_heartbeat(addr: String, stop: Arc<AtomicBool>) -> std::thread::JoinHand
             let mut logged_in = false;
             while !stop.load(Ordering::SeqCst) {
                 if !logged_in {
+                    // On a follower, `system.auth` is fenced and the
+                    // client chases the NOT_LEADER hint to the leader;
+                    // the minted session replicates back within a poll
+                    // or two, after which publish succeeds.
                     logged_in = client.login().is_ok();
                 }
                 if logged_in && client.call("discovery.publish", vec![]).is_err() {
@@ -226,12 +283,13 @@ fn spawn_heartbeat(addr: String, stop: Arc<AtomicBool>) -> std::thread::JoinHand
         .expect("spawn heartbeat thread")
 }
 
-/// A whole in-process federation: one station, node 0 the leader (with a
-/// persistent store and the file service), the rest followers.
+/// A whole in-process federation: one station, node 0 the initial leader
+/// (with a persistent store and the file service), the rest followers.
 pub struct FederationCluster {
     /// The shared station server (the discovery network).
     pub station: Arc<StationServer>,
-    /// Running nodes; index 0 is the leader until [`FederationCluster::kill`].
+    /// Running nodes. Use [`FederationCluster::leader`] to find the
+    /// current leader — under elections it moves.
     pub nodes: Vec<FederationNode>,
     scratch: PathBuf,
 }
@@ -239,9 +297,21 @@ pub struct FederationCluster {
 static CLUSTER_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 impl FederationCluster {
-    /// Start an `n`-node federation and wait for every node's discovery
-    /// view to see every node.
+    /// Start an `n`-node federation with static roles (node 0 leads
+    /// forever) and wait for discovery to converge.
     pub fn start(n: usize) -> FederationCluster {
+        FederationCluster::start_with(n, 0, 100)
+    }
+
+    /// Start an `n`-node federation with lease-based elections: every
+    /// node gets a persistent store (any follower may be promoted and
+    /// must then serve its own WAL) and an election manager.
+    pub fn start_elections(n: usize, lease_ms: u64, jitter_ms: u64) -> FederationCluster {
+        assert!(lease_ms > 0, "elections need a non-zero lease");
+        FederationCluster::start_with(n, lease_ms, jitter_ms)
+    }
+
+    fn start_with(n: usize, lease_ms: u64, jitter_ms: u64) -> FederationCluster {
         assert!(n >= 1, "a federation needs at least one node");
         let station =
             Arc::new(StationServer::spawn("fed-station", "127.0.0.1:0").expect("station"));
@@ -259,6 +329,8 @@ impl FederationCluster {
                 role: FederationRole::Leader,
                 db_path: Some(scratch.join("leader.wal")),
                 file_root: Some(scratch.join("files")),
+                leader_lease_ms: lease_ms,
+                election_jitter_ms: jitter_ms,
                 ..Default::default()
             },
             vec![Arc::clone(&station)],
@@ -273,6 +345,9 @@ impl FederationCluster {
                         index,
                         role: FederationRole::Follower,
                         leader: Some(leader_addr.clone()),
+                        db_path: (lease_ms > 0).then(|| scratch.join(format!("node{index}.wal"))),
+                        leader_lease_ms: lease_ms,
+                        election_jitter_ms: jitter_ms,
                         ..Default::default()
                     },
                     vec![Arc::clone(&station)],
@@ -302,18 +377,62 @@ impl FederationCluster {
         cluster
     }
 
-    /// The leader node (panics after the leader has been killed).
-    pub fn leader(&self) -> &FederationNode {
-        &self.nodes[0]
+    /// The node currently leading, if any (highest epoch wins while a
+    /// demotion is still propagating).
+    pub fn try_leader(&self) -> Option<&FederationNode> {
+        self.nodes
+            .iter()
+            .filter(|n| n.core().federation.role() == FederationRole::Leader)
+            .max_by_key(|n| n.core().federation.epoch())
     }
 
-    /// Mint a user session on the leader and wait until replication has
-    /// propagated it to every node — after this, any node authenticates
-    /// the session, which is what makes balanced clients node-agnostic.
+    /// The current leader, following the epoch across failovers: after
+    /// a [`FederationCluster::kill`] of the old leader this waits for a
+    /// follower to win the election. Panics only if no leader emerges
+    /// within 15 s.
+    pub fn leader(&self) -> &FederationNode {
+        let deadline = Instant::now() + Duration::from_secs(15);
+        loop {
+            let best = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.core().federation.role() == FederationRole::Leader)
+                .max_by_key(|(_, n)| n.core().federation.epoch())
+                .map(|(i, _)| i);
+            if let Some(index) = best {
+                return &self.nodes[index];
+            }
+            assert!(
+                Instant::now() < deadline,
+                "no leader emerged within 15 s (election stuck?)"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Mint a user session on the current leader and wait until
+    /// replication has propagated it to every node — after this, any node
+    /// authenticates the session, which is what makes balanced clients
+    /// node-agnostic. Retries across an in-flight election.
     pub fn user_session(&self) -> String {
-        let mut client = ClarensClient::new(self.leader().addr.clone())
-            .with_credential(federation_pki().user.clone());
-        let session = client.login().expect("leader login");
+        let mut session: Option<String> = None;
+        assert!(
+            wait_until(Duration::from_secs(15), || {
+                let mut client = ClarensClient::new(self.leader().addr.clone())
+                    .with_credential(federation_pki().user.clone())
+                    .with_call_deadline(Duration::from_secs(2));
+                match client.login() {
+                    Ok(id) => {
+                        session = Some(id);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }),
+            "could not mint a session on the leader"
+        );
+        let session = session.expect("session minted");
         assert!(
             wait_until(Duration::from_secs(15), || {
                 self.nodes.iter().all(|node| {
@@ -338,6 +457,16 @@ impl FederationCluster {
         let url = node.url.clone();
         node.kill();
         url
+    }
+
+    /// Index of the current leader in `nodes`, if one is leading.
+    pub fn leader_index(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.core().federation.role() == FederationRole::Leader)
+            .max_by_key(|(_, n)| n.core().federation.epoch())
+            .map(|(i, _)| i)
     }
 
     /// Shut everything down and remove scratch state.

@@ -1,0 +1,400 @@
+//! Lease-based leader election through the discovery network
+//! (DESIGN.md §14).
+//!
+//! No separate consensus service: the station network the federation
+//! already runs for service discovery doubles as the election medium.
+//! Every node runs one [`ElectionManager`] thread that, each tick
+//! (lease/4):
+//!
+//! * publishes a `cluster` **member descriptor** (its address and a
+//!   millisecond-resolution `renewed_ms` liveness stamp), and — while it
+//!   holds the leadership — a `cluster-leader` **lease descriptor**
+//!   carrying `leader_epoch`, `lease_ms`, and `renewed_ms`;
+//! * renews its local lease in [`FederationState`] **only after the
+//!   publish succeeds** — a partitioned leader that cannot reach any
+//!   station stops renewing, its lease decays, and the dispatch fence
+//!   stops acknowledging writes *before* a rival can be elected
+//!   (split-brain self-fencing);
+//! * queries the stations for lease descriptors. A higher epoch than its
+//!   own demotes a leader on the spot (`clarens_demotions_total`) and
+//!   re-points a follower; a lease whose `renewed_ms` is older than
+//!   1.5 leases starts an election.
+//!
+//! An election is: jittered pause (decorrelates candidates), recheck
+//! that nobody renewed or claimed a higher epoch meanwhile, then rank
+//! the live members by their **exact** replication cursor via the public
+//! `system.health` RPC — stale station adverts are good enough for
+//! liveness but not for choosing the most-caught-up log. The candidate
+//! defers to any live peer with a higher cursor (ties break on lowest
+//! address); otherwise it promotes: seal the local log with an
+//! `EpochFence(N+1)` record, flip the role, and publish the new lease
+//! immediately so rivals stand down (`clarens_elections_total`).
+//!
+//! Leases use the descriptors' `renewed_ms` attribute, not the
+//! descriptor timestamp: timestamps are whole seconds, far coarser than
+//! a lease interval, and stations retain stale descriptors indefinitely.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use clarens::config::FederationRole;
+use clarens::core::ClarensCore;
+use clarens::ClarensClient;
+use clarens_wire::Value;
+use monalisa_sim::station::query_station;
+use monalisa_sim::{Publication, ServiceDescriptor, ServiceQuery, UdpPublisher};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Service name of the per-node liveness descriptor.
+const MEMBER_SERVICE: &str = "cluster";
+
+/// Service name of the leader lease descriptor.
+const LEASE_SERVICE: &str = "cluster-leader";
+
+/// A member whose `renewed_ms` is older than this many lease intervals
+/// is treated as dead when ranking election candidates.
+const MEMBER_FRESH_LEASES: u64 = 2;
+
+/// Election settings for one node.
+#[derive(Clone)]
+pub struct ElectionOptions {
+    /// Lease duration in ms (the `leader_lease_ms` knob). Must be > 0.
+    pub lease_ms: u64,
+    /// Upper bound of the random pre-claim pause (`election_jitter_ms`).
+    pub jitter_ms: u64,
+    /// Seed for the jitter RNG (deterministic drills).
+    pub seed: u64,
+}
+
+/// A running election-manager thread.
+pub struct ElectionManager {
+    stop: Arc<AtomicBool>,
+    partitioned: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ElectionManager {
+    /// Start managing elections for `core`, which serves RPC on `addr`.
+    /// `udp_stations` receive lease/member publications; `query_stations`
+    /// are the TCP query addresses of the same stations.
+    pub fn start(
+        core: Arc<ClarensCore>,
+        addr: String,
+        udp_stations: Vec<SocketAddr>,
+        query_stations: Vec<SocketAddr>,
+        options: ElectionOptions,
+    ) -> std::io::Result<ElectionManager> {
+        assert!(options.lease_ms > 0, "elections need a non-zero lease");
+        let publisher = UdpPublisher::new(udp_stations)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let partitioned = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let partitioned = Arc::clone(&partitioned);
+            std::thread::Builder::new()
+                .name(format!("election-{addr}"))
+                .spawn(move || {
+                    run(
+                        &core,
+                        &addr,
+                        &publisher,
+                        &query_stations,
+                        &options,
+                        &stop,
+                        &partitioned,
+                    )
+                })
+                .expect("spawn election thread")
+        };
+        Ok(ElectionManager {
+            stop,
+            partitioned,
+            thread: Some(thread),
+        })
+    }
+
+    /// Simulate a network partition of this node's election traffic: no
+    /// publications go out and no station state comes in, exactly as if
+    /// the node's uplink to the discovery network were cut. The RPC
+    /// plane stays up — which is the point: the split-brain drill shows
+    /// the lease fence rejecting writes the partitioned leader still
+    /// receives.
+    pub fn set_partitioned(&self, on: bool) {
+        self.partitioned.store(on, Ordering::SeqCst);
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ElectionManager {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// The freshest view of one descriptor service across all stations,
+/// deduplicated by url (each station keeps only the newest per key, but
+/// different nodes publish under different urls).
+fn query_all(stations: &[SocketAddr], service: &str) -> Vec<ServiceDescriptor> {
+    let query = ServiceQuery::by_service(service);
+    let mut out: Vec<ServiceDescriptor> = Vec::new();
+    for station in stations {
+        if let Ok(hits) = query_station(*station, &query) {
+            for hit in hits {
+                match out.iter_mut().find(|d| d.url == hit.url) {
+                    Some(existing) => {
+                        if renewed_ms(&hit) > renewed_ms(existing) {
+                            *existing = hit;
+                        }
+                    }
+                    None => out.push(hit),
+                }
+            }
+        }
+    }
+    out
+}
+
+fn attr_u64(d: &ServiceDescriptor, key: &str) -> u64 {
+    d.attributes
+        .get(key)
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+fn renewed_ms(d: &ServiceDescriptor) -> u64 {
+    attr_u64(d, "renewed_ms")
+}
+
+/// Build this node's member or lease descriptor.
+fn descriptor(service: &str, addr: &str, attrs: Vec<(String, String)>) -> ServiceDescriptor {
+    ServiceDescriptor {
+        url: format!("http://{addr}/clarens"),
+        server_dn: String::new(),
+        service: service.to_owned(),
+        methods: Vec::new(),
+        attributes: attrs.into_iter().collect(),
+        timestamp: (unix_ms() / 1000) as i64,
+    }
+}
+
+fn run(
+    core: &Arc<ClarensCore>,
+    addr: &str,
+    publisher: &UdpPublisher,
+    query_stations: &[SocketAddr],
+    options: &ElectionOptions,
+    stop: &AtomicBool,
+    partitioned: &AtomicBool,
+) {
+    let lease_ms = options.lease_ms;
+    let tick = Duration::from_millis((lease_ms / 4).max(5));
+    let mut rng = StdRng::seed_from_u64(options.seed);
+
+    // A configured leader claims the first epoch on startup, continuing
+    // from whatever fence its persistent log already carries (so a
+    // restarted deployment never reuses an epoch).
+    if core.federation.role() == FederationRole::Leader && core.federation.epoch() == 0 {
+        let epoch = core.store.fence_epoch() + 1;
+        let _ = core.store.append_fence(epoch);
+        core.federation.observe_epoch(epoch);
+        core.federation.set_leader(addr);
+        core.federation.manage_lease();
+        core.telemetry.federation.elections.inc();
+    }
+
+    while !stop.load(Ordering::SeqCst) {
+        let cut_off = partitioned.load(Ordering::SeqCst);
+        let now = unix_ms();
+
+        // --- Publish -------------------------------------------------
+        if !cut_off {
+            let member = descriptor(
+                MEMBER_SERVICE,
+                addr,
+                vec![
+                    ("addr".into(), addr.to_owned()),
+                    ("renewed_ms".into(), now.to_string()),
+                    ("applied".into(), core.federation.applied().to_string()),
+                ],
+            );
+            let _ = publisher.publish(&Publication::Service(member));
+        }
+        if core.federation.role() == FederationRole::Leader {
+            let lease = descriptor(
+                LEASE_SERVICE,
+                addr,
+                vec![
+                    ("addr".into(), addr.to_owned()),
+                    ("leader_epoch".into(), core.federation.epoch().to_string()),
+                    ("lease_ms".into(), lease_ms.to_string()),
+                    ("renewed_ms".into(), now.to_string()),
+                ],
+            );
+            // Renew only after the lease actually reached a station: a
+            // leader that cannot publish must not keep acking writes.
+            if !cut_off && publisher.publish(&Publication::Service(lease)).is_ok() {
+                core.federation.renew_lease(lease_ms);
+            }
+        }
+
+        // --- Observe -------------------------------------------------
+        if !cut_off {
+            let leases = query_all(query_stations, LEASE_SERVICE);
+            if let Some(best) = leases.iter().max_by_key(|d| {
+                // Highest epoch wins; among equal epochs the freshest
+                // renewal is authoritative.
+                (attr_u64(d, "leader_epoch"), renewed_ms(d))
+            }) {
+                let best_epoch = attr_u64(best, "leader_epoch");
+                let best_addr = best.attributes.get("addr").cloned().unwrap_or_default();
+                let my_epoch = core.federation.epoch();
+                if best_epoch > my_epoch && best_addr != addr {
+                    // A rival claimed a newer epoch: a (possibly revived)
+                    // leader demotes itself and resyncs as a follower;
+                    // a follower just re-points.
+                    core.federation.observe_epoch(best_epoch);
+                    if core.federation.role() == FederationRole::Leader {
+                        core.federation.set_role(FederationRole::Follower);
+                        core.federation.unmanage_lease();
+                        core.telemetry.federation.demotions.inc();
+                    }
+                    core.federation.set_leader(&best_addr);
+                } else if core.federation.role() == FederationRole::Follower {
+                    if best_epoch >= my_epoch && !best_addr.is_empty() {
+                        core.federation.observe_epoch(best_epoch);
+                        core.federation.set_leader(&best_addr);
+                    }
+                    // Lease lapse: the best lease known to the cluster has
+                    // not been renewed for 1.5 intervals — its holder is
+                    // dead or cut off. Stand for election.
+                    let age = unix_ms().saturating_sub(renewed_ms(best));
+                    if age > lease_ms + lease_ms / 2 {
+                        try_promote(
+                            core,
+                            addr,
+                            publisher,
+                            query_stations,
+                            options,
+                            &mut rng,
+                            stop,
+                        );
+                    }
+                }
+            }
+        }
+
+        std::thread::sleep(tick);
+    }
+}
+
+/// `system.health` of a peer: `(is_leader, applied_cursor)`, or None if
+/// the peer is unreachable (it is then ignored for ranking — a dead node
+/// cannot be more caught-up).
+fn peer_health(addr: &str) -> Option<(bool, u64)> {
+    let mut client = ClarensClient::new(addr)
+        .with_retries(0)
+        .with_call_deadline(Duration::from_millis(250));
+    let health = client.call("system.health", vec![]).ok()?;
+    let role = health.get("role").and_then(Value::as_str).unwrap_or("");
+    let applied = health.get("applied").and_then(Value::as_int).unwrap_or(0) as u64;
+    Some((role == "leader", applied))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_promote(
+    core: &Arc<ClarensCore>,
+    addr: &str,
+    publisher: &UdpPublisher,
+    query_stations: &[SocketAddr],
+    options: &ElectionOptions,
+    rng: &mut StdRng,
+    stop: &AtomicBool,
+) {
+    let lease_ms = options.lease_ms;
+    // Decorrelate candidates so the common case is one claimant.
+    let jitter = rng.next_u64() % options.jitter_ms.max(1);
+    std::thread::sleep(Duration::from_millis(jitter));
+    if stop.load(Ordering::SeqCst) {
+        return;
+    }
+
+    // Recheck: did the leader renew, or a rival claim, during the pause?
+    let leases = query_all(query_stations, LEASE_SERVICE);
+    if let Some(best) = leases
+        .iter()
+        .max_by_key(|d| (attr_u64(d, "leader_epoch"), renewed_ms(d)))
+    {
+        if attr_u64(best, "leader_epoch") > core.federation.epoch() {
+            return; // a rival already won this round
+        }
+        if unix_ms().saturating_sub(renewed_ms(best)) <= lease_ms + lease_ms / 2 {
+            return; // the leader came back
+        }
+    }
+
+    // Rank against every live member by exact replication cursor. The
+    // member adverts supply the candidate set; the ranking itself uses a
+    // live `system.health` call, because adverts are a tick stale and
+    // the whole point is promoting the most-caught-up log.
+    let mine = core.federation.applied();
+    let now = unix_ms();
+    for member in query_all(query_stations, MEMBER_SERVICE) {
+        let peer = member.attributes.get("addr").cloned().unwrap_or_default();
+        if peer.is_empty() || peer == addr {
+            continue;
+        }
+        if now.saturating_sub(renewed_ms(&member)) > lease_ms * MEMBER_FRESH_LEASES {
+            continue; // stale advert: node presumed dead
+        }
+        let Some((is_leader, theirs)) = peer_health(&peer) else {
+            continue; // unreachable: cannot be a better candidate
+        };
+        if is_leader {
+            return; // someone already promoted
+        }
+        if theirs > mine || (theirs == mine && peer.as_str() < addr) {
+            return; // defer to the better-placed candidate
+        }
+    }
+
+    // Promote: seal the local log under the new epoch, become writable,
+    // and publish the claim immediately so rivals stand down.
+    let epoch = core.federation.epoch() + 1;
+    let _ = core.store.append_fence(epoch);
+    let _ = core.store.sync();
+    core.federation.observe_epoch(epoch);
+    core.federation.set_role(FederationRole::Leader);
+    core.federation.set_leader(addr);
+    core.federation.reset_follower_cursor();
+    core.federation.manage_lease();
+    core.telemetry.federation.elections.inc();
+    let lease = descriptor(
+        LEASE_SERVICE,
+        addr,
+        vec![
+            ("addr".into(), addr.to_owned()),
+            ("leader_epoch".into(), epoch.to_string()),
+            ("lease_ms".into(), lease_ms.to_string()),
+            ("renewed_ms".into(), unix_ms().to_string()),
+        ],
+    );
+    if publisher.publish(&Publication::Service(lease)).is_ok() {
+        core.federation.renew_lease(lease_ms);
+    }
+}

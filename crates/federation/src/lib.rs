@@ -18,6 +18,12 @@
 //!   the decoded operations to the local store, so VO membership, ACLs,
 //!   sessions, and stored proxies converge and *any* node can authenticate
 //!   any user.
+//! * **Leader failover** — [`ElectionManager`] runs lease-based elections
+//!   over the discovery network: the leader renews an epoch-stamped lease
+//!   with every heartbeat, a lapsed lease promotes the most-caught-up
+//!   follower under epoch N+1, and the dispatch-layer fence plus epoch
+//!   checks everywhere keep a deposed leader from acknowledging (or
+//!   shipping) writes the cluster will never see (DESIGN.md §14).
 //!
 //! [`FederationCluster`] assembles an in-process federation (shared PKI,
 //! one station network, one leader + N-1 followers) for the integration
@@ -25,10 +31,12 @@
 
 pub mod balance;
 pub mod cluster;
+pub mod election;
 pub mod pki;
 pub mod replicator;
 
 pub use balance::BalancedClient;
 pub use cluster::{FederationCluster, FederationNode, NodeOptions};
+pub use election::{ElectionManager, ElectionOptions};
 pub use pki::{federation_pki, FederationPki};
 pub use replicator::Replicator;

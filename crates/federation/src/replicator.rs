@@ -16,19 +16,39 @@
 //!   network is the network) forces a restart from offset 0;
 //! * `len` in every response is the leader's committed high-water mark;
 //!   the published `db.replication_lag` gauge is `len - applied_offset`.
+//!
+//! Failover behaviour (DESIGN.md §14): the loop re-reads the believed
+//! leader from [`FederationState`] every cycle. When the election manager
+//! re-points it, the replicator reconnects and resyncs from `(0, 0)` —
+//! the new leader's log is a different byte stream, and its compacted
+//! form is a full-state snapshot, so replay from the top converges
+//! (counted by `clarens_replication_resyncs_total` on the serving side).
+//! While this node *is* the leader the loop idles; chunks stamped with a
+//! `leader_epoch` older than the epoch this node has already observed
+//! are dropped unapplied (a deposed leader's divergent tail must never
+//! be merged). Fetch failures back off exponentially with jitter instead
+//! of hot-retrying a dead address (`clarens_replication_fetch_errors_total`).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use clarens::client::{ClarensClient, ClientError};
+use clarens::config::FederationRole;
 use clarens::core::ClarensCore;
 use clarens_db::{decode_stream, LogOp};
 use clarens_pki::cert::Credential;
 use clarens_wire::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Fetch budget per poll (matches the leader-side `MAX_FETCH_BYTES` cap).
 const FETCH_BYTES: i64 = 1 << 20;
+
+/// Ceiling for the fetch-error backoff (the leader being down for a
+/// while must not turn into a tight retry storm, but recovery after a
+/// failover should still be prompt).
+const BACKOFF_CAP: Duration = Duration::from_millis(1000);
 
 /// A running replication follower loop.
 pub struct Replicator {
@@ -39,9 +59,12 @@ pub struct Replicator {
 }
 
 impl Replicator {
-    /// Start replicating `leader` (a `host:port` address) into `core`'s
-    /// store, authenticating as `admin` (replication is site-admin gated:
-    /// the WAL carries session secrets). Polls every `poll_ms` when idle.
+    /// Start replicating into `core`'s store, authenticating as `admin`
+    /// (replication is site-admin gated: the WAL carries session
+    /// secrets). `leader` seeds the leader address; thereafter the loop
+    /// follows `core.federation` — pass an empty string to resolve purely
+    /// dynamically (election-managed nodes). Polls every `poll_ms` when
+    /// idle.
     pub fn start(
         core: Arc<ClarensCore>,
         leader: String,
@@ -57,7 +80,7 @@ impl Replicator {
             let chunks = Arc::clone(&chunks);
             std::thread::Builder::new()
                 .name(format!("replicator-{leader}"))
-                .spawn(move || run(&core, &leader, admin, poll_ms, &stop, &applied, &chunks))
+                .spawn(move || run(&core, leader, admin, poll_ms, &stop, &applied, &chunks))
                 .expect("spawn replicator thread")
         };
         Replicator {
@@ -97,10 +120,9 @@ impl Drop for Replicator {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn run(
     core: &Arc<ClarensCore>,
-    leader: &str,
+    initial_leader: String,
     admin: Credential,
     poll_ms: u64,
     stop: &AtomicBool,
@@ -108,19 +130,61 @@ fn run(
     chunks: &AtomicU64,
 ) {
     let pause = Duration::from_millis(poll_ms.max(1));
-    let mut client = ClarensClient::new(leader)
-        .with_credential(admin)
-        .with_retries(1)
-        .with_call_deadline(Duration::from_secs(5));
+    let mut rng = StdRng::seed_from_u64(poll_ms ^ 0x5EED_F0110);
+    let mut leader = initial_leader;
+    if leader.is_empty() {
+        leader = core.federation.leader();
+    }
+    let mut client = make_client(&leader, &admin);
     let mut logged_in = false;
     let mut epoch = 0u64;
     let mut offset = 0u64;
+    let mut failures = 0u32;
+
+    // Jittered exponential backoff for fetch/login failures: attempt n
+    // sleeps a random duration in [base·2ⁿ⁻¹/2, base·2ⁿ⁻¹], capped.
+    let backoff = |failures: u32, rng: &mut StdRng| {
+        let ceiling = pause
+            .saturating_mul(1 << failures.saturating_sub(1).min(6))
+            .min(BACKOFF_CAP)
+            .max(pause);
+        let ceiling_ms = ceiling.as_millis() as u64;
+        let jitter = rng.next_u64() % (ceiling_ms / 2 + 1);
+        std::thread::sleep(Duration::from_millis(ceiling_ms - jitter));
+    };
+
     while !stop.load(Ordering::SeqCst) {
+        // A leader does not replicate from anyone; idle until demoted.
+        if core.federation.role() == FederationRole::Leader {
+            std::thread::sleep(pause);
+            continue;
+        }
+        // Follow the believed leader. A change (election, demotion, or a
+        // NOT_LEADER hint adopted below) reconnects and resyncs from the
+        // top: the new leader's log is a different byte stream.
+        let current = core.federation.leader();
+        if !current.is_empty() && current != leader {
+            leader = current;
+            client = make_client(&leader, &admin);
+            logged_in = false;
+            epoch = 0;
+            offset = 0;
+            failures = 0;
+            core.federation.set_applied(0);
+        }
+        if leader.is_empty() {
+            leader = core.federation.leader();
+            std::thread::sleep(pause);
+            continue;
+        }
         if !logged_in {
             logged_in = client.login().is_ok();
             if !logged_in {
-                // Leader not up yet (or mid-restart): keep trying.
-                std::thread::sleep(pause);
+                // Leader not up yet (or mid-restart): back off, and
+                // re-resolve the address in case leadership moved.
+                core.telemetry.federation.replication_fetch_errors.inc();
+                failures += 1;
+                backoff(failures, &mut rng);
                 continue;
             }
         }
@@ -134,18 +198,50 @@ fn run(
         );
         let chunk = match chunk {
             Ok(value) => value,
-            Err(ClientError::Fault(_)) => {
+            Err(ClientError::Fault(fault)) => {
+                if let Some((hint, hint_epoch)) = fault.leader_hint() {
+                    // The node we poll is not (or no longer) the leader.
+                    // Adopt its hint so the next cycle re-points.
+                    core.federation.observe_epoch(hint_epoch);
+                    if !hint.is_empty() {
+                        core.federation.set_leader(&hint);
+                    }
+                    std::thread::sleep(pause);
+                    continue;
+                }
                 // Session expired, ACL change, degraded leader — re-login
                 // and retry; a persistent fault just keeps the loop warm.
                 logged_in = false;
-                std::thread::sleep(pause);
+                core.telemetry.federation.replication_fetch_errors.inc();
+                failures += 1;
+                backoff(failures, &mut rng);
                 continue;
             }
             Err(_) => {
-                std::thread::sleep(pause);
+                // Transport failure: the leader address is likely dead.
+                // Jittered exponential backoff instead of a hot retry;
+                // each cycle still re-reads the believed leader above, so
+                // a failover re-points us without waiting out the cap.
+                core.telemetry.federation.replication_fetch_errors.inc();
+                failures += 1;
+                backoff(failures, &mut rng);
                 continue;
             }
         };
+        failures = 0;
+        // Epoch fence: a chunk stamped by a leader older than one we have
+        // already observed comes from a deposed node still serving its
+        // divergent tail — never apply it.
+        let leader_epoch = chunk
+            .get("leader_epoch")
+            .and_then(Value::as_int)
+            .unwrap_or(0) as u64;
+        if leader_epoch < core.federation.epoch() {
+            core.telemetry.federation.fenced_writes.inc();
+            std::thread::sleep(pause);
+            continue;
+        }
+        core.federation.observe_epoch(leader_epoch);
         let served_epoch = chunk.get("epoch").and_then(Value::as_int).unwrap_or(0) as u64;
         let served_offset = chunk.get("offset").and_then(Value::as_int).unwrap_or(0) as u64;
         let committed = chunk.get("len").and_then(Value::as_int).unwrap_or(0) as u64;
@@ -164,6 +260,7 @@ fn run(
         if data.is_empty() {
             core.replication_lag
                 .store(committed.saturating_sub(offset), Ordering::Relaxed);
+            core.federation.set_applied(offset);
             std::thread::sleep(pause);
             continue;
         }
@@ -179,6 +276,13 @@ fn run(
                     core.store.put(bucket, key, value.clone()).map(|_| ())
                 }
                 LogOp::Delete { bucket, key } => core.store.delete(bucket, key).map(|_| ()),
+                LogOp::EpochFence { epoch } => {
+                    // The leader's in-band fence record: persist it so a
+                    // later promotion of *this* node continues the epoch
+                    // sequence, and adopt the epoch for fencing.
+                    core.federation.observe_epoch(*epoch);
+                    core.store.append_fence(*epoch)
+                }
             };
             if result.is_ok() {
                 applied.fetch_add(1, Ordering::Relaxed);
@@ -187,9 +291,17 @@ fn run(
         offset = served_offset + data.len() as u64;
         core.replication_lag
             .store(committed.saturating_sub(offset), Ordering::Relaxed);
+        core.federation.set_applied(offset);
         // More may be waiting: loop immediately while we are behind.
         if committed <= offset {
             std::thread::sleep(pause);
         }
     }
+}
+
+fn make_client(leader: &str, admin: &Credential) -> ClarensClient {
+    ClarensClient::new(leader)
+        .with_credential(admin.clone())
+        .with_retries(1)
+        .with_call_deadline(Duration::from_secs(5))
 }

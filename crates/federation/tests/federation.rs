@@ -1,10 +1,12 @@
 //! Federation integration tests: WAL-shipping replication convergence,
-//! proxy routing to the module owner, and discovery-driven failover.
+//! proxy routing to the module owner, discovery-driven failover, and
+//! lease-based leader elections (promotion, split-brain fencing).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use clarens::client::ClientError;
-use clarens_federation::FederationCluster;
+use clarens_federation::{federation_pki, FederationCluster};
+use clarens_wire::fault::codes;
 use clarens_wire::Value;
 use monalisa_sim::station::wait_until;
 
@@ -115,5 +117,186 @@ fn balanced_client_fails_over_when_its_node_dies() {
     assert!(client.failovers() >= 1, "client never failed over");
     assert!(client.resolutions() >= 2, "client never re-resolved");
     assert_ne!(client.current_url(), Some(killed.as_str()));
+    cluster.cleanup();
+}
+
+#[test]
+fn leader_failover_promotes_follower_without_losing_acked_writes() {
+    let mut cluster = FederationCluster::start_elections(3, 500, 100);
+    // The session is an acked replicated write: `user_session` returns
+    // only after every node authenticates it.
+    let session = cluster.user_session();
+    let old_index = cluster.leader_index().expect("initial leader");
+    let old_addr = cluster.nodes[old_index].addr.clone();
+    let old_epoch = cluster.nodes[old_index].core().federation.epoch();
+    assert!(old_epoch >= 1, "startup leader should claim an epoch");
+
+    let killed_at = Instant::now();
+    cluster.kill(old_index);
+    // A follower must detect the lease lapse and promote itself. The
+    // `repro failover` drill enforces the tight ~3-lease bound; here we
+    // stay clear of CI-scheduler noise but still catch a stuck election.
+    let (new_addr, new_epoch) = {
+        let new_leader = cluster.leader();
+        (
+            new_leader.addr.clone(),
+            new_leader.core().federation.epoch(),
+        )
+    };
+    let elapsed = killed_at.elapsed();
+    assert_ne!(new_addr, old_addr, "a follower must take over");
+    assert!(
+        new_epoch > old_epoch,
+        "promotion must claim a newer epoch ({new_epoch} vs {old_epoch})"
+    );
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "promotion took {elapsed:?}"
+    );
+
+    // Zero acked-then-lost: the pre-kill session authenticates on the
+    // new leader immediately — its log already contained the record when
+    // it promoted (that is what "most caught-up" buys).
+    let user_dn = federation_pki().user.certificate.subject.to_string();
+    let mut probe = cluster.leader().client();
+    probe.set_session(session.clone());
+    assert_eq!(
+        probe
+            .call("system.whoami", vec![])
+            .expect("acked session lost across failover")
+            .as_str(),
+        Some(user_dn.as_str())
+    );
+
+    // The surviving follower noticed the dead leader (jittered-backoff
+    // fetch errors), re-pointed at the new one, and resyncs — after which
+    // a fresh replicated write propagates everywhere: `user_session`
+    // mints on the new leader and waits for full convergence.
+    let survivor = cluster
+        .nodes
+        .iter()
+        .position(|n| n.addr != new_addr)
+        .expect("one follower survives");
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            let core = cluster.nodes[survivor].core();
+            core.telemetry.federation.replication_fetch_errors.get() >= 1
+                && core.federation.leader() == new_addr
+        }),
+        "survivor never re-pointed at the new leader"
+    );
+    let session2 = cluster.user_session();
+    assert_ne!(session2, session);
+
+    // Write-aware routing: a balanced client's replicated writes end up
+    // aimed at the new leader (learned from NOT_LEADER redirect hints
+    // whenever resolution lands it on a follower).
+    let mut balanced = cluster
+        .balanced_client(&session, 0xFA11)
+        .with_repin_every(1)
+        .with_call_deadline(Duration::from_secs(2));
+    assert!(
+        wait_until(Duration::from_secs(15), || {
+            // Reads re-pin uniformly; the write path reuses the pin, so
+            // within a few rounds a write goes through a follower and the
+            // redirect hint teaches the client where the leader is.
+            let _ = balanced.call("echo.echo", vec![Value::Str("spin".into())]);
+            balanced
+                .call(
+                    "im.send",
+                    vec![
+                        Value::Str(user_dn.clone()),
+                        Value::Str("post-failover".into()),
+                    ],
+                )
+                .is_ok()
+                && balanced.believed_leader() == Some(new_addr.as_str())
+        }),
+        "balanced writes never learned the new leader"
+    );
+    cluster.cleanup();
+}
+
+#[test]
+fn split_brain_fences_stale_leader_and_demotes_on_heal() {
+    let cluster = FederationCluster::start_elections(3, 400, 80);
+    let session = cluster.user_session();
+    let stale_index = cluster.leader_index().expect("initial leader");
+    let old_epoch = cluster.nodes[stale_index].core().federation.epoch();
+    let user_dn = federation_pki().user.certificate.subject.to_string();
+
+    // Cut the leader's election traffic (its RPC plane stays up — the
+    // whole point). Its lease decays unrenewed; the survivors see the
+    // lapse and elect a rival under epoch N+1.
+    cluster.nodes[stale_index].set_partitioned(true);
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            cluster.nodes.iter().enumerate().any(|(i, n)| {
+                i != stale_index && n.is_leader() && n.core().federation.epoch() > old_epoch
+            })
+        }),
+        "no rival leader emerged behind the partition"
+    );
+
+    // The deposed leader still believes it leads, but its lapsed lease
+    // makes `is_writable` false: a direct replicated write is fenced
+    // before the handler runs — acked by nobody, applied by nobody.
+    let stale = &cluster.nodes[stale_index];
+    let fenced_before = stale.core().telemetry.federation.fenced_writes.get();
+    let mut stale_client = stale.client();
+    stale_client.set_session(session.clone());
+    match stale_client.call(
+        "im.send",
+        vec![
+            Value::Str(user_dn.clone()),
+            Value::Str("split-brain".into()),
+        ],
+    ) {
+        Err(ClientError::Fault(f)) => assert_eq!(f.code, codes::NOT_LEADER, "{f:?}"),
+        other => panic!("stale leader accepted a write: {other:?}"),
+    }
+    assert!(
+        stale.core().telemetry.federation.fenced_writes.get() > fenced_before,
+        "fence counter never ticked"
+    );
+    // 100% of stale writes rejected: the message exists on no node.
+    let mut count_probe = cluster.leader().client();
+    count_probe.set_session(session.clone());
+    assert_eq!(
+        count_probe.call("im.count", vec![]).expect("im.count"),
+        Value::Int(0),
+        "a fenced write leaked into the replicated store"
+    );
+
+    // Heal the partition: the revived leader observes the rival's higher
+    // epoch, demotes itself, re-points, and resyncs as a follower.
+    let new_addr = cluster.leader().addr.clone();
+    let new_epoch = cluster.leader().core().federation.epoch();
+    cluster.nodes[stale_index].set_partitioned(false);
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            let core = cluster.nodes[stale_index].core();
+            !cluster.nodes[stale_index].is_leader()
+                && core.telemetry.federation.demotions.get() >= 1
+                && core.federation.epoch() == new_epoch
+                && core.federation.leader() == new_addr
+        }),
+        "partitioned leader never demoted after healing"
+    );
+    // And it converges on post-election leader state through the
+    // ordinary replication stream.
+    cluster
+        .leader()
+        .core()
+        .store
+        .put("fedtest", "post-heal", b"converged".to_vec())
+        .expect("leader write");
+    let healed_store = std::sync::Arc::clone(&cluster.nodes[stale_index].core().store);
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            healed_store.get("fedtest", "post-heal").as_deref() == Some(b"converged".as_ref())
+        }),
+        "healed node never resynced from the new leader"
+    );
     cluster.cleanup();
 }

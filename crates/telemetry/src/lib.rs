@@ -118,6 +118,18 @@ pub struct FederationCounters {
     /// (microseconds) — the cross-node share of a proxied request, as
     /// distinct from the local dispatch span that contains it.
     pub forward_us: Histogram,
+    /// Leader elections this node won (promotions to leader).
+    pub elections: Counter,
+    /// Times this node stepped down from leadership after observing a
+    /// higher epoch (a deposed leader rejoining the cluster).
+    pub demotions: Counter,
+    /// Replicated writes rejected with NOT_LEADER because this node is a
+    /// follower, a deposed leader, or a leader whose lease lapsed
+    /// (split-brain self-fencing).
+    pub fenced_writes: Counter,
+    /// Replication fetch attempts that failed at the transport (leader
+    /// dead or unreachable) and entered the follower's backoff loop.
+    pub replication_fetch_errors: Counter,
 }
 
 /// Per-protocol counters.
@@ -391,6 +403,16 @@ impl Telemetry {
                 "clarens_replication_resyncs_total",
                 self.federation.replication_resyncs.get(),
             ),
+            ("clarens_elections_total", self.federation.elections.get()),
+            ("clarens_demotions_total", self.federation.demotions.get()),
+            (
+                "clarens_fenced_writes_total",
+                self.federation.fenced_writes.get(),
+            ),
+            (
+                "clarens_replication_fetch_errors_total",
+                self.federation.replication_fetch_errors.get(),
+            ),
         ] {
             let _ = writeln!(out, "{name} {value}");
         }
@@ -590,9 +612,16 @@ mod tests {
         t.federation.forwarded.inc();
         t.federation.forward_us.record(1234);
         t.federation.replication_chunks.inc();
+        t.federation.elections.inc();
+        t.federation.fenced_writes.inc();
+        t.federation.replication_fetch_errors.inc();
         let text = t.render_prometheus();
         assert!(text.contains("clarens_forwarded_calls_total 1"));
         assert!(text.contains("clarens_replication_chunks_total 1"));
+        assert!(text.contains("clarens_elections_total 1"));
+        assert!(text.contains("clarens_demotions_total 0"));
+        assert!(text.contains("clarens_fenced_writes_total 1"));
+        assert!(text.contains("clarens_replication_fetch_errors_total 1"));
         assert!(text.contains("clarens_forward_latency_us_count{span=\"forward\"} 1"));
     }
 

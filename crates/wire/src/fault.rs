@@ -32,6 +32,11 @@ pub mod codes {
     /// The server is running degraded (e.g. the store went read-only
     /// after a WAL failure) and refused a mutating call.
     pub const DEGRADED: i64 = 9;
+    /// A replicated write reached a node that is not the current leader
+    /// (a follower, or a deposed/fenced leader). The fault message carries
+    /// a machine-readable leader hint + epoch (see [`super::Fault::not_leader`]
+    /// and [`super::Fault::leader_hint`]) so clients can re-route.
+    pub const NOT_LEADER: i64 = 10;
 }
 
 /// A protocol-independent RPC fault.
@@ -80,6 +85,38 @@ impl Fault {
     /// Shorthand for a [`codes::DEGRADED`] fault.
     pub fn degraded(message: impl Into<String>) -> Self {
         Fault::new(codes::DEGRADED, message)
+    }
+
+    /// A [`codes::NOT_LEADER`] fault. `leader` is the `host:port` of the
+    /// node currently believed to hold the lease (empty if unknown) and
+    /// `epoch` is the rejecting node's view of the leader epoch. The hint
+    /// is embedded in the message in a fixed `key=value` grammar so it
+    /// survives every wire protocol's fault encoding (which only carry
+    /// `code` + `message`).
+    pub fn not_leader(leader: &str, epoch: u64) -> Self {
+        Fault::new(
+            codes::NOT_LEADER,
+            format!("not leader; leader={leader} epoch={epoch}"),
+        )
+    }
+
+    /// Parse the `(leader, epoch)` hint out of a [`codes::NOT_LEADER`]
+    /// fault. Returns `None` for other codes or a malformed message; a
+    /// known epoch with an unknown leader yields an empty leader string.
+    pub fn leader_hint(&self) -> Option<(String, u64)> {
+        if self.code != codes::NOT_LEADER {
+            return None;
+        }
+        let mut leader = None;
+        let mut epoch = None;
+        for token in self.message.split_whitespace() {
+            if let Some(v) = token.strip_prefix("leader=") {
+                leader = Some(v.to_owned());
+            } else if let Some(v) = token.strip_prefix("epoch=") {
+                epoch = v.parse::<u64>().ok();
+            }
+        }
+        Some((leader?, epoch?))
     }
 }
 
@@ -154,5 +191,23 @@ mod tests {
         assert_eq!(Fault::not_authenticated("n").code, codes::NOT_AUTHENTICATED);
         assert_eq!(Fault::deadline("d").code, codes::DEADLINE);
         assert_eq!(Fault::degraded("g").code, codes::DEGRADED);
+    }
+
+    #[test]
+    fn not_leader_hint_roundtrip() {
+        let f = Fault::not_leader("127.0.0.1:8080", 7);
+        assert_eq!(f.code, codes::NOT_LEADER);
+        assert_eq!(f.leader_hint().unwrap(), ("127.0.0.1:8080".into(), 7));
+        // Unknown leader: empty hint, epoch still parses.
+        let f = Fault::not_leader("", 3);
+        assert_eq!(f.leader_hint().unwrap(), (String::new(), 3));
+        // Other codes and mangled messages yield no hint.
+        assert!(Fault::degraded("x").leader_hint().is_none());
+        assert!(Fault::new(codes::NOT_LEADER, "mangled")
+            .leader_hint()
+            .is_none());
+        assert!(Fault::new(codes::NOT_LEADER, "leader=x epoch=notnum")
+            .leader_hint()
+            .is_none());
     }
 }
