@@ -271,8 +271,14 @@ impl ClarensClient {
     /// `leader=HOST:PORT` hint, and the call is replayed against that
     /// node with the same session, up to [`MAX_LEADER_HOPS`] hops. A
     /// hint-less fault (mid-election, no leader known yet) is retried in
-    /// place with backoff — the fence fires *before* the handler runs, so
-    /// nothing was executed and the replay is safe even for mutations.
+    /// place with backoff. The pre-dispatch fence fires *before* the
+    /// handler runs, so an ordinary `NOT_LEADER` means nothing was
+    /// executed and the replay is safe even for mutations — but a fault
+    /// carrying `executed=maybe` (the leader lost its lease *after*
+    /// applying the write, while waiting for the replicated ack) means
+    /// the operation's fate is unknown; such faults are only replayed for
+    /// idempotent methods and otherwise surface to the caller, which
+    /// alone can decide whether re-issuing the mutation is safe.
     pub fn call(&mut self, method: &str, params: Vec<Value>) -> Result<Value, ClientError> {
         let call = RpcCall {
             method: method.to_owned(),
@@ -293,7 +299,14 @@ impl ClarensClient {
         let mut blind_retries = 0u32;
         loop {
             let hint = match &result {
-                Err(ClientError::Fault(fault)) => fault.leader_hint(),
+                // A post-execution rejection of a non-idempotent call must
+                // not be replayed: the write may already have taken effect
+                // (and may yet survive via replication).
+                Err(ClientError::Fault(fault))
+                    if idempotent || !fault.executed_maybe() =>
+                {
+                    fault.leader_hint()
+                }
                 _ => None,
             };
             let Some((leader, _epoch)) = hint else { break };

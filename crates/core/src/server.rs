@@ -447,11 +447,14 @@ impl ClarensHandler {
     ) -> Result<(), Fault> {
         let fed = &self.core.federation;
         if !fed.lease_managed() || !fed.is_writable() {
-            // The lease-lapse case was already fenced before dispatch;
-            // losing the lease *during* the handler is caught below.
+            // The handler already ran — the pre-dispatch fence passed and
+            // the lease lapsed during execution. `executed=maybe` keeps
+            // clients from blindly replaying the mutation at the new
+            // leader: the write may survive via replication, and a replay
+            // would double-execute it.
             if fed.lease_managed() && fed.is_federated() {
                 self.core.telemetry.federation.fenced_writes.inc();
-                return Err(Fault::not_leader(&fed.leader(), fed.epoch()));
+                return Err(Fault::not_leader_executed(&fed.leader(), fed.epoch()));
             }
             return Ok(());
         }
@@ -467,9 +470,10 @@ impl ClarensHandler {
             }
             if !fed.is_writable() {
                 // Lease lapsed mid-wait: a rival may already be leader and
-                // this write may not survive — refuse the ack.
+                // this write may not survive — refuse the ack, marked as
+                // post-execution so clients don't replay the mutation.
                 self.core.telemetry.federation.fenced_writes.inc();
-                return Err(Fault::not_leader(&fed.leader(), fed.epoch()));
+                return Err(Fault::not_leader_executed(&fed.leader(), fed.epoch()));
             }
             let now = std::time::Instant::now();
             if now >= hard_cap || deadline.is_some_and(|d| now >= d) {

@@ -89,11 +89,6 @@ impl Service for ReplicationService {
                 if epoch < 0 || offset < 0 || max_bytes < 0 {
                     return Err(Fault::bad_params("cursor fields must be non-negative"));
                 }
-                // A fetch at `offset` proves the follower applied every
-                // record below it — feed the replicated-ack barrier.
-                if ctx.core.store.wal_epoch() == epoch as u64 {
-                    ctx.core.federation.observe_follower_fetch(offset as u64);
-                }
                 let chunk = ctx
                     .core
                     .store
@@ -106,9 +101,22 @@ impl Service for ReplicationService {
                 ctx.core.telemetry.federation.replication_chunks.inc();
                 if chunk.epoch != epoch as u64 || chunk.offset != offset as u64 {
                     // The served cursor differs from the requested one:
-                    // the log was rewritten and the follower is being
+                    // the log was rewritten (or the offset overran the
+                    // committed length) and the follower is being
                     // restarted from the current snapshot.
                     ctx.core.telemetry.federation.replication_resyncs.inc();
+                } else {
+                    // A fetch at a cursor the log *honored* proves the
+                    // follower applied every record below it — feed the
+                    // replicated-ack barrier. Recorded only after
+                    // `wal_read` validated the cursor, and clamped to the
+                    // committed length: a client-supplied offset beyond
+                    // it must never raise the barrier past bytes a
+                    // follower actually holds (that would let the leader
+                    // ack writes nobody replicated).
+                    ctx.core
+                        .federation
+                        .observe_follower_fetch((offset as u64).min(ctx.core.store.wal_offset()));
                 }
                 Ok(Value::structure([
                     ("epoch", Value::Int(chunk.epoch as i64)),

@@ -279,6 +279,17 @@ impl BalancedClient {
                         return Ok(value);
                     }
                     Err(ClientError::Fault(fault)) => match fault.leader_hint() {
+                        // `executed=maybe`: the old leader applied the
+                        // write before losing its lease. Learn where the
+                        // leader went, but surface the fault — replaying
+                        // a replicated write (always a mutation) here
+                        // could execute it twice.
+                        Some((hint, epoch)) if fault.executed_maybe() => {
+                            self.leader_client = None;
+                            self.leader = None;
+                            self.learn_leader(Some((hint, epoch)));
+                            return Err(ClientError::Fault(fault));
+                        }
                         Some((hint, epoch)) => {
                             // Leadership moved (or is in flight): re-aim
                             // and retry within the attempt budget.
@@ -327,6 +338,11 @@ impl BalancedClient {
                     return Ok(value);
                 }
                 Err(ClientError::Fault(fault)) => match fault.leader_hint() {
+                    // Same post-execution rule as the leader-aimed path.
+                    Some((hint, epoch)) if fault.executed_maybe() => {
+                        self.learn_leader(Some((hint, epoch)));
+                        return Err(ClientError::Fault(fault));
+                    }
                     Some((hint, epoch)) => {
                         self.write_reroutes += 1;
                         self.learn_leader(Some((hint, epoch)));

@@ -17,8 +17,14 @@
 //!   (split-brain self-fencing);
 //! * queries the stations for lease descriptors. A higher epoch than its
 //!   own demotes a leader on the spot (`clarens_demotions_total`) and
-//!   re-points a follower; a lease whose `renewed_ms` is older than
-//!   1.5 leases starts an election.
+//!   re-points a follower; an **equal** epoch published by a different
+//!   address — two candidates slipped through the same election window —
+//!   is resolved deterministically: the lower address keeps the lease,
+//!   the higher one demotes and resyncs; a lease that has not been seen
+//!   to renew for 1.5 leases starts an election, as does observing *no*
+//!   lease descriptor at all for that long while at least one station is
+//!   answering (fresh deployment, or stations restarted and lost their
+//!   retained state).
 //!
 //! An election is: jittered pause (decorrelates candidates), recheck
 //! that nobody renewed or claimed a higher epoch meanwhile, then rank
@@ -33,6 +39,15 @@
 //! Leases use the descriptors' `renewed_ms` attribute, not the
 //! descriptor timestamp: timestamps are whole seconds, far coarser than
 //! a lease interval, and stations retain stale descriptors indefinitely.
+//! Crucially, `renewed_ms` is stamped with the *publisher's* wall clock,
+//! which may be skewed arbitrarily from the observer's — so lease age is
+//! never computed by subtracting it from the local clock. Instead each
+//! observer tracks, per descriptor, the local monotonic instant at which
+//! it last saw the `renewed_ms` value *change* ([`Freshness`]); a lease
+//! has lapsed when that locally-measured age exceeds 1.5 intervals. The
+//! leader self-fences on the same monotonic basis (`renew_lease`), so no
+//! clock comparison ever crosses hosts and NTP drift cannot open a
+//! two-writable-leaders window.
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -149,12 +164,19 @@ fn unix_ms() -> u64 {
 
 /// The freshest view of one descriptor service across all stations,
 /// deduplicated by url (each station keeps only the newest per key, but
-/// different nodes publish under different urls).
-fn query_all(stations: &[SocketAddr], service: &str) -> Vec<ServiceDescriptor> {
+/// different nodes publish under different urls). The flag is true when
+/// at least one station answered the query: an empty result from a
+/// reachable station network means "no such descriptor exists", while an
+/// empty result with every station unreachable means this node is blind
+/// and must not draw conclusions (in particular, must not stand for
+/// election on the strength of not seeing a lease).
+fn query_all(stations: &[SocketAddr], service: &str) -> (Vec<ServiceDescriptor>, bool) {
     let query = ServiceQuery::by_service(service);
     let mut out: Vec<ServiceDescriptor> = Vec::new();
+    let mut reachable = false;
     for station in stations {
         if let Ok(hits) = query_station(*station, &query) {
+            reachable = true;
             for hit in hits {
                 match out.iter_mut().find(|d| d.url == hit.url) {
                     Some(existing) => {
@@ -167,7 +189,38 @@ fn query_all(stations: &[SocketAddr], service: &str) -> Vec<ServiceDescriptor> {
             }
         }
     }
-    out
+    (out, reachable)
+}
+
+/// Local-clock freshness tracking for published descriptors.
+///
+/// `renewed_ms` stamps come from the publisher's wall clock and are only
+/// compared with each other (is this observation newer than the last?).
+/// Age is measured on the observer's own monotonic clock: the elapsed
+/// time since this node last saw the stamp advance. A descriptor seen
+/// for the first time has age zero — a node that just started gives a
+/// possibly-dead leader a full lapse interval of local observation
+/// before moving against it, which is the conservative direction.
+#[derive(Default)]
+struct Freshness {
+    seen: std::collections::HashMap<String, (u64, std::time::Instant)>,
+}
+
+impl Freshness {
+    fn age(&mut self, d: &ServiceDescriptor) -> Duration {
+        let stamp = renewed_ms(d);
+        let now = std::time::Instant::now();
+        let entry = self.seen.entry(d.url.clone()).or_insert((stamp, now));
+        if stamp != entry.0 {
+            *entry = (stamp, now);
+        }
+        entry.1.elapsed()
+    }
+}
+
+/// A lease (or the absence of any lease) older than this is lapsed.
+fn lapse_after(lease_ms: u64) -> Duration {
+    Duration::from_millis(lease_ms + lease_ms / 2)
 }
 
 fn attr_u64(d: &ServiceDescriptor, key: &str) -> u64 {
@@ -205,6 +258,12 @@ fn run(
     let lease_ms = options.lease_ms;
     let tick = Duration::from_millis((lease_ms / 4).max(5));
     let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut freshness = Freshness::default();
+    // Local instant since which a reachable station network has shown no
+    // lease descriptor at all (cluster never had a leader, or stations
+    // restarted and lost their retained state). None while a lease is
+    // visible or while the stations are unreachable.
+    let mut leaderless_since: Option<std::time::Instant> = None;
 
     // A configured leader claims the first epoch on startup, continuing
     // from whatever fence its persistent log already carries (so a
@@ -255,12 +314,13 @@ fn run(
 
         // --- Observe -------------------------------------------------
         if !cut_off {
-            let leases = query_all(query_stations, LEASE_SERVICE);
+            let (leases, stations_reachable) = query_all(query_stations, LEASE_SERVICE);
             if let Some(best) = leases.iter().max_by_key(|d| {
                 // Highest epoch wins; among equal epochs the freshest
                 // renewal is authoritative.
                 (attr_u64(d, "leader_epoch"), renewed_ms(d))
             }) {
+                leaderless_since = None;
                 let best_epoch = attr_u64(best, "leader_epoch");
                 let best_addr = best.attributes.get("addr").cloned().unwrap_or_default();
                 let my_epoch = core.federation.epoch();
@@ -275,16 +335,46 @@ fn run(
                         core.telemetry.federation.demotions.inc();
                     }
                     core.federation.set_leader(&best_addr);
+                } else if core.federation.role() == FederationRole::Leader {
+                    // Equal-epoch conflict: a rival published a lease for
+                    // the epoch this node holds — two candidates slipped
+                    // through the same election window (e.g. each skipped
+                    // the other as unreachable while ranking). Equal
+                    // epochs never fence each other, so without a
+                    // deterministic tie-break both would stay writable
+                    // forever and the logs would diverge. Resolution
+                    // mirrors the election's deference rule: the lowest
+                    // address keeps the lease, everyone else demotes and
+                    // resyncs from it.
+                    let rival = leases.iter().find_map(|d| {
+                        let a = d.attributes.get("addr")?;
+                        (attr_u64(d, "leader_epoch") == my_epoch
+                            && !a.is_empty()
+                            && a.as_str() != addr
+                            && a.as_str() < addr)
+                            .then(|| a.clone())
+                    });
+                    if let Some(rival_addr) = rival {
+                        core.federation.set_role(FederationRole::Follower);
+                        core.federation.unmanage_lease();
+                        core.federation.set_leader(&rival_addr);
+                        core.telemetry.federation.demotions.inc();
+                    }
                 } else if core.federation.role() == FederationRole::Follower {
-                    if best_epoch >= my_epoch && !best_addr.is_empty() {
+                    // Never adopt this node's own retained lease (a relic
+                    // of a leadership it has since lost): a follower that
+                    // believes *itself* leader would hint clients into a
+                    // redirect loop.
+                    if best_epoch >= my_epoch && !best_addr.is_empty() && best_addr != addr {
                         core.federation.observe_epoch(best_epoch);
                         core.federation.set_leader(&best_addr);
                     }
-                    // Lease lapse: the best lease known to the cluster has
-                    // not been renewed for 1.5 intervals — its holder is
-                    // dead or cut off. Stand for election.
-                    let age = unix_ms().saturating_sub(renewed_ms(best));
-                    if age > lease_ms + lease_ms / 2 {
+                    // Lease lapse: this node has watched the best-known
+                    // lease go unrenewed for 1.5 intervals of *local*
+                    // time — its holder is dead or cut off. Stand for
+                    // election. (Local observation, not a comparison with
+                    // the leader's clock: see the module docs.)
+                    if freshness.age(best) > lapse_after(lease_ms) {
                         try_promote(
                             core,
                             addr,
@@ -292,10 +382,33 @@ fn run(
                             query_stations,
                             options,
                             &mut rng,
+                            &mut freshness,
                             stop,
                         );
                     }
                 }
+            } else if stations_reachable && core.federation.role() == FederationRole::Follower {
+                // The stations answer but hold no lease descriptor at
+                // all: nobody has ever led (or the stations lost their
+                // retained state in a restart). Treat a full lapse
+                // interval of observing that as a lapsed lease, or the
+                // cluster stays leaderless forever.
+                let since = *leaderless_since.get_or_insert_with(std::time::Instant::now);
+                if since.elapsed() > lapse_after(lease_ms) {
+                    try_promote(
+                        core,
+                        addr,
+                        publisher,
+                        query_stations,
+                        options,
+                        &mut rng,
+                        &mut freshness,
+                        stop,
+                    );
+                }
+            } else {
+                // Blind (no station reachable): no basis for any action.
+                leaderless_since = None;
             }
         }
 
@@ -324,6 +437,7 @@ fn try_promote(
     query_stations: &[SocketAddr],
     options: &ElectionOptions,
     rng: &mut StdRng,
+    freshness: &mut Freshness,
     stop: &AtomicBool,
 ) {
     let lease_ms = options.lease_ms;
@@ -335,7 +449,7 @@ fn try_promote(
     }
 
     // Recheck: did the leader renew, or a rival claim, during the pause?
-    let leases = query_all(query_stations, LEASE_SERVICE);
+    let (leases, _) = query_all(query_stations, LEASE_SERVICE);
     if let Some(best) = leases
         .iter()
         .max_by_key(|d| (attr_u64(d, "leader_epoch"), renewed_ms(d)))
@@ -343,8 +457,8 @@ fn try_promote(
         if attr_u64(best, "leader_epoch") > core.federation.epoch() {
             return; // a rival already won this round
         }
-        if unix_ms().saturating_sub(renewed_ms(best)) <= lease_ms + lease_ms / 2 {
-            return; // the leader came back
+        if freshness.age(best) <= lapse_after(lease_ms) {
+            return; // the leader came back (locally-observed renewal)
         }
     }
 
@@ -353,14 +467,20 @@ fn try_promote(
     // live `system.health` call, because adverts are a tick stale and
     // the whole point is promoting the most-caught-up log.
     let mine = core.federation.applied();
-    let now = unix_ms();
-    for member in query_all(query_stations, MEMBER_SERVICE) {
+    let (members, stations_reachable) = query_all(query_stations, MEMBER_SERVICE);
+    if !stations_reachable {
+        // Blind: with no station answering, the candidate set is unknown
+        // and a promotion here could claim over a better-placed (or
+        // already-leading) peer it simply cannot see.
+        return;
+    }
+    for member in members {
         let peer = member.attributes.get("addr").cloned().unwrap_or_default();
         if peer.is_empty() || peer == addr {
             continue;
         }
-        if now.saturating_sub(renewed_ms(&member)) > lease_ms * MEMBER_FRESH_LEASES {
-            continue; // stale advert: node presumed dead
+        if freshness.age(&member) > Duration::from_millis(lease_ms * MEMBER_FRESH_LEASES) {
+            continue; // advert never renewed under local observation: presumed dead
         }
         let Some((is_leader, theirs)) = peer_health(&peer) else {
             continue; // unreachable: cannot be a better candidate

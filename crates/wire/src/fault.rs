@@ -100,6 +100,31 @@ impl Fault {
         )
     }
 
+    /// A [`codes::NOT_LEADER`] fault for a write that was rejected *after*
+    /// the handler already ran (the leader lost its lease between applying
+    /// the write locally and the replicated-ack barrier). The extra
+    /// `executed=maybe` token tells clients the operation's fate is
+    /// unknown — it may yet replicate to the new leader — so only
+    /// idempotent calls may be auto-replayed against the hinted leader;
+    /// blindly replaying a mutation here would double-execute it.
+    pub fn not_leader_executed(leader: &str, epoch: u64) -> Self {
+        Fault::new(
+            codes::NOT_LEADER,
+            format!("not leader; leader={leader} epoch={epoch} executed=maybe"),
+        )
+    }
+
+    /// Did the rejecting node already run the handler before refusing the
+    /// ack (see [`Fault::not_leader_executed`])? Always false for other
+    /// fault codes.
+    pub fn executed_maybe(&self) -> bool {
+        self.code == codes::NOT_LEADER
+            && self
+                .message
+                .split_whitespace()
+                .any(|token| token == "executed=maybe")
+    }
+
     /// Parse the `(leader, epoch)` hint out of a [`codes::NOT_LEADER`]
     /// fault. Returns `None` for other codes or a malformed message; a
     /// known epoch with an unknown leader yields an empty leader string.
@@ -198,6 +223,13 @@ mod tests {
         let f = Fault::not_leader("127.0.0.1:8080", 7);
         assert_eq!(f.code, codes::NOT_LEADER);
         assert_eq!(f.leader_hint().unwrap(), ("127.0.0.1:8080".into(), 7));
+        assert!(!f.executed_maybe());
+        // The post-execution variant keeps the routing hint parseable and
+        // adds the executed marker.
+        let f = Fault::not_leader_executed("127.0.0.1:8080", 7);
+        assert_eq!(f.leader_hint().unwrap(), ("127.0.0.1:8080".into(), 7));
+        assert!(f.executed_maybe());
+        assert!(!Fault::service("executed=maybe").executed_maybe());
         // Unknown leader: empty hint, epoch still parses.
         let f = Fault::not_leader("", 3);
         assert_eq!(f.leader_hint().unwrap(), (String::new(), 3));
